@@ -1,0 +1,74 @@
+"""Figure 1 — the [3] frontend flow: Flang -> HLFIR/FIR -> core dialects.
+
+Regenerates the figure as a stage trace: the SAXPY source is lowered to
+the FIR+omp module and then to the core dialects, and the bench reports
+which dialects are live at each stage — FIR ops must disappear after the
+[3] lowering, replaced by memref/scf/arith with the omp ops preserved.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+from repro.frontend import compile_to_core, compile_to_fir
+from repro.reporting import format_table
+
+#: SAXPY with its host-side initialisation loop, so the trace exercises
+#: both the host control flow (fir.do_loop -> scf.for) and the offload.
+SOURCE = """
+program saxpy_demo
+  implicit none
+  integer, parameter :: n = 4096
+  real :: x(n), y(n), a
+  integer :: i
+  a = 2.0
+  do i = 1, n
+    x(i) = real(i)
+    y(i) = 1.0
+  end do
+!$omp target parallel do simd simdlen(10)
+  do i = 1, n
+    y(i) = y(i) + a * x(i)
+  end do
+!$omp end target parallel do simd
+end program saxpy_demo
+"""
+
+
+def _dialect_histogram(module) -> dict[str, int]:
+    hist: dict[str, int] = {}
+    for op in module.walk():
+        dialect = op.name.split(".")[0]
+        hist[dialect] = hist.get(dialect, 0) + 1
+    return hist
+
+
+def test_frontend_flow(benchmark, capsys):
+    def run_frontend():
+        fir_result = compile_to_fir(SOURCE)
+        core_result = compile_to_core(SOURCE)
+        return fir_result, core_result
+
+    fir_result, core_result = benchmark.pedantic(
+        run_frontend, rounds=1, iterations=1
+    )
+    fir_hist = _dialect_histogram(fir_result.module)
+    core_hist = _dialect_histogram(core_result.module)
+
+    dialects = sorted(set(fir_hist) | set(core_hist))
+    table = format_table(
+        "Figure 1: dialect population through the [3] frontend flow (SAXPY)",
+        ["dialect", "after Flang (FIR+omp)", "after [3] (core+omp)"],
+        [(d, fir_hist.get(d, 0), core_hist.get(d, 0)) for d in dialects],
+    )
+    emit(capsys, "fig1_frontend_flow", table)
+
+    # Flang stage: FIR carries the program, omp carries the directives.
+    assert fir_hist.get("fir", 0) > 0
+    assert fir_hist.get("omp", 0) > 0
+    assert fir_hist.get("memref", 0) == 0 and fir_hist.get("scf", 0) == 0
+    # [3] stage: FIR fully lowered to memref/scf/arith; omp preserved.
+    assert core_hist.get("fir", 0) == 0
+    assert core_hist.get("memref", 0) > 0
+    assert core_hist.get("scf", 0) > 0
+    assert core_hist.get("arith", 0) > 0
+    assert core_hist.get("omp", 0) == fir_hist.get("omp", 0)

@@ -1,0 +1,69 @@
+"""Table 1 — SAXPY runtime: Fortran OpenMP flow vs hand-written HLS.
+
+Paper result: the two flows are within ~0.6 % of each other at every
+size, and runtime scales linearly with N (memory-bound kernel plus bulk
+transfers).  The bench regenerates the full table and checks:
+
+* who wins: neither — the flows stay within 2 % of each other;
+* scale: our modeled medians land within 35 % of the published numbers;
+* shape: runtime grows ~10x per 10x N (linear).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import PAPER_TABLE1, emit
+from repro.reporting import format_table
+from repro.workloads import SAXPY_SIZES
+
+
+@pytest.mark.parametrize("n", SAXPY_SIZES)
+def test_saxpy_runtime_point(benchmark, saxpy_runs, n):
+    fortran, hls = saxpy_runs.results(n)
+
+    def simulate():
+        return saxpy_runs.results(n)
+
+    benchmark.pedantic(simulate, rounds=1, iterations=1)
+    benchmark.extra_info["modeled_fortran_ms"] = fortran.device_time_ms
+    benchmark.extra_info["modeled_hls_ms"] = hls.device_time_ms
+
+    paper_fortran, paper_hls = PAPER_TABLE1[n]
+    # scale: modeled medians within 35 % of the paper's testbed
+    assert fortran.device_time_ms == pytest.approx(paper_fortran, rel=0.35)
+    assert hls.device_time_ms == pytest.approx(paper_hls, rel=0.35)
+    # who wins: the flows are equivalent (sub-2 % difference)
+    diff = abs(hls.device_time_s / fortran.device_time_s - 1.0)
+    assert diff < 0.02
+
+
+def test_saxpy_runtime_table(benchmark, saxpy_runs, capsys):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    previous = None
+    for n in SAXPY_SIZES:
+        fortran, hls = saxpy_runs.results(n)
+        paper_fortran, paper_hls = PAPER_TABLE1[n]
+        diff = (hls.device_time_s / fortran.device_time_s - 1.0) * 100.0
+        rows.append(
+            (
+                n,
+                f"{fortran.device_time_ms:.3f}",
+                f"{hls.device_time_ms:.3f}",
+                f"{diff:+.2f}%",
+                f"{paper_fortran:.3f}",
+                f"{paper_hls:.3f}",
+            )
+        )
+        if previous is not None:
+            growth = fortran.device_time_s / previous
+            assert 6.0 < growth < 14.0, "SAXPY must scale linearly in N"
+        previous = fortran.device_time_s
+    table = format_table(
+        "Table 1: SAXPY runtime (ms) — Fortran OpenMP vs hand-written HLS",
+        ["N", "Fortran (ours)", "HLS (ours)", "diff", "Fortran (paper)",
+         "HLS (paper)"],
+        rows,
+    )
+    emit(capsys, "table1_saxpy_runtime", table)

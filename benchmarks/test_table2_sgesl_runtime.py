@@ -1,0 +1,64 @@
+"""Table 2 — SGESL runtime: Fortran OpenMP flow vs hand-written HLS.
+
+Paper result: both flows within ~0.7 %, runtime growing ~4x per doubling
+of N (the per-k implicit maps make the solve transfer-bound and O(N^2)).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import PAPER_TABLE2, emit
+from repro.reporting import format_table
+from repro.workloads import SGESL_SIZES
+
+
+@pytest.mark.parametrize("n", SGESL_SIZES)
+def test_sgesl_runtime_point(benchmark, sgesl_runs, n):
+    fortran, hls = sgesl_runs.results(n)
+
+    def simulate():
+        return sgesl_runs.results(n)
+
+    benchmark.pedantic(simulate, rounds=1, iterations=1)
+    benchmark.extra_info["modeled_fortran_ms"] = fortran.device_time_ms
+    benchmark.extra_info["modeled_hls_ms"] = hls.device_time_ms
+
+    paper_fortran, paper_hls = PAPER_TABLE2[n]
+    assert fortran.device_time_ms == pytest.approx(paper_fortran, rel=0.35)
+    assert hls.device_time_ms == pytest.approx(paper_hls, rel=0.35)
+    diff = abs(hls.device_time_s / fortran.device_time_s - 1.0)
+    assert diff < 0.02
+    # one launch per k per phase: 2N-1 total
+    assert fortran.launches == 2 * n - 1
+
+
+def test_sgesl_runtime_table(benchmark, sgesl_runs, capsys):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    previous = None
+    for n in SGESL_SIZES:
+        fortran, hls = sgesl_runs.results(n)
+        paper_fortran, paper_hls = PAPER_TABLE2[n]
+        diff = (hls.device_time_s / fortran.device_time_s - 1.0) * 100.0
+        rows.append(
+            (
+                n,
+                f"{fortran.device_time_ms:.3f}",
+                f"{hls.device_time_ms:.3f}",
+                f"{diff:+.2f}%",
+                f"{paper_fortran:.3f}",
+                f"{paper_hls:.3f}",
+            )
+        )
+        if previous is not None:
+            growth = fortran.device_time_s / previous
+            assert 3.0 < growth < 5.0, "SGESL must scale ~quadratically"
+        previous = fortran.device_time_s
+    table = format_table(
+        "Table 2: SGESL runtime (ms) — Fortran OpenMP vs hand-written HLS",
+        ["N", "Fortran (ours)", "HLS (ours)", "diff", "Fortran (paper)",
+         "HLS (paper)"],
+        rows,
+    )
+    emit(capsys, "table2_sgesl_runtime", table)

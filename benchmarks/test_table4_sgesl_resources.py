@@ -1,0 +1,57 @@
+"""Table 4 — SGESL resource utilisation (N = 2048).
+
+Paper result: BRAM identical (10.07 %), but the MAC binds differently —
+the hand-written HLS kernel's mul+add is recognised by Vitis and mapped
+to DSP slices (DSP 0.23 %, LUT 8.22 %) while the Fortran flow's IR misses
+the pattern and builds it from LUTs (DSP 0.10 %, LUT 8.24 %).
+"""
+
+from __future__ import annotations
+
+from conftest import PAPER_TABLE4, emit
+from repro.reporting import format_table
+
+
+def test_sgesl_resources(
+    benchmark, sgesl_update_program, sgesl_baseline, capsys
+):
+    def synthesize():
+        return sgesl_update_program.bitstream.utilization()
+
+    benchmark.pedantic(synthesize, rounds=1, iterations=1)
+
+    fortran = sgesl_update_program.bitstream.utilization().rounded()
+    hls = sgesl_baseline.bitstream.utilization().rounded()
+
+    table = format_table(
+        "Table 4: SGESL resource utilisation (N=2048)",
+        ["Frontend", "LUT %", "BRAM %", "DSP %",
+         "LUT(paper)", "BRAM(paper)", "DSP(paper)"],
+        [
+            ("Fortran OpenMP", *fortran, *PAPER_TABLE4["fortran"]),
+            ("Hand-written HLS", *hls, *PAPER_TABLE4["hls"]),
+        ],
+    )
+    emit(capsys, "table4_sgesl_resources", table)
+
+    # exact reproduction of the published rounded percentages
+    assert fortran == PAPER_TABLE4["fortran"]
+    assert hls == PAPER_TABLE4["hls"]
+    # the analysed mechanism: BRAM equal, DSPs only in the hand-written
+    # flow (the clang_mac idiom), LUTs slightly higher in the Fortran flow
+    assert fortran[1] == hls[1]
+    assert hls[2] > fortran[2]
+    assert fortran[0] > hls[0]
+
+
+def test_dsp_mapping_mechanism(benchmark, sgesl_update_program, sgesl_baseline):
+    """The DSP difference must come from the MAC binding, not elsewhere."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    fortran_kernels = sgesl_update_program.bitstream.kernels
+    hls_kernels = sgesl_baseline.bitstream.kernels
+    fortran_ops = [
+        op for k in fortran_kernels.values() for op in k.operators
+    ]
+    hls_ops = [op for k in hls_kernels.values() for op in k.operators]
+    assert not any(op.dsp_mapped for op in fortran_ops)
+    assert any(op.op_name == "clang_mac" and op.dsp_mapped for op in hls_ops)

@@ -1,0 +1,85 @@
+"""Table 5 — SAXPY median power draw: FPGA (both flows) vs one CPU core.
+
+Paper result: both FPGA flows draw ~22-26 W — about *half* of the
+~55-57 W a single active EPYC 7502 core costs at package level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import PAPER_TABLE5, emit
+from repro.fpga.power import CpuPowerModel, FpgaPowerModel
+from repro.frontend import compile_to_core
+from repro.reporting import format_table
+from repro.runtime.cpu import CpuExecutor
+from repro.workloads import SAXPY_SIZES, SAXPY_SOURCE, SaxpyCase, saxpy_reference
+
+
+@pytest.fixture(scope="module")
+def cpu_executor():
+    return CpuExecutor(compile_to_core(SAXPY_SOURCE).module)
+
+
+def _power_rows(saxpy_program, saxpy_baseline, cpu_executor):
+    fpga_model = FpgaPowerModel()
+    cpu_model = CpuPowerModel()
+    rows = []
+    for n in SAXPY_SIZES:
+        fortran_w = fpga_model.median_power_w(
+            n, saxpy_program.bitstream.resources, "saxpy-fortran"
+        )
+        hls_w = fpga_model.median_power_w(
+            n, saxpy_baseline.bitstream.resources, "saxpy-hls"
+        )
+        case = SaxpyCase(min(n, 100_000))  # CPU run for functional check
+        x, y = case.arrays()
+        expected = saxpy_reference(case.a, x, y)
+        cpu_run = cpu_executor.run(
+            "saxpy",
+            np.array(case.a, np.float32),
+            x,
+            y,
+            np.array(case.n, np.int32),
+            label=f"saxpy-{n}",
+        )
+        assert np.allclose(y, expected, rtol=1e-5)
+        cpu_w = cpu_model.median_power_w(n, f"saxpy-{n}")
+        rows.append((n, fortran_w, hls_w, cpu_w))
+    return rows
+
+
+def test_saxpy_power(benchmark, saxpy_program, saxpy_baseline, cpu_executor, capsys):
+    rows = benchmark.pedantic(
+        _power_rows,
+        args=(saxpy_program, saxpy_baseline, cpu_executor),
+        rounds=1,
+        iterations=1,
+    )
+    printable = []
+    for n, fortran_w, hls_w, cpu_w in rows:
+        paper = PAPER_TABLE5[n]
+        printable.append(
+            (
+                n,
+                f"{fortran_w:.2f}", f"{hls_w:.2f}", f"{cpu_w:.2f}",
+                f"{paper[0]:.2f}", f"{paper[1]:.2f}", f"{paper[2]:.2f}",
+            )
+        )
+        # shape: FPGA well under half-ish of CPU, both flows comparable
+        assert 20.0 < fortran_w < 27.0
+        assert 20.0 < hls_w < 27.0
+        assert 48.0 < cpu_w < 60.0
+        assert cpu_w / fortran_w > 1.9
+        assert abs(fortran_w - hls_w) < 2.0
+        # scale: within a few watts of the published medians
+        assert abs(fortran_w - paper[0]) < 3.0
+        assert abs(cpu_w - paper[2]) < 5.0
+    table = format_table(
+        "Table 5: SAXPY median power (W) — FPGA flows vs single CPU core",
+        ["N", "Fortran (ours)", "HLS (ours)", "CPU (ours)",
+         "Fortran (paper)", "HLS (paper)", "CPU (paper)"],
+        printable,
+    )
+    emit(capsys, "table5_saxpy_power", table)

@@ -1,0 +1,82 @@
+"""Table 6 — SGESL median power draw: FPGA (both flows) vs one CPU core.
+
+Paper result: ~22-24 W on the FPGA for both flows versus ~52-54 W for a
+single CPU core — the flow preserves the FPGA's low-power advantage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import PAPER_TABLE6, emit
+from repro.fpga.power import CpuPowerModel, FpgaPowerModel
+from repro.frontend import compile_to_core
+from repro.reporting import format_table
+from repro.runtime.cpu import CpuExecutor
+from repro.workloads import SGESL_SIZES, SGESL_SOURCE, SgeslCase, sgesl_reference
+
+
+@pytest.fixture(scope="module")
+def cpu_executor():
+    return CpuExecutor(compile_to_core(SGESL_SOURCE).module)
+
+
+def _power_rows(sgesl_program, sgesl_baseline, cpu_executor):
+    fpga_model = FpgaPowerModel()
+    cpu_model = CpuPowerModel()
+    rows = []
+    for n in SGESL_SIZES:
+        work = n * n  # total updated elements across both phases
+        fortran_w = fpga_model.median_power_w(
+            work, sgesl_program.bitstream.resources, "sgesl-fortran"
+        )
+        hls_w = fpga_model.median_power_w(
+            work, sgesl_baseline.bitstream.resources, "sgesl-hls"
+        )
+        cpu_w = cpu_model.median_power_w(work, f"sgesl-{n}")
+        rows.append((n, fortran_w, hls_w, cpu_w))
+    # functional single-core check at a small size
+    case = SgeslCase(64)
+    _, lu, ipvt, b = case.system()
+    expected = sgesl_reference(lu, ipvt, b)
+    bb = b.copy()
+    cpu_executor.run(
+        "sgesl", lu.copy(), bb, (ipvt + 1).astype(np.int64),
+        np.array(64, np.int32), label="sgesl-cpu",
+    )
+    assert np.allclose(bb, expected, rtol=1e-3, atol=1e-3)
+    return rows
+
+
+def test_sgesl_power(benchmark, sgesl_program, sgesl_baseline, cpu_executor, capsys):
+    rows = benchmark.pedantic(
+        _power_rows,
+        args=(sgesl_program, sgesl_baseline, cpu_executor),
+        rounds=1,
+        iterations=1,
+    )
+    printable = []
+    for n, fortran_w, hls_w, cpu_w in rows:
+        paper = PAPER_TABLE6[n]
+        printable.append(
+            (
+                n,
+                f"{fortran_w:.2f}", f"{hls_w:.2f}", f"{cpu_w:.2f}",
+                f"{paper[0]:.2f}", f"{paper[1]:.2f}", f"{paper[2]:.2f}",
+            )
+        )
+        assert 20.0 < fortran_w < 27.0
+        assert 20.0 < hls_w < 27.0
+        assert 48.0 < cpu_w < 60.0
+        assert cpu_w / fortran_w > 1.9
+        assert abs(fortran_w - hls_w) < 2.0
+        assert abs(fortran_w - paper[0]) < 3.0
+        assert abs(cpu_w - paper[2]) < 5.0
+    table = format_table(
+        "Table 6: SGESL median power (W) — FPGA flows vs single CPU core",
+        ["N", "Fortran (ours)", "HLS (ours)", "CPU (ours)",
+         "Fortran (paper)", "HLS (paper)", "CPU (paper)"],
+        printable,
+    )
+    emit(capsys, "table6_sgesl_power", table)

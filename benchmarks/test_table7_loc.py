@@ -1,0 +1,38 @@
+"""Table 7 — lines of code of the dialects/transformations.
+
+The paper's argument: composing existing MLIR building blocks keeps every
+component modest (this work: 2363 LoC).  We census our own modules mapped
+onto the same four components; the property reproduced is the *ordering*
+and rough magnitude — each component stays in the low thousands, and the
+[3] frontend lowering is the largest piece, as in the paper.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+from repro.reporting import format_table, table7_loc
+
+
+def test_loc_census(benchmark, capsys):
+    rows = benchmark.pedantic(table7_loc, rounds=1, iterations=1)
+    printable = [
+        (row.component, row.our_loc, row.paper_loc) for row in rows
+    ]
+    table = format_table(
+        "Table 7: lines of code per component",
+        ["Component", "LoC (ours)", "LoC (paper)"],
+        printable,
+    )
+    emit(capsys, "table7_loc", table)
+
+    by_name = {row.component: row for row in rows}
+    ours = {name: row.our_loc for name, row in by_name.items()}
+    # every component is "very modest" — low thousands, as the paper argues
+    for name, loc in ours.items():
+        assert 150 < loc < 8000, f"{name}: {loc} LoC out of expected band"
+    # the [3] HLFIR/FIR lowering is the largest component in both codebases
+    largest = max(ours, key=ours.get)  # type: ignore[arg-type]
+    assert largest == "Lowering from HLFIR & FIR to core dialects [3]"
+    # this work's component is the same order of magnitude as published
+    this_work = by_name["OpenMP to HLS dialect (this work)"]
+    assert 0.3 < this_work.our_loc / this_work.paper_loc < 3.0

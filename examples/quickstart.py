@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Quickstart: offload a Fortran loop to the (simulated) U280 FPGA.
+
+Compiles a vector-add subroutine with an OpenMP ``target parallel do``
+through the full MLIR pipeline — Flang-style frontend, the paper's
+``device``-dialect passes, HLS lowering, simulated Vitis synthesis —
+then runs it and prints the timing/utilisation reports.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.pipeline import compile_fortran
+
+SOURCE = """
+subroutine vadd(x, y, z, n)
+  implicit none
+  integer, intent(in) :: n
+  real, intent(in) :: x(n), y(n)
+  real, intent(out) :: z(n)
+  integer :: i
+!$omp target parallel do
+  do i = 1, n
+    z(i) = x(i) + y(i)
+  end do
+!$omp end target parallel do
+end subroutine vadd
+"""
+
+
+def main() -> None:
+    program = compile_fortran(SOURCE, capture_stages=True)
+
+    n = 100_000
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(n).astype(np.float32)
+    y = rng.standard_normal(n).astype(np.float32)
+    z = np.zeros(n, dtype=np.float32)
+
+    result = program.executor().run(
+        "vadd", x, y, z, np.array(n, dtype=np.int32)
+    )
+
+    assert np.allclose(z, x + y), "offloaded result mismatch!"
+    print(f"vadd on {n} elements: correct.")
+    print(f"  device time : {result.device_time_ms:8.3f} ms")
+    print(f"  kernel time : {result.kernel_time_s * 1e3:8.3f} ms")
+    print(f"  transfers   : {result.transfers} "
+          f"({result.bytes_h2d + result.bytes_d2h} bytes)")
+    print()
+    print(program.bitstream.report())
+    print()
+    print("Pipeline stages:", " -> ".join(program.stage_names))
+    print()
+    print("--- generated host code (first 40 lines) ---")
+    print("\n".join(program.host_cpp.splitlines()[:40]))
+
+
+if __name__ == "__main__":
+    main()

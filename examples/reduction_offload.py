@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Offloaded reductions: the round-robin copy rewrite (paper §3).
+
+A ``reduction(+:s)`` on an offloaded loop is rewritten into N partial
+accumulators updated round-robin, so the floating-point add's latency no
+longer serializes the pipeline — the paper's transform.  This example
+computes a dot product on the FPGA and shows the dependence-II collapse
+in the Vitis report.
+
+Run:  python examples/reduction_offload.py
+"""
+
+import numpy as np
+
+from repro.pipeline import compile_fortran
+
+SOURCE = """
+subroutine sdot(x, y, s, n)
+  implicit none
+  integer, intent(in) :: n
+  real, intent(in) :: x(n), y(n)
+  real, intent(out) :: s
+  integer :: i
+  s = 0.0
+!$omp target parallel do reduction(+:s)
+  do i = 1, n
+    s = s + x(i) * y(i)
+  end do
+!$omp end target parallel do
+end subroutine sdot
+"""
+
+
+def main() -> None:
+    n = 50_000
+    rng = np.random.default_rng(5)
+    x = rng.standard_normal(n).astype(np.float32)
+    y = rng.standard_normal(n).astype(np.float32)
+
+    for ncopies in (1, 8):
+        program = compile_fortran(SOURCE, default_reduction_copies=ncopies)
+        s = np.zeros((), dtype=np.float32)
+        result = program.executor().run(
+            "sdot", x, y, s, np.array(n, np.int32)
+        )
+        expected = float(np.dot(x.astype(np.float64), y.astype(np.float64)))
+        error = abs(float(s) - expected) / abs(expected)
+        kernel = next(iter(program.bitstream.kernels.values()))
+        loop_iis = [
+            (sched.dependence_ii, sched.achieved_ii)
+            for sched in kernel.loops.values()
+        ]
+        print(f"reduction copies = {ncopies}:")
+        print(f"  dot = {float(s):.4f} (relative error {error:.2e})")
+        print(f"  loop (dependence II, achieved II): {loop_iis}")
+        print(f"  kernel time = {result.kernel_time_s * 1e3:.3f} ms")
+        print()
+
+    print("With one copy the f32 add's ~7-cycle latency forces II >= 7;")
+    print("with 8 round-robin copies the carried distance is 8, so the")
+    print("dependence no longer constrains the pipeline (II limited only")
+    print("by the AXI memory accesses).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""repro — an MLIR pipeline for offloading Fortran to FPGAs via OpenMP.
+
+Reproduction of Rodriguez-Canal, Katz & Brown (SC Workshops '25): a pure
+Python implementation of the complete flow — an MLIR/xDSL-style IR
+infrastructure, a Fortran+OpenMP frontend, the paper's ``device`` dialect
+and transformation passes, the HLS dialect of Stencil-HMLS, the AMD HLS
+backend bridge, a simulated Vitis toolchain and U280 board, and the
+OpenCL-style host runtime.
+
+Quickstart::
+
+    from repro import compile_fortran
+
+    program = compile_fortran(FORTRAN_SOURCE)
+    result = program.run()                 # simulated U280 execution
+    print(program.bitstream.report())      # Vitis-style utilisation
+"""
+
+from repro.pipeline import CompiledProgram, PipelineStage, compile_fortran
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompiledProgram",
+    "PipelineStage",
+    "compile_fortran",
+    "__version__",
+]

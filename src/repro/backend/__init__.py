@@ -1,0 +1,25 @@
+"""Backend: host C++/OpenCL printer, LLVM-IR emission, AMD HLS bridge,
+and the simulated Vitis toolchain."""
+
+from repro.backend.amd_hls import (
+    AmdHlsArtifact,
+    downgrade_to_llvm7,
+    map_to_amd_primitives,
+    prepare_for_vitis,
+)
+from repro.backend.host_codegen import HostCodePrinter, generate_host_code
+from repro.backend.llvm_ir import LlvmEmitter, emit_llvm_ir
+from repro.backend.vitis import Bitstream, VitisCompiler
+
+__all__ = [
+    "AmdHlsArtifact",
+    "downgrade_to_llvm7",
+    "map_to_amd_primitives",
+    "prepare_for_vitis",
+    "HostCodePrinter",
+    "generate_host_code",
+    "LlvmEmitter",
+    "emit_llvm_ir",
+    "Bitstream",
+    "VitisCompiler",
+]

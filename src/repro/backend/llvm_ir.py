@@ -1,0 +1,427 @@
+"""LLVM-IR emission from the (HLS-lowered) device module.
+
+Translates core-dialect functions into textual LLVM-IR: structured
+control flow becomes basic blocks with phi nodes, memrefs become typed
+pointers (row-major linearised indexing).  The output is what gets handed
+to the AMD HLS backend bridge (:mod:`repro.backend.amd_hls`), mirroring
+how the real flow feeds ``mlir-opt``-produced LLVM-IR into the Vitis
+toolchain (paper §3).
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+
+from repro.dialects import func
+from repro.ir.attributes import FloatAttr, IntegerAttr, StringAttr, SymbolRefAttr
+from repro.ir.core import Block, IRError, Operation, SSAValue
+from repro.ir.types import (
+    FloatType,
+    IndexType,
+    IntegerType,
+    MemRefType,
+    NoneType,
+    TypeAttribute,
+)
+
+
+def llvm_type(ty: TypeAttribute) -> str:
+    if isinstance(ty, FloatType):
+        return "float" if ty.width == 32 else "double"
+    if isinstance(ty, IntegerType):
+        return f"i{ty.width}"
+    if isinstance(ty, IndexType):
+        return "i64"
+    if isinstance(ty, MemRefType):
+        return llvm_type(ty.element_type) + "*"
+    if isinstance(ty, NoneType):
+        return "void"
+    # Opaque dialect types (protocol tokens) become i8* handles.
+    return "i8*"
+
+
+@dataclass
+class _FuncEmitter:
+    out: io.StringIO
+    names: dict[SSAValue, str] = field(default_factory=dict)
+    counter: int = 0
+    block_names: dict[int, str] = field(default_factory=dict)
+    block_counter: int = 0
+
+    def value(self, v: SSAValue) -> str:
+        if v not in self.names:
+            self.names[v] = f"%v{self.counter}"
+            self.counter += 1
+        return self.names[v]
+
+    def fresh(self, stem: str = "v") -> str:
+        name = f"%{stem}{self.counter}"
+        self.counter += 1
+        return name
+
+    def block_label(self, key: int) -> str:
+        if key not in self.block_names:
+            self.block_names[key] = f"bb{self.block_counter}"
+            self.block_counter += 1
+        return self.block_names[key]
+
+    def line(self, text: str) -> None:
+        self.out.write(f"  {text}\n")
+
+    def label(self, name: str) -> None:
+        self.out.write(f"{name}:\n")
+
+
+_BIN_OPS = {
+    "arith.addi": "add", "arith.subi": "sub", "arith.muli": "mul",
+    "arith.divsi": "sdiv", "arith.remsi": "srem",
+    "arith.andi": "and", "arith.ori": "or", "arith.xori": "xor",
+    "arith.addf": "fadd", "arith.subf": "fsub",
+    "arith.mulf": "fmul", "arith.divf": "fdiv",
+}
+_CMP = {"eq": "eq", "ne": "ne", "slt": "slt", "sle": "sle",
+        "sgt": "sgt", "sge": "sge"}
+_FCMP = {"eq": "oeq", "ne": "one", "olt": "olt", "ole": "ole",
+         "ogt": "ogt", "oge": "oge"}
+
+
+class LlvmEmitter:
+    """Emits a module's functions as textual LLVM-IR."""
+
+    def __init__(self, llvm_version: int = 20):
+        self.llvm_version = llvm_version
+
+    def emit_module(self, module: Operation) -> str:
+        out = io.StringIO()
+        out.write("; ModuleID = 'device'\n")
+        out.write('source_filename = "device.mlir"\n')
+        out.write(
+            'target datalayout = "e-m:e-i64:64-i128:128-n32:64-S128"\n'
+        )
+        out.write('target triple = "fpga64-xilinx-none"\n\n')
+        declared: set[str] = set()
+        for op in module.walk():
+            if isinstance(op, func.FuncOp):
+                if op.regions and op.regions[0].blocks and op.body.ops:
+                    self._emit_func(op, out)
+                else:
+                    self._emit_decl(op, out, declared)
+                out.write("\n")
+        return out.getvalue()
+
+    # -- declarations -----------------------------------------------------------------
+
+    def _emit_decl(self, fn: func.FuncOp, out: io.StringIO, seen: set[str]) -> None:
+        if fn.sym_name in seen:
+            return
+        seen.add(fn.sym_name)
+        ft = fn.function_type
+        args = ", ".join(llvm_type(t) for t in ft.inputs)
+        ret = llvm_type(ft.results[0]) if ft.results else "void"
+        out.write(f"declare {ret} @{fn.sym_name}({args})\n")
+
+    # -- function bodies ---------------------------------------------------------------
+
+    def _emit_func(self, fn: func.FuncOp, out: io.StringIO) -> None:
+        ft = fn.function_type
+        emitter = _FuncEmitter(out)
+        params = []
+        for i, (arg, ty) in enumerate(zip(fn.body.args, ft.inputs)):
+            name = f"%arg{i}"
+            emitter.names[arg] = name
+            params.append(f"{llvm_type(ty)} {name}")
+        ret = llvm_type(ft.results[0]) if ft.results else "void"
+        out.write(f"define {ret} @{fn.sym_name}({', '.join(params)}) {{\n")
+        emitter.label("entry")
+        self._emit_block_ops(fn.body, emitter)
+        out.write("}\n")
+
+    def _emit_block_ops(self, block: Block, emitter: _FuncEmitter) -> None:
+        for op in block.ops:
+            self._emit_op(op, emitter)
+
+    def _emit_op(self, op: Operation, emitter: _FuncEmitter) -> None:
+        name = op.name
+        if name == "arith.constant":
+            self._emit_constant(op, emitter)
+        elif name in _BIN_OPS:
+            lhs = emitter.value(op.operands[0])
+            rhs = emitter.value(op.operands[1])
+            result = emitter.value(op.results[0])
+            ty = llvm_type(op.results[0].type)
+            fast = (
+                " fast"
+                if _BIN_OPS[name].startswith("f")
+                and "fastmath" in op.attributes
+                else ""
+            )
+            emitter.line(f"{result} = {_BIN_OPS[name]}{fast} {ty} {lhs}, {rhs}")
+        elif name in ("arith.cmpi", "arith.cmpf"):
+            predicate = op.attributes["predicate"]
+            assert isinstance(predicate, StringAttr)
+            lhs = emitter.value(op.operands[0])
+            rhs = emitter.value(op.operands[1])
+            result = emitter.value(op.results[0])
+            ty = llvm_type(op.operands[0].type)
+            if name == "arith.cmpi":
+                emitter.line(
+                    f"{result} = icmp {_CMP[predicate.value]} {ty} {lhs}, {rhs}"
+                )
+            else:
+                emitter.line(
+                    f"{result} = fcmp {_FCMP[predicate.value]} {ty} {lhs}, {rhs}"
+                )
+        elif name == "arith.select":
+            c, t, f = (emitter.value(o) for o in op.operands)
+            result = emitter.value(op.results[0])
+            ty = llvm_type(op.results[0].type)
+            emitter.line(f"{result} = select i1 {c}, {ty} {t}, {ty} {f}")
+        elif name == "arith.index_cast":
+            self._emit_int_resize(op, emitter)
+        elif name in ("arith.extsi", "arith.trunci"):
+            self._emit_int_resize(op, emitter)
+        elif name == "arith.sitofp":
+            value = emitter.value(op.operands[0])
+            result = emitter.value(op.results[0])
+            src = llvm_type(op.operands[0].type)
+            dst = llvm_type(op.results[0].type)
+            emitter.line(f"{result} = sitofp {src} {value} to {dst}")
+        elif name == "arith.fptosi":
+            value = emitter.value(op.operands[0])
+            result = emitter.value(op.results[0])
+            src = llvm_type(op.operands[0].type)
+            dst = llvm_type(op.results[0].type)
+            emitter.line(f"{result} = fptosi {src} {value} to {dst}")
+        elif name == "arith.extf":
+            value = emitter.value(op.operands[0])
+            result = emitter.value(op.results[0])
+            emitter.line(f"{result} = fpext float {value} to double")
+        elif name == "arith.truncf":
+            value = emitter.value(op.operands[0])
+            result = emitter.value(op.results[0])
+            emitter.line(f"{result} = fptrunc double {value} to float")
+        elif name in ("arith.minimumf", "arith.maximumf",
+                      "arith.minsi", "arith.maxsi"):
+            self._emit_minmax(op, emitter)
+        elif name.startswith("math."):
+            self._emit_math(op, emitter)
+        elif name == "memref.load":
+            self._emit_load(op, emitter)
+        elif name == "memref.store":
+            self._emit_store(op, emitter)
+        elif name in ("memref.alloca", "memref.alloc"):
+            self._emit_alloca(op, emitter)
+        elif name == "memref.cast":
+            emitter.names[op.results[0]] = emitter.value(op.operands[0])
+        elif name == "scf.for":
+            self._emit_for(op, emitter)
+        elif name == "scf.if":
+            self._emit_if(op, emitter)
+        elif name == "scf.yield":
+            pass  # handled by the parent structured op
+        elif name == "func.call":
+            self._emit_call(op, emitter)
+        elif name == "func.return":
+            if op.operands:
+                value = emitter.value(op.operands[0])
+                emitter.line(f"ret {llvm_type(op.operands[0].type)} {value}")
+            else:
+                emitter.line("ret void")
+        elif name in ("hls.axi_protocol", "hls.interface", "hls.pipeline",
+                      "hls.unroll"):
+            raise IRError(
+                "hls ops must be lowered to func.call before LLVM emission "
+                "(run lower-hls-to-func)"
+            )
+        else:
+            raise IRError(f"LLVM emission: unsupported op {name}")
+
+    # -- op helpers ------------------------------------------------------------------------
+
+    def _emit_constant(self, op: Operation, emitter: _FuncEmitter) -> None:
+        attr = op.attributes["value"]
+        result = emitter.value(op.results[0])
+        ty = llvm_type(op.results[0].type)
+        if isinstance(attr, IntegerAttr):
+            emitter.line(f"{result} = add {ty} 0, {attr.value}")
+        elif isinstance(attr, FloatAttr):
+            emitter.line(f"{result} = fadd {ty} 0.0, {attr.value:e}")
+        else:
+            raise IRError(f"bad constant {attr}")
+
+    def _emit_int_resize(self, op: Operation, emitter: _FuncEmitter) -> None:
+        value = emitter.value(op.operands[0])
+        result = emitter.value(op.results[0])
+        src_bits = _bits(op.operands[0].type)
+        dst_bits = _bits(op.results[0].type)
+        src = llvm_type(op.operands[0].type)
+        dst = llvm_type(op.results[0].type)
+        if src_bits == dst_bits:
+            emitter.line(f"{result} = add {dst} 0, {value}")
+        elif src_bits < dst_bits:
+            emitter.line(f"{result} = sext {src} {value} to {dst}")
+        else:
+            emitter.line(f"{result} = trunc {src} {value} to {dst}")
+
+    def _emit_minmax(self, op: Operation, emitter: _FuncEmitter) -> None:
+        lhs = emitter.value(op.operands[0])
+        rhs = emitter.value(op.operands[1])
+        result = emitter.value(op.results[0])
+        ty = llvm_type(op.results[0].type)
+        cond = emitter.fresh("c")
+        if op.name in ("arith.minimumf", "arith.maximumf"):
+            predicate = "olt" if op.name == "arith.minimumf" else "ogt"
+            emitter.line(f"{cond} = fcmp {predicate} {ty} {lhs}, {rhs}")
+        else:
+            predicate = "slt" if op.name == "arith.minsi" else "sgt"
+            emitter.line(f"{cond} = icmp {predicate} {ty} {lhs}, {rhs}")
+        emitter.line(f"{result} = select i1 {cond}, {ty} {lhs}, {ty} {rhs}")
+
+    def _emit_math(self, op: Operation, emitter: _FuncEmitter) -> None:
+        fn = {
+            "math.sqrt": "llvm.sqrt", "math.absf": "llvm.fabs",
+            "math.exp": "llvm.exp", "math.log": "llvm.log",
+            "math.sin": "llvm.sin", "math.cos": "llvm.cos",
+            "math.powf": "llvm.pow",
+        }[op.name]
+        ty = llvm_type(op.results[0].type)
+        suffix = ".f32" if ty == "float" else ".f64"
+        args = ", ".join(f"{ty} {emitter.value(o)}" for o in op.operands)
+        result = emitter.value(op.results[0])
+        emitter.line(f"{result} = call {ty} @{fn}{suffix}({args})")
+
+    def _linear_index(
+        self, op: Operation, memref_value: SSAValue, indices, emitter: _FuncEmitter
+    ) -> str:
+        ty = memref_value.type
+        assert isinstance(ty, MemRefType)
+        if not indices:
+            return emitter.value(memref_value)
+        # Row-major linearisation with static extents (dynamic extents use
+        # the index values directly — rank-1 in practice).
+        linear = None
+        for dim, idx in enumerate(indices):
+            idx64 = emitter.fresh("i")
+            emitter.line(
+                f"{idx64} = add i64 0, {emitter.value(idx)}"
+            )
+            if linear is None:
+                linear = idx64
+            else:
+                extent = ty.shape[dim]
+                scaled = emitter.fresh("s")
+                emitter.line(f"{scaled} = mul i64 {linear}, {extent}")
+                summed = emitter.fresh("s")
+                emitter.line(f"{summed} = add i64 {scaled}, {idx64}")
+                linear = summed
+        elem = llvm_type(ty.element_type)
+        gep = emitter.fresh("p")
+        emitter.line(
+            f"{gep} = getelementptr inbounds {elem}, {elem}* "
+            f"{emitter.value(memref_value)}, i64 {linear}"
+        )
+        return gep
+
+    def _emit_load(self, op: Operation, emitter: _FuncEmitter) -> None:
+        ptr = self._linear_index(op, op.operands[0], op.operands[1:], emitter)
+        result = emitter.value(op.results[0])
+        elem = llvm_type(op.results[0].type)
+        emitter.line(f"{result} = load {elem}, {elem}* {ptr}")
+
+    def _emit_store(self, op: Operation, emitter: _FuncEmitter) -> None:
+        ptr = self._linear_index(op, op.operands[1], op.operands[2:], emitter)
+        elem = llvm_type(op.operands[0].type)
+        emitter.line(f"store {elem} {emitter.value(op.operands[0])}, {elem}* {ptr}")
+
+    def _emit_alloca(self, op: Operation, emitter: _FuncEmitter) -> None:
+        ty = op.results[0].type
+        assert isinstance(ty, MemRefType)
+        count = ty.num_elements() if ty.has_static_shape else 1
+        elem = llvm_type(ty.element_type)
+        result = emitter.value(op.results[0])
+        emitter.line(f"{result} = alloca {elem}, i64 {max(count, 1)}")
+
+    def _emit_call(self, op: Operation, emitter: _FuncEmitter) -> None:
+        callee = op.attributes["callee"]
+        assert isinstance(callee, SymbolRefAttr)
+        args = ", ".join(
+            f"{llvm_type(o.type)} {emitter.value(o)}" for o in op.operands
+        )
+        if op.results:
+            result = emitter.value(op.results[0])
+            ret = llvm_type(op.results[0].type)
+            emitter.line(f"{result} = call {ret} @{callee.symbol}({args})")
+        else:
+            emitter.line(f"call void @{callee.symbol}({args})")
+
+    # -- structured control flow --------------------------------------------------------------
+
+    def _emit_for(self, op: Operation, emitter: _FuncEmitter) -> None:
+        lb = emitter.value(op.operands[0])
+        ub = emitter.value(op.operands[1])
+        step = emitter.value(op.operands[2])
+        body = op.regions[0].block
+        iv = body.args[0]
+        key = id(op)
+        header = emitter.block_label(key) + "_header"
+        body_label = emitter.block_label(key) + "_body"
+        latch = emitter.block_label(key) + "_latch"
+        exit_label = emitter.block_label(key) + "_exit"
+        iv_name = emitter.fresh("iv")
+        emitter.names[iv] = iv_name
+        next_iv = emitter.fresh("ivnext")
+        pre = emitter.block_label(key) + "_pre"
+        emitter.line(f"br label %{pre}")
+        emitter.label(pre)
+        emitter.line(f"br label %{header}")
+        emitter.label(header)
+        emitter.line(
+            f"{iv_name} = phi i64 [ {lb}, %{pre} ], [ {next_iv}, %{latch} ]"
+        )
+        cond = emitter.fresh("c")
+        emitter.line(f"{cond} = icmp slt i64 {iv_name}, {ub}")
+        emitter.line(f"br i1 {cond}, label %{body_label}, label %{exit_label}")
+        emitter.label(body_label)
+        for inner in body.ops:
+            if inner.name != "scf.yield":
+                self._emit_op(inner, emitter)
+        emitter.line(f"br label %{latch}")
+        emitter.label(latch)
+        emitter.line(f"{next_iv} = add i64 {iv_name}, {step}")
+        emitter.line(f"br label %{header}")
+        emitter.label(exit_label)
+
+    def _emit_if(self, op: Operation, emitter: _FuncEmitter) -> None:
+        cond = emitter.value(op.operands[0])
+        key = id(op)
+        then_label = emitter.block_label(key) + "_then"
+        else_label = emitter.block_label(key) + "_else"
+        join_label = emitter.block_label(key) + "_join"
+        emitter.line(
+            f"br i1 {cond}, label %{then_label}, label %{else_label}"
+        )
+        emitter.label(then_label)
+        for inner in op.regions[0].block.ops:
+            if inner.name != "scf.yield":
+                self._emit_op(inner, emitter)
+        emitter.line(f"br label %{join_label}")
+        emitter.label(else_label)
+        for inner in op.regions[1].block.ops:
+            if inner.name != "scf.yield":
+                self._emit_op(inner, emitter)
+        emitter.line(f"br label %{join_label}")
+        emitter.label(join_label)
+
+
+def _bits(ty: TypeAttribute) -> int:
+    if isinstance(ty, IntegerType):
+        return ty.width
+    if isinstance(ty, IndexType):
+        return 64
+    raise IRError(f"not an integer-like type: {ty.print()}")
+
+
+def emit_llvm_ir(module: Operation) -> str:
+    """Emit LLVM-IR text for a device module (post lower-hls-to-func)."""
+    return LlvmEmitter().emit_module(module)

@@ -1,0 +1,11 @@
+"""Hand-written HLS baselines (the paper's comparison points)."""
+
+from repro.baselines.saxpy_hls import HandwrittenSaxpy, build_saxpy_module
+from repro.baselines.sgesl_hls import HandwrittenSgesl, build_sgesl_module
+
+__all__ = [
+    "HandwrittenSaxpy",
+    "build_saxpy_module",
+    "HandwrittenSgesl",
+    "build_sgesl_module",
+]

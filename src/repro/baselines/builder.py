@@ -1,0 +1,65 @@
+"""Shared IR-building helpers for the hand-written HLS baseline kernels.
+
+These kernels are constructed directly in the ``hls``+core dialects, the
+way AMD's Clang frontend would emit them from hand-written Vitis HLS C —
+including the ``clang_mac`` idiom marker on multiply-accumulate patterns
+that Vitis recognises and binds to DSP cascades (paper §4 / Table 4).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.dialects import arith, builtin, func, hls
+from repro.ir.attributes import StringAttr, UnitAttr
+from repro.ir.builder import Builder
+from repro.ir.core import SSAValue
+from repro.ir.types import FunctionType, MemRefType
+
+
+def new_device_module() -> builtin.ModuleOp:
+    return builtin.ModuleOp(attributes={"target": StringAttr("fpga")})
+
+
+def add_kernel(
+    module: builtin.ModuleOp,
+    name: str,
+    arg_types: Sequence[MemRefType],
+) -> tuple[func.FuncOp, Builder]:
+    """Create a kernel function with Vitis-style interface bindings."""
+    fn = func.FuncOp(name, FunctionType(list(arg_types), []))
+    module.body.add_op(fn)
+    builder = Builder.at_end(fn.body)
+    m_axi_code = builder.insert(arith.Constant.int(hls.M_AXI, 32)).results[0]
+    m_axi = builder.insert(hls.AxiProtocolOp(m_axi_code)).results[0]
+    axilite_code = builder.insert(
+        arith.Constant.int(hls.AXILITE, 32)
+    ).results[0]
+    axilite = builder.insert(hls.AxiProtocolOp(axilite_code)).results[0]
+    bundle = 0
+    for arg in fn.body.args:
+        assert isinstance(arg.type, MemRefType)
+        if arg.type.rank == 0:
+            builder.insert(hls.InterfaceOp(arg, axilite, "control"))
+        else:
+            builder.insert(hls.InterfaceOp(arg, m_axi, f"gmem{bundle}"))
+            bundle += 1
+    return fn, builder
+
+
+def mac(
+    builder: Builder,
+    acc: SSAValue,
+    lhs: SSAValue,
+    rhs: SSAValue,
+    *,
+    clang_idiom: bool,
+) -> SSAValue:
+    """acc + lhs*rhs; with ``clang_idiom`` the mul carries the marker
+    Vitis pattern-matches into a DSP MAC."""
+    mul = builder.insert(arith.MulF(lhs, rhs, fastmath="contract"))
+    if clang_idiom:
+        mul.attributes["clang_mac"] = UnitAttr()
+    return builder.insert(
+        arith.AddF(acc, mul.results[0], fastmath="contract")
+    ).results[0]

@@ -1,0 +1,45 @@
+"""All dialects used by the pipeline.
+
+``register_all_dialects`` wires them into a :class:`~repro.ir.core.Context`
+(used by the parser); ``register_parser_types`` exposes the opaque dialect
+types (``!device.kernelhandle`` etc.).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.ir.core import Context
+
+from repro.dialects import arith as arith
+from repro.dialects import builtin as builtin
+from repro.dialects import device as device
+from repro.dialects import fir as fir
+from repro.dialects import func as func
+from repro.dialects import hls as hls
+from repro.dialects import math as math
+from repro.dialects import memref as memref
+from repro.dialects import omp as omp
+from repro.dialects import scf as scf
+
+
+def register_all_dialects(ctx: Context) -> None:
+    """Register every dialect in this package with ``ctx``."""
+    ctx.register_dialect(builtin.Builtin)
+    ctx.register_dialect(func.Func)
+    ctx.register_dialect(arith.Arith)
+    ctx.register_dialect(scf.Scf)
+    ctx.register_dialect(memref.MemRef)
+    ctx.register_dialect(math.Math)
+    ctx.register_dialect(omp.Omp)
+    ctx.register_dialect(fir.Fir)
+    ctx.register_dialect(device.Device)
+    ctx.register_dialect(hls.Hls)
+
+
+def register_parser_types(register: Callable[[str, object], None]) -> None:
+    """Register opaque dialect types with the textual parser."""
+    register("!device.kernelhandle", device.kernel_handle)
+    register("!hls.axi_protocol", hls.axi_protocol)
+    register("!hls.stream", hls.stream)
+    register("!omp.data_bounds", omp.data_bounds)

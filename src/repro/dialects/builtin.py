@@ -1,0 +1,44 @@
+"""Builtin dialect: ``builtin.module``."""
+
+from __future__ import annotations
+
+from repro.ir.attributes import Attribute, StringAttr
+from repro.ir.core import Block, Dialect, Operation, Region
+from repro.ir.traits import IsolatedFromAbove
+
+
+class ModuleOp(Operation):
+    """Top-level container.
+
+    The device-side module produced by the extraction pass carries the
+    attribute ``target = "fpga"`` (paper, Listing 2).
+    """
+
+    name = "builtin.module"
+    traits = (IsolatedFromAbove,)
+
+    def __init__(
+        self,
+        ops: list[Operation] | None = None,
+        attributes: dict[str, Attribute] | None = None,
+    ):
+        region = Region([Block()])
+        super().__init__(regions=[region], attributes=attributes)
+        for op in ops or []:
+            region.block.add_op(op)
+
+    @property
+    def body(self) -> Block:
+        return self.regions[0].block
+
+    @property
+    def target(self) -> str | None:
+        attr = self.attributes.get("target")
+        return attr.value if isinstance(attr, StringAttr) else None
+
+    def verify_(self) -> None:
+        if len(self.regions) != 1:
+            raise ValueError("builtin.module must have exactly one region")
+
+
+Builtin = Dialect("builtin", [ModuleOp])

@@ -1,0 +1,370 @@
+"""FIR dialect — the Flang Fortran IR subset our frontend targets.
+
+Faithful-but-reduced model of HLFIR/FIR (we collapse the two levels into
+one dialect; DESIGN.md documents the simplification):
+
+* variables live in memory (``fir.alloca`` + ``fir.declare``), scalars are
+  rank-0 memrefs — this mirrors how Flang materializes locals before
+  MemToReg-style cleanups;
+* ``fir.do_loop`` has Fortran's *inclusive* upper bound and an optional
+  ``unordered`` marker (iterations may run in any order);
+* ``fir.convert`` covers the implicit numeric conversions Fortran inserts.
+
+The *[3] lowering* (:mod:`repro.frontend.fir_to_core`) rewrites all of
+this into ``memref``/``scf``/``arith``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.ir.attributes import StringAttr, UnitAttr
+from repro.ir.core import Block, Dialect, IRError, Operation, Region, SSAValue
+from repro.ir.interpreter import Interpreter, Yielded, impl
+from repro.ir.traits import IsTerminator
+from repro.ir.types import (
+    FloatType,
+    IndexType,
+    IntegerType,
+    MemRefType,
+    TypeAttribute,
+    index,
+)
+
+
+class AllocaOp(Operation):
+    """``fir.alloca`` — storage for one Fortran variable.
+
+    Dynamic extents (dummy-sized local arrays like ``real :: col(n)``)
+    are passed as index operands, one per dynamic dimension.
+    """
+
+    name = "fir.alloca"
+
+    def __init__(
+        self,
+        result_type: MemRefType,
+        uniq_name: str,
+        dynamic_sizes: Sequence[SSAValue] = (),
+    ):
+        super().__init__(
+            operands=dynamic_sizes,
+            result_types=[result_type],
+            attributes={"uniq_name": StringAttr(uniq_name)},
+        )
+
+    @property
+    def uniq_name(self) -> str:
+        attr = self.attributes["uniq_name"]
+        assert isinstance(attr, StringAttr)
+        return attr.value
+
+
+class DeclareOp(Operation):
+    """``fir.declare`` — associates storage with a source-level name
+    (stands in for ``hlfir.declare`` + ``fir.declare``)."""
+
+    name = "fir.declare"
+
+    def __init__(self, memref: SSAValue, uniq_name: str):
+        super().__init__(
+            operands=[memref],
+            result_types=[memref.type],
+            attributes={"uniq_name": StringAttr(uniq_name)},
+        )
+
+    @property
+    def memref(self) -> SSAValue:
+        return self.operands[0]
+
+    @property
+    def uniq_name(self) -> str:
+        attr = self.attributes["uniq_name"]
+        assert isinstance(attr, StringAttr)
+        return attr.value
+
+
+class LoadOp(Operation):
+    """``fir.load`` — read a scalar variable (rank-0 memref)."""
+
+    name = "fir.load"
+
+    def __init__(self, memref: SSAValue):
+        ty = memref.type
+        if not isinstance(ty, MemRefType):
+            raise IRError("fir.load requires a memref operand")
+        super().__init__(operands=[memref], result_types=[ty.element_type])
+
+
+class StoreOp(Operation):
+    """``fir.store %value to %memref``."""
+
+    name = "fir.store"
+
+    def __init__(self, value: SSAValue, memref: SSAValue):
+        super().__init__(operands=[value, memref])
+
+
+class CoordinateOp(Operation):
+    """``fir.coordinate_of``-style element access: load/store go through
+    ``memref`` ops after lowering; at FIR level we model array element
+    reads/writes directly."""
+
+    name = "fir.array_load"
+
+    def __init__(self, memref: SSAValue, indices: Sequence[SSAValue]):
+        ty = memref.type
+        assert isinstance(ty, MemRefType)
+        super().__init__(
+            operands=[memref, *indices], result_types=[ty.element_type]
+        )
+
+
+class ArrayStoreOp(Operation):
+    name = "fir.array_store"
+
+    def __init__(self, value: SSAValue, memref: SSAValue, indices: Sequence[SSAValue]):
+        super().__init__(operands=[value, memref, *indices])
+
+
+class DoLoopOp(Operation):
+    """``fir.do_loop %iv = %lb to %ub step %step`` (inclusive ub)."""
+
+    name = "fir.do_loop"
+
+    def __init__(
+        self,
+        lb: SSAValue,
+        ub: SSAValue,
+        step: SSAValue,
+        body: Region | None = None,
+        unordered: bool = False,
+    ):
+        attributes = {"unordered": UnitAttr()} if unordered else {}
+        super().__init__(
+            operands=[lb, ub, step],
+            regions=[body or Region([Block([index])])],
+            attributes=attributes,
+        )
+
+    @property
+    def lb(self) -> SSAValue:
+        return self.operands[0]
+
+    @property
+    def ub(self) -> SSAValue:
+        return self.operands[1]
+
+    @property
+    def step(self) -> SSAValue:
+        return self.operands[2]
+
+    @property
+    def unordered(self) -> bool:
+        return "unordered" in self.attributes
+
+    @property
+    def body(self) -> Block:
+        return self.regions[0].block
+
+    @property
+    def induction_var(self) -> SSAValue:
+        return self.body.args[0]
+
+
+class IfOp(Operation):
+    """``fir.if`` with then/else regions (no results; Fortran variables
+    live in memory)."""
+
+    name = "fir.if"
+
+    def __init__(
+        self,
+        cond: SSAValue,
+        then_region: Region | None = None,
+        else_region: Region | None = None,
+    ):
+        super().__init__(
+            operands=[cond],
+            regions=[then_region or Region([Block()]),
+                     else_region or Region([Block()])],
+        )
+
+    @property
+    def cond(self) -> SSAValue:
+        return self.operands[0]
+
+    @property
+    def then_block(self) -> Block:
+        return self.regions[0].block
+
+    @property
+    def else_block(self) -> Block:
+        return self.regions[1].block
+
+
+class ResultOp(Operation):
+    """Region terminator for fir structured ops."""
+
+    name = "fir.result"
+    traits = (IsTerminator,)
+
+    def __init__(self, values: Sequence[SSAValue] = ()):
+        super().__init__(operands=values)
+
+
+class ConvertOp(Operation):
+    """``fir.convert`` — numeric conversion between scalar types."""
+
+    name = "fir.convert"
+
+    def __init__(self, value: SSAValue, result_type: TypeAttribute):
+        super().__init__(operands=[value], result_types=[result_type])
+
+    @property
+    def input(self) -> SSAValue:
+        return self.operands[0]
+
+
+class PrintOp(Operation):
+    """``fir.print`` — list-directed ``print *`` (host-side I/O).
+
+    Kept through lowering (the host codegen prints it as ``std::cout``);
+    never allowed inside device kernels.
+    """
+
+    name = "fir.print"
+
+    def __init__(self, values: Sequence[SSAValue], label: str = ""):
+        super().__init__(
+            operands=values, attributes={"label": StringAttr(label)}
+        )
+
+    @property
+    def label(self) -> str:
+        attr = self.attributes["label"]
+        assert isinstance(attr, StringAttr)
+        return attr.value
+
+
+Fir = Dialect(
+    "fir",
+    [
+        AllocaOp, DeclareOp, LoadOp, StoreOp, CoordinateOp, ArrayStoreOp,
+        DoLoopOp, IfOp, ResultOp, ConvertOp, PrintOp,
+    ],
+)
+
+
+# -- interpreter implementations ---------------------------------------------------
+
+
+@impl("fir.alloca")
+def _run_alloca(interp: Interpreter, op: Operation, env: dict):
+    import numpy as np
+
+    from repro.dialects.memref import element_dtype
+    from repro.ir.types import DYNAMIC
+
+    ty = op.results[0].type
+    assert isinstance(ty, MemRefType)
+    sizes = iter(interp.operand_values(op, env))
+    shape = tuple(
+        int(next(sizes)) if extent == DYNAMIC else extent
+        for extent in ty.shape
+    )
+    interp.set_results(
+        op, env, [np.zeros(shape, dtype=element_dtype(ty.element_type))]
+    )
+    return None
+
+
+@impl("fir.declare")
+def _run_declare(interp: Interpreter, op: Operation, env: dict):
+    interp.set_results(op, env, [interp.get(env, op.operands[0])])
+    return None
+
+
+@impl("fir.load")
+def _run_load(interp: Interpreter, op: Operation, env: dict):
+    (array,) = interp.operand_values(op, env)
+    interp.set_results(op, env, [array[()]])
+    return None
+
+
+@impl("fir.store")
+def _run_store(interp: Interpreter, op: Operation, env: dict):
+    value, array = interp.operand_values(op, env)
+    array[()] = value
+    return None
+
+
+@impl("fir.array_load")
+def _run_array_load(interp: Interpreter, op: Operation, env: dict):
+    # FIR-level subscripts are Fortran 1-based; the 0-based conversion is
+    # what fir-to-core makes explicit (arith.subi in the paper's Listing 4).
+    values = interp.operand_values(op, env)
+    array, indices = values[0], values[1:]
+    interp.set_results(op, env, [array[tuple(int(i) - 1 for i in indices)]])
+    return None
+
+
+@impl("fir.array_store")
+def _run_array_store(interp: Interpreter, op: Operation, env: dict):
+    values = interp.operand_values(op, env)
+    value, array, indices = values[0], values[1], values[2:]
+    array[tuple(int(i) - 1 for i in indices)] = value
+    return None
+
+
+@impl("fir.do_loop")
+def _run_do_loop(interp: Interpreter, op: Operation, env: dict):
+    lb, ub, step = interp.operand_values(op, env)
+    body = op.regions[0].block
+    iv = lb
+    while (step > 0 and iv <= ub) or (step < 0 and iv >= ub):
+        interp.run_block(body, env, [iv])
+        iv += step
+    return None
+
+
+@impl("fir.if")
+def _run_if(interp: Interpreter, op: Operation, env: dict):
+    cond = interp.get(env, op.operands[0])
+    block = op.regions[0].block if cond else op.regions[1].block
+    if block.ops:
+        interp.run_block(block, env, [])
+    return None
+
+
+@impl("fir.result")
+def _run_result(interp: Interpreter, op: Operation, env: dict):
+    return Yielded(tuple(interp.operand_values(op, env)))
+
+
+@impl("fir.print")
+def _run_print(interp: Interpreter, op: Operation, env: dict):
+    values = interp.operand_values(op, env)
+    label_attr = op.attributes.get("label")
+    label = label_attr.value if isinstance(label_attr, StringAttr) else ""
+    parts = ([label] if label else []) + [str(v) for v in values]
+    print(" ".join(parts))
+    return None
+
+
+@impl("fir.convert")
+def _run_convert(interp: Interpreter, op: Operation, env: dict):
+    (value,) = interp.operand_values(op, env)
+    ty = op.results[0].type
+    if isinstance(ty, (IntegerType, IndexType)):
+        result: object = int(value)
+    elif isinstance(ty, FloatType):
+        result = float(value)
+        if ty.width == 32:
+            import numpy as np
+
+            result = float(np.float32(result))
+    else:
+        raise IRError(f"fir.convert to unsupported type {ty.print()}")
+    interp.set_results(op, env, [result])
+    return None

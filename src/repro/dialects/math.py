@@ -1,0 +1,85 @@
+"""Math dialect: transcendental and misc scalar float functions."""
+
+from __future__ import annotations
+
+import math as _math
+
+from repro.ir.core import Dialect, Operation, SSAValue
+from repro.ir.interpreter import Interpreter, impl
+from repro.ir.traits import Pure
+from repro.ir.types import FloatType
+
+
+class _UnaryFloatOp(Operation):
+    def __init__(self, value: SSAValue):
+        super().__init__(operands=[value], result_types=[value.type])
+
+
+class Sqrt(_UnaryFloatOp):
+    name = "math.sqrt"
+    traits = (Pure,)
+
+
+class Absf(_UnaryFloatOp):
+    name = "math.absf"
+    traits = (Pure,)
+
+
+class Exp(_UnaryFloatOp):
+    name = "math.exp"
+    traits = (Pure,)
+
+
+class Log(_UnaryFloatOp):
+    name = "math.log"
+    traits = (Pure,)
+
+
+class Sin(_UnaryFloatOp):
+    name = "math.sin"
+    traits = (Pure,)
+
+
+class Cos(_UnaryFloatOp):
+    name = "math.cos"
+    traits = (Pure,)
+
+
+class Powf(Operation):
+    name = "math.powf"
+    traits = (Pure,)
+
+    def __init__(self, base: SSAValue, exponent: SSAValue):
+        super().__init__(operands=[base, exponent], result_types=[base.type])
+
+
+Math = Dialect("math", [Sqrt, Absf, Exp, Log, Sin, Cos, Powf])
+
+
+def _register_unary(name: str, fn) -> None:
+    @impl(name)
+    def run(interp: Interpreter, op: Operation, env: dict, _fn=fn):
+        (value,) = interp.operand_values(op, env)
+        result = _fn(value)
+        ty = op.results[0].type
+        if isinstance(ty, FloatType) and ty.width == 32:
+            import numpy as np
+
+            result = float(np.float32(result))
+        interp.set_results(op, env, [result])
+        return None
+
+
+_register_unary("math.sqrt", _math.sqrt)
+_register_unary("math.absf", abs)
+_register_unary("math.exp", _math.exp)
+_register_unary("math.log", _math.log)
+_register_unary("math.sin", _math.sin)
+_register_unary("math.cos", _math.cos)
+
+
+@impl("math.powf")
+def _run_powf(interp: Interpreter, op: Operation, env: dict):
+    base, exponent = interp.operand_values(op, env)
+    interp.set_results(op, env, [base**exponent])
+    return None

@@ -1,0 +1,273 @@
+"""SCF dialect: structured control flow (``scf.for``, ``scf.if``...)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.ir.attributes import IntegerAttr
+from repro.ir.core import Block, Dialect, IRError, Operation, Region, SSAValue
+from repro.ir.interpreter import Interpreter, Yielded, impl
+from repro.ir.traits import IsTerminator
+from repro.ir.types import TypeAttribute, index
+
+
+class Yield(Operation):
+    """Terminator yielding values to the enclosing structured op."""
+
+    name = "scf.yield"
+    traits = (IsTerminator,)
+
+    def __init__(self, values: Sequence[SSAValue] = ()):
+        super().__init__(operands=values)
+
+
+class For(Operation):
+    """``scf.for %iv = %lb to %ub step %step iter_args(...)``.
+
+    The body block receives ``[iv, *iter_args]``; the op returns the final
+    iteration values.  The upper bound is exclusive (MLIR semantics).
+    """
+
+    name = "scf.for"
+
+    def __init__(
+        self,
+        lb: SSAValue,
+        ub: SSAValue,
+        step: SSAValue,
+        iter_args: Sequence[SSAValue] = (),
+        body: Region | None = None,
+    ):
+        if body is None:
+            body = Region(
+                [Block([index] + [v.type for v in iter_args])]
+            )
+        super().__init__(
+            operands=[lb, ub, step, *iter_args],
+            result_types=[v.type for v in iter_args],
+            regions=[body],
+        )
+
+    @property
+    def lb(self) -> SSAValue:
+        return self.operands[0]
+
+    @property
+    def ub(self) -> SSAValue:
+        return self.operands[1]
+
+    @property
+    def step(self) -> SSAValue:
+        return self.operands[2]
+
+    @property
+    def iter_args(self) -> tuple[SSAValue, ...]:
+        return self.operands[3:]
+
+    @property
+    def body(self) -> Block:
+        return self.regions[0].block
+
+    @property
+    def induction_var(self) -> SSAValue:
+        return self.body.args[0]
+
+    def verify_(self) -> None:
+        body = self.regions[0].block
+        if len(body.args) != 1 + len(self.iter_args):
+            raise IRError(
+                "scf.for body must have induction variable plus one arg per "
+                "iter_arg"
+            )
+        last = body.last_op
+        if last is None or not isinstance(last, Yield):
+            raise IRError("scf.for body must end with scf.yield")
+        if len(last.operands) != len(self.results):
+            raise IRError(
+                "scf.for yield arity does not match op results"
+            )
+
+
+class If(Operation):
+    """``scf.if`` with then/else regions, optionally yielding values."""
+
+    name = "scf.if"
+
+    def __init__(
+        self,
+        cond: SSAValue,
+        result_types: Sequence[TypeAttribute] = (),
+        then_region: Region | None = None,
+        else_region: Region | None = None,
+    ):
+        then_region = then_region or Region([Block()])
+        else_region = else_region or Region([Block()])
+        super().__init__(
+            operands=[cond],
+            result_types=result_types,
+            regions=[then_region, else_region],
+        )
+
+    @property
+    def cond(self) -> SSAValue:
+        return self.operands[0]
+
+    @property
+    def then_block(self) -> Block:
+        return self.regions[0].block
+
+    @property
+    def else_block(self) -> Block:
+        return self.regions[1].block
+
+
+class While(Operation):
+    """``scf.while`` with a "before" (condition) and "after" (body) region.
+
+    The before region terminates with ``scf.condition``; the after region
+    with ``scf.yield``.
+    """
+
+    name = "scf.while"
+
+    def __init__(
+        self,
+        init_args: Sequence[SSAValue],
+        result_types: Sequence[TypeAttribute],
+        before: Region,
+        after: Region,
+    ):
+        super().__init__(
+            operands=init_args,
+            result_types=result_types,
+            regions=[before, after],
+        )
+
+
+class Condition(Operation):
+    """Terminator of the before-region of ``scf.while``."""
+
+    name = "scf.condition"
+    traits = (IsTerminator,)
+
+    def __init__(self, cond: SSAValue, args: Sequence[SSAValue] = ()):
+        super().__init__(operands=[cond, *args])
+
+
+class Parallel(Operation):
+    """``scf.parallel`` — a parallel loop nest (used after some
+    auto-parallelisation flows; semantically a for loop here)."""
+
+    name = "scf.parallel"
+
+    def __init__(
+        self,
+        lbs: Sequence[SSAValue],
+        ubs: Sequence[SSAValue],
+        steps: Sequence[SSAValue],
+        body: Region | None = None,
+    ):
+        n = len(lbs)
+        if body is None:
+            body = Region([Block([index] * n)])
+        super().__init__(
+            operands=[*lbs, *ubs, *steps],
+            regions=[body],
+            attributes={"num_dims": IntegerAttr.i64(n)},
+        )
+
+
+Scf = Dialect("scf", [Yield, For, If, While, Condition, Parallel])
+
+
+# -- interpreter implementations ---------------------------------------------------
+
+
+@impl("scf.yield")
+def _run_yield(interp: Interpreter, op: Operation, env: dict):
+    return Yielded(tuple(interp.operand_values(op, env)))
+
+
+@impl("scf.for")
+def _run_for(interp: Interpreter, op: Operation, env: dict):
+    values = interp.operand_values(op, env)
+    lb, ub, step = values[0], values[1], values[2]
+    carried = list(values[3:])
+    if not carried:
+        from repro.ir.vectorize import try_vectorized_loop
+
+        if try_vectorized_loop(interp, op, env, lb, ub, step):
+            interp.set_results(op, env, [])
+            return None
+    body = op.regions[0].block
+    iv = lb
+    while iv < ub:
+        signal = interp.run_block(body, env, [iv, *carried])
+        if not isinstance(signal, Yielded):
+            raise IRError("scf.for body did not yield")
+        carried = list(signal.values)
+        iv += step
+    interp.set_results(op, env, carried)
+    return None
+
+
+@impl("scf.if")
+def _run_if(interp: Interpreter, op: Operation, env: dict):
+    (cond,) = (interp.get(env, op.operands[0]),)
+    region = op.regions[0] if cond else op.regions[1]
+    block = region.block
+    if not block.ops:
+        interp.set_results(op, env, [])
+        return None
+    signal = interp.run_block(block, env, [])
+    if isinstance(signal, Yielded):
+        interp.set_results(op, env, list(signal.values))
+    else:
+        interp.set_results(op, env, [])
+    return None
+
+
+@impl("scf.while")
+def _run_while(interp: Interpreter, op: Operation, env: dict):
+    carried = interp.operand_values(op, env)
+    before = op.regions[0].block
+    after = op.regions[1].block
+    while True:
+        signal = interp.run_block(before, env, carried)
+        if not isinstance(signal, Yielded):
+            raise IRError("scf.while before-region did not produce condition")
+        cond, *args = signal.values
+        if not cond:
+            interp.set_results(op, env, list(args))
+            return None
+        signal = interp.run_block(after, env, args)
+        if not isinstance(signal, Yielded):
+            raise IRError("scf.while after-region did not yield")
+        carried = list(signal.values)
+
+
+@impl("scf.condition")
+def _run_condition(interp: Interpreter, op: Operation, env: dict):
+    return Yielded(tuple(interp.operand_values(op, env)))
+
+
+@impl("scf.parallel")
+def _run_parallel(interp: Interpreter, op: Operation, env: dict):
+    ndims_attr = op.attributes["num_dims"]
+    assert isinstance(ndims_attr, IntegerAttr)
+    n = ndims_attr.value
+    values = interp.operand_values(op, env)
+    lbs, ubs, steps = values[:n], values[n : 2 * n], values[2 * n :]
+    body = op.regions[0].block
+
+    def recurse(dim: int, ivs: list[int]) -> None:
+        if dim == n:
+            interp.run_block(body, env, ivs)
+            return
+        iv = lbs[dim]
+        while iv < ubs[dim]:
+            recurse(dim + 1, [*ivs, iv])
+            iv += steps[dim]
+
+    recurse(0, [])
+    return None

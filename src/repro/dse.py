@@ -1,0 +1,152 @@
+"""Design-space exploration over OpenMP directive parameters.
+
+The paper (§4) notes that "design space exploration could be added in
+the future to automatically find the best combination of directives and
+their parameters".  This module implements that extension on top of the
+simulated toolchain: it sweeps candidate ``simdlen`` factors (and
+reduction copy counts) for an offloaded kernel, synthesizes each
+configuration, evaluates the modeled runtime on a user-supplied workload,
+and reports the Pareto-best choice under a resource budget.
+
+.. code-block:: python
+
+    from repro.dse import explore_simdlen
+
+    result = explore_simdlen(SAXPY_SOURCE, run_workload, factors=(1, 2, 4, 8, 10))
+    print(result.best.simdlen, result.best.device_time_s)
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.fpga.board import U280Board
+from repro.pipeline import CompiledProgram, compile_fortran
+from repro.runtime.executor import ExecutionResult
+
+
+@dataclass
+class DsePoint:
+    """One evaluated configuration."""
+
+    simdlen: int
+    reduction_copies: int
+    device_time_s: float
+    lut_pct: float
+    dsp_pct: float
+    achieved_iis: tuple[int, ...]
+    program: CompiledProgram
+
+    @property
+    def device_time_ms(self) -> float:
+        return self.device_time_s * 1e3
+
+
+@dataclass
+class DseResult:
+    """Sweep outcome: all points plus the runtime-best within budget."""
+
+    points: list[DsePoint] = field(default_factory=list)
+    best: DsePoint | None = None
+
+    def table(self) -> str:
+        from repro.reporting import format_table
+
+        rows = [
+            (
+                p.simdlen,
+                p.reduction_copies,
+                f"{p.device_time_ms:.3f}",
+                f"{p.lut_pct:.2f}",
+                ",".join(str(ii) for ii in p.achieved_iis),
+                "*" if p is self.best else "",
+            )
+            for p in self.points
+        ]
+        return format_table(
+            "Design-space exploration",
+            ["simdlen", "red.copies", "time (ms)", "LUT %", "IIs", "best"],
+            rows,
+        )
+
+
+_SIMDLEN_RE = re.compile(r"simdlen\(\d+\)")
+
+
+def _with_simdlen(source: str, factor: int) -> str:
+    """Rewrite the directive's simdlen (or drop simd entirely for 1)."""
+    if _SIMDLEN_RE.search(source):
+        if factor <= 1:
+            return (
+                source.replace("parallel do simd", "parallel do")
+                .replace(" simdlen(10)", "")
+                .replace(" simdlen(4)", "")
+            )
+        return _SIMDLEN_RE.sub(f"simdlen({factor})", source)
+    if factor <= 1:
+        return source
+    return source.replace(
+        "parallel do", f"parallel do simd simdlen({factor})", 1
+    ).replace(
+        "end parallel do simd simdlen", "end parallel do simd", 1
+    )
+
+
+def explore(
+    source: str,
+    evaluate: Callable[[CompiledProgram], ExecutionResult],
+    *,
+    simdlen_factors: Sequence[int] = (1, 2, 4, 8, 10),
+    reduction_copies: Sequence[int] = (8,),
+    max_lut_pct: float = 70.0,
+    board: U280Board | None = None,
+) -> DseResult:
+    """Sweep directive parameters and pick the fastest feasible point.
+
+    ``evaluate`` runs a representative workload on a compiled program and
+    returns its :class:`ExecutionResult`; the sweep minimizes
+    ``device_time_s`` subject to the LUT budget.
+    """
+    result = DseResult()
+    for copies in reduction_copies:
+        for factor in simdlen_factors:
+            variant = _with_simdlen(source, factor)
+            program = compile_fortran(
+                variant,
+                board=board,
+                default_reduction_copies=copies,
+            )
+            run = evaluate(program)
+            utilization = program.bitstream.utilization()
+            iis = tuple(
+                sched.achieved_ii
+                for kernel in program.bitstream.kernels.values()
+                for sched in kernel.loops.values()
+            )
+            result.points.append(
+                DsePoint(
+                    simdlen=factor,
+                    reduction_copies=copies,
+                    device_time_s=run.device_time_s,
+                    lut_pct=utilization.lut,
+                    dsp_pct=utilization.dsp,
+                    achieved_iis=iis,
+                    program=program,
+                )
+            )
+    feasible = [p for p in result.points if p.lut_pct <= max_lut_pct]
+    if feasible:
+        result.best = min(feasible, key=lambda p: p.device_time_s)
+    return result
+
+
+def explore_simdlen(
+    source: str,
+    evaluate: Callable[[CompiledProgram], ExecutionResult],
+    factors: Sequence[int] = (1, 2, 4, 8, 10),
+    **kwargs,
+) -> DseResult:
+    """Convenience wrapper sweeping only the unroll factor."""
+    return explore(source, evaluate, simdlen_factors=factors, **kwargs)

@@ -1,0 +1,24 @@
+"""Simulated AMD U280 FPGA: board model, HLS scheduling, resources, power."""
+
+from repro.fpga.board import MemorySpec, U280Board, U280Resources
+from repro.fpga.power import CpuPowerModel, FpgaPowerModel
+from repro.fpga.resources import (
+    ResourcePercentages,
+    ResourceUsage,
+    shell_usage,
+)
+from repro.fpga.scheduler import HlsScheduler, KernelSchedule, LoopSchedule
+
+__all__ = [
+    "MemorySpec",
+    "U280Board",
+    "U280Resources",
+    "CpuPowerModel",
+    "FpgaPowerModel",
+    "ResourcePercentages",
+    "ResourceUsage",
+    "shell_usage",
+    "HlsScheduler",
+    "KernelSchedule",
+    "LoopSchedule",
+]

@@ -1,0 +1,65 @@
+"""Power models for the FPGA board and the CPU baseline.
+
+The U280 model is static shell power plus a dynamic component that grows
+with memory activity (log-saturating in the amount of data moved): the
+board idles near 21 W and climbs to ~24-26 W under the paper's workloads
+— roughly half the ~52-57 W a single active EPYC 7502 core costs at
+package level (Tables 5/6).
+
+All "measurement noise" is deterministic (hash-seeded), so benches are
+reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+
+from repro.fpga.resources import ResourceUsage, shell_usage
+
+
+def _jitter(key: str, scale: float) -> float:
+    """Deterministic pseudo-noise in [-scale, +scale]."""
+    digest = hashlib.sha256(key.encode()).digest()
+    unit = int.from_bytes(digest[:8], "big") / 2**64  # [0, 1)
+    return (2.0 * unit - 1.0) * scale
+
+
+@dataclass
+class FpgaPowerModel:
+    """Median board power for a kernel run."""
+
+    static_w: float = 18.5
+    #: dynamic power coefficient per decade of elements processed
+    activity_w_per_decade: float = 0.95
+    #: extra per % of fabric utilisation above the shell
+    fabric_w_per_lut_pct: float = 0.05
+
+    def median_power_w(
+        self,
+        work_elements: int,
+        resources: ResourceUsage | None = None,
+        label: str = "",
+    ) -> float:
+        work = max(work_elements, 10)
+        power = self.static_w + self.activity_w_per_decade * math.log10(work)
+        if resources is not None:
+            shell = shell_usage()
+            extra_pct = 100.0 * max(resources.luts - shell.luts, 0) / 1_303_680
+            power += self.fabric_w_per_lut_pct * extra_pct
+        power += _jitter(f"fpga:{label}:{work_elements}", 0.45)
+        return power
+
+
+@dataclass
+class CpuPowerModel:
+    """Per-core package power of the EPYC 7502 host."""
+
+    idle_package_w: float = 45.0
+    active_core_w: float = 10.0
+
+    def median_power_w(self, work_elements: int, label: str = "") -> float:
+        power = self.idle_package_w + self.active_core_w
+        power += _jitter(f"cpu:{label}:{work_elements}", 2.2)
+        return power

@@ -1,0 +1,243 @@
+"""AST for the Fortran subset, including OpenMP constructs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+
+# -- expressions -------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    line: int = 0
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class RealLit(Expr):
+    value: float = 0.0
+    #: 4 (default real) or 8 (double precision / d-exponent)
+    kind: int = 4
+
+
+@dataclass
+class LogicalLit(Expr):
+    value: bool = False
+
+
+@dataclass
+class StringLit(Expr):
+    value: str = ""
+
+
+@dataclass
+class VarRef(Expr):
+    name: str = ""
+
+
+@dataclass
+class ArrayRef(Expr):
+    """``a(i)`` / ``a(i, j)`` — also the parse of what may turn out to be
+    an intrinsic or function call; sema disambiguates."""
+
+    name: str = ""
+    indices: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class BinOp(Expr):
+    op: str = "+"  # + - * / ** == /= < <= > >= .and. .or.
+    lhs: Expr = None  # type: ignore[assignment]
+    rhs: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class UnOp(Expr):
+    op: str = "-"  # - .not.
+    operand: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class IntrinsicCall(Expr):
+    """Resolved intrinsic (sema output)."""
+
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+# -- statements ---------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class Assign(Stmt):
+    target: Expr = None  # VarRef or ArrayRef  # type: ignore[assignment]
+    value: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class DoLoop(Stmt):
+    var: str = ""
+    start: Expr = None  # type: ignore[assignment]
+    stop: Expr = None  # type: ignore[assignment]
+    step: Optional[Expr] = None
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class IfBlock(Stmt):
+    """if/else-if chain: conditions[i] guards bodies[i]; else_body last."""
+
+    conditions: list[Expr] = field(default_factory=list)
+    bodies: list[list[Stmt]] = field(default_factory=list)
+    else_body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class CallStmt(Stmt):
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class PrintStmt(Stmt):
+    items: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    pass
+
+
+@dataclass
+class ExitStmt(Stmt):
+    pass
+
+
+@dataclass
+class CycleStmt(Stmt):
+    pass
+
+
+# -- OpenMP -------------------------------------------------------------------------
+
+
+@dataclass
+class MapClause:
+    """``map(to: a, b)`` — map_type in {to, from, tofrom, alloc}."""
+
+    map_type: str = "tofrom"
+    vars: list[str] = field(default_factory=list)
+
+
+@dataclass
+class ReductionClause:
+    """``reduction(+:s)`` — operator in {+, *, max, min}."""
+
+    operator: str = "+"
+    vars: list[str] = field(default_factory=list)
+
+
+@dataclass
+class OmpClauses:
+    """Clauses attached to an OpenMP construct."""
+
+    maps: list[MapClause] = field(default_factory=list)
+    reductions: list[ReductionClause] = field(default_factory=list)
+    simdlen: Optional[int] = None
+    num_threads: Optional[int] = None
+    #: device memory space requested via ``device(n)`` if present
+    device: Optional[int] = None
+
+
+@dataclass
+class OmpTargetData(Stmt):
+    """``!$omp target data ... !$omp end target data`` (structured)."""
+
+    clauses: OmpClauses = field(default_factory=OmpClauses)
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class OmpTargetEnterData(Stmt):
+    clauses: OmpClauses = field(default_factory=OmpClauses)
+
+
+@dataclass
+class OmpTargetExitData(Stmt):
+    clauses: OmpClauses = field(default_factory=OmpClauses)
+
+
+@dataclass
+class OmpTargetUpdate(Stmt):
+    """``!$omp target update from(a) to(b)``."""
+
+    to_vars: list[str] = field(default_factory=list)
+    from_vars: list[str] = field(default_factory=list)
+
+
+@dataclass
+class OmpTarget(Stmt):
+    """``!$omp target [parallel do] [simd] ...`` offload construct.
+
+    ``parallel_do``/``simd`` record the composite construct shape.
+    The body is a single loop for combined loop constructs, or any
+    statement list for a bare ``target`` region.
+    """
+
+    clauses: OmpClauses = field(default_factory=OmpClauses)
+    parallel_do: bool = False
+    simd: bool = False
+    #: False for a bare host ``!$omp parallel do`` (no offload)
+    is_target: bool = True
+    body: list[Stmt] = field(default_factory=list)
+
+
+# -- program units --------------------------------------------------------------------
+
+
+@dataclass
+class TypeSpec:
+    """Declared type: base in {integer, real, logical}; kind 4 or 8."""
+
+    base: str = "real"
+    kind: int = 4
+
+
+@dataclass
+class Declaration(Stmt):
+    type: TypeSpec = field(default_factory=TypeSpec)
+    name: str = ""
+    #: Array extents; each is an Expr (IntLit for static, VarRef for
+    #: dummy-sized) or None-like "*" assumed size (unsupported).
+    dims: list[Expr] = field(default_factory=list)
+    intent: Optional[str] = None
+    is_parameter: bool = False
+    init: Optional[Expr] = None
+
+
+@dataclass
+class SubprogramUnit:
+    """A ``program`` or ``subroutine`` unit."""
+
+    kind: str = "program"  # program | subroutine
+    name: str = ""
+    dummy_args: list[str] = field(default_factory=list)
+    decls: list[Declaration] = field(default_factory=list)
+    body: list[Stmt] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class CompilationUnit:
+    units: list[SubprogramUnit] = field(default_factory=list)

@@ -1,0 +1,199 @@
+"""OpenMP directive parsing.
+
+Parses the text of ``!$omp ...`` sentinel comments into structured
+:class:`Directive` objects consumed by the statement parser.  Supported
+directives (the subset the paper's flow handles):
+
+* ``target [parallel do] [simd]`` + clauses, and the matching ``end``
+* ``target data`` / ``end target data``
+* ``target enter data`` / ``target exit data``
+* ``target update``
+* ``parallel do [simd]`` (host construct) and matching ``end``
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.frontend.ast_nodes import MapClause, OmpClauses, ReductionClause
+from repro.frontend.lexer import FortranSyntaxError
+
+#: map types accepted in ``map()`` clauses.
+_MAP_TYPES = ("tofrom", "to", "from", "alloc")
+_REDUCTION_OPS = {"+": "+", "*": "*", "max": "max", "min": "min"}
+
+
+@dataclass
+class Directive:
+    """A parsed OpenMP directive line."""
+
+    #: canonical construct name: "target", "target data",
+    #: "target enter data", "target exit data", "target update",
+    #: "parallel do"
+    construct: str = ""
+    is_end: bool = False
+    parallel_do: bool = False
+    simd: bool = False
+    clauses: OmpClauses = field(default_factory=OmpClauses)
+    #: for target update
+    to_vars: list[str] = field(default_factory=list)
+    from_vars: list[str] = field(default_factory=list)
+    line: int = 0
+
+
+# clause argument may contain one level of nested parens: map(to: a(1:n))
+_CLAUSE_RE = re.compile(
+    r"([a-z_]+)\s*(\(((?:[^()]|\([^()]*\))*)\))?", re.IGNORECASE
+)
+
+
+def _split_head_and_clauses(text: str) -> tuple[list[str], str]:
+    """Split leading construct keywords from the clause tail."""
+    words = []
+    rest = text.strip()
+    while rest:
+        match = re.match(r"^([a-z]+)\b\s*", rest, re.IGNORECASE)
+        if not match:
+            break
+        word = match.group(1).lower()
+        if word in (
+            "end", "target", "data", "enter", "exit", "update",
+            "parallel", "do", "simd", "teams", "distribute",
+        ):
+            words.append(word)
+            rest = rest[match.end():]
+        else:
+            break
+    return words, rest
+
+
+def _parse_var_list(text: str, line: int) -> list[str]:
+    names = [v.strip().lower() for v in text.split(",") if v.strip()]
+    for name in names:
+        if not re.fullmatch(r"[a-z][a-z0-9_]*(\(.*\))?", name):
+            raise FortranSyntaxError(f"bad variable in clause: {name!r}", line)
+    # drop any array-section parentheses: map(to: a(1:n)) -> a
+    return [n.split("(")[0] for n in names]
+
+
+def _parse_clauses(text: str, directive: Directive, line: int) -> None:
+    pos = 0
+    while pos < len(text):
+        if text[pos] in " \t,":
+            pos += 1
+            continue
+        match = _CLAUSE_RE.match(text, pos)
+        if not match:
+            raise FortranSyntaxError(
+                f"cannot parse OpenMP clause at {text[pos:]!r}", line
+            )
+        name = match.group(1).lower()
+        arg = match.group(3)
+        if name == "map":
+            if arg is None:
+                raise FortranSyntaxError("map clause requires arguments", line)
+            if ":" in arg:
+                map_type, vars_text = arg.split(":", 1)
+                map_type = map_type.strip().lower()
+                # strip mapper modifiers like "always,"
+                map_type = map_type.split(",")[-1].strip()
+            else:
+                map_type, vars_text = "tofrom", arg
+            if map_type not in _MAP_TYPES:
+                raise FortranSyntaxError(f"bad map type {map_type!r}", line)
+            directive.clauses.maps.append(
+                MapClause(map_type, _parse_var_list(vars_text, line))
+            )
+        elif name == "reduction":
+            if arg is None or ":" not in arg:
+                raise FortranSyntaxError("bad reduction clause", line)
+            op_text, vars_text = arg.split(":", 1)
+            op_text = op_text.strip().lower()
+            if op_text not in _REDUCTION_OPS:
+                raise FortranSyntaxError(
+                    f"unsupported reduction operator {op_text!r}", line
+                )
+            directive.clauses.reductions.append(
+                ReductionClause(
+                    _REDUCTION_OPS[op_text], _parse_var_list(vars_text, line)
+                )
+            )
+        elif name == "simdlen":
+            if arg is None or not arg.strip().isdigit():
+                raise FortranSyntaxError("simdlen requires an integer", line)
+            directive.clauses.simdlen = int(arg.strip())
+        elif name == "num_threads":
+            if arg is None or not arg.strip().isdigit():
+                raise FortranSyntaxError("num_threads requires an integer", line)
+            directive.clauses.num_threads = int(arg.strip())
+        elif name == "device":
+            if arg is None or not arg.strip().isdigit():
+                raise FortranSyntaxError("device requires an integer", line)
+            directive.clauses.device = int(arg.strip())
+        elif name == "to":
+            directive.to_vars.extend(_parse_var_list(arg or "", line))
+        elif name == "from":
+            directive.from_vars.extend(_parse_var_list(arg or "", line))
+        elif name in ("private", "firstprivate", "shared", "collapse",
+                      "schedule", "nowait", "defaultmap"):
+            # Accepted and recorded as no-ops: they do not change the FPGA
+            # lowering in the paper's flow.
+            pass
+        else:
+            raise FortranSyntaxError(f"unsupported OpenMP clause {name!r}", line)
+        pos = match.end()
+
+
+def parse_directive(text: str, line: int = 0) -> Directive:
+    """Parse one directive line (without the ``!$omp`` sentinel)."""
+    directive = Directive(line=line)
+    words, clause_text = _split_head_and_clauses(text)
+    if not words:
+        raise FortranSyntaxError(f"empty OpenMP directive: {text!r}", line)
+    if words[0] == "end":
+        directive.is_end = True
+        words = words[1:]
+        if not words:
+            raise FortranSyntaxError("bare '!$omp end'", line)
+
+    if words[:3] == ["target", "enter", "data"]:
+        directive.construct = "target enter data"
+        words = words[3:]
+    elif words[:3] == ["target", "exit", "data"]:
+        directive.construct = "target exit data"
+        words = words[3:]
+    elif words[:2] == ["target", "data"]:
+        directive.construct = "target data"
+        words = words[2:]
+    elif words[:2] == ["target", "update"]:
+        directive.construct = "target update"
+        words = words[2:]
+    elif words[:1] == ["target"]:
+        directive.construct = "target"
+        words = words[1:]
+    elif words[:2] == ["parallel", "do"]:
+        directive.construct = "parallel do"
+        directive.parallel_do = True
+        words = words[2:]
+        if words[:1] == ["simd"]:
+            directive.simd = True
+            words = words[1:]
+    else:
+        raise FortranSyntaxError(
+            f"unsupported OpenMP construct: {' '.join(words)!r}", line
+        )
+
+    if directive.construct == "target":
+        if words[:2] == ["parallel", "do"]:
+            directive.parallel_do = True
+            words = words[2:]
+        if words[:1] == ["simd"]:
+            directive.simd = True
+            words = words[1:]
+    if words:
+        raise FortranSyntaxError(
+            f"unexpected tokens after construct: {' '.join(words)!r}", line
+        )
+    _parse_clauses(clause_text, directive, line)
+    return directive

@@ -1,0 +1,56 @@
+"""Frontend driver: Fortran source -> FIR module -> core-dialect module.
+
+This is the "Flang + [3]" half of the paper's Figure 1/Figure 2 flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dialects import builtin
+from repro.frontend.fir_to_core import FirToCorePass
+from repro.frontend.lowering import lower_program
+from repro.frontend.parser import parse_source
+from repro.frontend.sema import ProgramInfo, analyze
+from repro.ir.pass_manager import PassManager, PassTrace
+from repro.ir.verifier import verify
+
+
+@dataclass
+class FrontendResult:
+    """Output of the frontend: the module plus stage snapshots."""
+
+    module: builtin.ModuleOp
+    program_info: ProgramInfo
+    stages: list[tuple[str, str]] = field(default_factory=list)
+
+
+def compile_to_fir(
+    source: str, *, capture_stages: bool = False
+) -> FrontendResult:
+    """Parse + analyze + lower Fortran source to the FIR+omp module."""
+    from repro.ir.printer import print_op
+
+    tree = parse_source(source)
+    info = analyze(tree)
+    module = lower_program(info)
+    verify(module)
+    stages = []
+    if capture_stages:
+        stages.append(("fir+omp", print_op(module)))
+    return FrontendResult(module=module, program_info=info, stages=stages)
+
+
+def compile_to_core(
+    source: str, *, capture_stages: bool = False
+) -> FrontendResult:
+    """Full frontend path: Fortran -> FIR -> core dialects (+omp)."""
+    from repro.ir.printer import print_op
+
+    result = compile_to_fir(source, capture_stages=capture_stages)
+    pm = PassManager(verify_each=True)
+    pm.add(FirToCorePass())
+    pm.run(result.module)
+    if capture_stages:
+        result.stages.append(("core+omp", print_op(result.module)))
+    return result

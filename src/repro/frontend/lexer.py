@@ -1,0 +1,160 @@
+"""Free-form Fortran lexer.
+
+Tokenizes the Fortran subset the frontend supports.  OpenMP sentinel
+comments (``!$omp ...``) are preserved as ``OMP_DIRECTIVE`` tokens
+(with continuation-line splicing); all other comments are dropped.
+Keywords and identifiers are case-insensitive and normalized to lower
+case.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum, auto
+
+
+class FortranSyntaxError(Exception):
+    """Raised on malformed Fortran source."""
+
+    def __init__(self, message: str, line: int = -1):
+        super().__init__(message if line < 0 else f"line {line}: {message}")
+        self.line = line
+
+
+class TokenKind(Enum):
+    IDENT = auto()
+    INT = auto()
+    REAL = auto()
+    STRING = auto()
+    OP = auto()          # + - * / ** = == /= < <= > >= ( ) , : :: %
+    LOGICAL_OP = auto()  # .and. .or. .not. .true. .false. .lt. ...
+    NEWLINE = auto()
+    OMP_DIRECTIVE = auto()
+    EOF = auto()
+
+
+@dataclass
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind.name}, {self.text!r}, line {self.line})"
+
+
+KEYWORDS = {
+    "program", "end", "subroutine", "function", "implicit", "none",
+    "integer", "real", "double", "precision", "logical", "parameter",
+    "dimension", "intent", "in", "out", "inout", "do", "while", "if",
+    "then", "else", "elseif", "endif", "enddo", "call", "return", "print",
+    "exit", "cycle", "use", "contains", "kind", "result",
+}
+
+_OP_RE = re.compile(
+    r"\*\*|==|/=|<=|>=|=>|::|[-+*/=<>(),:%]"
+)
+_LOGICAL_RE = re.compile(
+    r"\.(and|or|not|true|false|eqv|neqv|lt|le|gt|ge|eq|ne)\.", re.IGNORECASE
+)
+_IDENT_RE = re.compile(r"[A-Za-z][A-Za-z0-9_]*")
+# Real literals: 1.0, 1., .5, 1.0e-3, 1d0, 1.0_8 ...
+_REAL_RE = re.compile(
+    r"(\d+\.\d*|\.\d+|\d+)([edED][-+]?\d+)(_\d+)?|(\d+\.\d*|\.\d+)(_\d+)?"
+)
+_INT_RE = re.compile(r"\d+(_\d+)?")
+_STRING_RE = re.compile(r"'(?:[^']|'')*'|\"(?:[^\"]|\"\")*\"")
+_OMP_SENTINEL_RE = re.compile(r"^\s*!\$omp\s+(.*)$", re.IGNORECASE)
+
+
+def _splice_continuations(lines: list[str]) -> list[tuple[int, str]]:
+    """Join ``&`` continuation lines; returns (first line number, text)."""
+    result: list[tuple[int, str]] = []
+    buffer = ""
+    start_line = 1
+    for number, raw in enumerate(lines, start=1):
+        line = raw.rstrip()
+        if not buffer:
+            start_line = number
+        stripped = line.rstrip()
+        if stripped.endswith("&"):
+            buffer += stripped[:-1]
+            continue
+        buffer += line
+        result.append((start_line, buffer))
+        buffer = ""
+    if buffer:
+        result.append((start_line, buffer))
+    return result
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize free-form Fortran source."""
+    tokens: list[Token] = []
+    for line_no, line in _splice_continuations(source.splitlines()):
+        omp = _OMP_SENTINEL_RE.match(line)
+        if omp is not None:
+            tokens.append(
+                Token(TokenKind.OMP_DIRECTIVE, omp.group(1).strip(), line_no)
+            )
+            tokens.append(Token(TokenKind.NEWLINE, "\n", line_no))
+            continue
+        pos = 0
+        emitted = False
+        while pos < len(line):
+            ch = line[pos]
+            if ch in " \t":
+                pos += 1
+                continue
+            if ch == "!":
+                break  # comment to end of line
+            if ch == ";":
+                tokens.append(Token(TokenKind.NEWLINE, ";", line_no))
+                pos += 1
+                continue
+            match = _STRING_RE.match(line, pos)
+            if match:
+                tokens.append(Token(TokenKind.STRING, match.group(), line_no))
+                pos = match.end()
+                emitted = True
+                continue
+            match = _LOGICAL_RE.match(line, pos)
+            if match:
+                tokens.append(
+                    Token(TokenKind.LOGICAL_OP, match.group().lower(), line_no)
+                )
+                pos = match.end()
+                emitted = True
+                continue
+            match = _REAL_RE.match(line, pos)
+            if match and (match.group(2) or "." in match.group()):
+                tokens.append(Token(TokenKind.REAL, match.group(), line_no))
+                pos = match.end()
+                emitted = True
+                continue
+            match = _INT_RE.match(line, pos)
+            if match:
+                tokens.append(Token(TokenKind.INT, match.group(), line_no))
+                pos = match.end()
+                emitted = True
+                continue
+            match = _IDENT_RE.match(line, pos)
+            if match:
+                tokens.append(
+                    Token(TokenKind.IDENT, match.group().lower(), line_no)
+                )
+                pos = match.end()
+                emitted = True
+                continue
+            match = _OP_RE.match(line, pos)
+            if match:
+                tokens.append(Token(TokenKind.OP, match.group(), line_no))
+                pos = match.end()
+                emitted = True
+                continue
+            raise FortranSyntaxError(f"unexpected character {ch!r}", line_no)
+        if emitted:
+            tokens.append(Token(TokenKind.NEWLINE, "\n", line_no))
+    tokens.append(Token(TokenKind.EOF, "", tokens[-1].line if tokens else 1))
+    return tokens

@@ -1,0 +1,744 @@
+"""AST -> FIR+omp lowering (the Flang stage of Figure 1).
+
+Every Fortran variable gets storage (``fir.alloca`` + ``fir.declare``,
+dummy arguments arrive as memref block arguments); do-loop induction
+variables are promoted to SSA values (mem2reg-style, as Flang's
+optimisation passes do).  OpenMP constructs lower onto the ``omp``
+dialect:
+
+* ``target data`` -> ``omp.target_data`` with ``omp.map_info`` operands;
+* ``target [parallel do [simd]]`` -> ``omp.target`` whose isolated region
+  receives one block argument per mapped variable, containing
+  ``omp.parallel``/``omp.wsloop``/``omp.simd``/``omp.loop_nest``;
+* variables referenced but not explicitly mapped get implicit
+  ``tofrom,implicit`` (arrays) / ``to,implicit`` (read-only scalars) maps —
+  the behaviour the paper's Listing 1 discussion describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.dialects import arith, builtin, fir, func, math as math_d, memref, omp
+from repro.frontend import ast_nodes as ast
+from repro.frontend.sema import (
+    ProgramInfo,
+    SemanticError,
+    Symbol,
+    UnitInfo,
+    _fold_const,
+)
+from repro.ir.builder import Builder
+from repro.ir.core import Block, Operation, Region, SSAValue
+from repro.ir.types import (
+    DYNAMIC,
+    FloatType,
+    FunctionType,
+    IntegerType,
+    MemRefType,
+    TypeAttribute,
+    f32,
+    f64,
+    i1,
+    i32,
+    i64,
+    index,
+)
+
+
+class LoweringError(SemanticError):
+    """Raised when a construct cannot be lowered."""
+
+
+def element_type(spec: ast.TypeSpec) -> TypeAttribute:
+    if spec.base == "real":
+        return f64 if spec.kind == 8 else f32
+    if spec.base == "integer":
+        return i64 if spec.kind == 8 else i32
+    if spec.base == "logical":
+        return i1
+    raise LoweringError(f"unsupported type {spec.base}")
+
+
+def storage_type(sym: Symbol, symbols: dict[str, Symbol]) -> MemRefType:
+    """Memref type of a variable's storage (rank-0 for scalars)."""
+    elem = element_type(sym.type)
+    shape = []
+    for dim in sym.dims:
+        const = _fold_const(dim, symbols)
+        shape.append(int(const) if const is not None else DYNAMIC)
+    return MemRefType(elem, shape)
+
+
+@dataclass
+class _Scope:
+    """Lexically scoped name bindings active during lowering."""
+
+    storage: dict[str, SSAValue] = field(default_factory=dict)
+    #: SSA value overrides (promoted do-variables): name -> i32 value
+    overrides: dict[str, SSAValue] = field(default_factory=dict)
+
+
+class UnitLowering:
+    """Lowers one program/subroutine unit into a ``func.func``."""
+
+    def __init__(self, info: UnitInfo, program: ProgramInfo):
+        self.info = info
+        self.program = program
+        self.scope = _Scope()
+        self.builder: Builder = None  # type: ignore[assignment]
+        self._temp_counter = 0
+
+    # -- entry ---------------------------------------------------------------------
+
+    def lower(self) -> func.FuncOp:
+        unit = self.info.unit
+        arg_types = [
+            storage_type(self.info.symbols[name], self.info.symbols)
+            for name in unit.dummy_args
+        ]
+        fn = func.FuncOp(unit.name, FunctionType(arg_types, []))
+        self.builder = Builder.at_end(fn.body)
+        for name, block_arg in zip(unit.dummy_args, fn.body.args):
+            block_arg.name_hint = name
+            declared = self.builder.insert(
+                fir.DeclareOp(block_arg, f"{unit.name}E{name}")
+            ).results[0]
+            declared.name_hint = name
+            self.scope.storage[name] = declared
+        for decl_name, sym in self.info.symbols.items():
+            if sym.is_dummy or sym.is_parameter:
+                continue
+            sym_type = storage_type(sym, self.info.symbols)
+            dynamic_sizes = [
+                self.to_index(self.lower_expr(dim))
+                for dim, extent in zip(sym.dims, sym_type.shape)
+                if extent == DYNAMIC
+            ]
+            alloca = self.builder.insert(
+                fir.AllocaOp(sym_type, decl_name, dynamic_sizes)
+            ).results[0]
+            declared = self.builder.insert(
+                fir.DeclareOp(alloca, f"{unit.name}E{decl_name}")
+            ).results[0]
+            declared.name_hint = decl_name
+            self.scope.storage[decl_name] = declared
+        # Non-parameter initializers.
+        for decl in unit.decls:
+            if decl.init is not None and not decl.is_parameter:
+                value = self.lower_expr(decl.init)
+                value = self.convert(value, element_type(decl.type))
+                self.builder.insert(
+                    fir.StoreOp(value, self.scope.storage[decl.name])
+                )
+        self.lower_stmts(unit.body)
+        self.builder.insert(func.ReturnOp())
+        return fn
+
+    # -- helpers ----------------------------------------------------------------------
+
+    def constant_index(self, value: int) -> SSAValue:
+        return self.builder.insert(arith.Constant.index(value)).results[0]
+
+    def constant_i32(self, value: int) -> SSAValue:
+        return self.builder.insert(arith.Constant.int(value, 32)).results[0]
+
+    def convert(self, value: SSAValue, target: TypeAttribute) -> SSAValue:
+        if value.type == target:
+            return value
+        return self.builder.insert(fir.ConvertOp(value, target)).results[0]
+
+    def to_index(self, value: SSAValue) -> SSAValue:
+        return self.convert(value, index)
+
+    def symbol(self, name: str, line: int = -1) -> Symbol:
+        return self.info.symbol(name, line)
+
+    def _temp_name(self, stem: str) -> str:
+        self._temp_counter += 1
+        return f"{stem}.tmp{self._temp_counter}"
+
+    # -- statements ----------------------------------------------------------------------
+
+    def lower_stmts(self, stmts: Sequence[ast.Stmt]) -> None:
+        for stmt in stmts:
+            self.lower_stmt(stmt)
+
+    def lower_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            self.lower_assign(stmt)
+        elif isinstance(stmt, ast.DoLoop):
+            self.lower_do(stmt)
+        elif isinstance(stmt, ast.IfBlock):
+            self.lower_if(stmt)
+        elif isinstance(stmt, ast.CallStmt):
+            self.lower_call(stmt)
+        elif isinstance(stmt, ast.PrintStmt):
+            self.lower_print(stmt)
+        elif isinstance(stmt, ast.ReturnStmt):
+            pass  # unit epilogue emits func.return; mid-body return is a no-op
+        elif isinstance(stmt, (ast.ExitStmt, ast.CycleStmt)):
+            raise LoweringError("exit/cycle are not supported", stmt.line)
+        elif isinstance(stmt, ast.OmpTargetData):
+            self.lower_target_data(stmt)
+        elif isinstance(stmt, ast.OmpTargetEnterData):
+            maps = self.emit_clause_maps(stmt.clauses, default_type="to")
+            self.builder.insert(omp.TargetEnterDataOp(maps))
+        elif isinstance(stmt, ast.OmpTargetExitData):
+            maps = self.emit_clause_maps(stmt.clauses, default_type="from")
+            self.builder.insert(omp.TargetExitDataOp(maps))
+        elif isinstance(stmt, ast.OmpTargetUpdate):
+            maps = [self.emit_map_info(v, "to") for v in stmt.to_vars]
+            maps += [self.emit_map_info(v, "from") for v in stmt.from_vars]
+            self.builder.insert(omp.TargetUpdateOp(maps))
+        elif isinstance(stmt, ast.OmpTarget):
+            if stmt.is_target:
+                self.lower_target(stmt)
+            else:
+                self.lower_host_parallel_do(stmt)
+        else:
+            raise LoweringError(
+                f"unsupported statement {type(stmt).__name__}", stmt.line
+            )
+
+    def lower_assign(self, stmt: ast.Assign) -> None:
+        target = stmt.target
+        if isinstance(target, ast.VarRef):
+            sym = self.symbol(target.name, stmt.line)
+            value = self.lower_expr(stmt.value)
+            value = self.convert(value, element_type(sym.type))
+            if target.name in self.scope.overrides:
+                raise LoweringError(
+                    f"assignment to active do-variable {target.name!r}",
+                    stmt.line,
+                )
+            self.builder.insert(
+                fir.StoreOp(value, self.scope.storage[target.name])
+            )
+        elif isinstance(target, ast.ArrayRef):
+            sym = self.symbol(target.name, stmt.line)
+            value = self.lower_expr(stmt.value)
+            value = self.convert(value, element_type(sym.type))
+            indices = [
+                self.convert(self.lower_expr(i), i32) for i in target.indices
+            ]
+            self.builder.insert(
+                fir.ArrayStoreOp(value, self.scope.storage[target.name], indices)
+            )
+        else:
+            raise LoweringError("bad assignment target", stmt.line)
+
+    def lower_do(self, stmt: ast.DoLoop) -> None:
+        lb = self.to_index(self.lower_expr(stmt.start))
+        ub = self.to_index(self.lower_expr(stmt.stop))
+        step = (
+            self.to_index(self.lower_expr(stmt.step))
+            if stmt.step is not None
+            else self.constant_index(1)
+        )
+        loop = self.builder.insert(fir.DoLoopOp(lb, ub, step))
+        loop.induction_var.name_hint = stmt.var
+        saved = self.builder
+        self.builder = Builder.at_end(loop.body)
+        iv_i32 = self.convert(loop.induction_var, i32)
+        previous = self.scope.overrides.get(stmt.var)
+        self.scope.overrides[stmt.var] = iv_i32
+        try:
+            self.lower_stmts(stmt.body)
+        finally:
+            if previous is None:
+                del self.scope.overrides[stmt.var]
+            else:
+                self.scope.overrides[stmt.var] = previous
+            self.builder = saved
+
+    def lower_if(self, stmt: ast.IfBlock, branch: int = 0) -> None:
+        cond = self.convert(self.lower_expr(stmt.conditions[branch]), i1)
+        if_op = self.builder.insert(fir.IfOp(cond))
+        saved = self.builder
+        self.builder = Builder.at_end(if_op.then_block)
+        self.lower_stmts(stmt.bodies[branch])
+        self.builder = Builder.at_end(if_op.else_block)
+        if branch + 1 < len(stmt.conditions):
+            self.lower_if(stmt, branch + 1)
+        else:
+            self.lower_stmts(stmt.else_body)
+        self.builder = saved
+
+    def lower_call(self, stmt: ast.CallStmt) -> None:
+        callee = self.program.units.get(stmt.name)
+        if callee is None:
+            raise LoweringError(f"unknown subroutine {stmt.name!r}", stmt.line)
+        arg_values: list[SSAValue] = []
+        for actual, formal_name in zip(stmt.args, callee.unit.dummy_args):
+            formal = callee.symbols[formal_name]
+            formal_type = storage_type(formal, callee.symbols)
+            if isinstance(actual, ast.VarRef) and actual.name in self.scope.storage:
+                value = self.scope.storage[actual.name]
+                if actual.name in self.scope.overrides:
+                    # Promoted do-variable: materialize a temporary.
+                    value = self._materialize_temp(
+                        self.scope.overrides[actual.name], actual.name
+                    )
+            else:
+                scalar = self.lower_expr(actual)
+                scalar = self.convert(scalar, formal_type.element_type)
+                value = self._materialize_temp(scalar, self._temp_name(stmt.name))
+            if value.type != formal_type:
+                assert isinstance(formal_type, MemRefType)
+                value = self.builder.insert(
+                    memref.Cast(value, formal_type)
+                ).results[0]
+            arg_values.append(value)
+        self.builder.insert(func.CallOp(stmt.name, arg_values))
+
+    def _materialize_temp(self, value: SSAValue, stem: str) -> SSAValue:
+        temp = self.builder.insert(
+            fir.AllocaOp(MemRefType(value.type, []), self._temp_name(stem))
+        ).results[0]
+        self.builder.insert(fir.StoreOp(value, temp))
+        return temp
+
+    def lower_print(self, stmt: ast.PrintStmt) -> None:
+        labels: list[str] = []
+        values: list[SSAValue] = []
+        for item in stmt.items:
+            if isinstance(item, ast.StringLit):
+                labels.append(item.value)
+            else:
+                values.append(self.lower_expr(item))
+        self.builder.insert(fir.PrintOp(values, " ".join(labels)))
+
+    # -- OpenMP ---------------------------------------------------------------------------
+
+    def emit_map_info(self, name: str, map_type: str) -> SSAValue:
+        """Emit ``omp.bounds`` + ``omp.map_info`` for a variable."""
+        sym = self.symbol(name)
+        if name in self.scope.overrides:
+            storage = self._materialize_temp(self.scope.overrides[name], name)
+        else:
+            storage = self.scope.storage[name]
+        bounds: list[SSAValue] = []
+        for dim in sym.dims:
+            lower = self.constant_index(0)
+            const = _fold_const(dim, self.info.symbols)
+            if const is not None:
+                extent = self.constant_index(int(const))
+            else:
+                extent = self.to_index(self.lower_expr(dim))
+            one = self.constant_index(1)
+            upper = self.builder.insert(arith.SubI(extent, one)).results[0]
+            bounds.append(
+                self.builder.insert(omp.BoundsOp(lower, upper)).results[0]
+            )
+        info_op = self.builder.insert(
+            omp.MapInfoOp(storage, name, map_type, bounds)
+        )
+        return info_op.results[0]
+
+    def emit_clause_maps(
+        self, clauses: ast.OmpClauses, default_type: str
+    ) -> list[SSAValue]:
+        maps = []
+        for clause in clauses.maps:
+            for name in clause.vars:
+                maps.append(self.emit_map_info(name, clause.map_type))
+        return maps
+
+    def lower_target_data(self, stmt: ast.OmpTargetData) -> None:
+        maps = self.emit_clause_maps(stmt.clauses, default_type="tofrom")
+        op = self.builder.insert(omp.TargetDataOp(maps))
+        saved = self.builder
+        self.builder = Builder.at_end(op.body)
+        self.lower_stmts(stmt.body)
+        self.builder.insert(omp.TerminatorOp())
+        self.builder = saved
+
+    # data-mapping classification -------------------------------------------------------
+
+    def _classify_target_vars(
+        self, stmt: ast.OmpTarget
+    ) -> tuple[list[tuple[str, str]], list[str]]:
+        """Returns (mapped [(name, map_type)], private scalar names)."""
+        explicit: dict[str, str] = {}
+        for clause in stmt.clauses.maps:
+            for name in clause.vars:
+                explicit[name] = clause.map_type
+        reduction_names = {
+            name for red in stmt.clauses.reductions for name in red.vars
+        }
+        read, written, loop_vars = _collect_usage(stmt.body)
+        mapped: list[tuple[str, str]] = []
+        private: list[str] = []
+        seen: set[str] = set()
+        for name in list(explicit) + sorted((read | written) - set(explicit)):
+            if name in seen:
+                continue
+            seen.add(name)
+            if name in loop_vars and name not in explicit:
+                continue  # loop variables are private by construction
+            sym = self.info.symbols.get(name)
+            if sym is None or sym.is_parameter:
+                continue  # parameters fold to constants
+            if name in explicit:
+                mapped.append((name, explicit[name]))
+            elif name in reduction_names:
+                mapped.append((name, "tofrom,implicit"))
+            elif sym.is_array:
+                mapped.append((name, "tofrom,implicit"))
+            elif name in written:
+                private.append(name)
+            else:
+                mapped.append((name, "to,implicit"))
+        return mapped, private
+
+    def lower_target(self, stmt: ast.OmpTarget) -> None:
+        mapped, private = self._classify_target_vars(stmt)
+        map_values = [
+            self.emit_map_info(name, map_type) for name, map_type in mapped
+        ]
+        target = self.builder.insert(omp.TargetOp(map_values))
+        for (name, _), block_arg in zip(mapped, target.body.args):
+            block_arg.name_hint = name
+        saved_builder = self.builder
+        saved_scope = self.scope
+        self.scope = _Scope()
+        self.builder = Builder.at_end(target.body)
+        for (name, _), block_arg in zip(mapped, target.body.args):
+            self.scope.storage[name] = block_arg
+        for name in private:
+            sym = self.info.symbols[name]
+            alloca = self.builder.insert(
+                fir.AllocaOp(storage_type(sym, self.info.symbols), name)
+            ).results[0]
+            self.scope.storage[name] = alloca
+        try:
+            if stmt.parallel_do:
+                loop = stmt.body[0]
+                assert isinstance(loop, ast.DoLoop)
+                self._emit_parallel_loop(stmt, loop)
+            else:
+                self.lower_stmts(stmt.body)
+            self.builder.insert(omp.TerminatorOp())
+        finally:
+            self.builder = saved_builder
+            self.scope = saved_scope
+
+    def lower_host_parallel_do(self, stmt: ast.OmpTarget) -> None:
+        loop = stmt.body[0]
+        assert isinstance(loop, ast.DoLoop)
+        self._emit_parallel_loop(stmt, loop)
+
+    def _emit_parallel_loop(self, stmt: ast.OmpTarget, loop: ast.DoLoop) -> None:
+        """Emit omp.parallel{omp.wsloop{[omp.simd{]omp.loop_nest}}}."""
+        lb = self.to_index(self.lower_expr(loop.start))
+        ub = self.to_index(self.lower_expr(loop.stop))
+        step = (
+            self.to_index(self.lower_expr(loop.step))
+            if loop.step is not None
+            else self.constant_index(1)
+        )
+        parallel = self.builder.insert(omp.ParallelOp())
+        outer_builder = self.builder
+        self.builder = Builder.at_end(parallel.body)
+
+        reduction_vars: list[SSAValue] = []
+        reduction_kinds: list[str] = []
+        kind_of = {"+": "add", "*": "mul", "max": "max", "min": "min"}
+        for red in stmt.clauses.reductions:
+            for name in red.vars:
+                reduction_vars.append(self.scope.storage[name])
+                reduction_kinds.append(kind_of[red.operator])
+
+        wsloop = self.builder.insert(
+            omp.WsLoopOp(
+                reduction_vars=reduction_vars, reduction_kinds=reduction_kinds
+            )
+        )
+        self.builder = Builder.at_end(wsloop.body)
+        if stmt.simd:
+            simdlen = stmt.clauses.simdlen or 4
+            simd_op = self.builder.insert(omp.SimdOp(simdlen))
+            self.builder.insert(omp.TerminatorOp())
+            self.builder = Builder.at_end(simd_op.body)
+        nest = self.builder.insert(omp.LoopNestOp(lb, ub, step, inclusive=True))
+        nest.induction_var.name_hint = loop.var
+        self.builder.insert(omp.TerminatorOp())
+        self.builder = Builder.at_end(nest.body)
+        iv_i32 = self.convert(nest.induction_var, i32)
+        previous = self.scope.overrides.get(loop.var)
+        self.scope.overrides[loop.var] = iv_i32
+        try:
+            self.lower_stmts(loop.body)
+            self.builder.insert(omp.YieldOp())
+        finally:
+            if previous is None:
+                self.scope.overrides.pop(loop.var, None)
+            else:
+                self.scope.overrides[loop.var] = previous
+        # close the parallel region
+        self.builder = Builder.at_end(parallel.body)
+        if self.builder.block.last_op is None or not isinstance(
+            self.builder.block.last_op, omp.TerminatorOp
+        ):
+            self.builder.insert(omp.TerminatorOp())
+        self.builder = outer_builder
+
+    # -- expressions ------------------------------------------------------------------------
+
+    def lower_expr(self, expr: ast.Expr) -> SSAValue:
+        if isinstance(expr, ast.IntLit):
+            return self.constant_i32(expr.value)
+        if isinstance(expr, ast.RealLit):
+            width = 64 if expr.kind == 8 else 32
+            return self.builder.insert(
+                arith.Constant.float(expr.value, width)
+            ).results[0]
+        if isinstance(expr, ast.LogicalLit):
+            return self.builder.insert(arith.Constant.bool(expr.value)).results[0]
+        if isinstance(expr, ast.VarRef):
+            if expr.name in self.scope.overrides:
+                return self.scope.overrides[expr.name]
+            sym = self.symbol(expr.name, expr.line)
+            if sym.is_parameter:
+                return self._parameter_constant(sym)
+            return self.builder.insert(
+                fir.LoadOp(self.scope.storage[expr.name])
+            ).results[0]
+        if isinstance(expr, ast.ArrayRef):
+            indices = [
+                self.convert(self.lower_expr(i), i32) for i in expr.indices
+            ]
+            return self.builder.insert(
+                fir.CoordinateOp(self.scope.storage[expr.name], indices)
+            ).results[0]
+        if isinstance(expr, ast.UnOp):
+            return self.lower_unop(expr)
+        if isinstance(expr, ast.BinOp):
+            return self.lower_binop(expr)
+        if isinstance(expr, ast.IntrinsicCall):
+            return self.lower_intrinsic(expr)
+        raise LoweringError(
+            f"cannot lower expression {type(expr).__name__}", expr.line
+        )
+
+    def _parameter_constant(self, sym: Symbol) -> SSAValue:
+        value = sym.param_value
+        if sym.type.base == "integer":
+            return self.constant_i32(int(value))  # type: ignore[arg-type]
+        width = 64 if sym.type.kind == 8 else 32
+        return self.builder.insert(
+            arith.Constant.float(float(value), width)  # type: ignore[arg-type]
+        ).results[0]
+
+    def _promote(self, lhs: SSAValue, rhs: SSAValue) -> tuple[SSAValue, SSAValue]:
+        """Usual arithmetic conversions: int -> float, narrow -> wide."""
+        lt, rt = lhs.type, rhs.type
+        if lt == rt:
+            return lhs, rhs
+        if isinstance(lt, FloatType) and isinstance(rt, FloatType):
+            target = lt if lt.width >= rt.width else rt
+        elif isinstance(lt, FloatType):
+            target = lt
+        elif isinstance(rt, FloatType):
+            target = rt
+        else:
+            assert isinstance(lt, IntegerType) and isinstance(rt, IntegerType)
+            target = lt if lt.width >= rt.width else rt
+        return self.convert(lhs, target), self.convert(rhs, target)
+
+    def lower_unop(self, expr: ast.UnOp) -> SSAValue:
+        operand = self.lower_expr(expr.operand)
+        if expr.op == "-":
+            if isinstance(operand.type, FloatType):
+                zero = self.builder.insert(
+                    arith.Constant.float(0.0, operand.type.width)
+                ).results[0]
+                return self.builder.insert(arith.SubF(zero, operand)).results[0]
+            zero_width = (
+                operand.type.width if isinstance(operand.type, IntegerType) else 32
+            )
+            zero = self.builder.insert(
+                arith.Constant.int(0, zero_width)
+            ).results[0]
+            return self.builder.insert(arith.SubI(zero, operand)).results[0]
+        if expr.op == ".not.":
+            true = self.builder.insert(arith.Constant.bool(True)).results[0]
+            return self.builder.insert(arith.XOrI(operand, true)).results[0]
+        raise LoweringError(f"unsupported unary op {expr.op!r}", expr.line)
+
+    _INT_OPS = {"+": arith.AddI, "-": arith.SubI, "*": arith.MulI, "/": arith.DivSI}
+    _FLOAT_OPS = {"+": arith.AddF, "-": arith.SubF, "*": arith.MulF, "/": arith.DivF}
+    _CMP_PRED = {"==": "eq", "/=": "ne", "<": "slt", "<=": "sle",
+                 ">": "sgt", ">=": "sge"}
+    _FCMP_PRED = {"==": "eq", "/=": "ne", "<": "olt", "<=": "ole",
+                  ">": "ogt", ">=": "oge"}
+
+    def lower_binop(self, expr: ast.BinOp) -> SSAValue:
+        if expr.op in (".and.", ".or."):
+            lhs = self.convert(self.lower_expr(expr.lhs), i1)
+            rhs = self.convert(self.lower_expr(expr.rhs), i1)
+            cls = arith.AndI if expr.op == ".and." else arith.OrI
+            return self.builder.insert(cls(lhs, rhs)).results[0]
+        lhs, rhs = self._promote(self.lower_expr(expr.lhs), self.lower_expr(expr.rhs))
+        is_float = isinstance(lhs.type, FloatType)
+        if expr.op in self._CMP_PRED:
+            if is_float:
+                return self.builder.insert(
+                    arith.CmpF(self._FCMP_PRED[expr.op], lhs, rhs)
+                ).results[0]
+            return self.builder.insert(
+                arith.CmpI(self._CMP_PRED[expr.op], lhs, rhs)
+            ).results[0]
+        if expr.op == "**":
+            if isinstance(expr.rhs, ast.IntLit) and expr.rhs.value == 2:
+                cls = arith.MulF if is_float else arith.MulI
+                return self.builder.insert(cls(lhs, lhs)).results[0]
+            base = self.convert(lhs, f64)
+            exponent = self.convert(rhs, f64)
+            result = self.builder.insert(math_d.Powf(base, exponent)).results[0]
+            return self.convert(result, lhs.type)
+        ops = self._FLOAT_OPS if is_float else self._INT_OPS
+        if expr.op not in ops:
+            raise LoweringError(f"unsupported operator {expr.op!r}", expr.line)
+        fastmath = "contract" if is_float else None
+        op_cls = ops[expr.op]
+        if is_float:
+            return self.builder.insert(op_cls(lhs, rhs, fastmath=fastmath)).results[0]
+        return self.builder.insert(op_cls(lhs, rhs)).results[0]
+
+    def lower_intrinsic(self, expr: ast.IntrinsicCall) -> SSAValue:
+        name = expr.name
+        args = [self.lower_expr(a) for a in expr.args]
+        if name == "mod":
+            lhs, rhs = self._promote(args[0], args[1])
+            if isinstance(lhs.type, FloatType):
+                raise LoweringError("real mod is not supported", expr.line)
+            return self.builder.insert(arith.RemSI(lhs, rhs)).results[0]
+        if name in ("min", "max"):
+            result = args[0]
+            for other in args[1:]:
+                lhs, rhs = self._promote(result, other)
+                if isinstance(lhs.type, FloatType):
+                    cls = arith.MinF if name == "min" else arith.MaxF
+                else:
+                    cls = arith.MinSI if name == "min" else arith.MaxSI
+                result = self.builder.insert(cls(lhs, rhs)).results[0]
+            return result
+        if name == "abs":
+            value = args[0]
+            if isinstance(value.type, FloatType):
+                return self.builder.insert(math_d.Absf(value)).results[0]
+            zero = self.builder.insert(
+                arith.Constant.int(0, value.type.width)
+            ).results[0]
+            neg = self.builder.insert(arith.SubI(zero, value)).results[0]
+            is_neg = self.builder.insert(arith.CmpI("slt", value, zero)).results[0]
+            return self.builder.insert(arith.Select(is_neg, neg, value)).results[0]
+        if name in ("sqrt", "exp", "log", "sin", "cos"):
+            value = args[0]
+            if not isinstance(value.type, FloatType):
+                value = self.convert(value, f32)
+            cls = {
+                "sqrt": math_d.Sqrt, "exp": math_d.Exp, "log": math_d.Log,
+                "sin": math_d.Sin, "cos": math_d.Cos,
+            }[name]
+            return self.builder.insert(cls(value)).results[0]
+        if name in ("real", "float"):
+            return self.convert(args[0], f32)
+        if name == "dble":
+            return self.convert(args[0], f64)
+        if name == "int":
+            return self.convert(args[0], i32)
+        if name == "size":
+            arg_expr = expr.args[0]
+            if not isinstance(arg_expr, ast.VarRef):
+                raise LoweringError("size() requires an array variable", expr.line)
+            sym = self.symbol(arg_expr.name, expr.line)
+            if not sym.is_array:
+                raise LoweringError("size() of a scalar", expr.line)
+            if sym.rank != 1:
+                raise LoweringError("size() supports rank-1 arrays", expr.line)
+            # The extent expression is re-evaluated (constant or dummy var).
+            saved = self.scope.overrides
+            extent_value = self.lower_expr(sym.dims[0])
+            self.scope.overrides = saved
+            return self.convert(extent_value, i32)
+        raise LoweringError(f"unsupported intrinsic {name!r}", expr.line)
+
+
+# -- free helpers ----------------------------------------------------------------------
+
+
+def _collect_usage(
+    stmts: Sequence[ast.Stmt],
+) -> tuple[set[str], set[str], set[str]]:
+    """(names read, names written, do-variables) referenced in a body."""
+    read: set[str] = set()
+    written: set[str] = set()
+    loop_vars: set[str] = set()
+
+    def visit_expr(expr: ast.Expr) -> None:
+        if isinstance(expr, ast.VarRef):
+            read.add(expr.name)
+        elif isinstance(expr, ast.ArrayRef):
+            read.add(expr.name)
+            for i in expr.indices:
+                visit_expr(i)
+        elif isinstance(expr, ast.BinOp):
+            visit_expr(expr.lhs)
+            visit_expr(expr.rhs)
+        elif isinstance(expr, ast.UnOp):
+            visit_expr(expr.operand)
+        elif isinstance(expr, ast.IntrinsicCall):
+            for a in expr.args:
+                visit_expr(a)
+
+    def visit_stmt(stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            visit_expr(stmt.value)
+            if isinstance(stmt.target, ast.VarRef):
+                written.add(stmt.target.name)
+            elif isinstance(stmt.target, ast.ArrayRef):
+                written.add(stmt.target.name)
+                for i in stmt.target.indices:
+                    visit_expr(i)
+        elif isinstance(stmt, ast.DoLoop):
+            loop_vars.add(stmt.var)
+            visit_expr(stmt.start)
+            visit_expr(stmt.stop)
+            if stmt.step is not None:
+                visit_expr(stmt.step)
+            for s in stmt.body:
+                visit_stmt(s)
+        elif isinstance(stmt, ast.IfBlock):
+            for c in stmt.conditions:
+                visit_expr(c)
+            for body in stmt.bodies:
+                for s in body:
+                    visit_stmt(s)
+            for s in stmt.else_body:
+                visit_stmt(s)
+        elif isinstance(stmt, ast.CallStmt):
+            for a in stmt.args:
+                visit_expr(a)
+        elif isinstance(stmt, ast.PrintStmt):
+            for item in stmt.items:
+                visit_expr(item)
+        elif isinstance(stmt, (ast.OmpTarget, ast.OmpTargetData)):
+            for s in stmt.body:
+                visit_stmt(s)
+
+    for stmt in stmts:
+        visit_stmt(stmt)
+    read -= loop_vars  # loop variables are private
+    return read, written, loop_vars
+
+
+def lower_program(program: ProgramInfo) -> builtin.ModuleOp:
+    """Lower all units of an analyzed program into a FIR+omp module."""
+    module = builtin.ModuleOp()
+    for info in program.units.values():
+        module.body.add_op(UnitLowering(info, program).lower())
+    return module

@@ -1,0 +1,616 @@
+"""Recursive-descent parser for the Fortran subset.
+
+Produces the AST of :mod:`repro.frontend.ast_nodes`.  OpenMP structured
+constructs (``target data``, ``target`` regions, combined
+``target parallel do``) consume statements until their matching ``end``
+directive and nest them as the construct's body.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.frontend.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    CallStmt,
+    CompilationUnit,
+    CycleStmt,
+    Declaration,
+    DoLoop,
+    ExitStmt,
+    Expr,
+    IfBlock,
+    IntLit,
+    LogicalLit,
+    OmpClauses,
+    OmpTarget,
+    OmpTargetData,
+    OmpTargetEnterData,
+    OmpTargetExitData,
+    OmpTargetUpdate,
+    PrintStmt,
+    RealLit,
+    ReturnStmt,
+    StringLit,
+    SubprogramUnit,
+    TypeSpec,
+    UnOp,
+    VarRef,
+)
+from repro.frontend.directives import Directive, parse_directive
+from repro.frontend.lexer import FortranSyntaxError, Token, TokenKind, tokenize
+
+_LOGICAL_BINOPS = {
+    ".and.": ".and.", ".or.": ".or.",
+    ".lt.": "<", ".le.": "<=", ".gt.": ">", ".ge.": ">=",
+    ".eq.": "==", ".ne.": "/=",
+}
+
+#: a host-parallel-do marker used internally (bare ``!$omp parallel do``)
+HOST_PARALLEL = "host parallel do"
+
+
+class Parser:
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.index = 0
+
+    # -- token plumbing ---------------------------------------------------------
+
+    @property
+    def tok(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tok
+        if token.kind != TokenKind.EOF:
+            self.index += 1
+        return token
+
+    def at(self, text: str) -> bool:
+        return (
+            self.tok.kind in (TokenKind.IDENT, TokenKind.OP)
+            and self.tok.text == text
+        )
+
+    def accept(self, text: str) -> bool:
+        if self.at(text):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        if not self.at(text):
+            raise FortranSyntaxError(
+                f"expected {text!r}, found {self.tok.text!r}", self.tok.line
+            )
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        if self.tok.kind != TokenKind.IDENT:
+            raise FortranSyntaxError(
+                f"expected identifier, found {self.tok.text!r}", self.tok.line
+            )
+        return self.advance()
+
+    def skip_newlines(self) -> None:
+        while self.tok.kind == TokenKind.NEWLINE:
+            self.advance()
+
+    def expect_newline(self) -> None:
+        if self.tok.kind not in (TokenKind.NEWLINE, TokenKind.EOF):
+            raise FortranSyntaxError(
+                f"unexpected token at end of statement: {self.tok.text!r}",
+                self.tok.line,
+            )
+        self.skip_newlines()
+
+    # -- compilation unit ------------------------------------------------------------
+
+    def parse(self) -> CompilationUnit:
+        unit = CompilationUnit()
+        self.skip_newlines()
+        while self.tok.kind != TokenKind.EOF:
+            unit.units.append(self.parse_subprogram())
+            self.skip_newlines()
+        if not unit.units:
+            raise FortranSyntaxError("empty source file")
+        return unit
+
+    def parse_subprogram(self) -> SubprogramUnit:
+        line = self.tok.line
+        if self.accept("program"):
+            kind = "program"
+            name = self.expect_ident().text
+            dummy_args: list[str] = []
+        elif self.accept("subroutine"):
+            kind = "subroutine"
+            name = self.expect_ident().text
+            dummy_args = []
+            if self.accept("("):
+                while not self.at(")"):
+                    dummy_args.append(self.expect_ident().text)
+                    if not self.accept(","):
+                        break
+                self.expect(")")
+        else:
+            raise FortranSyntaxError(
+                f"expected 'program' or 'subroutine', found {self.tok.text!r}",
+                self.tok.line,
+            )
+        self.expect_newline()
+        unit = SubprogramUnit(kind=kind, name=name, dummy_args=dummy_args, line=line)
+
+        # Specification part.
+        while True:
+            self.skip_newlines()
+            if self.accept("use"):
+                self.expect_ident()
+                self.expect_newline()
+                continue
+            if self.accept("implicit"):
+                self.expect("none")
+                self.expect_newline()
+                continue
+            if self.tok.kind == TokenKind.IDENT and self.tok.text in (
+                "integer", "real", "double", "logical",
+            ):
+                unit.decls.extend(self.parse_declaration())
+                continue
+            break
+
+        # Execution part.
+        unit.body = self.parse_statements(end_keywords=("end",))
+        self.expect("end")
+        if self.tok.kind == TokenKind.IDENT and self.tok.text in (
+            "program", "subroutine",
+        ):
+            self.advance()
+            if self.tok.kind == TokenKind.IDENT:
+                self.advance()  # optional repeated unit name
+        self.expect_newline()
+        return unit
+
+    # -- declarations -----------------------------------------------------------------
+
+    def parse_declaration(self) -> list[Declaration]:
+        line = self.tok.line
+        type_spec = self.parse_type_spec()
+        intent: Optional[str] = None
+        is_parameter = False
+        dimension: Optional[list[Expr]] = None
+        while self.accept(","):
+            attr = self.expect_ident().text
+            if attr == "intent":
+                self.expect("(")
+                word = self.expect_ident().text
+                if word == "in" and self.accept("out"):
+                    word = "inout"
+                if word not in ("in", "out", "inout"):
+                    raise FortranSyntaxError(f"bad intent {word!r}", line)
+                intent = word
+                self.expect(")")
+            elif attr == "parameter":
+                is_parameter = True
+            elif attr == "dimension":
+                self.expect("(")
+                dimension = self.parse_dim_list()
+                self.expect(")")
+            else:
+                raise FortranSyntaxError(f"unsupported attribute {attr!r}", line)
+        self.expect("::")
+        decls: list[Declaration] = []
+        while True:
+            name = self.expect_ident().text
+            dims: list[Expr] = list(dimension or [])
+            if self.accept("("):
+                dims = self.parse_dim_list()
+                self.expect(")")
+            init: Optional[Expr] = None
+            if self.accept("="):
+                init = self.parse_expr()
+            decls.append(
+                Declaration(
+                    line=line,
+                    type=type_spec,
+                    name=name,
+                    dims=dims,
+                    intent=intent,
+                    is_parameter=is_parameter,
+                    init=init,
+                )
+            )
+            if not self.accept(","):
+                break
+        self.expect_newline()
+        return decls
+
+    def parse_type_spec(self) -> TypeSpec:
+        word = self.expect_ident().text
+        if word == "double":
+            self.expect("precision")
+            return TypeSpec("real", 8)
+        kind = 4
+        if word in ("integer", "real", "logical") and self.accept("("):
+            if self.accept("kind"):
+                self.expect("=")
+            kind_tok = self.advance()
+            if kind_tok.kind != TokenKind.INT:
+                raise FortranSyntaxError(
+                    f"bad kind {kind_tok.text!r}", kind_tok.line
+                )
+            kind = int(kind_tok.text)
+            self.expect(")")
+        if word not in ("integer", "real", "logical"):
+            raise FortranSyntaxError(f"unsupported type {word!r}")
+        return TypeSpec(word, kind)
+
+    def parse_dim_list(self) -> list[Expr]:
+        dims = [self.parse_expr()]
+        while self.accept(","):
+            dims.append(self.parse_expr())
+        return dims
+
+    # -- statements ---------------------------------------------------------------------
+
+    def parse_statements(self, end_keywords: tuple[str, ...]) -> list:
+        statements = []
+        while True:
+            self.skip_newlines()
+            if self.tok.kind == TokenKind.EOF:
+                break
+            if self.tok.kind == TokenKind.IDENT and self.tok.text in end_keywords:
+                break
+            if self.tok.kind == TokenKind.OMP_DIRECTIVE:
+                directive = parse_directive(self.tok.text, self.tok.line)
+                if directive.is_end:
+                    break  # structured construct close: caller consumes
+                statements.append(self.parse_omp_construct())
+                continue
+            statements.append(self.parse_statement())
+        return statements
+
+    def parse_statement(self):
+        tok = self.tok
+        if tok.kind != TokenKind.IDENT:
+            raise FortranSyntaxError(
+                f"unexpected token {tok.text!r}", tok.line
+            )
+        if tok.text == "do":
+            return self.parse_do()
+        if tok.text == "if":
+            return self.parse_if()
+        if tok.text == "call":
+            return self.parse_call()
+        if tok.text == "print":
+            return self.parse_print()
+        if tok.text == "return":
+            self.advance()
+            self.expect_newline()
+            return ReturnStmt(line=tok.line)
+        if tok.text == "exit":
+            self.advance()
+            self.expect_newline()
+            return ExitStmt(line=tok.line)
+        if tok.text == "cycle":
+            self.advance()
+            self.expect_newline()
+            return CycleStmt(line=tok.line)
+        return self.parse_assignment()
+
+    def parse_do(self) -> DoLoop:
+        line = self.expect("do").line
+        var = self.expect_ident().text
+        self.expect("=")
+        start = self.parse_expr()
+        self.expect(",")
+        stop = self.parse_expr()
+        step: Optional[Expr] = None
+        if self.accept(","):
+            step = self.parse_expr()
+        self.expect_newline()
+        body = self.parse_statements(end_keywords=("end", "enddo"))
+        if self.accept("enddo"):
+            pass
+        else:
+            self.expect("end")
+            self.expect("do")
+        self.expect_newline()
+        return DoLoop(line=line, var=var, start=start, stop=stop, step=step, body=body)
+
+    def parse_if(self) -> IfBlock:
+        line = self.expect("if").line
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        if not self.accept("then"):
+            # one-line if
+            stmt = self.parse_statement()
+            return IfBlock(line=line, conditions=[cond], bodies=[[stmt]])
+        self.expect_newline()
+        block = IfBlock(line=line, conditions=[cond], bodies=[])
+        block.bodies.append(
+            self.parse_statements(end_keywords=("end", "endif", "else", "elseif"))
+        )
+        while True:
+            is_elseif = False
+            if self.at("elseif"):
+                self.advance()
+                is_elseif = True
+            elif self.at("else") and self.tokens[self.index + 1].text == "if":
+                self.advance()
+                self.advance()
+                is_elseif = True
+            if is_elseif:
+                self.expect("(")
+                block.conditions.append(self.parse_expr())
+                self.expect(")")
+                self.expect("then")
+                self.expect_newline()
+                block.bodies.append(
+                    self.parse_statements(
+                        end_keywords=("end", "endif", "else", "elseif")
+                    )
+                )
+                continue
+            if self.accept("else"):
+                self.expect_newline()
+                block.else_body = self.parse_statements(
+                    end_keywords=("end", "endif")
+                )
+            break
+        if self.accept("endif"):
+            pass
+        else:
+            self.expect("end")
+            self.expect("if")
+        self.expect_newline()
+        return block
+
+    def parse_call(self) -> CallStmt:
+        line = self.expect("call").line
+        name = self.expect_ident().text
+        args: list[Expr] = []
+        if self.accept("("):
+            while not self.at(")"):
+                args.append(self.parse_expr())
+                if not self.accept(","):
+                    break
+            self.expect(")")
+        self.expect_newline()
+        return CallStmt(line=line, name=name, args=args)
+
+    def parse_print(self) -> PrintStmt:
+        line = self.expect("print").line
+        self.expect("*")
+        items: list[Expr] = []
+        while self.accept(","):
+            items.append(self.parse_expr())
+        self.expect_newline()
+        return PrintStmt(line=line, items=items)
+
+    def parse_assignment(self) -> Assign:
+        line = self.tok.line
+        name = self.expect_ident().text
+        target: Expr
+        if self.accept("("):
+            indices = [self.parse_expr()]
+            while self.accept(","):
+                indices.append(self.parse_expr())
+            self.expect(")")
+            target = ArrayRef(line=line, name=name, indices=indices)
+        else:
+            target = VarRef(line=line, name=name)
+        self.expect("=")
+        value = self.parse_expr()
+        self.expect_newline()
+        return Assign(line=line, target=target, value=value)
+
+    # -- OpenMP constructs ------------------------------------------------------------------
+
+    def parse_omp_construct(self):
+        tok = self.advance()  # the OMP_DIRECTIVE token
+        directive = parse_directive(tok.text, tok.line)
+        self.skip_newlines()
+        if directive.construct == "target enter data":
+            return OmpTargetEnterData(line=tok.line, clauses=directive.clauses)
+        if directive.construct == "target exit data":
+            return OmpTargetExitData(line=tok.line, clauses=directive.clauses)
+        if directive.construct == "target update":
+            return OmpTargetUpdate(
+                line=tok.line,
+                to_vars=directive.to_vars,
+                from_vars=directive.from_vars,
+            )
+        if directive.construct == "target data":
+            body = self.parse_statements(end_keywords=("end",))
+            self.consume_end_directive("target data", tok.line)
+            return OmpTargetData(line=tok.line, clauses=directive.clauses, body=body)
+        if directive.construct == "target":
+            if directive.parallel_do:
+                # Combined construct: body is exactly one do loop.
+                loop = self.parse_do()
+                self.maybe_consume_end_directive("target")
+                return OmpTarget(
+                    line=tok.line,
+                    clauses=directive.clauses,
+                    parallel_do=True,
+                    simd=directive.simd,
+                    body=[loop],
+                )
+            body = self.parse_statements(end_keywords=("end",))
+            self.consume_end_directive("target", tok.line)
+            return OmpTarget(
+                line=tok.line,
+                clauses=directive.clauses,
+                parallel_do=False,
+                simd=directive.simd,
+                body=body,
+            )
+        if directive.construct == "parallel do":
+            # Host construct: annotate the following loop; we lower it as a
+            # target-less parallel loop (runs on CPU path).
+            loop = self.parse_do()
+            self.maybe_consume_end_directive("parallel do")
+            return OmpTarget(
+                line=tok.line,
+                clauses=directive.clauses,
+                parallel_do=True,
+                simd=directive.simd,
+                is_target=False,
+                body=[loop],
+            )
+        raise FortranSyntaxError(
+            f"unhandled OpenMP construct {directive.construct!r}", tok.line
+        )
+
+    def consume_end_directive(self, construct: str, open_line: int) -> None:
+        self.skip_newlines()
+        if self.tok.kind != TokenKind.OMP_DIRECTIVE:
+            raise FortranSyntaxError(
+                f"missing '!$omp end {construct}' for directive at line "
+                f"{open_line}",
+                self.tok.line,
+            )
+        directive = parse_directive(self.tok.text, self.tok.line)
+        if not directive.is_end or directive.construct != construct:
+            raise FortranSyntaxError(
+                f"expected '!$omp end {construct}', found {self.tok.text!r}",
+                self.tok.line,
+            )
+        self.advance()
+        self.expect_newline()
+
+    def maybe_consume_end_directive(self, construct: str) -> None:
+        self.skip_newlines()
+        if self.tok.kind != TokenKind.OMP_DIRECTIVE:
+            return
+        directive = parse_directive(self.tok.text, self.tok.line)
+        if directive.is_end and directive.construct == construct:
+            self.advance()
+            self.expect_newline()
+
+    # -- expressions ----------------------------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> Expr:
+        lhs = self.parse_and()
+        while self.tok.kind == TokenKind.LOGICAL_OP and self.tok.text == ".or.":
+            line = self.advance().line
+            lhs = BinOp(line=line, op=".or.", lhs=lhs, rhs=self.parse_and())
+        return lhs
+
+    def parse_and(self) -> Expr:
+        lhs = self.parse_not()
+        while self.tok.kind == TokenKind.LOGICAL_OP and self.tok.text == ".and.":
+            line = self.advance().line
+            lhs = BinOp(line=line, op=".and.", lhs=lhs, rhs=self.parse_not())
+        return lhs
+
+    def parse_not(self) -> Expr:
+        if self.tok.kind == TokenKind.LOGICAL_OP and self.tok.text == ".not.":
+            line = self.advance().line
+            return UnOp(line=line, op=".not.", operand=self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Expr:
+        lhs = self.parse_additive()
+        ops = {"==", "/=", "<", "<=", ">", ">="}
+        while True:
+            op: Optional[str] = None
+            if self.tok.kind == TokenKind.OP and self.tok.text in ops:
+                op = self.advance().text
+            elif (
+                self.tok.kind == TokenKind.LOGICAL_OP
+                and self.tok.text in _LOGICAL_BINOPS
+                and self.tok.text not in (".and.", ".or.")
+            ):
+                op = _LOGICAL_BINOPS[self.advance().text]
+            if op is None:
+                return lhs
+            lhs = BinOp(op=op, lhs=lhs, rhs=self.parse_additive())
+
+    def parse_additive(self) -> Expr:
+        if self.at("-"):
+            line = self.advance().line
+            lhs: Expr = UnOp(line=line, op="-", operand=self.parse_multiplicative())
+        elif self.at("+"):
+            self.advance()
+            lhs = self.parse_multiplicative()
+        else:
+            lhs = self.parse_multiplicative()
+        while self.tok.kind == TokenKind.OP and self.tok.text in ("+", "-"):
+            op = self.advance().text
+            lhs = BinOp(op=op, lhs=lhs, rhs=self.parse_multiplicative())
+        return lhs
+
+    def parse_multiplicative(self) -> Expr:
+        lhs = self.parse_power()
+        while self.tok.kind == TokenKind.OP and self.tok.text in ("*", "/"):
+            op = self.advance().text
+            lhs = BinOp(op=op, lhs=lhs, rhs=self.parse_power())
+        return lhs
+
+    def parse_power(self) -> Expr:
+        base = self.parse_primary()
+        if self.tok.kind == TokenKind.OP and self.tok.text == "**":
+            self.advance()
+            # right-associative
+            return BinOp(op="**", lhs=base, rhs=self.parse_power())
+        return base
+
+    def parse_primary(self) -> Expr:
+        tok = self.tok
+        if tok.kind == TokenKind.INT:
+            self.advance()
+            return IntLit(line=tok.line, value=int(tok.text.split("_")[0]))
+        if tok.kind == TokenKind.REAL:
+            self.advance()
+            text = tok.text.lower()
+            kind = 4
+            if "_" in text:
+                base, kind_text = text.rsplit("_", 1)
+                kind = int(kind_text)
+                text = base
+            if "d" in text:
+                kind = 8
+                text = text.replace("d", "e")
+            return RealLit(line=tok.line, value=float(text), kind=kind)
+        if tok.kind == TokenKind.STRING:
+            self.advance()
+            return StringLit(line=tok.line, value=tok.text[1:-1])
+        if tok.kind == TokenKind.LOGICAL_OP and tok.text in (".true.", ".false."):
+            self.advance()
+            return LogicalLit(line=tok.line, value=tok.text == ".true.")
+        if tok.kind == TokenKind.OP and tok.text == "(":
+            self.advance()
+            expr = self.parse_expr()
+            self.expect(")")
+            return expr
+        if tok.kind == TokenKind.OP and tok.text == "-":
+            self.advance()
+            return UnOp(line=tok.line, op="-", operand=self.parse_primary())
+        if tok.kind == TokenKind.IDENT:
+            self.advance()
+            if self.at("("):
+                self.advance()
+                indices: list[Expr] = []
+                while not self.at(")"):
+                    indices.append(self.parse_expr())
+                    if not self.accept(","):
+                        break
+                self.expect(")")
+                return ArrayRef(line=tok.line, name=tok.text, indices=indices)
+            return VarRef(line=tok.line, name=tok.text)
+        raise FortranSyntaxError(
+            f"unexpected token in expression: {tok.text!r}", tok.line
+        )
+
+
+def parse_source(source: str) -> CompilationUnit:
+    """Parse Fortran source text into an AST."""
+    return Parser(source).parse()

@@ -1,0 +1,254 @@
+"""Attribute hierarchy for the IR.
+
+Attributes are immutable, hashable compile-time values attached to
+operations (and, via :class:`~repro.ir.types.TypeAttribute`, the types of
+SSA values).  The design mirrors MLIR/xDSL: every attribute knows how to
+print itself in MLIR-ish textual syntax, and equality is structural.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ir.types import TypeAttribute
+
+
+class Attribute:
+    """Base class for all attributes.
+
+    Subclasses must be immutable value objects: ``__eq__``/``__hash__``
+    are structural (dataclasses with ``frozen=True`` get this for free).
+    """
+
+    #: MLIR-style mnemonic used by the printer/parser, e.g. ``"index"``.
+    name: str = "attribute"
+
+    def print(self) -> str:
+        """Return the textual form of this attribute."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement print()"
+        )
+
+    def __str__(self) -> str:
+        return self.print()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.print()})"
+
+
+@dataclass(frozen=True)
+class UnitAttr(Attribute):
+    """Presence-only attribute (MLIR ``unit``)."""
+
+    name = "unit"
+
+    def print(self) -> str:
+        return "unit"
+
+
+@dataclass(frozen=True)
+class BoolAttr(Attribute):
+    """Boolean attribute, printed ``true``/``false``."""
+
+    name = "bool"
+    value: bool = False
+
+    def print(self) -> str:
+        return "true" if self.value else "false"
+
+
+@dataclass(frozen=True)
+class IntegerAttr(Attribute):
+    """An integer with an associated integer/index type.
+
+    Printed as ``5 : i32``.  ``width`` of 0 denotes ``index``.
+    """
+
+    name = "integer"
+    value: int = 0
+    width: int = 64
+
+    def print(self) -> str:
+        ty = "index" if self.width == 0 else f"i{self.width}"
+        return f"{self.value} : {ty}"
+
+    @staticmethod
+    def index(value: int) -> "IntegerAttr":
+        return IntegerAttr(value, 0)
+
+    @staticmethod
+    def i1(value: bool | int) -> "IntegerAttr":
+        return IntegerAttr(int(bool(value)), 1)
+
+    @staticmethod
+    def i32(value: int) -> "IntegerAttr":
+        return IntegerAttr(value, 32)
+
+    @staticmethod
+    def i64(value: int) -> "IntegerAttr":
+        return IntegerAttr(value, 64)
+
+
+@dataclass(frozen=True)
+class FloatAttr(Attribute):
+    """A float with a width (32 or 64). Printed ``1.0 : f32``."""
+
+    name = "float"
+    value: float = 0.0
+    width: int = 64
+
+    def print(self) -> str:
+        return f"{self.value!r} : f{self.width}"
+
+
+@dataclass(frozen=True)
+class StringAttr(Attribute):
+    """A quoted string attribute."""
+
+    name = "string"
+    value: str = ""
+
+    def print(self) -> str:
+        escaped = self.value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+
+
+@dataclass(frozen=True)
+class SymbolRefAttr(Attribute):
+    """Reference to a symbol, printed ``@name``."""
+
+    name = "symbol_ref"
+    symbol: str = ""
+
+    def print(self) -> str:
+        return f"@{self.symbol}"
+
+
+@dataclass(frozen=True)
+class ArrayAttr(Attribute):
+    """Ordered list of attributes, printed ``[a, b, c]``."""
+
+    name = "array"
+    elements: tuple[Attribute, ...] = ()
+
+    def __init__(self, elements: Sequence[Attribute] = ()):
+        object.__setattr__(self, "elements", tuple(elements))
+
+    def print(self) -> str:
+        return "[" + ", ".join(e.print() for e in self.elements) + "]"
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self.elements)
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def __getitem__(self, idx: int) -> Attribute:
+        return self.elements[idx]
+
+
+@dataclass(frozen=True)
+class DenseArrayAttr(Attribute):
+    """Dense array of ints, printed ``array<i64: 1, 2, 3>``."""
+
+    name = "dense_array"
+    values: tuple[int, ...] = ()
+    element_width: int = 64
+
+    def __init__(self, values: Sequence[int] = (), element_width: int = 64):
+        object.__setattr__(self, "values", tuple(int(v) for v in values))
+        object.__setattr__(self, "element_width", element_width)
+
+    def print(self) -> str:
+        body = ", ".join(str(v) for v in self.values)
+        sep = ": " if body else ""
+        return f"array<i{self.element_width}{sep}{body}>"
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+class DictionaryAttr(Attribute):
+    """String-keyed dictionary of attributes, printed ``{a = ..., b = ...}``.
+
+    Stored as a sorted tuple of pairs so the attribute remains hashable and
+    equality is order-insensitive.
+    """
+
+    name = "dictionary"
+
+    __slots__ = ("entries",)
+
+    def __init__(self, entries: dict[str, Attribute] | Sequence[tuple[str, Attribute]] = ()):
+        if isinstance(entries, dict):
+            items = tuple(sorted(entries.items()))
+        else:
+            items = tuple(sorted(entries))
+        self.entries: tuple[tuple[str, Attribute], ...] = items
+
+    def print(self) -> str:
+        inner = ", ".join(f"{k} = {v.print()}" for k, v in self.entries)
+        return "{" + inner + "}"
+
+    def as_dict(self) -> dict[str, Attribute]:
+        return dict(self.entries)
+
+    def __getitem__(self, key: str) -> Attribute:
+        for k, v in self.entries:
+            if k == key:
+                return v
+        raise KeyError(key)
+
+    def __contains__(self, key: str) -> bool:
+        return any(k == key for k, _ in self.entries)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DictionaryAttr) and self.entries == other.entries
+
+    def __hash__(self) -> int:
+        return hash(self.entries)
+
+
+@dataclass(frozen=True)
+class TypeAttr(Attribute):
+    """Wraps a type so it can be used as an attribute value."""
+
+    name = "type"
+    type: "TypeAttribute" = None  # type: ignore[assignment]
+
+    def print(self) -> str:
+        return self.type.print()
+
+
+def attr_from_python(value: object) -> Attribute:
+    """Best-effort conversion from a plain Python value to an attribute.
+
+    Convenience for builders and tests; integers become ``i64`` attributes,
+    floats ``f64``, and sequences become :class:`ArrayAttr`.
+    """
+    from repro.ir.types import TypeAttribute
+
+    if isinstance(value, TypeAttribute):
+        return TypeAttr(value)
+    if isinstance(value, Attribute):
+        return value
+    if isinstance(value, bool):
+        return BoolAttr(value)
+    if isinstance(value, int):
+        return IntegerAttr.i64(value)
+    if isinstance(value, float):
+        return FloatAttr(value, 64)
+    if isinstance(value, str):
+        return StringAttr(value)
+    if isinstance(value, TypeAttribute):
+        return TypeAttr(value)
+    if isinstance(value, dict):
+        return DictionaryAttr({k: attr_from_python(v) for k, v in value.items()})
+    if isinstance(value, (list, tuple)):
+        return ArrayAttr([attr_from_python(v) for v in value])
+    raise TypeError(f"cannot convert {value!r} to an Attribute")

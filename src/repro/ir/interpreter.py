@@ -1,0 +1,152 @@
+"""Reference IR interpreter.
+
+Executes modules functionally: memrefs are NumPy arrays, scalars are Python
+numbers.  Dialect modules register implementations with the :func:`impl`
+decorator; the runtime package adds handlers for ``device`` ops that talk
+to the simulated board.
+
+The interpreter is the ground truth for *correctness* — performance numbers
+come from the analytic FPGA/CPU models, not from wall-clock interpretation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.ir.core import Block, IRError, Operation, SSAValue
+
+
+class InterpreterError(IRError):
+    """Raised when execution goes wrong (missing impl, bad values...)."""
+
+
+@dataclass
+class Returned:
+    """Signal: a function body executed ``func.return``."""
+
+    values: tuple[Any, ...]
+
+
+@dataclass
+class Yielded:
+    """Signal: a structured-control-flow region yielded values."""
+
+    values: tuple[Any, ...]
+
+
+#: An op implementation: ``(interp, op, env) -> None | Returned | Yielded``.
+#: Result values must be written into ``env`` by the implementation via
+#: :meth:`Interpreter.set_results`.
+OpImpl = Callable[["Interpreter", Operation, dict], Any]
+
+_GLOBAL_IMPLS: dict[str, OpImpl] = {}
+
+
+def impl(op_name: str) -> Callable[[OpImpl], OpImpl]:
+    """Register a global op implementation (decorator)."""
+
+    def register(fn: OpImpl) -> OpImpl:
+        _GLOBAL_IMPLS[op_name] = fn
+        return fn
+
+    return register
+
+
+class Interpreter:
+    """Executes a module. See module docstring."""
+
+    def __init__(
+        self,
+        module: Operation,
+        extra_impls: dict[str, OpImpl] | None = None,
+        max_steps: int = 500_000_000,
+    ):
+        self.module = module
+        self.impls: dict[str, OpImpl] = dict(_GLOBAL_IMPLS)
+        if extra_impls:
+            self.impls.update(extra_impls)
+        self.max_steps = max_steps
+        self.steps = 0
+        self._functions: dict[str, Operation] | None = None
+
+    # -- function lookup ---------------------------------------------------------
+
+    def functions(self) -> dict[str, Operation]:
+        if self._functions is None:
+            from repro.ir.attributes import StringAttr
+
+            self._functions = {}
+            for op in self.module.walk():
+                if op.name == "func.func":
+                    sym = op.attributes.get("sym_name")
+                    if isinstance(sym, StringAttr):
+                        self._functions[sym.value] = op
+        return self._functions
+
+    def get_function(self, name: str) -> Operation:
+        funcs = self.functions()
+        if name not in funcs:
+            raise InterpreterError(
+                f"no function named {name!r}; have {sorted(funcs)}"
+            )
+        return funcs[name]
+
+    # -- execution -----------------------------------------------------------------
+
+    def call(self, name: str, *args: Any) -> tuple[Any, ...]:
+        """Call a function by symbol name with Python/NumPy arguments."""
+        func = self.get_function(name)
+        body = func.regions[0].block
+        if len(args) != len(body.args):
+            raise InterpreterError(
+                f"function {name!r} expects {len(body.args)} arguments, "
+                f"got {len(args)}"
+            )
+        env: dict[SSAValue, Any] = {}
+        result = self.run_block(body, env, args)
+        if isinstance(result, Returned):
+            return result.values
+        return ()
+
+    def run_block(
+        self, block: Block, env: dict, args: Sequence[Any] = ()
+    ) -> Any:
+        """Execute a block with the given block-argument values."""
+        for block_arg, value in zip(block.args, args):
+            env[block_arg] = value
+        for op in block.ops:
+            signal = self.run_op(op, env)
+            if isinstance(signal, (Returned, Yielded)):
+                return signal
+        return None
+
+    def run_op(self, op: Operation, env: dict) -> Any:
+        self.steps += 1
+        if self.steps > self.max_steps:
+            raise InterpreterError("interpreter step limit exceeded")
+        handler = self.impls.get(op.name)
+        if handler is None:
+            raise InterpreterError(f"no interpreter impl for op {op.name!r}")
+        return handler(self, op, env)
+
+    # -- helpers for implementations --------------------------------------------------
+
+    def get(self, env: dict, value: SSAValue) -> Any:
+        if value not in env:
+            raise InterpreterError(
+                f"value of type {value.type.print()} has not been computed"
+            )
+        return env[value]
+
+    def operand_values(self, op: Operation, env: dict) -> list[Any]:
+        return [self.get(env, operand) for operand in op.operands]
+
+    def set_results(self, op: Operation, env: dict, values: Sequence[Any]) -> None:
+        if len(values) != len(op.results):
+            raise InterpreterError(
+                f"{op.name}: implementation produced {len(values)} values "
+                f"for {len(op.results)} results"
+            )
+        for result, value in zip(op.results, values):
+            env[result] = value

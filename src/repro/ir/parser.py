@@ -1,0 +1,508 @@
+"""Parser for the generic textual form produced by :mod:`repro.ir.printer`.
+
+Supports round-tripping every dialect in the project; ops whose name is not
+registered in the :class:`~repro.ir.core.Context` become
+:class:`~repro.ir.core.UnregisteredOp`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.ir.attributes import (
+    ArrayAttr,
+    Attribute,
+    BoolAttr,
+    DenseArrayAttr,
+    DictionaryAttr,
+    FloatAttr,
+    IntegerAttr,
+    StringAttr,
+    SymbolRefAttr,
+    TypeAttr,
+    UnitAttr,
+)
+from repro.ir.core import (
+    Block,
+    Context,
+    Operation,
+    Region,
+    SSAValue,
+    UnregisteredOp,
+    default_context,
+)
+from repro.ir.types import (
+    DYNAMIC,
+    FloatType,
+    FunctionType,
+    IndexType,
+    IntegerType,
+    MemRefType,
+    NoneType,
+    TypeAttribute,
+)
+
+
+class ParseError(Exception):
+    """Raised on malformed IR text."""
+
+    def __init__(self, message: str, position: int = -1, line: int = -1):
+        super().__init__(
+            message if line < 0 else f"line {line}: {message}"
+        )
+        self.position = position
+        self.line = line
+
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<ws>\s+|//[^\n]*)
+    | (?P<string>"(?:[^"\\]|\\.)*")
+    | (?P<percent>%[A-Za-z0-9_.\-]+(\#\d+)?)
+    | (?P<at>@[A-Za-z0-9_.\-$]+)
+    | (?P<caret>\^[A-Za-z0-9_]*)
+    | (?P<exclaim>![A-Za-z0-9_.]+)
+    | (?P<float>-?\d+\.\d*(e[+-]?\d+)?|-?\d+e[+-]?\d+)
+    | (?P<int>-?\d+)
+    | (?P<arrow>->)
+    | (?P<ident>[A-Za-z_][A-Za-z0-9_.$]*)
+    | (?P<punct>[(){}<>\[\],=:#?x])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass
+class Token:
+    kind: str
+    text: str
+    pos: int
+    line: int
+
+
+def tokenize(text: str) -> list[Token]:
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r}", pos, line)
+        kind = match.lastgroup or ""
+        value = match.group()
+        line += value.count("\n")
+        if kind != "ws":
+            tokens.append(Token(kind, value, pos, line))
+        pos = match.end()
+    tokens.append(Token("eof", "", pos, line))
+    return tokens
+
+
+#: Registry of dialect-specific opaque types, keyed by ``!dialect.name``.
+DIALECT_TYPES: dict[str, TypeAttribute] = {}
+
+
+def register_dialect_type(name: str, instance: TypeAttribute) -> None:
+    """Register an opaque dialect type for the parser (e.g.
+    ``!device.kernelhandle``)."""
+    DIALECT_TYPES[name] = instance
+
+
+class Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, text: str, context: Context | None = None):
+        self.tokens = tokenize(text)
+        self.index = 0
+        self.context = context or default_context()
+        self.value_map: dict[str, SSAValue] = {}
+        self._ensure_dialect_types()
+
+    @staticmethod
+    def _ensure_dialect_types() -> None:
+        if not DIALECT_TYPES:
+            # Populate opaque types from the dialect packages lazily.
+            from repro.dialects import register_parser_types
+
+            register_parser_types(register_dialect_type)
+
+    # -- token helpers -------------------------------------------------------
+
+    @property
+    def tok(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tok
+        self.index += 1
+        return token
+
+    def check(self, text: str) -> bool:
+        return self.tok.text == text
+
+    def accept(self, text: str) -> bool:
+        if self.check(text):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        if not self.check(text):
+            raise ParseError(
+                f"expected {text!r}, found {self.tok.text!r}",
+                self.tok.pos,
+                self.tok.line,
+            )
+        return self.advance()
+
+    def expect_kind(self, kind: str) -> Token:
+        if self.tok.kind != kind:
+            raise ParseError(
+                f"expected {kind}, found {self.tok.text!r}",
+                self.tok.pos,
+                self.tok.line,
+            )
+        return self.advance()
+
+    # -- entry ----------------------------------------------------------------
+
+    def parse_module(self) -> Operation:
+        op = self.parse_op()
+        if self.tok.kind != "eof":
+            raise ParseError(
+                f"trailing input: {self.tok.text!r}", self.tok.pos, self.tok.line
+            )
+        return op
+
+    # -- operations --------------------------------------------------------------
+
+    def parse_op(self) -> Operation:
+        result_names: list[str] = []
+        if self.tok.kind == "percent":
+            result_names.append(self.advance().text)
+            while self.accept(","):
+                result_names.append(self.expect_kind("percent").text)
+            self.expect("=")
+        name_token = self.expect_kind("string")
+        op_name = name_token.text[1:-1]
+
+        self.expect("(")
+        operand_names: list[str] = []
+        if not self.check(")"):
+            operand_names.append(self.expect_kind("percent").text)
+            while self.accept(","):
+                operand_names.append(self.expect_kind("percent").text)
+        self.expect(")")
+
+        attributes: dict[str, Attribute] = {}
+        if self.accept("<"):
+            self.expect("{")
+            if not self.check("}"):
+                while True:
+                    key, attr = self.parse_attr_entry()
+                    attributes[key] = attr
+                    if not self.accept(","):
+                        break
+            self.expect("}")
+            self.expect(">")
+
+        regions: list[Region] = []
+        if self.check("(") and self._peek_is_region():
+            self.expect("(")
+            regions.append(self.parse_region())
+            while self.accept(","):
+                regions.append(self.parse_region())
+            self.expect(")")
+
+        self.expect(":")
+        self.expect("(")
+        in_types: list[TypeAttribute] = []
+        if not self.check(")"):
+            in_types.append(self.parse_type())
+            while self.accept(","):
+                in_types.append(self.parse_type())
+        self.expect(")")
+        self.expect("->")
+        self.expect("(")
+        out_types: list[TypeAttribute] = []
+        if not self.check(")"):
+            out_types.append(self.parse_type())
+            while self.accept(","):
+                out_types.append(self.parse_type())
+        self.expect(")")
+
+        if len(out_types) != len(result_names):
+            raise ParseError(
+                f"op {op_name!r} declares {len(result_names)} results but "
+                f"signature has {len(out_types)}",
+                name_token.pos,
+                name_token.line,
+            )
+        operands = []
+        for operand_name in operand_names:
+            if operand_name not in self.value_map:
+                raise ParseError(
+                    f"use of undefined value {operand_name}",
+                    name_token.pos,
+                    name_token.line,
+                )
+            operands.append(self.value_map[operand_name])
+
+        op = self._build_op(op_name, operands, out_types, attributes, regions)
+        for result_name, result in zip(result_names, op.results):
+            self.value_map[result_name] = result
+            hint = result_name[1:]
+            if not hint.isdigit():
+                result.name_hint = hint
+        return op
+
+    def _peek_is_region(self) -> bool:
+        # Lookahead: "(" "{" means regions; "(" type/")" means signature —
+        # but the signature is always preceded by ":", so any "(" here that
+        # is followed by "{" is a region list.
+        return (
+            self.index + 1 < len(self.tokens)
+            and self.tokens[self.index + 1].text == "{"
+        )
+
+    def _build_op(
+        self,
+        op_name: str,
+        operands: list[SSAValue],
+        result_types: list[TypeAttribute],
+        attributes: dict[str, Attribute],
+        regions: list[Region],
+    ) -> Operation:
+        op_cls = self.context.get_op(op_name)
+        if op_cls is None:
+            return UnregisteredOp(
+                op_name,
+                operands=operands,
+                result_types=result_types,
+                attributes=attributes,
+                regions=regions,
+            )
+        op = object.__new__(op_cls)
+        Operation.__init__(
+            op,
+            operands=operands,
+            result_types=result_types,
+            attributes=attributes,
+            regions=regions,
+        )
+        return op
+
+    # -- regions and blocks ---------------------------------------------------------
+
+    def parse_region(self) -> Region:
+        self.expect("{")
+        region = Region()
+        # Entry block: may start with ops directly (no header) or with ^bb.
+        if not self.check("}") and self.tok.kind != "caret":
+            block = Block()
+            region.add_block(block)
+            while not self.check("}") and self.tok.kind != "caret":
+                block.add_op(self.parse_op())
+        while self.tok.kind == "caret":
+            region.add_block(self.parse_block())
+        self.expect("}")
+        return region
+
+    def parse_block(self) -> Block:
+        self.expect_kind("caret")
+        block = Block()
+        if self.accept("("):
+            while not self.check(")"):
+                value_name = self.expect_kind("percent").text
+                self.expect(":")
+                ty = self.parse_type()
+                arg = block.add_arg(ty)
+                hint = value_name[1:]
+                if not hint.isdigit():
+                    arg.name_hint = hint
+                self.value_map[value_name] = arg
+                if not self.accept(","):
+                    break
+            self.expect(")")
+        self.expect(":")
+        while not self.check("}") and self.tok.kind != "caret":
+            block.add_op(self.parse_op())
+        return block
+
+    # -- attributes ---------------------------------------------------------------
+
+    def parse_attr_entry(self) -> tuple[str, Attribute]:
+        key = self.expect_kind("ident").text
+        self.expect("=")
+        return key, self.parse_attribute()
+
+    def parse_attribute(self) -> Attribute:
+        tok = self.tok
+        if tok.kind == "string":
+            self.advance()
+            return StringAttr(self._unescape(tok.text[1:-1]))
+        if tok.kind == "at":
+            self.advance()
+            return SymbolRefAttr(tok.text[1:])
+        if tok.kind in ("int", "float"):
+            return self._parse_number_attr()
+        if tok.text == "true":
+            self.advance()
+            return BoolAttr(True)
+        if tok.text == "false":
+            self.advance()
+            return BoolAttr(False)
+        if tok.text == "unit":
+            self.advance()
+            return UnitAttr()
+        if tok.text == "[":
+            self.advance()
+            elements: list[Attribute] = []
+            if not self.check("]"):
+                elements.append(self.parse_attribute())
+                while self.accept(","):
+                    elements.append(self.parse_attribute())
+            self.expect("]")
+            return ArrayAttr(elements)
+        if tok.text == "{":
+            self.advance()
+            entries: dict[str, Attribute] = {}
+            if not self.check("}"):
+                while True:
+                    key, attr = self.parse_attr_entry()
+                    entries[key] = attr
+                    if not self.accept(","):
+                        break
+            self.expect("}")
+            return DictionaryAttr(entries)
+        if tok.text == "array":
+            return self._parse_dense_array()
+        # Otherwise: a type used in attribute position.
+        ty = self.parse_type()
+        return TypeAttr(ty)
+
+    def _parse_number_attr(self) -> Attribute:
+        tok = self.advance()
+        is_float = tok.kind == "float"
+        if self.accept(":"):
+            ty = self.parse_type()
+            if isinstance(ty, FloatType):
+                return FloatAttr(float(tok.text), ty.width)
+            if isinstance(ty, IndexType):
+                return IntegerAttr(int(tok.text), 0)
+            if isinstance(ty, IntegerType):
+                return IntegerAttr(int(tok.text), ty.width)
+            raise ParseError(
+                f"invalid numeric attribute type {ty.print()}", tok.pos, tok.line
+            )
+        if is_float:
+            return FloatAttr(float(tok.text), 64)
+        return IntegerAttr(int(tok.text), 64)
+
+    def _parse_dense_array(self) -> DenseArrayAttr:
+        self.expect("array")
+        self.expect("<")
+        elem = self.expect_kind("ident").text  # e.g. i64
+        width = int(elem[1:])
+        values: list[int] = []
+        if self.accept(":"):
+            values.append(int(self.expect_kind("int").text))
+            while self.accept(","):
+                values.append(int(self.expect_kind("int").text))
+        self.expect(">")
+        return DenseArrayAttr(values, width)
+
+    @staticmethod
+    def _unescape(text: str) -> str:
+        return text.replace('\\"', '"').replace("\\\\", "\\")
+
+    # -- types -----------------------------------------------------------------------
+
+    def parse_type(self) -> TypeAttribute:
+        tok = self.tok
+        if tok.kind == "exclaim":
+            self.advance()
+            name = tok.text
+            if name not in DIALECT_TYPES:
+                raise ParseError(f"unknown dialect type {name}", tok.pos, tok.line)
+            return DIALECT_TYPES[name]
+        if tok.text == "(":
+            return self._parse_function_type()
+        ident = self.expect_kind("ident").text
+        if ident == "index":
+            return IndexType()
+        if ident == "none":
+            return NoneType()
+        if re.fullmatch(r"i\d+", ident):
+            return IntegerType(int(ident[1:]))
+        if re.fullmatch(r"f(32|64)", ident):
+            return FloatType(int(ident[1:]))
+        if ident == "memref":
+            return self._parse_memref_type()
+        raise ParseError(f"unknown type {ident!r}", tok.pos, tok.line)
+
+    def _parse_function_type(self) -> FunctionType:
+        self.expect("(")
+        ins: list[TypeAttribute] = []
+        if not self.check(")"):
+            ins.append(self.parse_type())
+            while self.accept(","):
+                ins.append(self.parse_type())
+        self.expect(")")
+        self.expect("->")
+        outs: list[TypeAttribute] = []
+        if self.accept("("):
+            if not self.check(")"):
+                outs.append(self.parse_type())
+                while self.accept(","):
+                    outs.append(self.parse_type())
+            self.expect(")")
+        else:
+            outs.append(self.parse_type())
+        return FunctionType(ins, outs)
+
+    _MEMREF_SPEC_RE = re.compile(
+        r"^(?P<dims>((\?|\d+)x)*)(?P<elem>i\d+|f32|f64|index)$"
+    )
+
+    def _parse_memref_type(self) -> MemRefType:
+        # The shape spec ("100x50xf64") tokenizes irregularly because "x"
+        # glues onto neighbouring identifiers, so gather the raw token texts
+        # up to the closing ">" or the ", space" suffix and regex-match.
+        self.expect("<")
+        parts: list[str] = []
+        while self.tok.text not in (",", ">"):
+            parts.append(self.advance().text)
+        spec = "".join(parts)
+        match = self._MEMREF_SPEC_RE.match(spec)
+        if match is None:
+            raise ParseError(
+                f"invalid memref spec {spec!r}", self.tok.pos, self.tok.line
+            )
+        dims = match.group("dims")
+        shape = [
+            DYNAMIC if d == "?" else int(d)
+            for d in dims.split("x")
+            if d != ""
+        ]
+        elem_text = match.group("elem")
+        if elem_text == "index":
+            elem: TypeAttribute = IndexType()
+        elif elem_text.startswith("i"):
+            elem = IntegerType(int(elem_text[1:]))
+        else:
+            elem = FloatType(int(elem_text[1:]))
+        space = 0
+        if self.accept(","):
+            space_tok = self.expect_kind("int")
+            space = int(space_tok.text)
+            self.expect(":")
+            self.parse_type()  # the i32 annotation
+        self.expect(">")
+        return MemRefType(elem, shape, space)
+
+
+def parse_module(text: str, context: Context | None = None) -> Operation:
+    """Parse a textual module (or any single top-level op)."""
+    return Parser(text, context).parse_module()

@@ -1,0 +1,109 @@
+"""Pass management.
+
+A :class:`ModulePass` transforms a module in place; the
+:class:`PassManager` runs an ordered pipeline, optionally verifying between
+passes and recording IR snapshots (used by the Figure-2 pipeline-trace
+benchmark).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.ir.core import IRError, Operation
+from repro.ir.printer import print_op
+from repro.ir.verifier import verify
+
+
+class ModulePass:
+    """Base class for module-level transformations."""
+
+    #: Pipeline name, e.g. ``"lower-omp-mapped-data"``.
+    name: str = "unnamed-pass"
+
+    def apply(self, module: Operation) -> None:
+        raise NotImplementedError
+
+
+@dataclass
+class PassTrace:
+    """Record of one pass execution (for pipeline introspection)."""
+
+    pass_name: str
+    duration_s: float
+    ir_after: str | None = None
+
+
+@dataclass
+class PassManager:
+    """Runs a pipeline of passes over a module."""
+
+    passes: list[ModulePass] = field(default_factory=list)
+    verify_each: bool = True
+    capture_ir: bool = False
+    traces: list[PassTrace] = field(default_factory=list)
+
+    def add(self, *passes: ModulePass) -> "PassManager":
+        self.passes.extend(passes)
+        return self
+
+    def run(self, module: Operation) -> None:
+        if self.verify_each:
+            verify(module)
+        for p in self.passes:
+            start = time.perf_counter()
+            p.apply(module)
+            duration = time.perf_counter() - start
+            if self.verify_each:
+                try:
+                    verify(module)
+                except IRError as err:
+                    raise IRError(
+                        f"verification failed after pass '{p.name}': {err}"
+                    ) from err
+            self.traces.append(
+                PassTrace(
+                    p.name,
+                    duration,
+                    print_op(module) if self.capture_ir else None,
+                )
+            )
+
+    @property
+    def pass_names(self) -> list[str]:
+        return [p.name for p in self.passes]
+
+
+_PASS_REGISTRY: dict[str, Callable[[], ModulePass]] = {}
+
+
+def register_pass(factory: Callable[[], ModulePass]) -> Callable[[], ModulePass]:
+    """Register a pass factory under its ``name`` for pipeline-by-name
+    construction (decorator-friendly)."""
+    instance = factory()
+    _PASS_REGISTRY[instance.name] = factory
+    return factory
+
+
+def get_pass(name: str) -> ModulePass:
+    if name not in _PASS_REGISTRY:
+        raise KeyError(
+            f"unknown pass {name!r}; registered: {sorted(_PASS_REGISTRY)}"
+        )
+    return _PASS_REGISTRY[name]()
+
+
+def parse_pipeline(spec: str) -> PassManager:
+    """Build a pass manager from ``"pass-a,pass-b,pass-c"``."""
+    pm = PassManager()
+    for name in spec.split(","):
+        name = name.strip()
+        if name:
+            pm.add(get_pass(name))
+    return pm
+
+
+def registered_passes() -> list[str]:
+    return sorted(_PASS_REGISTRY)

@@ -1,0 +1,116 @@
+"""Textual IR printer (MLIR generic-form style).
+
+Prints operations as::
+
+    %0 = "arith.addf"(%a, %b) <{fastmath = "contract"}> : (f32, f32) -> f32
+
+matching the flavour used in the paper's listings.  The output of
+:class:`Printer` round-trips through :mod:`repro.ir.parser`.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.ir.core import Block, Operation, Region, SSAValue
+
+
+class Printer:
+    """Stateful printer assigning stable SSA names."""
+
+    def __init__(self, *, use_name_hints: bool = True):
+        self._names: dict[SSAValue, str] = {}
+        self._used_names: set[str] = set()
+        self._next_id = 0
+        self._use_name_hints = use_name_hints
+
+    # -- naming ----------------------------------------------------------------
+
+    def _fresh_name(self, value: SSAValue) -> str:
+        hint = value.name_hint if self._use_name_hints else None
+        if hint:
+            name = hint
+            counter = 0
+            while name in self._used_names:
+                counter += 1
+                name = f"{hint}_{counter}"
+        else:
+            name = str(self._next_id)
+            self._next_id += 1
+        self._used_names.add(name)
+        return name
+
+    def name_of(self, value: SSAValue) -> str:
+        if value not in self._names:
+            self._names[value] = self._fresh_name(value)
+        return f"%{self._names[value]}"
+
+    # -- entry points ------------------------------------------------------------
+
+    def print_op_to_string(self, op: Operation) -> str:
+        out = io.StringIO()
+        self._print_op(op, out, indent=0)
+        return out.getvalue()
+
+    def print_module(self, op: Operation) -> str:
+        return self.print_op_to_string(op)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _print_op(self, op: Operation, out: io.StringIO, indent: int) -> None:
+        pad = "  " * indent
+        out.write(pad)
+        if op.results:
+            names = ", ".join(self.name_of(r) for r in op.results)
+            out.write(f"{names} = ")
+        out.write(f'"{self._op_name(op)}"')
+        out.write("(")
+        out.write(", ".join(self.name_of(o) for o in op.operands))
+        out.write(")")
+        if op.attributes:
+            inner = ", ".join(
+                f"{key} = {attr.print()}"
+                for key, attr in sorted(op.attributes.items())
+            )
+            out.write(f" <{{{inner}}}>")
+        if op.regions:
+            out.write(" (")
+            for i, region in enumerate(op.regions):
+                if i:
+                    out.write(", ")
+                self._print_region(region, out, indent)
+            out.write(")")
+        in_types = ", ".join(o.type.print() for o in op.operands)
+        out_types = ", ".join(r.type.print() for r in op.results)
+        out.write(f" : ({in_types}) -> ({out_types})")
+        out.write("\n")
+
+    def _op_name(self, op: Operation) -> str:
+        from repro.ir.core import UnregisteredOp
+
+        if isinstance(op, UnregisteredOp):
+            return op.op_name
+        return op.name
+
+    def _print_region(self, region: Region, out: io.StringIO, indent: int) -> None:
+        out.write("{\n")
+        for i, block in enumerate(region.blocks):
+            self._print_block(block, out, indent + 1, header=(i > 0 or bool(block.args)))
+        out.write("  " * indent + "}")
+
+    def _print_block(
+        self, block: Block, out: io.StringIO, indent: int, header: bool
+    ) -> None:
+        if header:
+            pad = "  " * indent
+            args = ", ".join(
+                f"{self.name_of(a)}: {a.type.print()}" for a in block.args
+            )
+            out.write(f"{pad}^bb(" + args + "):\n")
+        for op in block.ops:
+            self._print_op(op, out, indent + (1 if header else 0))
+
+
+def print_op(op: Operation, *, use_name_hints: bool = True) -> str:
+    """Convenience one-shot printer."""
+    return Printer(use_name_hints=use_name_hints).print_op_to_string(op)

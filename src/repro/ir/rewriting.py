@@ -1,0 +1,161 @@
+"""Pattern rewriting infrastructure.
+
+:class:`RewritePattern` subclasses implement ``match_and_rewrite`` and are
+applied to a fixed point by :class:`GreedyPatternRewriter` — a simplified
+but faithful analogue of MLIR's greedy driver.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.ir.builder import Builder, InsertPoint
+from repro.ir.core import Block, IRError, Operation, Region, SSAValue
+
+
+class PatternRewriter:
+    """Mutation API handed to patterns; records whether anything changed."""
+
+    def __init__(self, current_op: Operation):
+        self.current_op = current_op
+        self.changed = False
+        self._builder = Builder(InsertPoint.before(current_op))
+
+    # -- insertion --------------------------------------------------------------
+
+    def insert_op_before_matched(self, *ops: Operation) -> None:
+        for op in ops:
+            self._builder.insert(op)
+        self.changed = bool(ops) or self.changed
+
+    def insert_op_after_matched(self, *ops: Operation) -> None:
+        anchor = self.current_op
+        for op in ops:
+            anchor.parent.insert_op_after(op, anchor)  # type: ignore[union-attr]
+            anchor = op
+        self.changed = bool(ops) or self.changed
+
+    def insert_op_at_end(self, block: Block, *ops: Operation) -> None:
+        for op in ops:
+            block.add_op(op)
+        self.changed = bool(ops) or self.changed
+
+    # -- replacement --------------------------------------------------------------
+
+    def replace_matched_op(
+        self,
+        new_ops: Operation | Sequence[Operation],
+        new_results: Sequence[SSAValue | None] | None = None,
+    ) -> None:
+        """Replace the matched op with ``new_ops``.
+
+        ``new_results`` defaults to the results of the last new op.  ``None``
+        entries mean the corresponding old result must be unused.
+        """
+        if isinstance(new_ops, Operation):
+            new_ops = [new_ops]
+        self.insert_op_before_matched(*new_ops)
+        if new_results is None:
+            new_results = list(new_ops[-1].results) if new_ops else []
+        if len(new_results) != len(self.current_op.results):
+            raise IRError(
+                f"replace_matched_op: expected {len(self.current_op.results)} "
+                f"replacement values, got {len(new_results)}"
+            )
+        for old, new in zip(self.current_op.results, new_results):
+            if new is None:
+                if old.has_uses:
+                    raise IRError(
+                        "replacement value is None but old result has uses"
+                    )
+                continue
+            old.replace_by(new)
+        self.current_op.erase()
+        self.changed = True
+
+    def erase_matched_op(self) -> None:
+        self.current_op.erase()
+        self.changed = True
+
+    def replace_all_uses_with(self, old: SSAValue, new: SSAValue) -> None:
+        old.replace_by(new)
+        self.changed = True
+
+    # -- region surgery -------------------------------------------------------------
+
+    def inline_region_before_matched(
+        self, region: Region, arg_values: Sequence[SSAValue]
+    ) -> None:
+        """Inline the single block of ``region`` before the matched op,
+        substituting block arguments (terminator must be pre-removed)."""
+        block = region.block
+        if len(arg_values) != len(block.args):
+            raise IRError("inline: argument count mismatch")
+        for arg, value in zip(block.args, arg_values):
+            arg.replace_by(value)
+        for op in list(block.ops):
+            op.detach()
+            self._builder.insert(op)
+        self.changed = True
+
+    def notify_changed(self) -> None:
+        self.changed = True
+
+
+class RewritePattern:
+    """Base class for rewrite patterns.
+
+    ``match_and_rewrite`` mutates the IR through ``rewriter`` when the
+    pattern applies, otherwise leaves it untouched.
+    """
+
+    #: Optional op-name filter; the driver skips non-matching ops cheaply.
+    op_name: str | None = None
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> None:
+        raise NotImplementedError
+
+
+class GreedyPatternRewriter:
+    """Applies a set of patterns until no more changes occur."""
+
+    def __init__(
+        self,
+        patterns: Iterable[RewritePattern],
+        *,
+        max_iterations: int = 64,
+    ):
+        self.patterns = list(patterns)
+        self.max_iterations = max_iterations
+
+    def rewrite(self, root: Operation) -> bool:
+        """Run to fixed point. Returns True if anything changed."""
+        changed_any = False
+        for _ in range(self.max_iterations):
+            changed = self._rewrite_once(root)
+            changed_any |= changed
+            if not changed:
+                return changed_any
+        raise IRError(
+            f"greedy rewriter did not converge in {self.max_iterations} "
+            "iterations"
+        )
+
+    def _rewrite_once(self, root: Operation) -> bool:
+        changed = False
+        # Snapshot the walk since patterns mutate the tree; newly created
+        # ops are picked up on the next iteration.
+        for op in list(root.walk()):
+            if op.parent is None:
+                # The root itself (patterns must not match it) or an op
+                # already erased/detached by an earlier pattern.
+                continue
+            for pattern in self.patterns:
+                if pattern.op_name is not None and pattern.op_name != op.name:
+                    continue
+                rewriter = PatternRewriter(op)
+                pattern.match_and_rewrite(op, rewriter)
+                if rewriter.changed:
+                    changed = True
+                    break  # op may be gone; move on
+        return changed

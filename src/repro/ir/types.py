@@ -1,0 +1,166 @@
+"""Type system: types are attributes (as in MLIR).
+
+Provides the builtin types used throughout the pipeline: integers, floats,
+``index``, function types and the all-important ``memref`` type with an
+optional *memory space* (used by the ``device`` dialect to place buffers in
+HBM banks or DDR on the U280).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.ir.attributes import Attribute
+
+#: Sentinel extent for a dynamic memref dimension (MLIR prints it as ``?``).
+DYNAMIC = -1
+
+
+class TypeAttribute(Attribute):
+    """Marker base class: an attribute usable as the type of an SSA value."""
+
+    name = "type"
+
+
+@dataclass(frozen=True)
+class NoneType(TypeAttribute):
+    """Unit/none type (used for ops with token-like results)."""
+
+    name = "none"
+
+    def print(self) -> str:
+        return "none"
+
+
+@dataclass(frozen=True)
+class IndexType(TypeAttribute):
+    """Platform-width integer used for loop bounds and subscripts."""
+
+    name = "index"
+
+    def print(self) -> str:
+        return "index"
+
+
+@dataclass(frozen=True)
+class IntegerType(TypeAttribute):
+    """Fixed-width signless integer, e.g. ``i32``."""
+
+    name = "integer_type"
+    width: int = 32
+
+    def print(self) -> str:
+        return f"i{self.width}"
+
+
+@dataclass(frozen=True)
+class FloatType(TypeAttribute):
+    """IEEE float of width 32 or 64."""
+
+    name = "float_type"
+    width: int = 64
+
+    def print(self) -> str:
+        return f"f{self.width}"
+
+
+# Canonical singletons — use these instead of constructing fresh instances.
+i1 = IntegerType(1)
+i8 = IntegerType(8)
+i32 = IntegerType(32)
+i64 = IntegerType(64)
+f32 = FloatType(32)
+f64 = FloatType(64)
+index = IndexType()
+none = NoneType()
+
+
+@dataclass(frozen=True)
+class FunctionType(TypeAttribute):
+    """``(inputs) -> results`` type for func ops."""
+
+    name = "function_type"
+    inputs: tuple[TypeAttribute, ...] = ()
+    results: tuple[TypeAttribute, ...] = ()
+
+    def __init__(
+        self,
+        inputs: Sequence[TypeAttribute] = (),
+        results: Sequence[TypeAttribute] = (),
+    ):
+        object.__setattr__(self, "inputs", tuple(inputs))
+        object.__setattr__(self, "results", tuple(results))
+
+    def print(self) -> str:
+        ins = ", ".join(t.print() for t in self.inputs)
+        if len(self.results) == 1:
+            outs = self.results[0].print()
+        else:
+            outs = "(" + ", ".join(t.print() for t in self.results) + ")"
+        return f"({ins}) -> {outs}"
+
+
+@dataclass(frozen=True)
+class MemRefType(TypeAttribute):
+    """A shaped buffer reference.
+
+    ``shape`` entries may be :data:`DYNAMIC`.  ``memory_space`` of 0 is the
+    default (host) space; the device dialect uses spaces >= 1 for HBM banks
+    and DDR channels, matching the paper's
+    ``memref<100xf64, 1 : i32>`` examples.
+    """
+
+    name = "memref"
+    element_type: TypeAttribute = f64
+    shape: tuple[int, ...] = ()
+    memory_space: int = 0
+
+    def __init__(
+        self,
+        element_type: TypeAttribute,
+        shape: Sequence[int] = (),
+        memory_space: int = 0,
+    ):
+        object.__setattr__(self, "element_type", element_type)
+        object.__setattr__(self, "shape", tuple(int(s) for s in shape))
+        object.__setattr__(self, "memory_space", int(memory_space))
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def has_static_shape(self) -> bool:
+        return all(s != DYNAMIC for s in self.shape)
+
+    def num_elements(self) -> int:
+        """Static element count; raises if any dimension is dynamic."""
+        if not self.has_static_shape:
+            raise ValueError(f"memref {self.print()} has dynamic shape")
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+    def with_memory_space(self, space: int) -> "MemRefType":
+        return MemRefType(self.element_type, self.shape, space)
+
+    def print(self) -> str:
+        dims = "".join(
+            ("?" if s == DYNAMIC else str(s)) + "x" for s in self.shape
+        )
+        space = f", {self.memory_space} : i32" if self.memory_space != 0 else ""
+        return f"memref<{dims}{self.element_type.print()}{space}>"
+
+
+def is_scalar_type(ty: TypeAttribute) -> bool:
+    return isinstance(ty, (IntegerType, FloatType, IndexType))
+
+
+def is_float_type(ty: TypeAttribute) -> bool:
+    return isinstance(ty, FloatType)
+
+
+def is_integer_like(ty: TypeAttribute) -> bool:
+    return isinstance(ty, (IntegerType, IndexType))

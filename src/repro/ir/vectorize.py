@@ -1,0 +1,217 @@
+"""Vectorized loop execution for the interpreter.
+
+Interpreting multi-million-trip loops op-by-op in Python is prohibitively
+slow, so loops that are provably *dependence-free and elementwise* are
+executed with NumPy over the whole iteration space at once:
+
+* every memory subscript must be affine in the induction variable with a
+  non-zero stride (injective — no scatter collisions), or loop-invariant
+  for loads;
+* the body must be straight-line (no nested regions) and consist of
+  elementwise arith/math/memref ops;
+* :func:`repro.transforms.loop_analysis.loop_carried_dependences` must
+  find nothing (reductions and recurrences take the scalar path).
+
+Per-element float32 semantics are identical to the scalar interpreter —
+NumPy applies the same operation per lane; no reassociation occurs.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.ir.core import Block, Operation, SSAValue
+
+#: ops that are safe no-ops inside a vectorized body
+_SKIPPED = {"hls.pipeline", "hls.unroll", "scf.yield", "omp.yield"}
+
+_BINOPS = {
+    "arith.addi": np.add, "arith.subi": np.subtract,
+    "arith.muli": np.multiply,
+    "arith.addf": np.add, "arith.subf": np.subtract,
+    "arith.mulf": np.multiply, "arith.divf": np.divide,
+    "arith.andi": np.bitwise_and, "arith.ori": np.bitwise_or,
+    "arith.xori": np.bitwise_xor,
+    "arith.minimumf": np.minimum, "arith.maximumf": np.maximum,
+    "arith.minsi": np.minimum, "arith.maxsi": np.maximum,
+}
+_CMPS = {
+    "eq": np.equal, "ne": np.not_equal,
+    "slt": np.less, "sle": np.less_equal,
+    "sgt": np.greater, "sge": np.greater_equal,
+    "olt": np.less, "ole": np.less_equal,
+    "ogt": np.greater, "oge": np.greater_equal,
+}
+_MATH = {
+    "math.sqrt": np.sqrt, "math.absf": np.abs, "math.exp": np.exp,
+    "math.log": np.log, "math.sin": np.sin, "math.cos": np.cos,
+}
+
+_SUPPORTED = (
+    set(_BINOPS)
+    | set(_MATH)
+    | _SKIPPED
+    | {
+        "arith.constant", "arith.cmpi", "arith.cmpf", "arith.select",
+        "arith.index_cast", "arith.extsi", "arith.trunci",
+        "arith.sitofp", "arith.fptosi", "arith.extf", "arith.truncf",
+        "arith.divsi", "arith.remsi",
+        "memref.load", "memref.store",
+    }
+)
+
+
+def _body_is_vectorizable(body: Block) -> bool:
+    for op in body.ops:
+        if op.regions:
+            return False
+        if op.name not in _SUPPORTED:
+            return False
+    return True
+
+
+def _loop_is_vectorizable(loop: Operation) -> bool:
+    from repro.transforms.loop_analysis import (
+        classify_index,
+        loop_carried_dependences,
+    )
+
+    body = loop.regions[0].block
+    if len(body.args) != 1 or not _body_is_vectorizable(body):
+        return False
+    if loop_carried_dependences(loop):
+        return False
+    iv = body.args[0]
+    # All store subscripts must be injective (affine, non-zero stride).
+    for op in body.ops:
+        if op.name == "memref.store":
+            for idx in op.operands[2:]:
+                pattern = classify_index(idx, iv, body)
+                if pattern.kind != "affine" or pattern.parameter == 0:
+                    return False
+        elif op.name == "memref.load":
+            for idx in op.operands[1:]:
+                if classify_index(idx, iv, body).kind not in ("affine", "invariant"):
+                    return False
+    return True
+
+
+# Keyed by id(); the op itself is kept in the value so the id cannot be
+# recycled by the allocator while the cache entry lives.
+_vectorizable_cache: dict[int, tuple[Operation, bool]] = {}
+
+
+def try_vectorized_loop(
+    interp, loop: Operation, env: dict, lb: int, ub: int, step: int
+) -> bool:
+    """Execute the loop vectorized if provably safe.  Returns True when
+    handled (the scalar path must run otherwise)."""
+    key = id(loop)
+    cached = _vectorizable_cache.get(key)
+    if cached is None or cached[0] is not loop:
+        cached = (loop, _loop_is_vectorizable(loop))
+        _vectorizable_cache[key] = cached
+    if not cached[1]:
+        return False
+    trips = max(0, -(-(ub - lb) // step)) if step > 0 else 0
+    if trips == 0:
+        return True
+    if trips < 64:
+        return False  # scalar is cheaper for short loops
+    body = loop.regions[0].block
+    ivs = np.arange(lb, lb + trips * step, step, dtype=np.int64)
+    venv: dict[SSAValue, Any] = {body.args[0]: ivs}
+
+    def value(v: SSAValue) -> Any:
+        if v in venv:
+            return venv[v]
+        return interp.get(env, v)  # loop-invariant outer value
+
+    from repro.ir.attributes import FloatAttr, IntegerAttr, StringAttr
+
+    for op in body.ops:
+        name = op.name
+        if name in _SKIPPED:
+            continue
+        if name == "arith.constant":
+            attr = op.attributes["value"]
+            if isinstance(attr, IntegerAttr):
+                venv[op.results[0]] = attr.value
+            elif isinstance(attr, FloatAttr):
+                venv[op.results[0]] = (
+                    np.float32(attr.value) if attr.width == 32 else attr.value
+                )
+            continue
+        if name in _BINOPS:
+            venv[op.results[0]] = _BINOPS[name](
+                value(op.operands[0]), value(op.operands[1])
+            )
+            continue
+        if name == "arith.divsi":
+            lhs, rhs = value(op.operands[0]), value(op.operands[1])
+            quotient = np.floor_divide(lhs, rhs)
+            venv[op.results[0]] = quotient
+            continue
+        if name == "arith.remsi":
+            venv[op.results[0]] = np.remainder(
+                value(op.operands[0]), value(op.operands[1])
+            )
+            continue
+        if name in ("arith.cmpi", "arith.cmpf"):
+            predicate = op.attributes["predicate"]
+            assert isinstance(predicate, StringAttr)
+            venv[op.results[0]] = _CMPS[predicate.value](
+                value(op.operands[0]), value(op.operands[1])
+            )
+            continue
+        if name == "arith.select":
+            venv[op.results[0]] = np.where(
+                value(op.operands[0]),
+                value(op.operands[1]),
+                value(op.operands[2]),
+            )
+            continue
+        if name in ("arith.index_cast", "arith.extsi", "arith.trunci"):
+            venv[op.results[0]] = value(op.operands[0])
+            continue
+        if name == "arith.sitofp":
+            from repro.ir.types import FloatType
+
+            ty = op.results[0].type
+            dtype = np.float32 if isinstance(ty, FloatType) and ty.width == 32 else np.float64
+            venv[op.results[0]] = np.asarray(value(op.operands[0])).astype(dtype)
+            continue
+        if name == "arith.fptosi":
+            venv[op.results[0]] = np.asarray(value(op.operands[0])).astype(np.int64)
+            continue
+        if name == "arith.extf":
+            venv[op.results[0]] = np.asarray(value(op.operands[0])).astype(np.float64)
+            continue
+        if name == "arith.truncf":
+            venv[op.results[0]] = np.asarray(value(op.operands[0])).astype(np.float32)
+            continue
+        if name in _MATH:
+            venv[op.results[0]] = _MATH[name](value(op.operands[0]))
+            continue
+        if name == "memref.load":
+            array = value(op.operands[0])
+            indices = [value(i) for i in op.operands[1:]]
+            if not indices:
+                venv[op.results[0]] = array[()]
+            else:
+                venv[op.results[0]] = array[tuple(indices)]
+            continue
+        if name == "memref.store":
+            stored = value(op.operands[0])
+            array = value(op.operands[1])
+            indices = [value(i) for i in op.operands[2:]]
+            array[tuple(indices)] = stored
+            continue
+        raise AssertionError(f"vectorizer admitted unsupported op {name}")
+
+    # Account interpreter steps as if the loop ran scalar, so CPU-baseline
+    # time models are independent of this fast path.
+    interp.steps += trips * max(1, len(body.ops))
+    return True

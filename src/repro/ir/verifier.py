@@ -1,0 +1,130 @@
+"""Structural IR verification.
+
+Checks parent links, def-use consistency, dominance (within single-block
+regions: defs precede uses), terminator placement and per-op ``verify_``
+hooks.  Called by the pass manager between passes when verification is
+enabled, and directly by tests.
+"""
+
+from __future__ import annotations
+
+from repro.ir.core import (
+    Block,
+    BlockArgument,
+    IRError,
+    Operation,
+    OpResult,
+    Region,
+)
+from repro.ir.traits import IsolatedFromAbove, IsTerminator
+
+
+class VerificationError(IRError):
+    """Raised when the IR is structurally invalid."""
+
+
+def verify(op: Operation) -> None:
+    """Verify ``op`` and everything nested within it."""
+    _verify_op(op, isolation_root=op)
+
+
+def _verify_op(op: Operation, isolation_root: Operation) -> None:
+    # Operand def-use back references.
+    for index, operand in enumerate(op.operands):
+        if not any(
+            use.operation is op and use.index == index for use in operand.uses
+        ):
+            raise VerificationError(
+                f"{op.name}: operand {index} missing back-reference use"
+            )
+        _check_visibility(op, operand, isolation_root)
+    # Result forward references.
+    for result in op.results:
+        if result.op is not op:
+            raise VerificationError(f"{op.name}: result owner link broken")
+        for use in result.uses:
+            if use.index >= len(use.operation.operands) or (
+                use.operation.operands[use.index] is not result
+            ):
+                raise VerificationError(
+                    f"{op.name}: stale use record on result"
+                )
+    # Region structure.
+    child_root = op if op.has_trait(IsolatedFromAbove) else isolation_root
+    for region in op.regions:
+        if region.parent is not op:
+            raise VerificationError(f"{op.name}: region parent link broken")
+        _verify_region(region, child_root)
+    op.verify_()
+
+
+def _verify_region(region: Region, isolation_root: Operation) -> None:
+    for block in region.blocks:
+        if block.parent is not region:
+            raise VerificationError("block parent link broken")
+        _verify_block(block, isolation_root)
+
+
+def _verify_block(block: Block, isolation_root: Operation) -> None:
+    seen: set[OpResult] = set()
+    for position, op in enumerate(block.ops):
+        if op.parent is not block:
+            raise VerificationError(f"{op.name}: op parent link broken")
+        # Same-block dominance: operands defined in this block must be
+        # defined earlier.
+        for operand in op.operands:
+            if isinstance(operand, OpResult) and operand.op.parent is block:
+                if operand not in seen:
+                    raise VerificationError(
+                        f"{op.name}: use of value before its definition"
+                    )
+        for result in op.results:
+            seen.add(result)
+        if op.has_trait(IsTerminator) and position != len(block.ops) - 1:
+            raise VerificationError(
+                f"{op.name}: terminator is not the last op in its block"
+            )
+        _verify_op(op, isolation_root)
+
+
+def _check_visibility(
+    op: Operation, operand, isolation_root: Operation
+) -> None:
+    """Operands must be defined in an enclosing region of ``op`` and must
+    not cross an ``IsolatedFromAbove`` boundary."""
+    if isinstance(operand, OpResult):
+        definer = operand.op.parent
+    elif isinstance(operand, BlockArgument):
+        definer = operand.block
+    else:  # pragma: no cover - defensive
+        return
+    if definer is None:
+        raise VerificationError(
+            f"{op.name}: operand defined by a detached op/block"
+        )
+    if op is isolation_root and op.parent is None:
+        # Verifying a detached subtree: cannot reason about the root's own
+        # operands, accept them.
+        return
+    # Walk up the enclosing-block chain; the defining block must appear
+    # before any IsolatedFromAbove boundary is crossed.
+    block = op.parent
+    while block is not None:
+        if block is definer:
+            return
+        parent_op = block.parent.parent if block.parent else None
+        if parent_op is None:
+            break
+        if parent_op.has_trait(IsolatedFromAbove):
+            raise VerificationError(
+                f"{op.name}: operand crosses IsolatedFromAbove boundary "
+                f"({parent_op.name})"
+            )
+        if parent_op is isolation_root:
+            # Above a non-isolated verification root we cannot see
+            # definitions; accept the use.
+            return
+        block = parent_op.parent
+    raise VerificationError(
+        f"{op.name}: operand is not visible from its use site"
+    )

@@ -1,0 +1,32 @@
+"""Simulated host runtime: OpenCL objects, the device data table, the
+host-module executor and the CPU baseline."""
+
+from repro.runtime.cpu import CpuExecutionResult, CpuExecutor
+from repro.runtime.device_runtime import DeviceDataTable, DeviceRuntimeError
+from repro.runtime.executor import ExecutionResult, FpgaExecutor, KernelInstance
+from repro.runtime.opencl import (
+    ClBuffer,
+    ClCommandQueue,
+    ClContext,
+    ClError,
+    ClEvent,
+    ClKernel,
+    ClProgram,
+)
+
+__all__ = [
+    "CpuExecutionResult",
+    "CpuExecutor",
+    "DeviceDataTable",
+    "DeviceRuntimeError",
+    "ExecutionResult",
+    "FpgaExecutor",
+    "KernelInstance",
+    "ClBuffer",
+    "ClCommandQueue",
+    "ClContext",
+    "ClError",
+    "ClEvent",
+    "ClKernel",
+    "ClProgram",
+]

@@ -1,0 +1,46 @@
+"""Single-core CPU baseline (the EPYC 7502 runs of Tables 5/6).
+
+Executes the *pre-offload* core module (OpenMP interpreted sequentially,
+i.e. single core) for functional results, with an analytic time model —
+interpreted wall-clock would measure Python, not the modelled CPU — and
+the package power model for the power tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dialects import builtin
+from repro.fpga.power import CpuPowerModel
+from repro.ir.interpreter import Interpreter
+
+
+@dataclass
+class CpuExecutionResult:
+    time_s: float
+    power_w: float
+    interpreter_steps: int
+    returned: tuple = ()
+
+
+class CpuExecutor:
+    """Runs a core-dialect module on the modelled single CPU core."""
+
+    #: modelled cost per retired "IR step" on one EPYC 7502 core at
+    #: 2.5 GHz (roughly 2 fused ops per cycle for this scalar code).
+    seconds_per_step: float = 0.8e-9
+
+    def __init__(self, module: builtin.ModuleOp, power: CpuPowerModel | None = None):
+        self.module = module
+        self.power = power or CpuPowerModel()
+
+    def run(self, func_name: str, *args, label: str = "") -> CpuExecutionResult:
+        interp = Interpreter(self.module)
+        returned = interp.call(func_name, *args)
+        steps = interp.steps
+        return CpuExecutionResult(
+            time_s=steps * self.seconds_per_step,
+            power_w=self.power.median_power_w(steps, label or func_name),
+            interpreter_steps=steps,
+            returned=returned,
+        )

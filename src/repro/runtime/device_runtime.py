@@ -1,0 +1,74 @@
+"""Device data-region runtime: the reference counter the paper lowers to.
+
+``device.data_acquire`` increments a per-identifier counter,
+``device.data_release`` decrements it and ``device.data_check_exists``
+tests counter > 0 (paper §3).  The buffer table itself outlives the
+counter reaching zero (buffers are reused on re-entry), matching how the
+generated host code keeps ``cl_mem`` objects alive for the process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fpga.board import U280Board
+from repro.runtime.opencl import ClBuffer, ClContext
+
+
+class DeviceRuntimeError(Exception):
+    """Raised on counter/table misuse (release without acquire...)."""
+
+
+@dataclass
+class DeviceDataTable:
+    """Identifier -> (buffer, reference counter)."""
+
+    context: ClContext
+    counters: dict[str, int] = field(default_factory=dict)
+
+    # -- counter protocol -----------------------------------------------------------
+
+    def check_exists(self, name: str) -> bool:
+        return self.counters.get(name, 0) > 0
+
+    def acquire(self, name: str) -> int:
+        self.counters[name] = self.counters.get(name, 0) + 1
+        return self.counters[name]
+
+    def release(self, name: str) -> int:
+        count = self.counters.get(name, 0)
+        if count <= 0:
+            raise DeviceRuntimeError(
+                f"device.data_release of {name!r} without matching acquire"
+            )
+        self.counters[name] = count - 1
+        return self.counters[name]
+
+    # -- buffer table -----------------------------------------------------------------
+
+    def alloc(
+        self, name: str, shape: tuple[int, ...], dtype, memory_space: int
+    ) -> ClBuffer:
+        existing = self.context.buffers.get(name)
+        if existing is not None:
+            if (
+                existing.data.shape == tuple(shape)
+                and existing.data.dtype == np.dtype(dtype)
+                and existing.memory_space == memory_space
+            ):
+                return existing  # reuse resident allocation
+        return self.context.create_buffer(name, tuple(shape), dtype, memory_space)
+
+    def lookup(self, name: str, memory_space: int) -> ClBuffer:
+        buffer = self.context.get_buffer(name)
+        if buffer.memory_space != memory_space:
+            raise DeviceRuntimeError(
+                f"buffer {name!r} lives in space {buffer.memory_space}, "
+                f"lookup asked for {memory_space}"
+            )
+        return buffer
+
+    def counter(self, name: str) -> int:
+        return self.counters.get(name, 0)

@@ -1,0 +1,65 @@
+"""Functional + timed execution of synthesized kernels.
+
+Shared by the compiled-flow executor and the hand-written-HLS baselines:
+runs a kernel from a :class:`~repro.backend.vitis.Bitstream` on NumPy
+arguments, observing loop trip counts during interpretation and charging
+``fill + trips * achieved_II`` cycles per scheduled loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.backend.vitis import Bitstream
+from repro.fpga.scheduler import KernelSchedule
+from repro.ir.core import IRError, Operation
+from repro.ir.interpreter import Interpreter
+
+
+@dataclass
+class KernelRun:
+    """One kernel execution: cycle count and seconds at the kernel clock."""
+
+    cycles: float
+    seconds: float
+
+
+class KernelRunner:
+    """Runs bitstream kernels functionally while accounting cycles."""
+
+    def __init__(self, bitstream: Bitstream):
+        self.bitstream = bitstream
+        self._interp = Interpreter(
+            bitstream.device_module,
+            extra_impls={"scf.for": self._counting_for},
+        )
+        self._cycle_stack: list[float] = []
+        self._design_stack: list[KernelSchedule] = []
+
+    def run(self, kernel_name: str, *args) -> KernelRun:
+        design = self.bitstream.kernels.get(kernel_name)
+        if design is None:
+            raise IRError(f"no kernel {kernel_name!r} in the bitstream")
+        self._cycle_stack.append(float(design.start_overhead_cycles))
+        self._design_stack.append(design)
+        try:
+            self._interp.call(kernel_name, *args)
+        finally:
+            cycles = self._cycle_stack.pop()
+            self._design_stack.pop()
+        seconds = self.bitstream.board.cycles_to_seconds(cycles)
+        return KernelRun(cycles=cycles, seconds=seconds)
+
+    # -- cycle accounting -------------------------------------------------------------
+
+    def _counting_for(self, interp: Interpreter, op: Operation, env: dict):
+        from repro.dialects.scf import _run_for
+
+        values = interp.operand_values(op, env)
+        lb, ub, step = values[0], values[1], values[2]
+        trips = max(0, -(-(ub - lb) // step)) if step > 0 else 0
+        if self._design_stack:
+            schedule = self._design_stack[-1].loops.get(id(op))
+            if schedule is not None:
+                self._cycle_stack[-1] += schedule.cycles(trips)
+        return _run_for(interp, op, env)

@@ -1,0 +1,160 @@
+"""Simulated OpenCL host API (the XRT/OpenCL layer of the paper's flow).
+
+Provides the object model the generated host code uses — platform,
+context, command queue, buffers, kernels, events — backed by NumPy and
+the :class:`~repro.fpga.board.U280Board` timing model.  The executor in
+:mod:`repro.runtime.executor` drives this through the ``device`` dialect
+ops; tests can also use it directly as a miniature OpenCL.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.fpga.board import U280Board
+
+
+class ClError(Exception):
+    """Simulated CL_* error."""
+
+
+@dataclass
+class ClEvent:
+    """Completion event with a simulated timestamp."""
+
+    kind: str
+    complete_at_s: float = 0.0
+
+
+@dataclass
+class ClBuffer:
+    """Device buffer placed in a specific memory space (HBM bank/DDR)."""
+
+    name: str
+    memory_space: int
+    data: np.ndarray
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+
+@dataclass
+class ClKernel:
+    """A kernel object (compiled into the loaded xclbin)."""
+
+    name: str
+    args: list[ClBuffer | float | int] = field(default_factory=list)
+
+    def set_arg(self, index: int, value) -> None:
+        while len(self.args) <= index:
+            self.args.append(None)  # type: ignore[arg-type]
+        self.args[index] = value
+
+
+@dataclass
+class ClProgram:
+    """The loaded bitstream ("xclbin"): kernel name -> callable."""
+
+    kernels: dict[str, Callable[..., float]]
+
+    def create_kernel(self, name: str) -> ClKernel:
+        if name not in self.kernels:
+            raise ClError(f"CL_INVALID_KERNEL_NAME: {name!r}")
+        return ClKernel(name)
+
+
+class ClCommandQueue:
+    """In-order command queue with simulated timing."""
+
+    def __init__(self, board: U280Board):
+        self.board = board
+        self.now_s = 0.0
+        self.events: list[ClEvent] = []
+        self._counters = {
+            "transfers": 0,
+            "bytes_h2d": 0,
+            "bytes_d2h": 0,
+            "launches": 0,
+        }
+
+    # -- transfers -----------------------------------------------------------------
+
+    def enqueue_write(self, buffer: ClBuffer, host: np.ndarray) -> ClEvent:
+        if buffer.data.shape != host.shape:
+            raise ClError("CL_INVALID_BUFFER_SIZE: shape mismatch")
+        np.copyto(buffer.data, host)
+        self.now_s += self.board.dma_time_s(buffer.nbytes)
+        self._counters["transfers"] += 1
+        self._counters["bytes_h2d"] += buffer.nbytes
+        event = ClEvent("write", self.now_s)
+        self.events.append(event)
+        return event
+
+    def enqueue_read(self, buffer: ClBuffer, host: np.ndarray) -> ClEvent:
+        if buffer.data.shape != host.shape:
+            raise ClError("CL_INVALID_BUFFER_SIZE: shape mismatch")
+        np.copyto(host, buffer.data)
+        self.now_s += self.board.dma_time_s(buffer.nbytes)
+        self._counters["transfers"] += 1
+        self._counters["bytes_d2h"] += buffer.nbytes
+        event = ClEvent("read", self.now_s)
+        self.events.append(event)
+        return event
+
+    # -- kernels --------------------------------------------------------------------
+
+    def enqueue_task(
+        self, program: ClProgram, kernel: ClKernel
+    ) -> ClEvent:
+        run = program.kernels[kernel.name]
+        kernel_seconds = run(*kernel.args)
+        self.now_s += self.board.kernel_launch_overhead_s + kernel_seconds
+        self._counters["launches"] += 1
+        event = ClEvent("kernel", self.now_s)
+        self.events.append(event)
+        return event
+
+    def finish(self) -> float:
+        """Block until all commands complete; returns the queue clock."""
+        return self.now_s
+
+    @property
+    def stats(self) -> dict[str, int]:
+        return dict(self._counters)
+
+
+class ClContext:
+    """Context owning device buffers."""
+
+    _ids = itertools.count()
+
+    def __init__(self, board: Optional[U280Board] = None):
+        self.board = board or U280Board()
+        self.buffers: dict[str, ClBuffer] = {}
+
+    def create_buffer(
+        self, name: str, shape: tuple[int, ...], dtype, memory_space: int
+    ) -> ClBuffer:
+        spec = self.board.validate_memory_space(memory_space)
+        buffer = ClBuffer(
+            name=name,
+            memory_space=memory_space,
+            data=np.zeros(shape, dtype=dtype),
+        )
+        if buffer.nbytes > spec.size_bytes:
+            raise ClError(
+                f"CL_MEM_OBJECT_ALLOCATION_FAILURE: {buffer.nbytes} bytes "
+                f"exceeds {spec.name}"
+            )
+        self.buffers[name] = buffer
+        return buffer
+
+    def get_buffer(self, name: str) -> ClBuffer:
+        if name not in self.buffers:
+            raise ClError(f"CL_INVALID_MEM_OBJECT: no buffer {name!r}")
+        return self.buffers[name]

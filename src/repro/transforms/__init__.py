@@ -1,0 +1,27 @@
+"""Compiler transformation passes (the paper's Figure 2 pipeline)."""
+
+from repro.transforms.canonicalize import CanonicalizePass, CsePass, DcePass
+from repro.transforms.extract_device_module import (
+    ExtractDeviceModulePass,
+    split_host_device,
+)
+from repro.transforms.lower_hls_to_func import LowerHlsToFuncPass
+from repro.transforms.lower_omp_mapped_data import (
+    LowerOmpMappedDataPass,
+    MemorySpacePolicy,
+)
+from repro.transforms.lower_omp_target_region import LowerOmpTargetRegionPass
+from repro.transforms.lower_omp_to_hls import LowerOmpToHlsPass
+
+__all__ = [
+    "CanonicalizePass",
+    "CsePass",
+    "DcePass",
+    "ExtractDeviceModulePass",
+    "split_host_device",
+    "LowerHlsToFuncPass",
+    "LowerOmpMappedDataPass",
+    "MemorySpacePolicy",
+    "LowerOmpTargetRegionPass",
+    "LowerOmpToHlsPass",
+]

@@ -1,0 +1,92 @@
+"""Kernel extraction: split device code into a ``target = "fpga"`` module.
+
+Each ``device.kernel_create`` whose region still holds the kernel body has
+that body moved into a ``func.func`` inside a nested
+``builtin.module attributes {target = "fpga"}``; the ``device_function``
+attribute records the callee and the op keeps an *empty* region — the two
+sibling modules of the paper's Listing 2.
+
+``split_host_device`` separates the two modules for the host printer and
+the HLS backend respectively.
+"""
+
+from __future__ import annotations
+
+from repro.dialects import builtin, func
+from repro.ir.attributes import StringAttr, SymbolRefAttr
+from repro.ir.core import Block, Operation, Region
+from repro.ir.pass_manager import ModulePass, register_pass
+from repro.ir.types import FunctionType
+
+
+def _device_module_of(module: Operation) -> builtin.ModuleOp:
+    """Find or create the nested FPGA module."""
+    for op in module.regions[0].block.ops:
+        if isinstance(op, builtin.ModuleOp) and op.target == "fpga":
+            return op
+    dev = builtin.ModuleOp(attributes={"target": StringAttr("fpga")})
+    module.regions[0].block.add_op(dev)
+    return dev
+
+
+@register_pass
+class ExtractDeviceModulePass(ModulePass):
+    """Move kernel bodies into the nested ``target="fpga"`` module."""
+
+    name = "extract-device-module"
+
+    def apply(self, module: Operation) -> None:
+        kernels: list[Operation] = [
+            op
+            for op in module.walk()
+            if op.name == "device.kernel_create"
+            and op.regions
+            and op.regions[0].blocks
+            and op.regions[0].block.ops
+        ]
+        if not kernels:
+            return
+        device_module = _device_module_of(module)
+        counter = 0
+        for create in kernels:
+            host_func = create.get_parent_of_type(func.FuncOp)
+            stem = host_func.sym_name if host_func is not None else "kernel"
+            kernel_name = f"{stem}_kernel_{counter}"
+            counter += 1
+
+            body: Region = create.regions[0]
+            create.regions.remove(body)
+            body.parent = None
+            kernel_func = func.FuncOp(
+                kernel_name,
+                FunctionType([a.type for a in body.block.args], []),
+            )
+            # Transplant the extracted block as the function body.
+            kernel_func.regions[0].blocks.clear()
+            body.block.parent = None
+            kernel_func.regions[0].add_block(body.block)
+            kernel_func.body.add_op(func.ReturnOp())
+            device_module.body.add_op(kernel_func)
+
+            create.attributes["device_function"] = SymbolRefAttr(kernel_name)
+            create.add_region(Region([Block()]))
+
+
+def split_host_device(
+    module: builtin.ModuleOp,
+) -> tuple[builtin.ModuleOp, builtin.ModuleOp]:
+    """Detach the nested FPGA module; returns (host_module, device_module).
+
+    The input module *is* the host module after the call.
+    """
+    device_module: builtin.ModuleOp | None = None
+    for op in list(module.body.ops):
+        if isinstance(op, builtin.ModuleOp) and op.target == "fpga":
+            op.detach()
+            device_module = op
+            break
+    if device_module is None:
+        device_module = builtin.ModuleOp(
+            attributes={"target": StringAttr("fpga")}
+        )
+    return module, device_module

@@ -1,0 +1,83 @@
+"""The *lower HLS to func call* transformation (from [20], Stencil-HMLS).
+
+Operations in the HLS dialect become ``func.call`` operations against the
+``xlx_*`` runtime symbols; a later stage (:mod:`repro.backend.amd_hls`)
+maps those calls to AMD's bespoke HLS LLVM-IR primitives.  Declarations
+for the called symbols are added to the module so it stays self-contained.
+"""
+
+from __future__ import annotations
+
+from repro.dialects import builtin, func, hls
+from repro.ir.attributes import StringAttr
+from repro.ir.core import Operation
+from repro.ir.pass_manager import ModulePass, register_pass
+from repro.ir.rewriting import GreedyPatternRewriter, PatternRewriter, RewritePattern
+from repro.ir.types import FunctionType
+
+#: hls op -> runtime symbol called in its place
+HLS_RUNTIME_SYMBOLS = {
+    "hls.axi_protocol": "xlx_axi_protocol",
+    "hls.interface": "xlx_interface",
+    "hls.pipeline": "xlx_pipeline",
+    "hls.unroll": "xlx_unroll",
+    "hls.stream_read": "xlx_stream_read",
+    "hls.stream_write": "xlx_stream_write",
+}
+
+
+class HlsOpToCall(RewritePattern):
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> None:
+        symbol = HLS_RUNTIME_SYMBOLS.get(op.name)
+        if symbol is None:
+            return
+        call = func.CallOp(
+            symbol,
+            list(op.operands),
+            [r.type for r in op.results],
+        )
+        # Preserve HLS attributes (bundle names, unroll factors) on the
+        # call so the AMD backend mapping can still see them.
+        for key, attr in op.attributes.items():
+            call.attributes[f"hls_{key}"] = attr
+        rewriter.replace_matched_op(call)
+
+
+@register_pass
+class LowerHlsToFuncPass(ModulePass):
+    """Lower the ``hls`` dialect to ``func.call`` operations."""
+
+    name = "lower-hls-to-func"
+
+    def apply(self, module: Operation) -> None:
+        GreedyPatternRewriter([HlsOpToCall()]).rewrite(module)
+        self._declare_runtime(module)
+
+    def _declare_runtime(self, module: Operation) -> None:
+        used: dict[str, FunctionType] = {}
+        for op in module.walk():
+            if op.name == "func.call":
+                callee_attr = op.attributes.get("callee")
+                callee = getattr(callee_attr, "symbol", None)
+                if callee in HLS_RUNTIME_SYMBOLS.values() and callee not in used:
+                    used[callee] = FunctionType(
+                        [o.type for o in op.operands],
+                        [r.type for r in op.results],
+                    )
+        existing = {
+            op.attributes.get("sym_name").value  # type: ignore[union-attr]
+            for op in module.walk()
+            if op.name == "func.func"
+            and isinstance(op.attributes.get("sym_name"), StringAttr)
+        }
+        for symbol, fn_type in sorted(used.items()):
+            if symbol in existing:
+                continue
+            decl = func.FuncOp(symbol, fn_type, visibility="private")
+            decl.regions[0].blocks.clear()  # declaration: no body
+            _top_module(module).body.add_op(decl)
+
+
+def _top_module(module: Operation) -> builtin.ModuleOp:
+    assert isinstance(module, builtin.ModuleOp)
+    return module

@@ -1,0 +1,47 @@
+"""The *lower omp target region* pass (paper Figure 2).
+
+``omp.target`` (whose operands are already device memrefs after
+*lower-omp-mapped-data*) becomes::
+
+    %kernel = device.kernel_create(%args...) ({ ...region... })
+    device.kernel_launch(%kernel)
+    device.kernel_wait(%kernel)
+
+The create/launch/wait split "provides more flexibility around how
+kernels are scheduled and launched" and mirrors the OpenCL host API.
+"""
+
+from __future__ import annotations
+
+from repro.dialects import device, omp
+from repro.ir.core import Operation, Region
+from repro.ir.pass_manager import ModulePass, register_pass
+from repro.ir.rewriting import GreedyPatternRewriter, PatternRewriter, RewritePattern
+
+
+class LowerTargetToKernel(RewritePattern):
+    op_name = "omp.target"
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> None:
+        body: Region = op.regions[0]
+        op.regions.remove(body)
+        body.parent = None
+        block = body.block
+        last = block.last_op
+        if last is not None and isinstance(last, omp.TerminatorOp):
+            last.erase()
+        create = device.KernelCreateOp(list(op.operands), body)
+        launch = device.KernelLaunchOp(create.results[0])
+        wait = device.KernelWaitOp(create.results[0])
+        rewriter.insert_op_before_matched(create, launch, wait)
+        rewriter.erase_matched_op()
+
+
+@register_pass
+class LowerOmpTargetRegionPass(ModulePass):
+    """Lower ``omp.target`` to device kernel create/launch/wait."""
+
+    name = "lower-omp-target-region"
+
+    def apply(self, module: Operation) -> None:
+        GreedyPatternRewriter([LowerTargetToKernel()]).rewrite(module)

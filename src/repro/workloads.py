@@ -1,0 +1,191 @@
+"""Benchmark workloads: the paper's Fortran sources + NumPy references.
+
+The SAXPY source is the paper's Listing 5 (``parallel do simd
+simdlen(10)``); SGESL follows Listing 6 — the LINPACK solve with the
+inner update loops offloaded via ``target parallel do``, operating on the
+current column (1-D, as in the listing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Paper Listing 5: the offloaded SAXPY (y = y + a*x).
+SAXPY_SOURCE = """
+subroutine saxpy(a, x, y, n)
+  implicit none
+  integer, intent(in) :: n
+  real, intent(in) :: a
+  real, intent(in) :: x(n)
+  real, intent(inout) :: y(n)
+  integer :: i
+!$omp target parallel do simd simdlen(10)
+  do i = 1, n
+    y(i) = y(i) + a * x(i)
+  end do
+!$omp end target parallel do simd
+end subroutine saxpy
+"""
+
+#: Paper Listing 6 (plus the analogous second loop): SGESL solve of
+#: A x = b given the LU factors and pivots from SGEFA.  The update loops
+#: work on the current column ``col`` so each launch maps 1-D data, as
+#: in the paper's listing (``b(j) = b(j) + t*a(j)``).
+SGESL_SOURCE = """
+subroutine sgesl_update(b, col, t, k, n)
+  implicit none
+  integer, intent(in) :: k, n
+  real, intent(in) :: t
+  real, intent(in) :: col(n)
+  real, intent(inout) :: b(n)
+  integer :: j
+!$omp target parallel do
+  do j = k + 1, n
+    b(j) = b(j) + t * col(j)
+  end do
+!$omp end target parallel do
+end subroutine sgesl_update
+
+subroutine sgesl_back_update(b, col, t, k)
+  implicit none
+  integer, intent(in) :: k
+  real, intent(in) :: t
+  real, intent(in) :: col(k)
+  real, intent(inout) :: b(k)
+  integer :: j
+!$omp target parallel do
+  do j = 1, k - 1
+    b(j) = b(j) + t * col(j)
+  end do
+!$omp end target parallel do
+end subroutine sgesl_back_update
+
+subroutine sgesl(a, b, ipvt, n)
+  implicit none
+  integer, intent(in) :: n
+  real, intent(inout) :: a(n, n)
+  real, intent(inout) :: b(n)
+  integer, intent(in) :: ipvt(n)
+  integer :: k, l, kb, i
+  real :: t
+  real :: col(n)
+! solve l*y = b (forward elimination with the recorded pivots)
+  do k = 1, n - 1
+    l = ipvt(k)
+    t = b(l)
+    if (l /= k) then
+      b(l) = b(k)
+      b(k) = t
+    end if
+    do i = 1, n
+      col(i) = a(i, k)
+    end do
+    call sgesl_update(b, col, t, k, n)
+  end do
+! solve u*x = y (back substitution)
+  do kb = 1, n
+    k = n + 1 - kb
+    b(k) = b(k) / a(k, k)
+    t = -b(k)
+    do i = 1, n
+      col(i) = a(i, k)
+    end do
+    call sgesl_back_update(b, col, t, k)
+  end do
+end subroutine sgesl
+"""
+
+
+# -- NumPy references -------------------------------------------------------------
+
+
+def saxpy_reference(a: float, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """y + a*x in float32."""
+    return (y + np.float32(a) * x).astype(np.float32)
+
+
+def sgesl_reference(
+    lu: np.ndarray, ipvt: np.ndarray, b: np.ndarray
+) -> np.ndarray:
+    """Reference LINPACK sgesl (job = 0) in NumPy float32."""
+    a = lu.astype(np.float32)
+    x = b.astype(np.float32).copy()
+    n = len(x)
+    for k in range(n - 1):
+        pivot = int(ipvt[k])
+        t = x[pivot]
+        if pivot != k:
+            x[pivot] = x[k]
+            x[k] = t
+        x[k + 1 :] += t * a[k + 1 :, k]
+    for k in range(n - 1, -1, -1):
+        x[k] = x[k] / a[k, k]
+        t = -x[k]
+        x[:k] += t * a[:k, k]
+    return x
+
+
+def sgefa_reference(a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """LINPACK sgefa: LU factorization with partial pivoting, storing the
+    *negated* multipliers in the lower triangle (LINPACK convention, which
+    is what sgesl's ``b(j) = b(j) + t*a(j,k)`` update expects).
+
+    Returns (lu, ipvt) with 0-based pivot indices.
+    """
+    lu = a.astype(np.float32).copy()
+    n = lu.shape[0]
+    ipvt = np.zeros(n, dtype=np.int64)
+    for k in range(n - 1):
+        pivot = k + int(np.argmax(np.abs(lu[k:, k])))
+        ipvt[k] = pivot
+        if lu[pivot, k] == 0.0:
+            raise ZeroDivisionError("singular matrix in sgefa")
+        if pivot != k:
+            lu[[k, pivot], k] = lu[[pivot, k], k]
+        multipliers = -lu[k + 1 :, k] / lu[k, k]
+        lu[k + 1 :, k] = multipliers
+        if pivot != k:
+            lu[[k, pivot], k + 1 :] = lu[[pivot, k], k + 1 :]
+        lu[k + 1 :, k + 1 :] += np.outer(multipliers, lu[k, k + 1 :])
+    ipvt[n - 1] = n - 1
+    return lu, ipvt
+
+
+@dataclass
+class SaxpyCase:
+    """One SAXPY experiment instance."""
+
+    n: int
+    a: float = 2.0
+    seed: int = 7
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        rng = np.random.default_rng(self.seed)
+        x = rng.standard_normal(self.n).astype(np.float32)
+        y = rng.standard_normal(self.n).astype(np.float32)
+        return x, y
+
+
+@dataclass
+class SgeslCase:
+    """One SGESL experiment instance (well-conditioned random system)."""
+
+    n: int
+    seed: int = 11
+
+    def system(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Returns (a, lu, ipvt, b): the original matrix, its LINPACK LU
+        factorization, pivots and a right-hand side."""
+        rng = np.random.default_rng(self.seed)
+        a = rng.standard_normal((self.n, self.n)).astype(np.float32)
+        a += self.n * np.eye(self.n, dtype=np.float32)  # diagonally dominant
+        b = rng.standard_normal(self.n).astype(np.float32)
+        lu, ipvt = sgefa_reference(a)
+        return a, lu, ipvt, b
+
+
+#: The problem sizes of the paper's evaluation.
+SAXPY_SIZES = (10_000, 100_000, 1_000_000, 10_000_000)
+SGESL_SIZES = (256, 512, 1024, 2048)

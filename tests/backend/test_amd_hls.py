@@ -1,0 +1,66 @@
+"""AMD HLS bridge tests: primitive mapping + LLVM-7 downgrade ([19])."""
+
+from repro.backend.amd_hls import (
+    SSDM_PRIMITIVES,
+    downgrade_to_llvm7,
+    map_to_amd_primitives,
+    prepare_for_vitis,
+)
+
+
+class TestPrimitiveMapping:
+    def test_pipeline_mapped(self):
+        ir = "call void @xlx_pipeline(i32 %v0)\ndeclare void @xlx_pipeline(i32)"
+        mapped, used = map_to_amd_primitives(ir)
+        assert "@_ssdm_op_SpecPipeline" in mapped
+        assert "@xlx_pipeline" not in mapped
+        assert "_ssdm_op_SpecPipeline" in used
+
+    def test_all_symbols_have_primitives(self):
+        for symbol, primitive in SSDM_PRIMITIVES.items():
+            mapped, used = map_to_amd_primitives(f"call void @{symbol}()")
+            assert primitive in mapped
+
+    def test_unrelated_calls_untouched(self):
+        ir = "call void @my_helper()"
+        mapped, used = map_to_amd_primitives(ir)
+        assert mapped == ir and used == []
+
+
+class TestDowngrade:
+    def test_fneg_rewritten(self):
+        ir = "%1 = fneg float %0"
+        assert "fsub float -0.0, %0" in downgrade_to_llvm7(ir)
+
+    def test_freeze_rewritten(self):
+        ir = "%1 = freeze i32 %0"
+        out = downgrade_to_llvm7(ir)
+        assert "freeze" not in out
+
+    def test_fast_flags_expanded(self):
+        ir = "%1 = fmul fast float %a, %b"
+        assert "fmul nnan contract float" in downgrade_to_llvm7(ir)
+
+    def test_source_filename_stripped(self):
+        ir = 'source_filename = "x.mlir"\ndefine void @f() {\n}\n'
+        assert "source_filename" not in downgrade_to_llvm7(ir)
+
+
+class TestPrepareForVitis:
+    def test_full_artifact(self):
+        ir = (
+            'source_filename = "d"\n'
+            "define void @k(float* %a) {\n"
+            "  call void @xlx_pipeline(i32 1)\n"
+            "  %x = fmul fast float 1.0, 2.0\n"
+            "  ret void\n}\n"
+            "declare void @xlx_pipeline(i32)\n"
+        )
+        artifact = prepare_for_vitis(ir)
+        assert artifact.llvm_version == 7
+        assert "_ssdm_op_SpecPipeline" in artifact.llvm_ir
+        assert "nnan contract" in artifact.llvm_ir
+        # the precompiled runtime library is linked in
+        assert "@ftn_rt_itof" in artifact.llvm_ir
+        assert "@ftn_rt_stream_read" in artifact.llvm_ir
+        assert artifact.primitives_used == ["_ssdm_op_SpecPipeline"]

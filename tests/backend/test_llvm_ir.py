@@ -1,0 +1,115 @@
+"""LLVM-IR emission tests."""
+
+import pytest
+
+from repro.backend.llvm_ir import emit_llvm_ir, llvm_type
+from repro.baselines import build_saxpy_module, build_sgesl_module
+from repro.ir import IRError
+from repro.ir.types import (
+    FunctionType,
+    IndexType,
+    MemRefType,
+    NoneType,
+    f32,
+    f64,
+    i1,
+    i32,
+    index,
+)
+from repro.transforms import LowerHlsToFuncPass
+
+
+def emit(module):
+    clone = module.clone()
+    LowerHlsToFuncPass().apply(clone)
+    return emit_llvm_ir(clone)
+
+
+class TestTypes:
+    def test_llvm_types(self):
+        assert llvm_type(f32) == "float"
+        assert llvm_type(f64) == "double"
+        assert llvm_type(i32) == "i32"
+        assert llvm_type(i1) == "i1"
+        assert llvm_type(index) == "i64"
+        assert llvm_type(MemRefType(f32, [100], 1)) == "float*"
+        assert llvm_type(NoneType()) == "void"
+
+
+class TestEmission:
+    def test_module_header(self):
+        text = emit(build_sgesl_module())
+        assert "target triple" in text
+        assert 'source_filename = "device.mlir"' in text
+
+    def test_kernel_definition(self):
+        text = emit(build_sgesl_module())
+        assert (
+            "define void @sgesl_update_hls(float* %arg0, float* %arg1, "
+            "float* %arg2, i32* %arg3, i32* %arg4)" in text
+        )
+
+    def test_loop_structure(self):
+        text = emit(build_sgesl_module())
+        assert "phi i64" in text
+        assert "icmp slt i64" in text
+        assert "br i1" in text
+
+    def test_memory_ops(self):
+        text = emit(build_sgesl_module())
+        assert "getelementptr inbounds float" in text
+        assert "load float, float*" in text
+        assert "store float" in text
+
+    def test_fast_math_from_contract(self):
+        text = emit(build_sgesl_module())
+        assert "fmul fast float" in text
+        assert "fadd fast float" in text
+
+    def test_hls_calls_declared(self):
+        text = emit(build_saxpy_module())
+        assert "call void @xlx_pipeline" in text
+        assert "declare void @xlx_pipeline" in text
+        assert "call void @xlx_interface" in text
+
+    def test_unlowered_hls_rejected(self):
+        with pytest.raises(IRError, match="lower-hls-to-func"):
+            emit_llvm_ir(build_saxpy_module())
+
+    def test_unrolled_body_replicated(self):
+        text = emit(build_saxpy_module(unroll=10))
+        assert text.count("fmul") >= 10
+
+
+class TestHostModuleEmission:
+    def test_scf_if_emitted_as_branches(self):
+        from repro.dialects import arith, builtin, func, scf
+        from repro.ir import Builder
+
+        module = builtin.ModuleOp()
+        fn = func.FuncOp("f", FunctionType([i32], [i32]))
+        module.body.add_op(fn)
+        b = Builder.at_end(fn.body)
+        zero = b.insert(arith.Constant.int(0, 32)).results[0]
+        cond = b.insert(arith.CmpI("sgt", fn.body.args[0], zero)).results[0]
+        cell = b.insert(
+            __import__("repro.dialects.memref", fromlist=["Alloca"]).Alloca(
+                MemRefType(i32, [])
+            )
+        ).results[0]
+        if_op = b.insert(scf.If(cond))
+        tb = Builder.at_end(if_op.then_block)
+        one = tb.insert(arith.Constant.int(1, 32)).results[0]
+        tb.insert(
+            __import__("repro.dialects.memref", fromlist=["Store"]).Store(
+                one, cell, []
+            )
+        )
+        tb.insert(scf.Yield())
+        Builder.at_end(if_op.else_block).insert(scf.Yield())
+        out = b.insert(
+            __import__("repro.dialects.memref", fromlist=["Load"]).Load(cell, [])
+        ).results[0]
+        b.insert(func.ReturnOp([out]))
+        text = emit_llvm_ir(module)
+        assert "_then:" in text and "_else:" in text and "_join:" in text

@@ -1,0 +1,69 @@
+"""Shared test helpers: tiny IR builders and Fortran snippets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dialects import arith, builtin, func, memref, scf
+from repro.ir import Builder, verify
+from repro.ir.types import FunctionType, MemRefType, f32, index
+
+
+@pytest.fixture
+def vadd_module() -> builtin.ModuleOp:
+    """module { func @vadd(%x, %y: memref<16xf32>) { y[i] += x[i] } }"""
+    module = builtin.ModuleOp()
+    vec = MemRefType(f32, [16])
+    fn = func.FuncOp("vadd", FunctionType([vec, vec], []))
+    module.body.add_op(fn)
+    b = Builder.at_end(fn.body)
+    lb = b.insert(arith.Constant.index(0)).results[0]
+    ub = b.insert(arith.Constant.index(16)).results[0]
+    step = b.insert(arith.Constant.index(1)).results[0]
+    loop = b.insert(scf.For(lb, ub, step))
+    inner = Builder.at_end(loop.body)
+    x, y = fn.body.args
+    xv = inner.insert(memref.Load(x, [loop.induction_var])).results[0]
+    yv = inner.insert(memref.Load(y, [loop.induction_var])).results[0]
+    s = inner.insert(arith.AddF(xv, yv)).results[0]
+    inner.insert(memref.Store(s, y, [loop.induction_var]))
+    inner.insert(scf.Yield())
+    b.insert(func.ReturnOp())
+    verify(module)
+    return module
+
+
+SAXPY_MINI = """
+subroutine saxpy(a, x, y, n)
+  implicit none
+  integer, intent(in) :: n
+  real, intent(in) :: a
+  real, intent(in) :: x(n)
+  real, intent(inout) :: y(n)
+  integer :: i
+!$omp target parallel do simd simdlen(4)
+  do i = 1, n
+    y(i) = y(i) + a * x(i)
+  end do
+!$omp end target parallel do simd
+end subroutine saxpy
+"""
+
+
+@pytest.fixture(scope="session")
+def saxpy_mini_source() -> str:
+    return SAXPY_MINI
+
+
+def run_offload_saxpy(program, n: int = 128, a: float = 3.0):
+    """Run a compiled saxpy program and return (y, expected, result)."""
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(n).astype(np.float32)
+    y = rng.standard_normal(n).astype(np.float32)
+    expected = (y + np.float32(a) * x).astype(np.float32)
+    result = program.executor().run(
+        "saxpy", np.array(a, dtype=np.float32), x, y,
+        np.array(n, dtype=np.int32),
+    )
+    return y, expected, result

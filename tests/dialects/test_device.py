@@ -1,0 +1,116 @@
+"""Device dialect structure tests (the paper's contribution)."""
+
+import pytest
+
+from repro.dialects import builtin, device, func
+from repro.ir import Builder, IRError, print_op, verify
+from repro.ir.types import FunctionType, MemRefType, f32, i1
+
+
+def _ctx():
+    module = builtin.ModuleOp()
+    fn = func.FuncOp("main", FunctionType([], []))
+    module.body.add_op(fn)
+    return module, fn, Builder.at_end(fn.body)
+
+
+class TestDataOps:
+    def test_alloc_type_space_consistency(self):
+        _, _, b = _ctx()
+        alloc = b.insert(
+            device.AllocOp(
+                MemRefType(f32, [100], 1), identifier="a", memory_space=1
+            )
+        )
+        assert alloc.identifier == "a"
+        assert alloc.memory_space == 1
+        assert alloc.results[0].type.memory_space == 1
+
+    def test_alloc_space_mismatch_raises(self):
+        with pytest.raises(IRError, match="memory space"):
+            device.AllocOp(
+                MemRefType(f32, [100], 2), identifier="a", memory_space=1
+            )
+
+    def test_check_exists_returns_i1(self):
+        _, _, b = _ctx()
+        check = b.insert(device.DataCheckExistsOp(identifier="a"))
+        assert check.results[0].type == i1
+        assert check.identifier == "a"
+
+    def test_acquire_release_attrs(self):
+        _, _, b = _ctx()
+        acq = b.insert(device.DataAcquireOp(identifier="a", memory_space=3))
+        rel = b.insert(device.DataReleaseOp(identifier="a", memory_space=3))
+        assert acq.identifier == rel.identifier == "a"
+        assert acq.memory_space == rel.memory_space == 3
+
+    def test_printing_matches_listing2_shape(self):
+        """The printed form carries name + memory_space like the paper."""
+        module, _, b = _ctx()
+        b.insert(
+            device.AllocOp(
+                MemRefType(f32, [100], 1), identifier="a", memory_space=1
+            )
+        )
+        b.insert(func.ReturnOp())
+        text = print_op(module)
+        assert '"device.alloc"()' in text
+        assert 'name = "a"' in text
+        assert "memory_space = 1 : i32" in text
+        assert "memref<100xf32, 1 : i32>" in text
+
+
+class TestKernelOps:
+    def test_kernel_lifecycle(self):
+        module, fn, b = _ctx()
+        buf = b.insert(
+            device.AllocOp(
+                MemRefType(f32, [8], 1), identifier="a", memory_space=1
+            )
+        ).results[0]
+        create = b.insert(device.KernelCreateOp([buf]))
+        assert create.results[0].type == device.kernel_handle
+        assert not create.is_extracted
+        launch = b.insert(device.KernelLaunchOp(create.results[0]))
+        wait = b.insert(device.KernelWaitOp(create.results[0]))
+        assert launch.handle is create.results[0]
+        assert wait.handle is create.results[0]
+        Builder.at_end(create.body).detach_flag = None  # region exists
+        # region terminated implicitly (kernel body has no terminator op)
+        b.insert(func.ReturnOp())
+        verify(module)
+
+    def test_extracted_state(self):
+        _, _, b = _ctx()
+        buf = b.insert(
+            device.AllocOp(
+                MemRefType(f32, [8], 1), identifier="a", memory_space=1
+            )
+        ).results[0]
+        create = b.insert(
+            device.KernelCreateOp([buf], device_function="my_kernel")
+        )
+        # simulate extraction: empty the region body
+        create.regions[0].block.ops.clear()
+        create.regions[0].block.args.clear()
+        assert create.device_function == "my_kernel"
+        assert create.is_extracted
+
+    def test_kernel_create_region_args_checked(self):
+        module, fn, b = _ctx()
+        buf = b.insert(
+            device.AllocOp(
+                MemRefType(f32, [8], 1), identifier="a", memory_space=1
+            )
+        ).results[0]
+        create = b.insert(device.KernelCreateOp([buf]))
+        # sabotage: body with ops but wrong arg count
+        create.body.args.clear()
+        inner = Builder.at_end(create.body)
+        inner.insert(
+            device.DataCheckExistsOp(identifier="x")
+        )
+        b.insert(func.ReturnOp())
+        with pytest.raises(IRError, match="block arg"):
+            verify(module)

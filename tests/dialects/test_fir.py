@@ -1,0 +1,143 @@
+"""FIR dialect tests: structure + Fortran semantics (1-based, inclusive)."""
+
+import numpy as np
+import pytest
+
+from repro.dialects import arith, builtin, fir, func
+from repro.ir import Builder, Interpreter, verify
+from repro.ir.types import FunctionType, MemRefType, f32, i32, index
+
+
+def _fn(arg_types=(), result_types=()):
+    module = builtin.ModuleOp()
+    fn = func.FuncOp("f", FunctionType(list(arg_types), list(result_types)))
+    module.body.add_op(fn)
+    return module, fn, Builder.at_end(fn.body)
+
+
+class TestStorage:
+    def test_alloca_declare_load_store(self):
+        module, fn, b = _fn(result_types=[f32])
+        cell = b.insert(fir.AllocaOp(MemRefType(f32, []), "x")).results[0]
+        declared = b.insert(fir.DeclareOp(cell, "fEx")).results[0]
+        v = b.insert(arith.Constant.float(4.5, 32)).results[0]
+        b.insert(fir.StoreOp(v, declared))
+        out = b.insert(fir.LoadOp(declared)).results[0]
+        b.insert(func.ReturnOp([out]))
+        verify(module)
+        assert Interpreter(module).call("f") == (pytest.approx(4.5),)
+
+    def test_dynamic_alloca(self):
+        module, fn, b = _fn(arg_types=[MemRefType(i32, [])], result_types=[index])
+        n = b.insert(fir.LoadOp(fn.body.args[0])).results[0]
+        n_idx = b.insert(fir.ConvertOp(n, index)).results[0]
+        from repro.ir.types import DYNAMIC
+
+        arr = b.insert(
+            fir.AllocaOp(MemRefType(f32, [DYNAMIC]), "v", [n_idx])
+        ).results[0]
+        zero = b.insert(arith.Constant.index(0)).results[0]
+        from repro.dialects import memref
+
+        dim = b.insert(memref.Dim(arr, zero)).results[0]
+        b.insert(func.ReturnOp([dim]))
+        verify(module)
+        assert Interpreter(module).call("f", np.array(7, np.int32)) == (7,)
+
+
+class TestArrays:
+    def test_one_based_indexing(self):
+        """fir.array_load/store use Fortran 1-based subscripts."""
+        module, fn, b = _fn(arg_types=[MemRefType(f32, [3])], result_types=[f32])
+        one = b.insert(arith.Constant.int(1, 32)).results[0]
+        v = b.insert(arith.Constant.float(9.0, 32)).results[0]
+        b.insert(fir.ArrayStoreOp(v, fn.body.args[0], [one]))
+        out = b.insert(fir.CoordinateOp(fn.body.args[0], [one])).results[0]
+        b.insert(func.ReturnOp([out]))
+        verify(module)
+        arr = np.zeros(3, np.float32)
+        result = Interpreter(module).call("f", arr)
+        assert result == (pytest.approx(9.0),)
+        assert arr[0] == 9.0  # element #1 is index 0
+
+
+class TestDoLoop:
+    def _sum_loop(self, lb, ub, step):
+        module, fn, b = _fn(result_types=[f32])
+        acc = b.insert(fir.AllocaOp(MemRefType(f32, []), "s")).results[0]
+        zero = b.insert(arith.Constant.float(0.0, 32)).results[0]
+        b.insert(fir.StoreOp(zero, acc))
+        lbv = b.insert(arith.Constant.index(lb)).results[0]
+        ubv = b.insert(arith.Constant.index(ub)).results[0]
+        stv = b.insert(arith.Constant.index(step)).results[0]
+        loop = b.insert(fir.DoLoopOp(lbv, ubv, stv))
+        inner = Builder.at_end(loop.body)
+        iv_i32 = inner.insert(fir.ConvertOp(loop.induction_var, i32)).results[0]
+        iv_f = inner.insert(fir.ConvertOp(iv_i32, f32)).results[0]
+        current = inner.insert(fir.LoadOp(acc)).results[0]
+        updated = inner.insert(arith.AddF(current, iv_f)).results[0]
+        inner.insert(fir.StoreOp(updated, acc))
+        out = b.insert(fir.LoadOp(acc)).results[0]
+        b.insert(func.ReturnOp([out]))
+        verify(module)
+        return Interpreter(module).call("f")[0]
+
+    def test_inclusive_upper_bound(self):
+        assert self._sum_loop(1, 4, 1) == pytest.approx(10.0)  # 1+2+3+4
+
+    def test_step(self):
+        assert self._sum_loop(1, 5, 2) == pytest.approx(9.0)  # 1+3+5
+
+    def test_negative_step(self):
+        assert self._sum_loop(3, 1, -1) == pytest.approx(6.0)  # 3+2+1
+
+    def test_zero_trips(self):
+        assert self._sum_loop(5, 1, 1) == pytest.approx(0.0)
+
+
+class TestIfAndConvert:
+    def test_if_branches(self):
+        module, fn, b = _fn(arg_types=[MemRefType(i32, [])], result_types=[i32])
+        v = b.insert(fir.LoadOp(fn.body.args[0])).results[0]
+        zero = b.insert(arith.Constant.int(0, 32)).results[0]
+        cond = b.insert(arith.CmpI("sgt", v, zero)).results[0]
+        out = b.insert(fir.AllocaOp(MemRefType(i32, []), "r")).results[0]
+        if_op = b.insert(fir.IfOp(cond))
+        tb = Builder.at_end(if_op.then_block)
+        one = tb.insert(arith.Constant.int(1, 32)).results[0]
+        tb.insert(fir.StoreOp(one, out))
+        eb = Builder.at_end(if_op.else_block)
+        minus = eb.insert(arith.Constant.int(-1, 32)).results[0]
+        eb.insert(fir.StoreOp(minus, out))
+        result = b.insert(fir.LoadOp(out)).results[0]
+        b.insert(func.ReturnOp([result]))
+        verify(module)
+        interp = Interpreter(module)
+        assert interp.call("f", np.array(5, np.int32)) == (1,)
+        assert interp.call("f", np.array(-5, np.int32)) == (-1,)
+
+    @pytest.mark.parametrize(
+        "src_value,target,expected",
+        [
+            (3, f32, 3.0),
+            (3.7, i32, 3),
+            (2.5, index, 2),
+        ],
+    )
+    def test_convert(self, src_value, target, expected):
+        module, fn, b = _fn(result_types=[target])
+        if isinstance(src_value, int):
+            v = b.insert(arith.Constant.int(src_value, 32)).results[0]
+        else:
+            v = b.insert(arith.Constant.float(src_value, 64)).results[0]
+        converted = b.insert(fir.ConvertOp(v, target)).results[0]
+        b.insert(func.ReturnOp([converted]))
+        assert Interpreter(module).call("f") == (expected,)
+
+    def test_print(self, capsys):
+        module, fn, b = _fn()
+        v = b.insert(arith.Constant.int(7, 32)).results[0]
+        b.insert(fir.PrintOp([v], label="value ="))
+        b.insert(func.ReturnOp())
+        Interpreter(module).call("f")
+        assert "value = 7" in capsys.readouterr().out

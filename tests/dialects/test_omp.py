@@ -1,0 +1,166 @@
+"""OMP dialect: op structure + sequential interpreter semantics."""
+
+import numpy as np
+import pytest
+
+from repro.dialects import arith, builtin, func, memref, omp
+from repro.ir import Builder, Interpreter, IRError, verify
+from repro.ir.types import FunctionType, MemRefType, f32, index, i32
+
+
+class TestMapInfo:
+    def _var(self):
+        module = builtin.ModuleOp()
+        fn = func.FuncOp("f", FunctionType([MemRefType(f32, [8])], []))
+        module.body.add_op(fn)
+        return module, fn, Builder.at_end(fn.body)
+
+    def test_map_types(self):
+        _, fn, b = self._var()
+        info = b.insert(omp.MapInfoOp(fn.body.args[0], "a", "tofrom,implicit"))
+        assert info.is_implicit
+        assert info.base_map_type == "tofrom"
+        assert info.copies_to_device and info.copies_from_device
+
+    def test_to_only(self):
+        _, fn, b = self._var()
+        info = b.insert(omp.MapInfoOp(fn.body.args[0], "a", "to"))
+        assert info.copies_to_device and not info.copies_from_device
+        assert not info.is_implicit
+
+    def test_from_only(self):
+        _, fn, b = self._var()
+        info = b.insert(omp.MapInfoOp(fn.body.args[0], "a", "from"))
+        assert not info.copies_to_device and info.copies_from_device
+
+    def test_invalid_map_type(self):
+        _, fn, b = self._var()
+        with pytest.raises(IRError, match="invalid map type"):
+            omp.MapInfoOp(fn.body.args[0], "a", "sideways")
+
+    def test_result_passthrough_type(self):
+        _, fn, b = self._var()
+        info = b.insert(omp.MapInfoOp(fn.body.args[0], "a", "to"))
+        assert info.results[0].type == fn.body.args[0].type
+
+
+class TestTargetStructure:
+    def test_region_args_match_maps(self):
+        module = builtin.ModuleOp()
+        fn = func.FuncOp("f", FunctionType([MemRefType(f32, [8])], []))
+        module.body.add_op(fn)
+        b = Builder.at_end(fn.body)
+        info = b.insert(omp.MapInfoOp(fn.body.args[0], "a", "tofrom"))
+        target = b.insert(omp.TargetOp([info.results[0]]))
+        assert len(target.body.args) == 1
+        Builder.at_end(target.body).insert(omp.TerminatorOp())
+        b.insert(func.ReturnOp())
+        verify(module)
+        assert target.map_info_ops() == [info]
+
+    def test_wsloop_reduction_validation(self):
+        with pytest.raises(IRError, match="length mismatch"):
+            omp.WsLoopOp(reduction_vars=[], reduction_kinds=["add"])
+
+    def test_wsloop_bad_kind(self):
+        module = builtin.ModuleOp()
+        fn = func.FuncOp("f", FunctionType([MemRefType(f32, [])], []))
+        module.body.add_op(fn)
+        with pytest.raises(IRError, match="invalid reduction kind"):
+            omp.WsLoopOp(
+                reduction_vars=[fn.body.args[0]], reduction_kinds=["xor"]
+            )
+
+    def test_loop_nest_finder(self):
+        module = builtin.ModuleOp()
+        fn = func.FuncOp("f", FunctionType([], []))
+        module.body.add_op(fn)
+        b = Builder.at_end(fn.body)
+        lb = b.insert(arith.Constant.index(1)).results[0]
+        ub = b.insert(arith.Constant.index(4)).results[0]
+        st = b.insert(arith.Constant.index(1)).results[0]
+        ws = b.insert(omp.WsLoopOp())
+        wb = Builder.at_end(ws.body)
+        simd = wb.insert(omp.SimdOp(4))
+        wb.insert(omp.TerminatorOp())
+        sb = Builder.at_end(simd.body)
+        nest = sb.insert(omp.LoopNestOp(lb, ub, st))
+        sb.insert(omp.TerminatorOp())
+        Builder.at_end(nest.body).insert(omp.YieldOp())
+        b.insert(func.ReturnOp())
+        assert ws.loop_nest() is nest
+        assert simd.loop_nest() is nest
+        assert simd.simdlen == 4
+
+
+class TestSequentialSemantics:
+    def _offload_module(self, inclusive=True):
+        """omp.target wrapping y[i] = 2*x[i] over i = 1..4 (inclusive)."""
+        module = builtin.ModuleOp()
+        vec = MemRefType(f32, [4])
+        fn = func.FuncOp("f", FunctionType([vec, vec], []))
+        module.body.add_op(fn)
+        b = Builder.at_end(fn.body)
+        infos = [
+            b.insert(omp.MapInfoOp(arg, name, "tofrom")).results[0]
+            for arg, name in zip(fn.body.args, ("x", "y"))
+        ]
+        target = b.insert(omp.TargetOp(infos))
+        tb = Builder.at_end(target.body)
+        lb = tb.insert(arith.Constant.index(1)).results[0]
+        ub = tb.insert(arith.Constant.index(4)).results[0]
+        st = tb.insert(arith.Constant.index(1)).results[0]
+        par = tb.insert(omp.ParallelOp())
+        pb = Builder.at_end(par.body)
+        ws = pb.insert(omp.WsLoopOp())
+        pb.insert(omp.TerminatorOp())
+        wb = Builder.at_end(ws.body)
+        nest = wb.insert(omp.LoopNestOp(lb, ub, st, inclusive=inclusive))
+        wb.insert(omp.TerminatorOp())
+        nb = Builder.at_end(nest.body)
+        one = nb.insert(arith.Constant.index(1)).results[0]
+        zero_based = nb.insert(arith.SubI(nest.induction_var, one)).results[0]
+        x, y = target.body.args
+        xv = nb.insert(memref.Load(x, [zero_based])).results[0]
+        two = nb.insert(arith.Constant.float(2.0, 32)).results[0]
+        doubled = nb.insert(arith.MulF(two, xv)).results[0]
+        nb.insert(memref.Store(doubled, y, [zero_based]))
+        nb.insert(omp.YieldOp())
+        tb.insert(omp.TerminatorOp())
+        b.insert(func.ReturnOp())
+        verify(module)
+        return module
+
+    def test_target_executes_region(self):
+        module = self._offload_module()
+        x = np.arange(1, 5, dtype=np.float32)
+        y = np.zeros(4, dtype=np.float32)
+        Interpreter(module).call("f", x, y)
+        assert np.allclose(y, 2 * x)
+
+    def test_inclusive_bound(self):
+        module = self._offload_module(inclusive=True)
+        x = np.ones(4, dtype=np.float32)
+        y = np.zeros(4, dtype=np.float32)
+        Interpreter(module).call("f", x, y)
+        assert np.count_nonzero(y) == 4  # all four iterations ran
+
+    def test_exclusive_bound(self):
+        module = self._offload_module(inclusive=False)
+        x = np.ones(4, dtype=np.float32)
+        y = np.zeros(4, dtype=np.float32)
+        Interpreter(module).call("f", x, y)
+        assert np.count_nonzero(y) == 3  # i = 1..3 only
+
+    def test_data_edges_are_noops(self):
+        module = builtin.ModuleOp()
+        fn = func.FuncOp("f", FunctionType([MemRefType(f32, [4])], []))
+        module.body.add_op(fn)
+        b = Builder.at_end(fn.body)
+        info = b.insert(omp.MapInfoOp(fn.body.args[0], "x", "to")).results[0]
+        b.insert(omp.TargetEnterDataOp([info]))
+        info2 = b.insert(omp.MapInfoOp(fn.body.args[0], "x", "from")).results[0]
+        b.insert(omp.TargetExitDataOp([info2]))
+        b.insert(func.ReturnOp())
+        verify(module)
+        Interpreter(module).call("f", np.zeros(4, np.float32))

@@ -1,0 +1,119 @@
+"""Structural validation for scf/memref/arith op constructors."""
+
+import pytest
+
+from repro.dialects import arith, memref, scf
+from repro.ir import Block, IRError, Region
+from repro.ir.types import MemRefType, f32, i32, index
+
+
+def _c(v):
+    block = Block()
+    return block.add_op(arith.Constant.index(v)).results[0]
+
+
+class TestArithValidation:
+    def test_binary_type_mismatch(self):
+        block = Block()
+        a = block.add_op(arith.Constant.index(1)).results[0]
+        b = block.add_op(arith.Constant.int(1, 32)).results[0]
+        op = arith.AddI(a, b)
+        with pytest.raises(IRError, match="types differ"):
+            op.verify_()
+
+    def test_bad_cmp_predicate(self):
+        a, b = _c(1), _c(2)
+        with pytest.raises(IRError, match="predicate"):
+            arith.CmpI("weird", a, b)
+
+    def test_constant_type_check(self):
+        from repro.ir.attributes import FloatAttr
+
+        op = arith.Constant(FloatAttr(1.0, 32), i32)
+        with pytest.raises(IRError):
+            op.verify_()
+
+    def test_python_value(self):
+        assert arith.Constant.index(5).python_value == 5
+        assert arith.Constant.float(2.5, 32).python_value == 2.5
+
+    def test_fastmath_attr(self):
+        a, b = _c(1), _c(2)
+        block = Block()
+        fa = block.add_op(arith.Constant.float(1.0, 32)).results[0]
+        fb = block.add_op(arith.Constant.float(2.0, 32)).results[0]
+        op = arith.AddF(fa, fb, fastmath="contract")
+        from repro.ir.attributes import StringAttr
+
+        assert op.attributes["fastmath"] == StringAttr("contract")
+
+
+class TestMemrefValidation:
+    def test_load_rank_check(self):
+        block = Block()
+        buf = block.add_op(memref.Alloca(MemRefType(f32, [4, 4]))).results[0]
+        idx = _c(0)
+        with pytest.raises(IRError, match="rank"):
+            memref.Load(buf, [idx])
+
+    def test_store_rank_check(self):
+        block = Block()
+        buf = block.add_op(memref.Alloca(MemRefType(f32, [4]))).results[0]
+        v = block.add_op(arith.Constant.float(0.0, 32)).results[0]
+        with pytest.raises(IRError, match="rank"):
+            memref.Store(v, buf, [])
+
+    def test_load_requires_memref(self):
+        with pytest.raises(IRError, match="memref"):
+            memref.Load(_c(1), [])
+
+    def test_alloc_dynamic_size_count(self):
+        from repro.ir.types import DYNAMIC
+
+        with pytest.raises(IRError, match="dynamic sizes"):
+            memref.Alloc(MemRefType(f32, [DYNAMIC]), [])
+
+    def test_cast_element_type_guard(self):
+        block = Block()
+        buf = block.add_op(memref.Alloca(MemRefType(f32, [4]))).results[0]
+        with pytest.raises(IRError, match="element type"):
+            memref.Cast(buf, MemRefType(i32, [4]))
+
+    def test_cast_rank_guard(self):
+        from repro.ir.types import DYNAMIC
+
+        block = Block()
+        buf = block.add_op(memref.Alloca(MemRefType(f32, [4]))).results[0]
+        with pytest.raises(IRError, match="rank"):
+            memref.Cast(buf, MemRefType(f32, [DYNAMIC, DYNAMIC]))
+
+
+class TestScfValidation:
+    def test_for_accessors(self):
+        lb, ub, step = _c(0), _c(8), _c(1)
+        loop = scf.For(lb, ub, step)
+        assert loop.lb is lb and loop.ub is ub and loop.step is step
+        assert loop.induction_var.type == index
+        assert loop.iter_args == ()
+
+    def test_for_with_iter_args(self):
+        lb, ub, step = _c(0), _c(8), _c(1)
+        init = _c(0)
+        loop = scf.For(lb, ub, step, [init])
+        assert len(loop.results) == 1
+        assert len(loop.body.args) == 2
+
+    def test_for_verify_requires_yield_arity(self):
+        lb, ub, step = _c(0), _c(8), _c(1)
+        init = _c(0)
+        loop = scf.For(lb, ub, step, [init])
+        loop.body.add_op(scf.Yield([]))  # wrong arity
+        with pytest.raises(IRError, match="arity"):
+            loop.verify_()
+
+    def test_if_blocks(self):
+        block = Block()
+        cond = block.add_op(arith.Constant.bool(True)).results[0]
+        if_op = scf.If(cond)
+        assert if_op.cond is cond
+        assert if_op.then_block is not if_op.else_block

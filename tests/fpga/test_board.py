@@ -1,0 +1,64 @@
+"""U280 board model tests."""
+
+import pytest
+
+from repro.fpga.board import U280Board, U280Resources
+
+
+class TestMemorySpaces:
+    def test_layout(self):
+        board = U280Board()
+        spaces = board.memory_spaces()
+        assert spaces[0].name == "host"
+        assert spaces[1].name == "HBM[0]"
+        assert spaces[16].name == "HBM[15]"
+        assert spaces[17].name == "DDR"
+
+    def test_validate(self):
+        board = U280Board()
+        assert board.validate_memory_space(1).name == "HBM[0]"
+        with pytest.raises(ValueError):
+            board.validate_memory_space(99)
+        with pytest.raises(ValueError):
+            board.validate_memory_space(-1)
+
+    def test_resource_totals(self):
+        r = U280Resources()
+        assert r.luts == 1_303_680
+        assert r.bram_36k == 2_016
+        assert r.dsp == 9_024
+
+
+class TestTiming:
+    def test_cycles_to_seconds(self):
+        board = U280Board()
+        assert board.cycles_to_seconds(300e6) == pytest.approx(1.0)
+
+    def test_dma_monotone_within_regimes(self):
+        board = U280Board()
+        small = [board.dma_time_s(b) for b in (64, 1024, 4096, 8192)]
+        assert small == sorted(small)
+        large = [
+            board.dma_time_s(b) for b in (32 * 1024, 1 << 20, 40 << 20)
+        ]
+        assert large == sorted(large)
+
+    def test_small_regime_slow_per_byte(self):
+        """The per-launch small-transfer path is far below peak bandwidth
+        (the mechanism behind Table 2's quadratic scaling)."""
+        board = U280Board()
+        small_bw = 8192 / board.dma_time_s(8192)
+        large_bw = (40 << 20) / board.dma_time_s(40 << 20)
+        assert large_bw / small_bw > 10
+
+    def test_zero_bytes(self):
+        board = U280Board()
+        assert board.dma_time_s(0) > 0  # latency only
+
+    def test_calibration_anchors(self):
+        """Keep the calibrated constants anchored to the paper's tables:
+        an 8 KiB transfer costs ~50 us (SGESL per-launch), a 40 MB
+        transfer ~6 ms (SAXPY bulk)."""
+        board = U280Board()
+        assert board.dma_time_s(8192) == pytest.approx(51.6e-6, rel=0.25)
+        assert board.dma_time_s(40 << 20) == pytest.approx(6.6e-3, rel=0.25)

@@ -1,0 +1,89 @@
+"""Power model + resource accounting tests (+ hypothesis monotonicity)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fpga.power import CpuPowerModel, FpgaPowerModel, _jitter
+from repro.fpga.resources import (
+    ResourceUsage,
+    bram_blocks_for,
+    shell_usage,
+)
+from repro.fpga.board import U280Resources
+
+
+class TestPowerModels:
+    def test_fpga_band(self):
+        model = FpgaPowerModel()
+        for work in (1e4, 1e5, 1e6, 1e7):
+            power = model.median_power_w(int(work), label="t")
+            assert 20.0 < power < 27.0
+
+    def test_cpu_band(self):
+        model = CpuPowerModel()
+        for work in (1e4, 1e7):
+            assert 48.0 < model.median_power_w(int(work), "t") < 60.0
+
+    def test_cpu_roughly_double_fpga(self):
+        fpga = FpgaPowerModel().median_power_w(10_000_000, label="x")
+        cpu = CpuPowerModel().median_power_w(10_000_000, "x")
+        assert cpu / fpga > 1.9
+
+    def test_deterministic(self):
+        model = FpgaPowerModel()
+        a = model.median_power_w(12345, label="same")
+        b = model.median_power_w(12345, label="same")
+        assert a == b
+
+    def test_jitter_bounded_and_keyed(self):
+        assert abs(_jitter("k1", 0.5)) <= 0.5
+        assert _jitter("k1", 0.5) != _jitter("k2", 0.5)
+
+    def test_fabric_term(self):
+        model = FpgaPowerModel()
+        small = shell_usage()
+        big = ResourceUsage(small.luts + 100_000, 0, small.bram_36k, small.dsp)
+        p_small = model.median_power_w(1_000_000, small, "f")
+        p_big = model.median_power_w(1_000_000, big, "f")
+        assert p_big > p_small
+
+    @given(st.integers(min_value=10, max_value=10**9))
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_work_modulo_jitter(self, work):
+        """The deterministic part grows with work (jitter bounded 0.45)."""
+        model = FpgaPowerModel()
+        lo = model.median_power_w(work, label="m")
+        hi = model.median_power_w(work * 10, label="m")
+        assert hi > lo - 2 * 0.45
+
+
+class TestResources:
+    def test_addition(self):
+        a = ResourceUsage(1, 2, 3, 4)
+        b = ResourceUsage(10, 20, 30, 40)
+        c = a + b
+        assert (c.luts, c.ffs, c.bram_36k, c.dsp) == (11, 22, 33, 44)
+
+    def test_percentages_rounding(self):
+        shell = shell_usage()
+        pct = shell.percentages(U280Resources())
+        assert pct.rounded() == (8.19, 10.07, 0.1)
+
+    def test_shell_matches_paper_floor(self):
+        """The shell floor sits just under every Table 3/4 entry."""
+        pct = shell_usage().percentages(U280Resources())
+        assert 8.0 < pct.lut < 8.29
+        assert pct.bram == pytest.approx(10.07, abs=0.005)
+
+    @pytest.mark.parametrize(
+        "nbytes,blocks",
+        [(0, 0), (1024, 0), (1025, 1), (4608, 1), (4609, 2), (46080, 10)],
+    )
+    def test_bram_blocks(self, nbytes, blocks):
+        assert bram_blocks_for(nbytes) == blocks
+
+    @given(st.integers(min_value=0, max_value=10**7))
+    @settings(max_examples=50, deadline=None)
+    def test_bram_monotone(self, nbytes):
+        assert bram_blocks_for(nbytes) <= bram_blocks_for(nbytes + 4096)

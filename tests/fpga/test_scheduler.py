@@ -1,0 +1,94 @@
+"""HLS scheduler tests: II derivation and operator binding."""
+
+import pytest
+
+from repro.backend.vitis import VitisCompiler
+from repro.baselines import build_saxpy_module, build_sgesl_module
+from repro.fpga.board import U280Board
+from repro.fpga.scheduler import HlsScheduler
+from repro.fpga.resources import shell_usage
+
+
+def _schedule(module):
+    from repro.dialects import func
+
+    scheduler = HlsScheduler(U280Board())
+    fn = next(op for op in module.walk() if isinstance(op, func.FuncOp))
+    return scheduler.schedule(fn)
+
+
+class TestMemoryII:
+    def test_saxpy_memory_bound(self):
+        """y load+store on one bundle -> II = 2 accesses * 16 cycles per
+        unroll copy; with unroll 10 the main loop sees 320."""
+        schedule = _schedule(build_saxpy_module(unroll=10))
+        main = max(
+            schedule.loops.values(), key=lambda s: s.unroll_factor
+        )
+        assert main.unroll_factor == 10
+        assert main.memory_ii == 20 * 16  # 10 loads + 10 stores of y
+        assert main.achieved_ii == main.memory_ii
+        assert main.dependence_ii == 1
+
+    def test_sgesl_ii(self):
+        schedule = _schedule(build_sgesl_module())
+        (loop,) = schedule.loops.values()
+        assert loop.memory_ii == 2 * 16  # b: load + store
+        assert loop.achieved_ii == 32
+        assert loop.pipelined
+
+    def test_axilite_accesses_free(self):
+        """Scalar (control) register reads do not constrain II."""
+        schedule = _schedule(build_sgesl_module())
+        (loop,) = schedule.loops.values()
+        assert "control" not in loop.bundle_accesses
+
+    def test_cycles_model(self):
+        schedule = _schedule(build_sgesl_module())
+        (loop,) = schedule.loops.values()
+        trips = 1000
+        cycles = loop.cycles(trips)
+        assert cycles == loop.fill_cycles + trips * loop.achieved_ii
+        assert loop.cycles(0) == 0
+
+
+class TestBinding:
+    def test_unit_sharing_under_large_ii(self):
+        """10 unroll copies of the MAC bind to a single physical unit
+        because the achieved II covers them (the Table 3 effect)."""
+        schedule = _schedule(build_saxpy_module(unroll=10))
+        mulf = next(
+            op for op in schedule.operators if op.op_name == "arith.mulf"
+        )
+        assert mulf.replication == 10
+        assert mulf.physical == 1
+
+    def test_mac_dsp_binding_only_with_idiom(self):
+        saxpy = _schedule(build_saxpy_module())
+        assert saxpy.kernel_resources.dsp == 0
+        sgesl = _schedule(build_sgesl_module())
+        assert sgesl.kernel_resources.dsp == 12  # one DSP-cascade MAC
+
+    def test_total_includes_shell(self):
+        schedule = _schedule(build_sgesl_module())
+        shell = shell_usage()
+        total = schedule.total_resources
+        assert total.luts > shell.luts
+        assert total.bram_36k == shell.bram_36k  # kernel adds no BRAM
+        assert total.dsp == shell.dsp + 12
+
+
+class TestVitisReport:
+    def test_report_contents(self):
+        bitstream = VitisCompiler().compile(build_sgesl_module())
+        report = bitstream.report()
+        assert "xilinx_u280" in report
+        assert "II=32" in report
+        assert "LUT" in report and "DSP" in report
+
+    def test_requires_fpga_module(self):
+        from repro.dialects import builtin
+        from repro.ir import IRError
+
+        with pytest.raises(IRError, match="fpga"):
+            VitisCompiler().compile(builtin.ModuleOp())

@@ -1,0 +1,106 @@
+"""OpenMP directive parsing tests."""
+
+import pytest
+
+from repro.frontend.directives import parse_directive
+from repro.frontend.lexer import FortranSyntaxError
+
+
+class TestConstructs:
+    def test_bare_target(self):
+        d = parse_directive("target")
+        assert d.construct == "target" and not d.is_end
+        assert not d.parallel_do and not d.simd
+
+    def test_target_parallel_do(self):
+        d = parse_directive("target parallel do")
+        assert d.construct == "target" and d.parallel_do and not d.simd
+
+    def test_target_parallel_do_simd(self):
+        d = parse_directive("target parallel do simd simdlen(10)")
+        assert d.parallel_do and d.simd
+        assert d.clauses.simdlen == 10
+
+    def test_end_forms(self):
+        d = parse_directive("end target parallel do simd")
+        assert d.is_end and d.construct == "target" and d.simd
+
+    def test_target_data(self):
+        d = parse_directive("target data map(from: a)")
+        assert d.construct == "target data"
+        assert d.clauses.maps[0].map_type == "from"
+        assert d.clauses.maps[0].vars == ["a"]
+
+    def test_enter_exit_data(self):
+        assert parse_directive("target enter data map(to: x)").construct == \
+            "target enter data"
+        assert parse_directive("target exit data map(from: x)").construct == \
+            "target exit data"
+
+    def test_target_update(self):
+        d = parse_directive("target update from(a) to(b, c)")
+        assert d.construct == "target update"
+        assert d.from_vars == ["a"]
+        assert d.to_vars == ["b", "c"]
+
+    def test_host_parallel_do(self):
+        d = parse_directive("parallel do")
+        assert d.construct == "parallel do"
+
+    def test_unknown_construct(self):
+        with pytest.raises(FortranSyntaxError):
+            parse_directive("sections")
+
+    def test_bare_end(self):
+        with pytest.raises(FortranSyntaxError):
+            parse_directive("end")
+
+
+class TestClauses:
+    def test_map_multiple_vars(self):
+        d = parse_directive("target map(tofrom: a, b) map(to: c)")
+        assert len(d.clauses.maps) == 2
+        assert d.clauses.maps[0].vars == ["a", "b"]
+        assert d.clauses.maps[1].map_type == "to"
+
+    def test_map_default_tofrom(self):
+        d = parse_directive("target map(a)")
+        assert d.clauses.maps[0].map_type == "tofrom"
+
+    def test_map_with_section_strips_bounds(self):
+        d = parse_directive("target map(to: a(1:n))")
+        assert d.clauses.maps[0].vars == ["a"]
+
+    def test_bad_map_type(self):
+        with pytest.raises(FortranSyntaxError, match="bad map type"):
+            parse_directive("target map(upward: a)")
+
+    def test_reduction(self):
+        d = parse_directive("target parallel do reduction(+:s)")
+        assert d.clauses.reductions[0].operator == "+"
+        assert d.clauses.reductions[0].vars == ["s"]
+
+    @pytest.mark.parametrize("op", ["+", "*", "max", "min"])
+    def test_reduction_operators(self, op):
+        d = parse_directive(f"target parallel do reduction({op}: s)")
+        assert d.clauses.reductions[0].operator == op
+
+    def test_unsupported_reduction_op(self):
+        with pytest.raises(FortranSyntaxError):
+            parse_directive("target parallel do reduction(.and.: s)")
+
+    def test_simdlen_requires_int(self):
+        with pytest.raises(FortranSyntaxError):
+            parse_directive("target parallel do simd simdlen(x)")
+
+    def test_device_clause(self):
+        d = parse_directive("target device(2)")
+        assert d.clauses.device == 2
+
+    def test_ignored_clauses_accepted(self):
+        d = parse_directive("target parallel do private(t) schedule(static)")
+        assert d.parallel_do  # no exception
+
+    def test_unknown_clause_rejected(self):
+        with pytest.raises(FortranSyntaxError, match="unsupported OpenMP clause"):
+            parse_directive("target allocate(a)")

@@ -1,0 +1,86 @@
+"""Fortran lexer tests."""
+
+import pytest
+
+from repro.frontend.lexer import FortranSyntaxError, TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source) if t.kind != TokenKind.NEWLINE][:-1]
+
+
+def texts(source):
+    return [
+        t.text
+        for t in tokenize(source)
+        if t.kind not in (TokenKind.NEWLINE, TokenKind.EOF)
+    ]
+
+
+class TestBasics:
+    def test_case_normalization(self):
+        assert texts("REAL :: X") == ["real", "::", "x"]
+
+    def test_integer_vs_real(self):
+        tokens = tokenize("x = 1 + 2.5")
+        kinds_ = [t.kind for t in tokens]
+        assert TokenKind.INT in kinds_
+        assert TokenKind.REAL in kinds_
+
+    def test_d_exponent(self):
+        tokens = [t for t in tokenize("x = 1d0") if t.kind == TokenKind.REAL]
+        assert tokens[0].text == "1d0"
+
+    def test_scientific(self):
+        tokens = [t for t in tokenize("x = 1.5e-3") if t.kind == TokenKind.REAL]
+        assert tokens[0].text == "1.5e-3"
+
+    def test_operators(self):
+        assert texts("a ** b == c /= d") == ["a", "**", "b", "==", "c", "/=", "d"]
+
+    def test_double_colon(self):
+        assert "::" in texts("integer :: i")
+
+    def test_logical_ops(self):
+        result = texts("a .and. b .or. .not. c")
+        assert ".and." in result and ".or." in result and ".not." in result
+
+    def test_old_style_comparisons(self):
+        assert ".lt." in texts("if (a .lt. b) then")
+
+    def test_string_literal(self):
+        tokens = [t for t in tokenize("print *, 'hello'") if t.kind == TokenKind.STRING]
+        assert tokens[0].text == "'hello'"
+
+    def test_comment_dropped(self):
+        assert texts("x = 1 ! a comment") == ["x", "=", "1"]
+
+    def test_bad_character(self):
+        with pytest.raises(FortranSyntaxError):
+            tokenize("x = `")
+
+
+class TestOmpSentinels:
+    def test_directive_token(self):
+        tokens = tokenize("!$omp target parallel do\n")
+        assert tokens[0].kind == TokenKind.OMP_DIRECTIVE
+        assert tokens[0].text == "target parallel do"
+
+    def test_case_insensitive_sentinel(self):
+        tokens = tokenize("!$OMP TARGET\n")
+        assert tokens[0].kind == TokenKind.OMP_DIRECTIVE
+
+    def test_regular_comment_not_directive(self):
+        tokens = tokenize("! just a comment\n")
+        assert all(t.kind != TokenKind.OMP_DIRECTIVE for t in tokens)
+
+
+class TestContinuations:
+    def test_ampersand_splices(self):
+        source = "x = 1 + &\n    2\n"
+        assert texts(source) == ["x", "=", "1", "+", "2"]
+
+    def test_line_numbers_survive(self):
+        tokens = tokenize("a = 1\nb = 2\n")
+        b_token = [t for t in tokens if t.text == "b"][0]
+        assert b_token.line == 2

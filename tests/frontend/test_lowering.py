@@ -1,0 +1,269 @@
+"""AST -> FIR lowering tests (executed through the interpreter)."""
+
+import numpy as np
+import pytest
+
+from repro.frontend import compile_to_fir
+from repro.frontend.lowering import LoweringError
+from repro.ir import Interpreter, verify
+
+
+def run_program(source: str, name: str = "t", *args):
+    result = compile_to_fir(source)
+    verify(result.module)
+    interp = Interpreter(result.module)
+    interp.call(name, *args)
+    return result
+
+
+def program(body: str, decls: str = "") -> str:
+    return f"program t\n{decls}\n{body}\nend program\n"
+
+
+class TestScalarsAndArithmetic:
+    def test_scalar_roundtrip(self):
+        source = (
+            "subroutine s(out)\nreal, intent(out) :: out\n"
+            "out = 1.5 + 2.0 * 3.0\nend subroutine\n"
+        )
+        result = compile_to_fir(source)
+        out = np.zeros((), np.float32)
+        Interpreter(result.module).call("s", out)
+        assert out[()] == pytest.approx(7.5)
+
+    def test_integer_division(self):
+        source = (
+            "subroutine s(out)\ninteger, intent(out) :: out\n"
+            "out = 7 / 2\nend subroutine\n"
+        )
+        out = np.zeros((), np.int32)
+        Interpreter(compile_to_fir(source).module).call("s", out)
+        assert out[()] == 3
+
+    def test_mixed_promotion(self):
+        source = (
+            "subroutine s(out)\nreal, intent(out) :: out\n"
+            "integer :: i\ni = 3\nout = i / 2.0\nend subroutine\n"
+        )
+        out = np.zeros((), np.float32)
+        Interpreter(compile_to_fir(source).module).call("s", out)
+        assert out[()] == pytest.approx(1.5)
+
+    def test_double_precision(self):
+        source = (
+            "subroutine s(out)\ndouble precision, intent(out) :: out\n"
+            "out = 1d0 / 3d0\nend subroutine\n"
+        )
+        out = np.zeros((), np.float64)
+        Interpreter(compile_to_fir(source).module).call("s", out)
+        assert out[()] == pytest.approx(1.0 / 3.0, abs=1e-12)
+
+    def test_power(self):
+        source = (
+            "subroutine s(out)\nreal, intent(out) :: out\n"
+            "real :: x\nx = 3.0\nout = x ** 2\nend subroutine\n"
+        )
+        out = np.zeros((), np.float32)
+        Interpreter(compile_to_fir(source).module).call("s", out)
+        assert out[()] == pytest.approx(9.0)
+
+    def test_parameter_materialized(self):
+        source = (
+            "subroutine s(out)\nreal, intent(out) :: out\n"
+            "real, parameter :: pi = 3.25\nout = pi\nend subroutine\n"
+        )
+        out = np.zeros((), np.float32)
+        Interpreter(compile_to_fir(source).module).call("s", out)
+        assert out[()] == pytest.approx(3.25)
+
+
+class TestControlFlow:
+    def test_do_loop_writes_array(self):
+        source = (
+            "subroutine s(a, n)\ninteger, intent(in) :: n\n"
+            "real, intent(out) :: a(n)\ninteger :: i\n"
+            "do i = 1, n\na(i) = real(i) * 2.0\nend do\nend subroutine\n"
+        )
+        a = np.zeros(5, np.float32)
+        Interpreter(compile_to_fir(source).module).call(
+            "s", a, np.array(5, np.int32)
+        )
+        assert np.allclose(a, 2.0 * np.arange(1, 6))
+
+    def test_nested_loops_2d(self):
+        source = (
+            "subroutine s(m, n)\ninteger, intent(in) :: n\n"
+            "real, intent(out) :: m(n, n)\ninteger :: i, j\n"
+            "do i = 1, n\ndo j = 1, n\nm(i, j) = real(i * 10 + j)\n"
+            "end do\nend do\nend subroutine\n"
+        )
+        m = np.zeros((3, 3), np.float32)
+        Interpreter(compile_to_fir(source).module).call(
+            "s", m, np.array(3, np.int32)
+        )
+        assert m[1, 2] == pytest.approx(23.0)  # i=2, j=3
+
+    def test_if_chain(self):
+        source = (
+            "subroutine s(x, out)\ninteger, intent(in) :: x\n"
+            "integer, intent(out) :: out\n"
+            "if (x > 0) then\nout = 1\nelse if (x < 0) then\nout = -1\n"
+            "else\nout = 0\nend if\nend subroutine\n"
+        )
+        module = compile_to_fir(source).module
+        for value, expected in ((5, 1), (-2, -1), (0, 0)):
+            out = np.zeros((), np.int32)
+            Interpreter(module).call("s", np.array(value, np.int32), out)
+            assert out[()] == expected
+
+    def test_call_by_reference(self):
+        source = (
+            "subroutine inc(x)\nreal, intent(inout) :: x\nx = x + 1.0\n"
+            "end subroutine\n"
+            "subroutine s(out)\nreal, intent(out) :: out\n"
+            "out = 5.0\ncall inc(out)\ncall inc(out)\nend subroutine\n"
+        )
+        out = np.zeros((), np.float32)
+        Interpreter(compile_to_fir(source).module).call("s", out)
+        assert out[()] == pytest.approx(7.0)
+
+    def test_array_argument_cast(self):
+        """Static actual array -> dynamic dummy inserts a memref.cast."""
+        source = (
+            "subroutine fill(a, n)\ninteger, intent(in) :: n\n"
+            "real, intent(out) :: a(n)\ninteger :: i\n"
+            "do i = 1, n\na(i) = 1.0\nend do\nend subroutine\n"
+            "program t\nreal :: v(6)\ninteger :: i\ncall fill(v, 6)\n"
+            "end program\n"
+        )
+        result = compile_to_fir(source)
+        names = [op.name for op in result.module.walk()]
+        assert "memref.cast" in names
+        Interpreter(result.module).call("t")
+
+
+class TestIntrinsics:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("mod(7, 3)", 1),
+            ("min(4, 2)", 2),
+            ("max(4, 2)", 4),
+            ("abs(-3)", 3),
+        ],
+    )
+    def test_integer_intrinsics(self, expr, expected):
+        source = (
+            f"subroutine s(out)\ninteger, intent(out) :: out\n"
+            f"out = {expr}\nend subroutine\n"
+        )
+        out = np.zeros((), np.int32)
+        Interpreter(compile_to_fir(source).module).call("s", out)
+        assert out[()] == expected
+
+    def test_sqrt(self):
+        source = (
+            "subroutine s(out)\nreal, intent(out) :: out\n"
+            "out = sqrt(16.0)\nend subroutine\n"
+        )
+        out = np.zeros((), np.float32)
+        Interpreter(compile_to_fir(source).module).call("s", out)
+        assert out[()] == pytest.approx(4.0)
+
+    def test_size(self):
+        source = (
+            "subroutine s(a, n, out)\ninteger, intent(in) :: n\n"
+            "real, intent(in) :: a(n)\ninteger, intent(out) :: out\n"
+            "out = size(a)\nend subroutine\n"
+        )
+        out = np.zeros((), np.int32)
+        Interpreter(compile_to_fir(source).module).call(
+            "s", np.zeros(9, np.float32), np.array(9, np.int32), out
+        )
+        assert out[()] == 9
+
+
+class TestOmpLowering:
+    def test_implicit_maps_classified(self, saxpy_mini_source):
+        from repro.dialects.omp import MapInfoOp
+
+        result = compile_to_fir(saxpy_mini_source)
+        infos = {
+            op.var_name: op.map_type
+            for op in result.module.walk()
+            if isinstance(op, MapInfoOp)
+        }
+        assert infos["x"] == "tofrom,implicit"
+        assert infos["y"] == "tofrom,implicit"
+        assert infos["a"] == "to,implicit"
+        assert infos["n"] == "to,implicit"
+        assert "i" not in infos  # loop variable is private
+
+    def test_explicit_map_respected(self):
+        from repro.dialects.omp import MapInfoOp
+
+        source = (
+            "subroutine s(a, n)\ninteger, intent(in) :: n\n"
+            "real, intent(out) :: a(n)\ninteger :: i\n"
+            "!$omp target parallel do map(from: a)\n"
+            "do i = 1, n\na(i) = 1.0\nend do\n"
+            "!$omp end target parallel do\nend subroutine\n"
+        )
+        result = compile_to_fir(source)
+        infos = {
+            op.var_name: op.map_type
+            for op in result.module.walk()
+            if isinstance(op, MapInfoOp)
+        }
+        assert infos["a"] == "from"
+
+    def test_written_scalar_is_private(self):
+        """A scalar assigned inside the region becomes a region alloca."""
+        from repro.dialects.omp import MapInfoOp, TargetOp
+
+        source = (
+            "subroutine s(a, n)\ninteger, intent(in) :: n\n"
+            "real, intent(out) :: a(n)\ninteger :: i\nreal :: tmp\n"
+            "!$omp target parallel do\n"
+            "do i = 1, n\ntmp = real(i)\na(i) = tmp\nend do\n"
+            "!$omp end target parallel do\nend subroutine\n"
+        )
+        result = compile_to_fir(source)
+        infos = [
+            op.var_name
+            for op in result.module.walk()
+            if isinstance(op, MapInfoOp)
+        ]
+        assert "tmp" not in infos
+        target = next(
+            op for op in result.module.walk() if isinstance(op, TargetOp)
+        )
+        allocas = [
+            op for op in target.walk() if op.name == "fir.alloca"
+        ]
+        assert allocas, "private scalar must be allocated inside the region"
+
+    def test_reduction_recorded_on_wsloop(self):
+        from repro.dialects.omp import WsLoopOp
+
+        source = (
+            "subroutine s(x, s0, n)\ninteger, intent(in) :: n\n"
+            "real, intent(in) :: x(n)\nreal, intent(out) :: s0\n"
+            "integer :: i\ns0 = 0.0\n"
+            "!$omp target parallel do reduction(+: s0)\n"
+            "do i = 1, n\ns0 = s0 + x(i)\nend do\n"
+            "!$omp end target parallel do\nend subroutine\n"
+        )
+        result = compile_to_fir(source)
+        wsloop = next(
+            op for op in result.module.walk() if isinstance(op, WsLoopOp)
+        )
+        assert wsloop.reduction_kinds == ["add"]
+        assert len(wsloop.reduction_vars) == 1
+
+    def test_exit_unsupported(self):
+        source = program(
+            "do i = 1, 4\nexit\nend do", "integer :: i"
+        )
+        with pytest.raises(LoweringError):
+            compile_to_fir(source)

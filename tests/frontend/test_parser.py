@@ -1,0 +1,209 @@
+"""Fortran statement/unit parser tests."""
+
+import pytest
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.lexer import FortranSyntaxError
+from repro.frontend.parser import parse_source
+
+
+def parse_unit(body: str, decls: str = "", kind: str = "program"):
+    if kind == "program":
+        source = f"program t\n{decls}\n{body}\nend program t\n"
+    else:
+        source = f"subroutine t()\n{decls}\n{body}\nend subroutine\n"
+    return parse_source(source).units[0]
+
+
+class TestUnits:
+    def test_program(self):
+        unit = parse_source("program hello\nend program hello\n").units[0]
+        assert unit.kind == "program" and unit.name == "hello"
+
+    def test_subroutine_args(self):
+        unit = parse_source(
+            "subroutine s(a, b, n)\ninteger :: a, b, n\nend subroutine\n"
+        ).units[0]
+        assert unit.dummy_args == ["a", "b", "n"]
+
+    def test_multiple_units(self):
+        source = (
+            "subroutine a()\nend subroutine\n"
+            "program b\nend program\n"
+        )
+        units = parse_source(source).units
+        assert [u.name for u in units] == ["a", "b"]
+
+    def test_use_and_implicit_none_skipped(self):
+        unit = parse_source(
+            "program t\nuse iso_fortran_env\nimplicit none\nend program\n"
+        ).units[0]
+        assert unit.body == []
+
+    def test_empty_source(self):
+        with pytest.raises(FortranSyntaxError):
+            parse_source("\n")
+
+
+class TestDeclarations:
+    def test_array_and_scalar(self):
+        unit = parse_unit("", "real :: a(100), b")
+        assert unit.decls[0].name == "a"
+        assert isinstance(unit.decls[0].dims[0], ast.IntLit)
+        assert unit.decls[1].name == "b" and unit.decls[1].dims == []
+
+    def test_kind(self):
+        unit = parse_unit("", "real(8) :: x\ninteger(kind=8) :: n")
+        assert unit.decls[0].type.kind == 8
+        assert unit.decls[1].type.kind == 8
+
+    def test_double_precision(self):
+        unit = parse_unit("", "double precision :: d")
+        assert unit.decls[0].type == ast.TypeSpec("real", 8)
+
+    def test_parameter(self):
+        unit = parse_unit("", "integer, parameter :: n = 128")
+        assert unit.decls[0].is_parameter
+        assert unit.decls[0].init.value == 128
+
+    def test_intent(self):
+        unit = parse_unit("", "real, intent(inout) :: y(10)")
+        assert unit.decls[0].intent == "inout"
+
+    def test_dimension_attribute(self):
+        unit = parse_unit("", "real, dimension(4, 5) :: m")
+        assert len(unit.decls[0].dims) == 2
+
+    def test_2d_array(self):
+        unit = parse_unit("", "real :: a(3, 4)")
+        assert len(unit.decls[0].dims) == 2
+
+
+class TestStatements:
+    def test_assignment(self):
+        unit = parse_unit("x = 1 + 2 * 3", "integer :: x")
+        stmt = unit.body[0]
+        assert isinstance(stmt, ast.Assign)
+        assert isinstance(stmt.value, ast.BinOp) and stmt.value.op == "+"
+        # precedence: 2*3 grouped under +
+        assert stmt.value.rhs.op == "*"
+
+    def test_power_right_assoc(self):
+        unit = parse_unit("x = 2 ** 3 ** 2", "integer :: x")
+        power = unit.body[0].value
+        assert power.op == "**"
+        assert power.rhs.op == "**"
+
+    def test_array_assignment(self):
+        unit = parse_unit("a(i) = 0.0", "real :: a(5)\ninteger :: i")
+        target = unit.body[0].target
+        assert isinstance(target, ast.ArrayRef) and target.name == "a"
+
+    def test_do_loop(self):
+        unit = parse_unit(
+            "do i = 1, 10, 2\nx = i\nend do", "integer :: i, x"
+        )
+        loop = unit.body[0]
+        assert isinstance(loop, ast.DoLoop)
+        assert loop.var == "i" and loop.step.value == 2
+        assert len(loop.body) == 1
+
+    def test_if_elseif_else(self):
+        body = (
+            "if (x > 0) then\ny = 1\nelse if (x < 0) then\ny = 2\n"
+            "else\ny = 3\nend if"
+        )
+        unit = parse_unit(body, "integer :: x, y")
+        block = unit.body[0]
+        assert isinstance(block, ast.IfBlock)
+        assert len(block.conditions) == 2
+        assert len(block.bodies) == 2
+        assert len(block.else_body) == 1
+
+    def test_one_line_if(self):
+        unit = parse_unit("if (x > 0) y = 1", "integer :: x, y")
+        block = unit.body[0]
+        assert isinstance(block, ast.IfBlock)
+        assert block.bodies[0] and not block.else_body
+
+    def test_call(self):
+        unit = parse_unit("call foo(x, 2)", "integer :: x")
+        stmt = unit.body[0]
+        assert isinstance(stmt, ast.CallStmt)
+        assert stmt.name == "foo" and len(stmt.args) == 2
+
+    def test_print(self):
+        unit = parse_unit("print *, 'x is', x", "integer :: x")
+        stmt = unit.body[0]
+        assert isinstance(stmt, ast.PrintStmt)
+        assert isinstance(stmt.items[0], ast.StringLit)
+
+    def test_unary_minus(self):
+        unit = parse_unit("x = -y", "integer :: x, y")
+        assert isinstance(unit.body[0].value, ast.UnOp)
+
+    def test_logical_expression(self):
+        unit = parse_unit(
+            "if (a > 0 .and. b < 1) x = 1",
+            "integer :: a, b, x",
+        )
+        cond = unit.body[0].conditions[0]
+        assert cond.op == ".and."
+
+
+class TestOmpStructured:
+    def test_target_data_nests_body(self):
+        body = (
+            "!$omp target data map(from: a)\n"
+            "a(1) = 0.0\n"
+            "!$omp end target data"
+        )
+        unit = parse_unit(body, "real :: a(4)")
+        region = unit.body[0]
+        assert isinstance(region, ast.OmpTargetData)
+        assert len(region.body) == 1
+
+    def test_target_parallel_do_owns_loop(self):
+        body = (
+            "!$omp target parallel do\n"
+            "do i = 1, 4\na(i) = 0.0\nend do\n"
+            "!$omp end target parallel do"
+        )
+        unit = parse_unit(body, "real :: a(4)\ninteger :: i")
+        target = unit.body[0]
+        assert isinstance(target, ast.OmpTarget)
+        assert target.parallel_do and target.is_target
+        assert isinstance(target.body[0], ast.DoLoop)
+
+    def test_end_directive_optional_for_combined(self):
+        body = "!$omp target parallel do\ndo i = 1, 4\na(i) = 0.0\nend do"
+        unit = parse_unit(body, "real :: a(4)\ninteger :: i")
+        assert isinstance(unit.body[0], ast.OmpTarget)
+
+    def test_missing_end_target_data(self):
+        body = "!$omp target data map(to: a)\na(1) = 0.0"
+        with pytest.raises(FortranSyntaxError, match="end target data"):
+            parse_unit(body, "real :: a(4)")
+
+    def test_host_parallel_do_flag(self):
+        body = (
+            "!$omp parallel do\ndo i = 1, 4\na(i) = 0.0\nend do\n"
+            "!$omp end parallel do"
+        )
+        unit = parse_unit(body, "real :: a(4)\ninteger :: i")
+        assert not unit.body[0].is_target
+
+    def test_nested_listing1_shape(self):
+        """The paper's Listing 1: target inside target data."""
+        body = (
+            "!$omp target data map(from: a)\n"
+            "!$omp target map(to: b)\n"
+            "do i = 1, 4\na(i) = b(i)\nend do\n"
+            "!$omp end target\n"
+            "!$omp end target data"
+        )
+        unit = parse_unit(body, "real :: a(4), b(4)\ninteger :: i")
+        outer = unit.body[0]
+        assert isinstance(outer, ast.OmpTargetData)
+        inner = outer.body[0]
+        assert isinstance(inner, ast.OmpTarget) and not inner.parallel_do

@@ -1,0 +1,144 @@
+"""Semantic analysis tests."""
+
+import pytest
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.parser import parse_source
+from repro.frontend.sema import SemanticError, analyze, expr_type
+
+
+def analyze_source(source: str):
+    return analyze(parse_source(source))
+
+
+def analyze_body(body: str, decls: str = ""):
+    return analyze_source(f"program t\n{decls}\n{body}\nend program\n")
+
+
+class TestSymbols:
+    def test_undeclared_rejected(self):
+        with pytest.raises(SemanticError, match="undeclared"):
+            analyze_body("x = 1")
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(SemanticError, match="duplicate"):
+            analyze_body("", "integer :: x\ninteger :: x")
+
+    def test_undeclared_dummy_rejected(self):
+        with pytest.raises(SemanticError, match="dummy argument"):
+            analyze_source("subroutine s(a)\nend subroutine\n")
+
+    def test_symbol_properties(self):
+        info = analyze_source(
+            "subroutine s(a, n)\ninteger, intent(in) :: n\n"
+            "real, intent(inout) :: a(n)\nend subroutine\n"
+        ).units["s"]
+        a = info.symbol("a")
+        assert a.is_dummy and a.is_array and a.rank == 1
+        assert a.intent == "inout"
+        n = info.symbol("n")
+        assert n.type.base == "integer" and not n.is_array
+
+
+class TestParameters:
+    def test_folding(self):
+        info = analyze_body(
+            "", "integer, parameter :: n = 4 * 8 + 2"
+        ).units["t"]
+        assert info.symbol("n").param_value == 34
+
+    def test_parameter_chain(self):
+        info = analyze_body(
+            "", "integer, parameter :: a = 3\ninteger, parameter :: b = a * 2"
+        ).units["t"]
+        assert info.symbol("b").param_value == 6
+
+    def test_non_constant_rejected(self):
+        with pytest.raises(SemanticError, match="not constant"):
+            analyze_body("", "integer :: m\ninteger, parameter :: n = m")
+
+    def test_assignment_to_parameter_rejected(self):
+        with pytest.raises(SemanticError, match="parameter"):
+            analyze_body("n = 5", "integer, parameter :: n = 4")
+
+
+class TestChecks:
+    def test_rank_mismatch(self):
+        with pytest.raises(SemanticError, match="rank"):
+            analyze_body("x = a(1, 2)", "real :: a(5)\nreal :: x")
+
+    def test_subscripted_scalar(self):
+        with pytest.raises(SemanticError, match="not an array"):
+            analyze_body("y = x(1)", "real :: x, y")
+
+    def test_whole_array_in_expression(self):
+        with pytest.raises(SemanticError, match="whole-array"):
+            analyze_body("x = a + 1.0", "real :: a(5)\nreal :: x")
+
+    def test_whole_array_assignment(self):
+        with pytest.raises(SemanticError, match="whole-array"):
+            analyze_body("a = 0.0", "real :: a(5)")
+
+    def test_do_var_must_be_integer(self):
+        with pytest.raises(SemanticError, match="scalar integer"):
+            analyze_body(
+                "do r = 1, 3\nend do", "real :: r"
+            )
+
+    def test_array_reduction_rejected(self):
+        body = (
+            "!$omp target parallel do reduction(+: a)\n"
+            "do i = 1, 4\na(i) = 0.0\nend do\n"
+            "!$omp end target parallel do"
+        )
+        with pytest.raises(SemanticError, match="must be scalar"):
+            analyze_body(body, "real :: a(4)\ninteger :: i")
+
+    def test_call_arity_checked(self):
+        source = (
+            "subroutine s(a)\nreal :: a\nend subroutine\n"
+            "program t\nreal :: x\ncall s(x, x)\nend program\n"
+        )
+        with pytest.raises(SemanticError, match="expects 1"):
+            analyze_source(source)
+
+    def test_unknown_subroutine(self):
+        with pytest.raises(SemanticError, match="unknown subroutine"):
+            analyze_body("call ghost()", "")
+
+
+class TestIntrinsics:
+    def test_intrinsic_resolution(self):
+        info = analyze_body(
+            "x = sqrt(y)", "real :: x, y"
+        ).units["t"]
+        stmt = info.unit.body[0]
+        assert isinstance(stmt.value, ast.IntrinsicCall)
+        assert stmt.value.name == "sqrt"
+
+    def test_intrinsic_shadowed_by_array(self):
+        info = analyze_body(
+            "x = abs(2)", "real :: x\nreal :: abs(3)"
+        ).units["t"]
+        stmt = info.unit.body[0]
+        assert isinstance(stmt.value, ast.ArrayRef)
+
+
+class TestExprTypes:
+    def _symbols(self):
+        info = analyze_body(
+            "", "integer :: i\nreal :: r\nreal(8) :: d"
+        ).units["t"]
+        return info.symbols
+
+    def test_promotion(self):
+        symbols = self._symbols()
+        mixed = ast.BinOp(op="+", lhs=ast.VarRef(name="i"), rhs=ast.VarRef(name="r"))
+        assert expr_type(mixed, symbols) == ast.TypeSpec("real", 4)
+        wide = ast.BinOp(op="*", lhs=ast.VarRef(name="r"), rhs=ast.VarRef(name="d"))
+        assert expr_type(wide, symbols) == ast.TypeSpec("real", 8)
+
+    def test_comparison_is_logical(self):
+        symbols = self._symbols()
+        cmp = ast.BinOp(op="<", lhs=ast.VarRef(name="i"), rhs=ast.IntLit(value=2))
+        assert expr_type(cmp, symbols).base == "logical"

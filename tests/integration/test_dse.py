@@ -1,0 +1,71 @@
+"""Design-space exploration extension tests (paper §4 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.dse import DseResult, _with_simdlen, explore, explore_simdlen
+from repro.workloads import SAXPY_SOURCE
+
+
+def _saxpy_evaluator(n=5000):
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(n).astype(np.float32)
+    y = rng.standard_normal(n).astype(np.float32)
+
+    def evaluate(program):
+        return program.executor().run(
+            "saxpy", np.array(2.0, np.float32), x, y.copy(),
+            np.array(n, np.int32),
+        )
+
+    return evaluate
+
+
+class TestSourceRewriting:
+    def test_replaces_existing_simdlen(self):
+        rewritten = _with_simdlen(SAXPY_SOURCE, 8)
+        assert "simdlen(8)" in rewritten
+        assert "simdlen(10)" not in rewritten
+
+    def test_factor_one_drops_simd(self):
+        rewritten = _with_simdlen(SAXPY_SOURCE, 1)
+        assert "simd" not in rewritten
+
+    def test_adds_simd_when_absent(self):
+        bare = SAXPY_SOURCE.replace(" simd simdlen(10)", "")
+        rewritten = _with_simdlen(bare, 4)
+        assert "simd simdlen(4)" in rewritten
+
+
+class TestExploration:
+    def test_sweep_produces_points(self):
+        result = explore_simdlen(
+            SAXPY_SOURCE, _saxpy_evaluator(), factors=(1, 4)
+        )
+        assert len(result.points) == 2
+        assert {p.simdlen for p in result.points} == {1, 4}
+        assert result.best in result.points
+
+    def test_budget_filters(self):
+        result = explore(
+            SAXPY_SOURCE,
+            _saxpy_evaluator(),
+            simdlen_factors=(1,),
+            max_lut_pct=1.0,  # impossible: shell alone is ~8 %
+        )
+        assert result.best is None
+
+    def test_best_is_fastest_feasible(self):
+        result = explore_simdlen(
+            SAXPY_SOURCE, _saxpy_evaluator(), factors=(1, 2, 4)
+        )
+        assert result.best.device_time_s == min(
+            p.device_time_s for p in result.points
+        )
+
+    def test_table_render(self):
+        result = explore_simdlen(
+            SAXPY_SOURCE, _saxpy_evaluator(), factors=(1,)
+        )
+        table = result.table()
+        assert "simdlen" in table and "LUT %" in table

@@ -1,0 +1,65 @@
+"""Workload references validated against SciPy."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.workloads import (
+    SAXPY_SIZES,
+    SGESL_SIZES,
+    SaxpyCase,
+    SgeslCase,
+    saxpy_reference,
+    sgefa_reference,
+    sgesl_reference,
+)
+
+
+class TestSaxpyCase:
+    def test_arrays_deterministic(self):
+        a1 = SaxpyCase(64).arrays()
+        a2 = SaxpyCase(64).arrays()
+        assert a1[0].tobytes() == a2[0].tobytes()
+        assert a1[1].dtype == np.float32
+
+    def test_reference(self):
+        x = np.array([1.0, 2.0], np.float32)
+        y = np.array([10.0, 20.0], np.float32)
+        assert np.allclose(saxpy_reference(3.0, x, y), [13.0, 26.0])
+
+    def test_paper_sizes(self):
+        assert SAXPY_SIZES == (10_000, 100_000, 1_000_000, 10_000_000)
+        assert SGESL_SIZES == (256, 512, 1024, 2048)
+
+
+class TestSgefa:
+    @pytest.mark.parametrize("n", [1, 2, 5, 17, 50])
+    def test_factorization_solves(self, n):
+        case = SgeslCase(n, seed=n)
+        a, lu, ipvt, b = case.system()
+        x = sgesl_reference(lu, ipvt, b)
+        assert np.allclose(a.astype(np.float64) @ x, b, atol=1e-3)
+
+    def test_matches_scipy_solution(self):
+        case = SgeslCase(40)
+        a, lu, ipvt, b = case.system()
+        ours = sgesl_reference(lu, ipvt, b)
+        expected = scipy.linalg.solve(a.astype(np.float64), b.astype(np.float64))
+        assert np.allclose(ours, expected, rtol=1e-3, atol=1e-3)
+
+    def test_singular_detected(self):
+        singular = np.zeros((3, 3), dtype=np.float32)
+        with pytest.raises(ZeroDivisionError):
+            sgefa_reference(singular)
+
+    def test_pivot_indices_in_range(self):
+        case = SgeslCase(25)
+        _, _, ipvt, _ = case.system()
+        assert np.all(ipvt >= np.arange(25) - 0)  # pivot >= current row
+        assert np.all(ipvt < 25)
+
+    def test_diagonal_dominance_keeps_conditioning(self):
+        case = SgeslCase(64)
+        a, *_ = case.system()
+        cond = np.linalg.cond(a.astype(np.float64))
+        assert cond < 1e3

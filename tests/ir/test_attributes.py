@@ -1,0 +1,138 @@
+"""Unit tests for the attribute hierarchy."""
+
+import pytest
+
+from repro.ir.attributes import (
+    ArrayAttr,
+    BoolAttr,
+    DenseArrayAttr,
+    DictionaryAttr,
+    FloatAttr,
+    IntegerAttr,
+    StringAttr,
+    SymbolRefAttr,
+    TypeAttr,
+    UnitAttr,
+    attr_from_python,
+)
+from repro.ir.types import IndexType, f32, i32
+
+
+class TestPrinting:
+    def test_integer(self):
+        assert IntegerAttr(5, 32).print() == "5 : i32"
+
+    def test_index(self):
+        assert IntegerAttr.index(7).print() == "7 : index"
+
+    def test_negative_integer(self):
+        assert IntegerAttr.i64(-3).print() == "-3 : i64"
+
+    def test_float(self):
+        assert FloatAttr(1.5, 32).print() == "1.5 : f32"
+
+    def test_bool(self):
+        assert BoolAttr(True).print() == "true"
+        assert BoolAttr(False).print() == "false"
+
+    def test_unit(self):
+        assert UnitAttr().print() == "unit"
+
+    def test_string_escaping(self):
+        assert StringAttr('a"b').print() == '"a\\"b"'
+        assert StringAttr("a\\b").print() == '"a\\\\b"'
+
+    def test_symbol_ref(self):
+        assert SymbolRefAttr("my_kernel").print() == "@my_kernel"
+
+    def test_array(self):
+        attr = ArrayAttr([IntegerAttr.i32(1), StringAttr("x")])
+        assert attr.print() == '[1 : i32, "x"]'
+
+    def test_dense_array(self):
+        assert DenseArrayAttr([1, 2, 3]).print() == "array<i64: 1, 2, 3>"
+
+    def test_dense_array_empty(self):
+        assert DenseArrayAttr([]).print() == "array<i64>"
+
+    def test_dictionary_sorted(self):
+        attr = DictionaryAttr({"b": IntegerAttr.i32(2), "a": IntegerAttr.i32(1)})
+        assert attr.print() == "{a = 1 : i32, b = 2 : i32}"
+
+    def test_type_attr(self):
+        assert TypeAttr(f32).print() == "f32"
+
+
+class TestEquality:
+    def test_integer_eq(self):
+        assert IntegerAttr(5, 32) == IntegerAttr(5, 32)
+        assert IntegerAttr(5, 32) != IntegerAttr(5, 64)
+        assert IntegerAttr(5, 32) != IntegerAttr(6, 32)
+
+    def test_hashable(self):
+        seen = {IntegerAttr(5, 32), IntegerAttr(5, 32), FloatAttr(5.0, 32)}
+        assert len(seen) == 2
+
+    def test_array_structural(self):
+        assert ArrayAttr([BoolAttr(True)]) == ArrayAttr([BoolAttr(True)])
+
+    def test_dictionary_order_insensitive(self):
+        a = DictionaryAttr({"x": BoolAttr(True), "y": BoolAttr(False)})
+        b = DictionaryAttr({"y": BoolAttr(False), "x": BoolAttr(True)})
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestContainers:
+    def test_array_iter_len_getitem(self):
+        attr = ArrayAttr([IntegerAttr.i32(i) for i in range(3)])
+        assert len(attr) == 3
+        assert list(attr)[1] == IntegerAttr.i32(1)
+        assert attr[2] == IntegerAttr.i32(2)
+
+    def test_dictionary_access(self):
+        attr = DictionaryAttr({"k": StringAttr("v")})
+        assert attr["k"] == StringAttr("v")
+        assert "k" in attr
+        assert "missing" not in attr
+        with pytest.raises(KeyError):
+            attr["missing"]
+
+    def test_dense_array_iter(self):
+        assert list(DenseArrayAttr([4, 5])) == [4, 5]
+
+
+class TestFromPython:
+    def test_bool_before_int(self):
+        # bool is a subclass of int; must map to BoolAttr
+        assert attr_from_python(True) == BoolAttr(True)
+
+    def test_int(self):
+        assert attr_from_python(42) == IntegerAttr.i64(42)
+
+    def test_float(self):
+        assert attr_from_python(2.5) == FloatAttr(2.5, 64)
+
+    def test_str(self):
+        assert attr_from_python("hi") == StringAttr("hi")
+
+    def test_type(self):
+        assert attr_from_python(i32) == TypeAttr(i32)
+
+    def test_list(self):
+        assert attr_from_python([1, 2]) == ArrayAttr(
+            [IntegerAttr.i64(1), IntegerAttr.i64(2)]
+        )
+
+    def test_dict(self):
+        assert attr_from_python({"a": 1}) == DictionaryAttr(
+            {"a": IntegerAttr.i64(1)}
+        )
+
+    def test_unconvertible(self):
+        with pytest.raises(TypeError):
+            attr_from_python(object())
+
+    def test_attribute_passthrough(self):
+        attr = UnitAttr()
+        assert attr_from_python(attr) is attr

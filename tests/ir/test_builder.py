@@ -1,0 +1,86 @@
+"""Builder / insertion point tests."""
+
+import pytest
+
+from repro.dialects import arith, builtin, func
+from repro.ir import Block, Builder, InsertPoint, IRError, build_region
+from repro.ir.builder import inline_block_before
+from repro.ir.types import FunctionType, index
+
+
+def _block_with(*values):
+    block = Block()
+    ops = [block.add_op(arith.Constant.index(v)) for v in values]
+    return block, ops
+
+
+class TestInsertPoints:
+    def test_at_end_appends(self):
+        block, ops = _block_with(1, 2)
+        Builder.at_end(block).insert(arith.Constant.index(3))
+        assert [o.attributes["value"].value for o in block.ops] == [1, 2, 3]
+
+    def test_at_start_prepends(self):
+        block, ops = _block_with(1, 2)
+        Builder.at_start(block).insert(arith.Constant.index(0))
+        assert block.first_op.attributes["value"].value == 0
+
+    def test_before(self):
+        block, ops = _block_with(1, 3)
+        Builder.before(ops[1]).insert(arith.Constant.index(2))
+        assert [o.attributes["value"].value for o in block.ops] == [1, 2, 3]
+
+    def test_after(self):
+        block, ops = _block_with(1, 3)
+        Builder.after(ops[0]).insert(arith.Constant.index(2))
+        assert [o.attributes["value"].value for o in block.ops] == [1, 2, 3]
+
+    def test_after_last(self):
+        block, ops = _block_with(1)
+        Builder.after(ops[0]).insert(arith.Constant.index(2))
+        assert [o.attributes["value"].value for o in block.ops] == [1, 2]
+
+    def test_before_detached_raises(self):
+        with pytest.raises(IRError):
+            InsertPoint.before(arith.Constant.index(1))
+
+    def test_builder_insertion_stable_across_inserts(self):
+        """Inserting before an anchor keeps subsequent inserts in order."""
+        block, ops = _block_with(9)
+        b = Builder.before(ops[0])
+        b.insert(arith.Constant.index(1))
+        b.insert(arith.Constant.index(2))
+        assert [o.attributes["value"].value for o in block.ops] == [1, 2, 9]
+
+
+class TestHelpers:
+    def test_build_region(self):
+        region, block, builder = build_region([index])
+        assert len(block.args) == 1
+        builder.insert(arith.Constant.index(1))
+        assert len(block.ops) == 1
+
+    def test_goto_methods(self):
+        block, ops = _block_with(1, 2)
+        b = Builder.at_end(block)
+        b.goto_start(block)
+        b.insert(arith.Constant.index(0))
+        assert block.first_op.attributes["value"].value == 0
+        b.goto_after(ops[1])
+        b.insert(arith.Constant.index(3))
+        assert block.last_op.attributes["value"].value == 3
+
+    def test_inline_block_before(self):
+        target = Block()
+        anchor = target.add_op(arith.Constant.index(99))
+        source = Block([index])
+        inner = source.add_op(
+            arith.AddI(source.args[0], source.args[0])
+        )
+        replacement = target.add_op(arith.Constant.index(5))
+        # move replacement before anchor so it dominates the inlined use
+        replacement.detach()
+        target.insert_op_before(replacement, anchor)
+        inline_block_before(source, anchor, [replacement.results[0]])
+        assert inner.parent is target
+        assert inner.operands[0] is replacement.results[0]

@@ -1,0 +1,107 @@
+"""Pass manager & registry tests."""
+
+import pytest
+
+from repro.dialects import arith, builtin, func
+from repro.ir import (
+    Builder,
+    IRError,
+    ModulePass,
+    PassManager,
+    get_pass,
+    parse_pipeline,
+    registered_passes,
+    verify,
+)
+from repro.ir.types import FunctionType
+
+
+class AddConstantPass(ModulePass):
+    name = "test-add-constant"
+
+    def apply(self, module):
+        fn = module.body.first_op
+        Builder.at_start(fn.body).insert(arith.Constant.index(9))
+
+
+class BreakingPass(ModulePass):
+    name = "test-breaking"
+
+    def apply(self, module):
+        fn = module.body.first_op
+        # produce invalid IR: terminator not last
+        fn.body.add_op(arith.Constant.index(1))
+
+
+def _module():
+    module = builtin.ModuleOp()
+    fn = func.FuncOp("f", FunctionType([], []))
+    module.body.add_op(fn)
+    fn.body.add_op(func.ReturnOp())
+    return module
+
+
+class TestPassManager:
+    def test_runs_in_order(self):
+        module = _module()
+        pm = PassManager()
+        pm.add(AddConstantPass(), AddConstantPass())
+        pm.run(module)
+        fn = module.body.first_op
+        assert [op.name for op in fn.body.ops[:2]] == ["arith.constant"] * 2
+
+    def test_traces_recorded(self):
+        module = _module()
+        pm = PassManager(capture_ir=True)
+        pm.add(AddConstantPass())
+        pm.run(module)
+        assert len(pm.traces) == 1
+        assert pm.traces[0].pass_name == "test-add-constant"
+        assert "arith.constant" in pm.traces[0].ir_after
+
+    def test_verify_between_passes(self):
+        module = _module()
+        pm = PassManager(verify_each=True)
+        pm.add(BreakingPass())
+        with pytest.raises(IRError, match="test-breaking"):
+            pm.run(module)
+
+    def test_no_verify(self):
+        module = _module()
+        pm = PassManager(verify_each=False)
+        pm.add(BreakingPass())
+        pm.run(module)  # no exception: verification disabled
+
+    def test_pass_names(self):
+        pm = PassManager()
+        pm.add(AddConstantPass())
+        assert pm.pass_names == ["test-add-constant"]
+
+
+class TestRegistry:
+    def test_registered_pipeline_passes(self):
+        names = registered_passes()
+        for expected in (
+            "fir-to-core",
+            "lower-omp-mapped-data",
+            "lower-omp-target-region",
+            "extract-device-module",
+            "lower-omp-to-hls",
+            "lower-hls-to-func",
+            "canonicalize",
+            "cse",
+            "dce",
+        ):
+            assert expected in names
+
+    def test_get_pass_instantiates(self):
+        p = get_pass("canonicalize")
+        assert p.name == "canonicalize"
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_pass("no-such-pass")
+
+    def test_parse_pipeline(self):
+        pm = parse_pipeline("canonicalize, cse,dce")
+        assert pm.pass_names == ["canonicalize", "cse", "dce"]

@@ -1,0 +1,167 @@
+"""Printer/parser round-trip tests, including a hypothesis property over
+randomly generated arithmetic modules."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dialects import arith, builtin, func, memref, omp, scf
+from repro.ir import (
+    Builder,
+    ParseError,
+    parse_module,
+    print_op,
+    verify,
+)
+from repro.ir.types import FunctionType, MemRefType, f32, f64, i32, index
+
+
+def roundtrip(module):
+    text = print_op(module)
+    reparsed = parse_module(text)
+    verify(reparsed)
+    assert print_op(reparsed) == text
+    return reparsed
+
+
+class TestBasicRoundtrip:
+    def test_empty_module(self):
+        roundtrip(builtin.ModuleOp())
+
+    def test_vadd(self, vadd_module):
+        roundtrip(vadd_module)
+
+    def test_module_attributes(self):
+        from repro.ir.attributes import StringAttr
+
+        module = builtin.ModuleOp(attributes={"target": StringAttr("fpga")})
+        reparsed = roundtrip(module)
+        assert reparsed.attributes["target"] == StringAttr("fpga")
+
+    def test_memref_types(self):
+        module = builtin.ModuleOp()
+        fn = func.FuncOp(
+            "f",
+            FunctionType(
+                [MemRefType(f32, [4, 8], 1), MemRefType(f64, [], 0)], []
+            ),
+        )
+        module.body.add_op(fn)
+        Builder.at_end(fn.body).insert(func.ReturnOp())
+        roundtrip(module)
+
+    def test_dialect_types(self):
+        """!device.kernelhandle and !hls.axi_protocol survive parsing."""
+        from repro.dialects import device, hls
+
+        module = builtin.ModuleOp()
+        fn = func.FuncOp("f", FunctionType([MemRefType(f32, [4], 1)], []))
+        module.body.add_op(fn)
+        b = Builder.at_end(fn.body)
+        create = b.insert(
+            device.KernelCreateOp([fn.body.args[0]], device_function="k")
+        )
+        b.insert(device.KernelLaunchOp(create.results[0]))
+        b.insert(device.KernelWaitOp(create.results[0]))
+        code = b.insert(arith.Constant.int(0, 32))
+        b.insert(hls.AxiProtocolOp(code.results[0]))
+        b.insert(func.ReturnOp())
+        roundtrip(module)
+
+    def test_omp_region_roundtrip(self, saxpy_mini_source):
+        from repro.frontend import compile_to_core
+
+        module = compile_to_core(saxpy_mini_source).module
+        roundtrip(module)
+
+    def test_negative_and_float_attrs(self):
+        module = builtin.ModuleOp()
+        fn = func.FuncOp("f", FunctionType([], []))
+        module.body.add_op(fn)
+        b = Builder.at_end(fn.body)
+        b.insert(arith.Constant.int(-17, 64))
+        b.insert(arith.Constant.float(-2.5e-3, 32))
+        b.insert(arith.Constant.float(1e20, 64))
+        b.insert(func.ReturnOp())
+        roundtrip(module)
+
+
+class TestParseErrors:
+    def test_garbage(self):
+        with pytest.raises(ParseError):
+            parse_module("not an op")
+
+    def test_undefined_value(self):
+        with pytest.raises(ParseError, match="undefined value"):
+            parse_module('"test.op"(%0) : (i32) -> ()')
+
+    def test_result_arity_mismatch(self):
+        with pytest.raises(ParseError, match="results"):
+            parse_module('%0 = "test.op"() : () -> ()')
+
+    def test_trailing_input(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse_module('"test.op"() : () -> ()\n"another.op"() : () -> ()')
+
+    def test_unknown_dialect_type(self):
+        with pytest.raises(ParseError, match="unknown dialect type"):
+            parse_module('"test.op"() : () -> (!what.ever)')
+
+    def test_unregistered_op_ok(self):
+        module = parse_module('"mystery.op"() : () -> ()')
+        assert module.name == "builtin.unregistered"
+
+
+# -- property-based round-trip --------------------------------------------------
+
+
+@st.composite
+def arith_modules(draw):
+    """A module with one function of random integer/float arithmetic."""
+    module = builtin.ModuleOp()
+    fn = func.FuncOp("f", FunctionType([i32, f32], []))
+    module.body.add_op(fn)
+    b = Builder.at_end(fn.body)
+    int_values = [fn.body.args[0]]
+    float_values = [fn.body.args[1]]
+    n_ops = draw(st.integers(min_value=1, max_value=12))
+    for _ in range(n_ops):
+        kind = draw(st.sampled_from(["iconst", "fconst", "iop", "fop", "cmp"]))
+        if kind == "iconst":
+            value = draw(st.integers(min_value=-1000, max_value=1000))
+            int_values.append(b.insert(arith.Constant.int(value, 32)).results[0])
+        elif kind == "fconst":
+            value = draw(
+                st.floats(
+                    allow_nan=False, allow_infinity=False,
+                    min_value=-1e6, max_value=1e6,
+                )
+            )
+            float_values.append(
+                b.insert(arith.Constant.float(value, 32)).results[0]
+            )
+        elif kind == "iop":
+            cls = draw(st.sampled_from([arith.AddI, arith.SubI, arith.MulI]))
+            lhs = draw(st.sampled_from(int_values))
+            rhs = draw(st.sampled_from(int_values))
+            int_values.append(b.insert(cls(lhs, rhs)).results[0])
+        elif kind == "fop":
+            cls = draw(st.sampled_from([arith.AddF, arith.MulF, arith.SubF]))
+            lhs = draw(st.sampled_from(float_values))
+            rhs = draw(st.sampled_from(float_values))
+            float_values.append(b.insert(cls(lhs, rhs)).results[0])
+        else:
+            predicate = draw(st.sampled_from(["eq", "slt", "sge"]))
+            lhs = draw(st.sampled_from(int_values))
+            rhs = draw(st.sampled_from(int_values))
+            b.insert(arith.CmpI(predicate, lhs, rhs))
+    b.insert(func.ReturnOp())
+    return module
+
+
+@given(arith_modules())
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_property(module):
+    """print -> parse -> print is a fixed point for random modules."""
+    verify(module)
+    roundtrip(module)

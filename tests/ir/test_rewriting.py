@@ -1,0 +1,145 @@
+"""Pattern rewriting driver tests."""
+
+import pytest
+
+from repro.dialects import arith, builtin, func
+from repro.ir import (
+    Builder,
+    GreedyPatternRewriter,
+    IRError,
+    Operation,
+    PatternRewriter,
+    RewritePattern,
+    verify,
+)
+from repro.ir.types import FunctionType
+
+
+def _module():
+    module = builtin.ModuleOp()
+    fn = func.FuncOp("f", FunctionType([], []))
+    module.body.add_op(fn)
+    return module, Builder.at_end(fn.body)
+
+
+class MulByTwoToAdd(RewritePattern):
+    """x * 2 -> x + x."""
+
+    op_name = "arith.muli"
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> None:
+        from repro.ir.attributes import IntegerAttr
+        from repro.ir.core import OpResult
+
+        rhs = op.operands[1]
+        if not isinstance(rhs, OpResult) or rhs.op.name != "arith.constant":
+            return
+        attr = rhs.op.attributes["value"]
+        if not isinstance(attr, IntegerAttr) or attr.value != 2:
+            return
+        rewriter.replace_matched_op(arith.AddI(op.operands[0], op.operands[0]))
+
+
+class TestGreedyDriver:
+    def test_applies_pattern(self):
+        module, b = _module()
+        x = b.insert(arith.Constant.int(5, 32)).results[0]
+        two = b.insert(arith.Constant.int(2, 32)).results[0]
+        mul = b.insert(arith.MulI(x, two))
+        sink = b.insert(arith.AddI(mul.results[0], x))
+        b.insert(func.ReturnOp())
+        changed = GreedyPatternRewriter([MulByTwoToAdd()]).rewrite(module)
+        assert changed
+        names = [op.name for op in module.walk()]
+        assert "arith.muli" not in names
+        verify(module)
+        # sink now consumes the new add
+        assert sink.operands[0].op.name == "arith.addi"
+
+    def test_no_match_no_change(self):
+        module, b = _module()
+        x = b.insert(arith.Constant.int(5, 32)).results[0]
+        three = b.insert(arith.Constant.int(3, 32)).results[0]
+        b.insert(arith.MulI(x, three))
+        b.insert(func.ReturnOp())
+        assert not GreedyPatternRewriter([MulByTwoToAdd()]).rewrite(module)
+
+    def test_fixpoint_cascade(self):
+        """(x*2)*2 requires two iterations to fully rewrite."""
+        module, b = _module()
+        x = b.insert(arith.Constant.int(5, 32)).results[0]
+        two = b.insert(arith.Constant.int(2, 32)).results[0]
+        m1 = b.insert(arith.MulI(x, two))
+        b.insert(arith.MulI(m1.results[0], two))
+        b.insert(func.ReturnOp())
+        GreedyPatternRewriter([MulByTwoToAdd()]).rewrite(module)
+        assert not [op for op in module.walk() if op.name == "arith.muli"]
+
+    def test_non_convergence_detected(self):
+        class Flipper(RewritePattern):
+            op_name = "arith.addi"
+
+            def match_and_rewrite(self, op, rewriter):
+                rewriter.replace_matched_op(
+                    arith.AddI(op.operands[1], op.operands[0])
+                )
+
+        module, b = _module()
+        x = b.insert(arith.Constant.int(1, 32)).results[0]
+        y = b.insert(arith.Constant.int(2, 32)).results[0]
+        b.insert(arith.AddI(x, y))
+        b.insert(func.ReturnOp())
+        with pytest.raises(IRError, match="converge"):
+            GreedyPatternRewriter([Flipper()], max_iterations=4).rewrite(module)
+
+
+class TestPatternRewriterApi:
+    def test_replace_arity_mismatch(self):
+        module, b = _module()
+        x = b.insert(arith.Constant.int(1, 32))
+        b.insert(func.ReturnOp())
+
+        class Bad(RewritePattern):
+            op_name = "arith.constant"
+
+            def match_and_rewrite(self, op, rewriter):
+                rewriter.replace_matched_op(func.ReturnOp(), new_results=[])
+
+        with pytest.raises(IRError):
+            GreedyPatternRewriter([Bad()]).rewrite(module)
+
+    def test_insert_after_matched(self):
+        module, b = _module()
+        b.insert(arith.Constant.int(1, 32))
+        b.insert(func.ReturnOp())
+
+        inserted = []
+
+        class After(RewritePattern):
+            op_name = "arith.constant"
+
+            def match_and_rewrite(self, op, rewriter):
+                if inserted:
+                    return
+                new = arith.Constant.int(9, 32)
+                inserted.append(new)
+                rewriter.insert_op_after_matched(new)
+
+        GreedyPatternRewriter([After()]).rewrite(module)
+        fn = module.body.first_op
+        assert fn.body.ops[1] is inserted[0]
+
+    def test_erase_matched(self):
+        module, b = _module()
+        b.insert(arith.Constant.int(1, 32))
+        b.insert(func.ReturnOp())
+
+        class EraseConst(RewritePattern):
+            op_name = "arith.constant"
+
+            def match_and_rewrite(self, op, rewriter):
+                if not op.results[0].has_uses:
+                    rewriter.erase_matched_op()
+
+        GreedyPatternRewriter([EraseConst()]).rewrite(module)
+        assert not [op for op in module.walk() if op.name == "arith.constant"]

@@ -1,0 +1,106 @@
+"""Unit tests for the type system."""
+
+import pytest
+
+from repro.ir.types import (
+    DYNAMIC,
+    FloatType,
+    FunctionType,
+    IndexType,
+    IntegerType,
+    MemRefType,
+    NoneType,
+    f32,
+    f64,
+    i1,
+    i32,
+    index,
+    is_float_type,
+    is_integer_like,
+    is_scalar_type,
+)
+
+
+class TestScalars:
+    def test_printing(self):
+        assert i32.print() == "i32"
+        assert i1.print() == "i1"
+        assert f32.print() == "f32"
+        assert f64.print() == "f64"
+        assert index.print() == "index"
+        assert NoneType().print() == "none"
+
+    def test_singletons_equal_fresh(self):
+        assert i32 == IntegerType(32)
+        assert f64 == FloatType(64)
+        assert index == IndexType()
+
+    def test_predicates(self):
+        assert is_scalar_type(i32) and is_scalar_type(f32) and is_scalar_type(index)
+        assert not is_scalar_type(MemRefType(f32, [4]))
+        assert is_float_type(f64) and not is_float_type(i32)
+        assert is_integer_like(i32) and is_integer_like(index)
+        assert not is_integer_like(f32)
+
+
+class TestMemRef:
+    def test_print_static(self):
+        assert MemRefType(f32, [100]).print() == "memref<100xf32>"
+
+    def test_print_2d(self):
+        assert MemRefType(f64, [4, 8]).print() == "memref<4x8xf64>"
+
+    def test_print_rank0(self):
+        assert MemRefType(f32, []).print() == "memref<f32>"
+
+    def test_print_dynamic(self):
+        assert MemRefType(f32, [DYNAMIC]).print() == "memref<?xf32>"
+
+    def test_print_memory_space(self):
+        assert (
+            MemRefType(f64, [100], 1).print() == "memref<100xf64, 1 : i32>"
+        )
+
+    def test_rank_and_static(self):
+        ty = MemRefType(f32, [2, DYNAMIC])
+        assert ty.rank == 2
+        assert not ty.has_static_shape
+        assert MemRefType(f32, [2, 3]).has_static_shape
+
+    def test_num_elements(self):
+        assert MemRefType(f32, [4, 5]).num_elements() == 20
+        assert MemRefType(f32, []).num_elements() == 1
+
+    def test_num_elements_dynamic_raises(self):
+        with pytest.raises(ValueError):
+            MemRefType(f32, [DYNAMIC]).num_elements()
+
+    def test_with_memory_space(self):
+        ty = MemRefType(f32, [8]).with_memory_space(3)
+        assert ty.memory_space == 3
+        assert ty.shape == (8,)
+
+    def test_equality_includes_space(self):
+        assert MemRefType(f32, [8], 1) != MemRefType(f32, [8], 0)
+        assert MemRefType(f32, [8], 1) == MemRefType(f32, [8], 1)
+
+
+class TestFunctionType:
+    def test_print_no_results(self):
+        assert FunctionType([i32], []).print() == "(i32) -> ()"
+
+    def test_print_single_result(self):
+        assert FunctionType([i32, f32], [f32]).print() == "(i32, f32) -> f32"
+
+    def test_print_multi_result(self):
+        assert (
+            FunctionType([], [i32, f32]).print() == "() -> (i32, f32)"
+        )
+
+    def test_tuples(self):
+        ft = FunctionType([i32], [f32])
+        assert ft.inputs == (i32,)
+        assert ft.results == (f32,)
+
+    def test_hashable(self):
+        assert len({FunctionType([i32], []), FunctionType([i32], [])}) == 1

@@ -1,0 +1,155 @@
+"""Vectorized-loop fast path: equivalence with the scalar interpreter.
+
+The property tested is the one the fast path relies on: for
+dependence-free elementwise loops, NumPy whole-loop evaluation produces
+*bit-identical* float32 results to the scalar walk.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dialects import arith, builtin, func, memref, scf
+from repro.ir import Builder, Interpreter
+from repro.ir.vectorize import _loop_is_vectorizable, try_vectorized_loop
+from repro.ir.types import FunctionType, MemRefType, f32, index
+
+
+def build_elementwise_module(n: int, op_cls):
+    """y[i] = x[i] <op> x[i] over n elements (n >= 64 to trigger the fast
+    path)."""
+    module = builtin.ModuleOp()
+    vec = MemRefType(f32, [n])
+    fn = func.FuncOp("f", FunctionType([vec, vec], []))
+    module.body.add_op(fn)
+    b = Builder.at_end(fn.body)
+    lb = b.insert(arith.Constant.index(0)).results[0]
+    ub = b.insert(arith.Constant.index(n)).results[0]
+    step = b.insert(arith.Constant.index(1)).results[0]
+    loop = b.insert(scf.For(lb, ub, step))
+    inner = Builder.at_end(loop.body)
+    x, y = fn.body.args
+    xv = inner.insert(memref.Load(x, [loop.induction_var])).results[0]
+    r = inner.insert(op_cls(xv, xv)).results[0]
+    inner.insert(memref.Store(r, y, [loop.induction_var]))
+    inner.insert(scf.Yield())
+    b.insert(func.ReturnOp())
+    return module, loop
+
+
+class TestEligibility:
+    def test_elementwise_is_vectorizable(self):
+        _, loop = build_elementwise_module(128, arith.AddF)
+        assert _loop_is_vectorizable(loop)
+
+    def test_reduction_is_not(self):
+        """s[] += x[i]: rank-0 store -> carried dependence -> scalar."""
+        module = builtin.ModuleOp()
+        fn = func.FuncOp(
+            "f", FunctionType([MemRefType(f32, [128]), MemRefType(f32, [])], [])
+        )
+        module.body.add_op(fn)
+        b = Builder.at_end(fn.body)
+        lb = b.insert(arith.Constant.index(0)).results[0]
+        ub = b.insert(arith.Constant.index(128)).results[0]
+        step = b.insert(arith.Constant.index(1)).results[0]
+        loop = b.insert(scf.For(lb, ub, step))
+        inner = Builder.at_end(loop.body)
+        x, s = fn.body.args
+        xv = inner.insert(memref.Load(x, [loop.induction_var])).results[0]
+        sv = inner.insert(memref.Load(s, [])).results[0]
+        acc = inner.insert(arith.AddF(sv, xv)).results[0]
+        inner.insert(memref.Store(acc, s, []))
+        inner.insert(scf.Yield())
+        b.insert(func.ReturnOp())
+        assert not _loop_is_vectorizable(loop)
+
+    def test_nested_region_is_not(self):
+        module = builtin.ModuleOp()
+        fn = func.FuncOp("f", FunctionType([], []))
+        module.body.add_op(fn)
+        b = Builder.at_end(fn.body)
+        lb = b.insert(arith.Constant.index(0)).results[0]
+        ub = b.insert(arith.Constant.index(128)).results[0]
+        step = b.insert(arith.Constant.index(1)).results[0]
+        loop = b.insert(scf.For(lb, ub, step))
+        inner = Builder.at_end(loop.body)
+        cond = inner.insert(arith.Constant.bool(True)).results[0]
+        if_op = inner.insert(scf.If(cond))
+        Builder.at_end(if_op.then_block).insert(scf.Yield())
+        Builder.at_end(if_op.else_block).insert(scf.Yield())
+        inner.insert(scf.Yield())
+        b.insert(func.ReturnOp())
+        assert not _loop_is_vectorizable(loop)
+
+    def test_short_loop_stays_scalar(self):
+        module, loop = build_elementwise_module(8, arith.AddF)
+        x = np.ones(8, np.float32)
+        y = np.zeros(8, np.float32)
+        interp = Interpreter(module)
+        env = {}
+        # short trip count: handler declines (returns False)
+        fn = module.body.first_op
+        env[fn.body.args[0]] = x
+        env[fn.body.args[1]] = y
+        assert not try_vectorized_loop(interp, loop, env, 0, 8, 1)
+
+
+@pytest.mark.parametrize("op_cls", [arith.AddF, arith.MulF, arith.SubF, arith.DivF])
+def test_bit_identical_to_scalar(op_cls):
+    n = 200
+    rng = np.random.default_rng(1)
+    x = (rng.standard_normal(n).astype(np.float32) + 2.0).astype(np.float32)
+
+    module_v, _ = build_elementwise_module(n, op_cls)
+    y_vec = np.zeros(n, np.float32)
+    Interpreter(module_v).call("f", x, y_vec)
+
+    # scalar reference: force trips < 64 threshold off by monkeypatching
+    # is unnecessary — compute directly per element with numpy scalars
+    expected = np.zeros(n, np.float32)
+    table = {
+        arith.AddF: np.add, arith.MulF: np.multiply,
+        arith.SubF: np.subtract, arith.DivF: np.divide,
+    }
+    for i in range(n):
+        expected[i] = table[op_cls](x[i], x[i])
+
+    assert y_vec.tobytes() == expected.tobytes()
+
+
+@given(
+    offset=st.integers(min_value=-3, max_value=3),
+    scale=st.floats(min_value=-10, max_value=10, allow_nan=False, width=32),
+    n=st.integers(min_value=64, max_value=257),
+)
+@settings(max_examples=30, deadline=None)
+def test_saxpy_body_property(offset, scale, n):
+    """y[i] = y[i] + a*x[i] matches NumPy bit-for-bit for random shapes."""
+    module = builtin.ModuleOp()
+    vec = MemRefType(f32, [n])
+    fn = func.FuncOp("f", FunctionType([vec, vec, MemRefType(f32, [])], []))
+    module.body.add_op(fn)
+    b = Builder.at_end(fn.body)
+    lb = b.insert(arith.Constant.index(0)).results[0]
+    ub = b.insert(arith.Constant.index(n)).results[0]
+    step = b.insert(arith.Constant.index(1)).results[0]
+    loop = b.insert(scf.For(lb, ub, step))
+    inner = Builder.at_end(loop.body)
+    x, y, a = fn.body.args
+    av = inner.insert(memref.Load(a, [])).results[0]
+    xv = inner.insert(memref.Load(x, [loop.induction_var])).results[0]
+    yv = inner.insert(memref.Load(y, [loop.induction_var])).results[0]
+    prod = inner.insert(arith.MulF(av, xv)).results[0]
+    acc = inner.insert(arith.AddF(yv, prod)).results[0]
+    inner.insert(memref.Store(acc, y, [loop.induction_var]))
+    inner.insert(scf.Yield())
+    b.insert(func.ReturnOp())
+
+    rng = np.random.default_rng(abs(offset) + n)
+    xa = rng.standard_normal(n).astype(np.float32)
+    ya = rng.standard_normal(n).astype(np.float32)
+    expected = (ya + np.float32(scale) * xa).astype(np.float32)
+    Interpreter(module).call("f", xa, ya, np.array(scale, np.float32))
+    assert ya.tobytes() == expected.tobytes()

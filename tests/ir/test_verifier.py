@@ -1,0 +1,120 @@
+"""Verifier tests: dominance, terminators, isolation, link integrity."""
+
+import pytest
+
+from repro.dialects import arith, builtin, func, omp, scf
+from repro.ir import Block, Builder, Region, VerificationError, verify
+from repro.ir.types import FunctionType, MemRefType, f32, index
+
+
+def _module_with_func():
+    module = builtin.ModuleOp()
+    fn = func.FuncOp("f", FunctionType([], []))
+    module.body.add_op(fn)
+    return module, fn
+
+
+class TestDominance:
+    def test_use_before_def(self):
+        module, fn = _module_with_func()
+        c = arith.Constant.index(1)
+        add = arith.AddI(c.results[0], c.results[0])
+        fn.body.add_op(add)  # add first: uses c before its definition
+        fn.body.add_op(c)
+        fn.body.add_op(func.ReturnOp())
+        with pytest.raises(VerificationError, match="before its definition"):
+            verify(module)
+
+    def test_valid_order(self):
+        module, fn = _module_with_func()
+        b = Builder.at_end(fn.body)
+        c = b.insert(arith.Constant.index(1))
+        b.insert(arith.AddI(c.results[0], c.results[0]))
+        b.insert(func.ReturnOp())
+        verify(module)
+
+    def test_nested_region_sees_outer_defs(self, vadd_module):
+        verify(vadd_module)  # loop body references function args
+
+
+class TestTerminators:
+    def test_terminator_not_last(self):
+        module, fn = _module_with_func()
+        fn.body.add_op(func.ReturnOp())
+        fn.body.add_op(arith.Constant.index(1))
+        with pytest.raises(VerificationError, match="terminator"):
+            verify(module)
+
+    def test_scf_for_requires_yield(self):
+        module, fn = _module_with_func()
+        b = Builder.at_end(fn.body)
+        c0 = b.insert(arith.Constant.index(0)).results[0]
+        c4 = b.insert(arith.Constant.index(4)).results[0]
+        c1 = b.insert(arith.Constant.index(1)).results[0]
+        b.insert(scf.For(c0, c4, c1))  # body has no scf.yield
+        b.insert(func.ReturnOp())
+        with pytest.raises(Exception, match="yield"):
+            verify(module)
+
+
+class TestIsolation:
+    def test_omp_target_cannot_capture(self):
+        module, fn = _module_with_func()
+        b = Builder.at_end(fn.body)
+        alloc = b.insert(
+            __import__("repro.dialects.memref", fromlist=["Alloca"]).Alloca(
+                MemRefType(f32, [4])
+            )
+        )
+        info = b.insert(
+            omp.MapInfoOp(alloc.results[0], "x", "tofrom")
+        )
+        target = b.insert(omp.TargetOp([info.results[0]]))
+        inner = Builder.at_end(target.body)
+        # illegal: references the host value instead of the block arg
+        inner.insert(
+            __import__("repro.dialects.memref", fromlist=["Load"]).Load(
+                alloc.results[0], [inner.insert(arith.Constant.index(0)).results[0]]
+            )
+        )
+        inner.insert(omp.TerminatorOp())
+        b.insert(func.ReturnOp())
+        with pytest.raises(VerificationError, match="Isolated"):
+            verify(module)
+
+    def test_omp_target_block_args_ok(self):
+        module, fn = _module_with_func()
+        from repro.dialects import memref
+
+        b = Builder.at_end(fn.body)
+        alloc = b.insert(memref.Alloca(MemRefType(f32, [4])))
+        info = b.insert(omp.MapInfoOp(alloc.results[0], "x", "tofrom"))
+        target = b.insert(omp.TargetOp([info.results[0]]))
+        inner = Builder.at_end(target.body)
+        idx = inner.insert(arith.Constant.index(0)).results[0]
+        inner.insert(memref.Load(target.body.args[0], [idx]))
+        inner.insert(omp.TerminatorOp())
+        b.insert(func.ReturnOp())
+        verify(module)
+
+
+class TestLinkIntegrity:
+    def test_stale_use_record(self):
+        module, fn = _module_with_func()
+        b = Builder.at_end(fn.body)
+        c = b.insert(arith.Constant.index(1))
+        b.insert(arith.AddI(c.results[0], c.results[0]))
+        b.insert(func.ReturnOp())
+        # sabotage: drop a use record behind the verifier's back
+        c.results[0].uses.pop()
+        with pytest.raises(VerificationError):
+            verify(module)
+
+    def test_func_signature_mismatch(self):
+        module = builtin.ModuleOp()
+        fn = func.FuncOp("f", FunctionType([index], []))
+        module.body.add_op(fn)
+        fn.body.args[0].type = f32  # break the contract
+        fn.body.add_op(func.ReturnOp())
+        with pytest.raises(Exception, match="signature"):
+            verify(module)

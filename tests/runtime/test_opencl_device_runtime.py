@@ -1,0 +1,159 @@
+"""Simulated OpenCL + device data table tests."""
+
+import numpy as np
+import pytest
+
+from repro.fpga.board import U280Board
+from repro.runtime.device_runtime import DeviceDataTable, DeviceRuntimeError
+from repro.runtime.opencl import (
+    ClCommandQueue,
+    ClContext,
+    ClError,
+    ClKernel,
+    ClProgram,
+)
+
+
+class TestContext:
+    def test_create_and_get(self):
+        ctx = ClContext()
+        buf = ctx.create_buffer("a", (16,), np.float32, 1)
+        assert buf.memory_space == 1
+        assert ctx.get_buffer("a") is buf
+
+    def test_missing_buffer(self):
+        with pytest.raises(ClError, match="CL_INVALID_MEM_OBJECT"):
+            ClContext().get_buffer("ghost")
+
+    def test_invalid_space(self):
+        with pytest.raises(ValueError):
+            ClContext().create_buffer("a", (4,), np.float32, 99)
+
+    def test_oversized_allocation(self):
+        ctx = ClContext()
+        with pytest.raises(ClError, match="ALLOCATION_FAILURE"):
+            # one HBM bank is 256 MiB
+            ctx.create_buffer("big", (300 * 2**20,), np.float32, 1)
+
+
+class TestQueue:
+    def test_write_read_roundtrip(self):
+        ctx = ClContext()
+        queue = ClCommandQueue(ctx.board)
+        buf = ctx.create_buffer("a", (8,), np.float32, 1)
+        host = np.arange(8, dtype=np.float32)
+        queue.enqueue_write(buf, host)
+        out = np.zeros(8, dtype=np.float32)
+        queue.enqueue_read(buf, out)
+        assert np.allclose(out, host)
+        stats = queue.stats
+        assert stats["transfers"] == 2
+        assert stats["bytes_h2d"] == stats["bytes_d2h"] == 32
+
+    def test_clock_advances(self):
+        ctx = ClContext()
+        queue = ClCommandQueue(ctx.board)
+        buf = ctx.create_buffer("a", (1024,), np.float32, 1)
+        t0 = queue.now_s
+        queue.enqueue_write(buf, np.zeros(1024, np.float32))
+        assert queue.now_s > t0
+        assert queue.finish() == queue.now_s
+
+    def test_shape_mismatch(self):
+        ctx = ClContext()
+        queue = ClCommandQueue(ctx.board)
+        buf = ctx.create_buffer("a", (8,), np.float32, 1)
+        with pytest.raises(ClError, match="BUFFER_SIZE"):
+            queue.enqueue_write(buf, np.zeros(4, np.float32))
+
+    def test_kernel_task(self):
+        ctx = ClContext()
+        queue = ClCommandQueue(ctx.board)
+        calls = []
+
+        def fake_kernel(*args):
+            calls.append(args)
+            return 1e-3  # one millisecond of kernel time
+
+        program = ClProgram({"k": fake_kernel})
+        kernel = program.create_kernel("k")
+        kernel.set_arg(0, 42)
+        queue.enqueue_task(program, kernel)
+        assert calls == [(42,)]
+        assert queue.now_s >= 1e-3
+        assert queue.stats["launches"] == 1
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ClError, match="INVALID_KERNEL_NAME"):
+            ClProgram({}).create_kernel("nope")
+
+
+class TestDataTable:
+    def _table(self):
+        return DeviceDataTable(ClContext())
+
+    def test_counter_protocol(self):
+        table = self._table()
+        assert not table.check_exists("a")
+        assert table.acquire("a") == 1
+        assert table.check_exists("a")
+        assert table.acquire("a") == 2
+        assert table.release("a") == 1
+        assert table.check_exists("a")
+        assert table.release("a") == 0
+        assert not table.check_exists("a")
+
+    def test_release_without_acquire(self):
+        with pytest.raises(DeviceRuntimeError, match="without matching"):
+            self._table().release("a")
+
+    def test_alloc_reuses_matching_buffer(self):
+        table = self._table()
+        first = table.alloc("a", (8,), np.float32, 1)
+        first.data[:] = 7.0
+        again = table.alloc("a", (8,), np.float32, 1)
+        assert again is first  # resident data survives re-entry
+        assert np.all(again.data == 7.0)
+
+    def test_alloc_replaces_on_shape_change(self):
+        table = self._table()
+        first = table.alloc("a", (8,), np.float32, 1)
+        second = table.alloc("a", (16,), np.float32, 1)
+        assert second is not first
+        assert second.data.shape == (16,)
+
+    def test_lookup_space_checked(self):
+        table = self._table()
+        table.alloc("a", (8,), np.float32, 1)
+        assert table.lookup("a", 1).data.shape == (8,)
+        with pytest.raises(DeviceRuntimeError, match="space"):
+            table.lookup("a", 2)
+
+
+class TestCounterProperty:
+    """Property: after any acquire/release trace, check_exists is
+    (acquires - releases) > 0 — the paper's counter semantics."""
+
+    def test_random_traces(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @given(st.lists(st.sampled_from(["acq", "rel"]), max_size=60))
+        @settings(max_examples=80, deadline=None)
+        def run(trace):
+            table = DeviceDataTable(ClContext())
+            counter = 0
+            for action in trace:
+                if action == "acq":
+                    table.acquire("x")
+                    counter += 1
+                else:
+                    if counter == 0:
+                        with pytest.raises(DeviceRuntimeError):
+                            table.release("x")
+                    else:
+                        table.release("x")
+                        counter -= 1
+                assert table.check_exists("x") == (counter > 0)
+
+        run()

@@ -1,0 +1,136 @@
+"""Tests for *lower omp target region* and kernel extraction."""
+
+from repro.frontend import compile_to_core
+from repro.ir import PassManager, print_op, verify
+from repro.transforms import (
+    ExtractDeviceModulePass,
+    LowerOmpMappedDataPass,
+    LowerOmpTargetRegionPass,
+    split_host_device,
+)
+
+
+def run_passes(source: str, *passes):
+    module = compile_to_core(source).module
+    pm = PassManager(verify_each=True)
+    pm.add(*passes)
+    pm.run(module)
+    return module
+
+
+class TestKernelLowering:
+    def test_target_becomes_create_launch_wait(self, saxpy_mini_source):
+        module = run_passes(
+            saxpy_mini_source,
+            LowerOmpMappedDataPass(),
+            LowerOmpTargetRegionPass(),
+        )
+        names = [op.name for op in module.walk()]
+        assert "omp.target" not in names
+        create_at = names.index("device.kernel_create")
+        launch_at = names.index("device.kernel_launch")
+        wait_at = names.index("device.kernel_wait")
+        assert create_at < launch_at < wait_at
+
+    def test_kernel_region_holds_body(self, saxpy_mini_source):
+        module = run_passes(
+            saxpy_mini_source,
+            LowerOmpMappedDataPass(),
+            LowerOmpTargetRegionPass(),
+        )
+        create = next(
+            op for op in module.walk() if op.name == "device.kernel_create"
+        )
+        inner_names = {op.name for op in create.regions[0].walk()}
+        assert "omp.loop_nest" in inner_names
+        assert not create.is_extracted
+
+    def test_launch_and_wait_use_handle(self, saxpy_mini_source):
+        module = run_passes(
+            saxpy_mini_source,
+            LowerOmpMappedDataPass(),
+            LowerOmpTargetRegionPass(),
+        )
+        create = next(
+            op for op in module.walk() if op.name == "device.kernel_create"
+        )
+        uses = {use.operation.name for use in create.results[0].uses}
+        assert uses == {"device.kernel_launch", "device.kernel_wait"}
+
+
+class TestExtraction:
+    def _extracted(self, source):
+        return run_passes(
+            source,
+            LowerOmpMappedDataPass(),
+            LowerOmpTargetRegionPass(),
+            ExtractDeviceModulePass(),
+        )
+
+    def test_listing2_shape(self, saxpy_mini_source):
+        """After extraction the IR matches the paper's Listing 2: an empty
+        kernel_create region with device_function, plus a second module
+        with target="fpga" containing the kernel function."""
+        module = self._extracted(saxpy_mini_source)
+        create = next(
+            op for op in module.walk() if op.name == "device.kernel_create"
+        )
+        assert create.is_extracted
+        assert create.device_function == "saxpy_kernel_0"
+        text = print_op(module)
+        assert 'target = "fpga"' in text
+        assert "device_function = @saxpy_kernel_0" in text
+
+    def test_kernel_function_signature(self, saxpy_mini_source):
+        module = self._extracted(saxpy_mini_source)
+        host, device = split_host_device(module)
+        kernel = next(
+            op for op in device.walk() if op.name == "func.func"
+        )
+        create = next(
+            op for op in host.walk() if op.name == "device.kernel_create"
+        )
+        kernel_types = [a.type for a in kernel.body.args]
+        assert kernel_types == [o.type for o in create.operands]
+        assert all(t.memory_space == 1 for t in kernel_types)
+        assert kernel.body.last_op.name == "func.return"
+
+    def test_split_detaches(self, saxpy_mini_source):
+        module = self._extracted(saxpy_mini_source)
+        host, device = split_host_device(module)
+        assert device.target == "fpga"
+        # the device module is no longer nested in the host module
+        nested = [
+            op for op in host.walk()
+            if op.name == "builtin.module" and op is not host
+        ]
+        assert nested == []
+        verify(host)
+        verify(device)
+
+    def test_multiple_kernels_numbered(self):
+        source = """
+subroutine s(a, n)
+  integer, intent(in) :: n
+  real, intent(inout) :: a(n)
+  integer :: i
+!$omp target parallel do
+  do i = 1, n
+    a(i) = a(i) + 1.0
+  end do
+!$omp end target parallel do
+!$omp target parallel do
+  do i = 1, n
+    a(i) = a(i) * 2.0
+  end do
+!$omp end target parallel do
+end subroutine s
+"""
+        module = self._extracted(source)
+        _, device = split_host_device(module)
+        kernels = sorted(
+            op.attributes["sym_name"].value
+            for op in device.walk()
+            if op.name == "func.func"
+        )
+        assert kernels == ["s_kernel_0", "s_kernel_1"]
