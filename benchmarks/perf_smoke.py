@@ -1,0 +1,204 @@
+#!/usr/bin/env python
+"""Perf smoke: wall-clock of the compiled execution engine.
+
+Times compilation and the SAXPY/SGESL/reduction simulated runs and writes
+``BENCH_pr1.json`` (at the repo root) with seconds and interpreter-step
+counts, so later PRs have a perf trajectory to regress against.  The
+simulator's *modelled* numbers (device time, cycles) are recorded too —
+they must stay constant across engine optimisations; only wall-clock may
+move.
+
+Run:  PYTHONPATH=src python benchmarks/perf_smoke.py [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.pipeline import compile_fortran
+from repro.workloads import (
+    SAXPY_SOURCE,
+    SGESL_SOURCE,
+    SaxpyCase,
+    SgeslCase,
+    saxpy_reference,
+    sgesl_reference,
+)
+
+REDUCTION_SOURCE = """
+subroutine sdot(x, y, s, n)
+  implicit none
+  integer, intent(in) :: n
+  real, intent(in) :: x(n), y(n)
+  real, intent(out) :: s
+  integer :: i
+  s = 0.0
+!$omp target parallel do reduction(+:s)
+  do i = 1, n
+    s = s + x(i) * y(i)
+  end do
+!$omp end target parallel do
+end subroutine sdot
+"""
+
+
+def _best_of(fn, rounds: int = 5):
+    """Best-of-N with the cycle collector paused during the timed region
+    (the live programs' IR graphs make gen-2 collections expensive and
+    noisy, exactly like pytest-benchmark's calibrated mode avoids)."""
+    import gc
+
+    best = None
+    result = None
+    for _ in range(rounds):
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            result = fn()
+            elapsed = time.perf_counter() - start
+        finally:
+            gc.enable()
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def bench_compile(name: str, source: str) -> dict:
+    seconds, program = _best_of(lambda: compile_fortran(source))
+    return {"name": f"compile:{name}", "seconds": round(seconds, 6)}, program
+
+
+def bench_saxpy(program, n: int, rounds: int = 5) -> dict:
+    case = SaxpyCase(n)
+    x, y = case.arrays()
+    expected = saxpy_reference(case.a, x, y)
+
+    def run():
+        y_run = y.copy()
+        result = program.executor().run(
+            "saxpy",
+            np.array(case.a, dtype=np.float32),
+            x,
+            y_run,
+            np.array(n, dtype=np.int32),
+        )
+        assert np.allclose(y_run, expected, rtol=1e-5)
+        return result
+
+    seconds, result = _best_of(run, rounds=rounds)
+    return {
+        "name": f"saxpy:n={n}",
+        "seconds": round(seconds, 6),
+        "interpreter_steps": result.interpreter_steps,
+        "device_time_ms": result.device_time_ms,
+        "kernel_cycles": result.kernel_cycles,
+    }
+
+
+def bench_sgesl(program, n: int) -> dict:
+    case = SgeslCase(n)
+    _, lu, ipvt, b = case.system()
+    expected = sgesl_reference(lu, ipvt, b)
+
+    def run():
+        b_run = b.copy()
+        result = program.executor().run(
+            "sgesl",
+            lu.copy(),
+            b_run,
+            (ipvt + 1).astype(np.int64),
+            np.array(n, dtype=np.int32),
+        )
+        assert np.allclose(b_run, expected, rtol=1e-3, atol=1e-3)
+        return result
+
+    seconds, result = _best_of(run)
+    return {
+        "name": f"sgesl:n={n}",
+        "seconds": round(seconds, 6),
+        "interpreter_steps": result.interpreter_steps,
+        "device_time_ms": result.device_time_ms,
+        "kernel_cycles": result.kernel_cycles,
+    }
+
+
+def bench_reduction(program, n: int) -> dict:
+    rng = np.random.default_rng(5)
+    x = rng.standard_normal(n).astype(np.float32)
+    y = rng.standard_normal(n).astype(np.float32)
+    expected = float(np.dot(x.astype(np.float64), y.astype(np.float64)))
+
+    def run():
+        s = np.zeros((), dtype=np.float32)
+        result = program.executor().run(
+            "sdot", x, y, s, np.array(n, np.int32)
+        )
+        assert abs(float(s) - expected) / abs(expected) < 1e-3
+        return result
+
+    seconds, result = _best_of(run)
+    return {
+        "name": f"sdot-reduction:n={n}",
+        "seconds": round(seconds, 6),
+        "interpreter_steps": result.interpreter_steps,
+        "device_time_ms": result.device_time_ms,
+        "kernel_cycles": result.kernel_cycles,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parents[1] / "BENCH_pr1.json"),
+        help="output JSON path (default: <repo>/BENCH_pr1.json)",
+    )
+    args = parser.parse_args()
+
+    benches = []
+
+    entry, saxpy_program = bench_compile("saxpy", SAXPY_SOURCE)
+    benches.append(entry)
+    entry, sgesl_program = bench_compile("sgesl", SGESL_SOURCE)
+    benches.append(entry)
+    entry, sdot_program = bench_compile("sdot-reduction", REDUCTION_SOURCE)
+    benches.append(entry)
+
+    # interpreter-bound benches first; the allocation-heavy n=10M SAXPY
+    # goes last so its memory pressure cannot skew them
+    benches.append(bench_sgesl(sgesl_program, 256))
+    benches.append(bench_sgesl(sgesl_program, 512))
+    benches.append(bench_reduction(sdot_program, 50_000))
+    benches.append(bench_saxpy(saxpy_program, 1_000_000))
+    benches.append(bench_saxpy(saxpy_program, 10_000_000, rounds=3))
+
+    payload = {
+        "pr": 1,
+        "description": (
+            "Compiled execution engine: block-JIT interpretation, reduction "
+            "vectorization, worklist rewriting. Wall-clock of the simulator; "
+            "device_time_ms/kernel_cycles are modelled values and must stay "
+            "constant across engine changes."
+        ),
+        "python": platform.python_version(),
+        "benches": benches,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    width = max(len(b["name"]) for b in benches)
+    for bench in benches:
+        steps = bench.get("interpreter_steps")
+        extra = f"  steps={steps:,}" if steps is not None else ""
+        print(f"{bench['name']:<{width}}  {bench['seconds']*1e3:9.2f} ms{extra}")
+    print(f"\nwrote {out}")
+
+
+if __name__ == "__main__":
+    main()

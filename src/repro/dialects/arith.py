@@ -321,7 +321,30 @@ def _run_constant(interp: Interpreter, op: Operation, env: dict):
     return None
 
 
-def _register_binop(name: str, fn: Callable, *, is_float: bool = False) -> None:
+#: Scalar combiner per binop — the single source of truth shared by the
+#: interpreter impls and the compiled-form emitters, so the two dispatch
+#: tiers cannot drift apart.
+_BINOP_FNS: dict[str, Callable] = {
+    "arith.addi": operator.add,
+    "arith.subi": operator.sub,
+    "arith.muli": operator.mul,
+    "arith.divsi": lambda a, b: int(math.trunc(a / b)),
+    "arith.remsi": lambda a, b: int(math.fmod(a, b)),
+    "arith.andi": operator.and_,
+    "arith.ori": operator.or_,
+    "arith.xori": operator.xor,
+    "arith.minsi": min,
+    "arith.maxsi": max,
+    "arith.addf": operator.add,
+    "arith.subf": operator.sub,
+    "arith.mulf": operator.mul,
+    "arith.divf": operator.truediv,
+    "arith.minimumf": min,
+    "arith.maximumf": max,
+}
+
+
+def _register_binop(name: str, fn: Callable) -> None:
     @impl(name)
     def run(interp: Interpreter, op: Operation, env: dict, _fn=fn):
         lhs, rhs = interp.operand_values(op, env)
@@ -335,22 +358,8 @@ def _register_binop(name: str, fn: Callable, *, is_float: bool = False) -> None:
         return None
 
 
-_register_binop("arith.addi", operator.add)
-_register_binop("arith.subi", operator.sub)
-_register_binop("arith.muli", operator.mul)
-_register_binop("arith.divsi", lambda a, b: int(math.trunc(a / b)))
-_register_binop("arith.remsi", lambda a, b: int(math.fmod(a, b)))
-_register_binop("arith.andi", operator.and_)
-_register_binop("arith.ori", operator.or_)
-_register_binop("arith.xori", operator.xor)
-_register_binop("arith.minsi", min)
-_register_binop("arith.maxsi", max)
-_register_binop("arith.addf", operator.add, is_float=True)
-_register_binop("arith.subf", operator.sub, is_float=True)
-_register_binop("arith.mulf", operator.mul, is_float=True)
-_register_binop("arith.divf", operator.truediv, is_float=True)
-_register_binop("arith.minimumf", min, is_float=True)
-_register_binop("arith.maximumf", max, is_float=True)
+for _name, _fn in _BINOP_FNS.items():
+    _register_binop(_name, _fn)
 
 _CMP_FNS: dict[str, Callable] = {
     "eq": operator.eq,
@@ -430,3 +439,128 @@ def _run_truncf(interp: Interpreter, op: Operation, env: dict):
     (value,) = interp.operand_values(op, env)
     interp.set_results(op, env, [float(np.float32(value))])
     return None
+
+
+# -- compiled-form emitters ---------------------------------------------------
+#
+# Block-JIT closures mirroring the interpreter impls above bit-for-bit:
+# same Python operator tables, same float32 rounding points.  Constant
+# operands are folded at compile time (transitively, since folded results
+# become literals themselves).
+
+import numpy as _np
+
+from repro.ir.compile import NOT_CONST, FnCompiler, compiled_for
+
+_f32 = _np.float32
+
+
+@compiled_for("arith.constant")
+def _emit_constant(op: Operation, ctx: FnCompiler):
+    from repro.ir.compile import CannotCompile
+
+    attr = op.attributes["value"]
+    if isinstance(attr, IntegerAttr):
+        value = attr.value
+    elif isinstance(attr, FloatAttr):
+        value = float(_f32(attr.value)) if attr.width == 32 else attr.value
+    else:
+        raise CannotCompile("arith.constant with non-numeric value")
+    ctx.set_literal(op.results[0], value)
+    return None
+
+
+def _emit_binop(fn: Callable):
+    def emit(op: Operation, ctx: FnCompiler):
+        result = op.results[0]
+        ty = result.type
+        round32 = isinstance(ty, FloatType) and ty.width == 32
+        a, b = op.operands
+        lit_a, lit_b = ctx.literal(a), ctx.literal(b)
+        if lit_a is not NOT_CONST and lit_b is not NOT_CONST:
+            try:
+                value = fn(lit_a, lit_b)
+            except (ArithmeticError, ValueError):
+                value = NOT_CONST  # fold later, fail at run time as scalar
+            if value is not NOT_CONST:
+                if round32:
+                    value = float(_f32(value))
+                ctx.set_literal(result, value)
+                return None
+        ai, bi, ri = ctx.slot(a), ctx.slot(b), ctx.slot(result)
+        if round32:
+            def run(interp, frame, _fn=fn):
+                frame[ri] = float(_f32(_fn(frame[ai], frame[bi])))
+        else:
+            def run(interp, frame, _fn=fn):
+                frame[ri] = _fn(frame[ai], frame[bi])
+        return run
+
+    return emit
+
+
+for _name, _fn in _BINOP_FNS.items():
+    compiled_for(_name)(_emit_binop(_fn))
+
+
+def _emit_cmp(op: Operation, ctx: FnCompiler):
+    predicate_attr = op.attributes["predicate"]
+    assert isinstance(predicate_attr, StringAttr)
+    fn = _CMP_FNS[predicate_attr.value]
+    a, b = op.operands
+    result = op.results[0]
+    lit_a, lit_b = ctx.literal(a), ctx.literal(b)
+    if lit_a is not NOT_CONST and lit_b is not NOT_CONST:
+        ctx.set_literal(result, bool(fn(lit_a, lit_b)))
+        return None
+    ai, bi, ri = ctx.slot(a), ctx.slot(b), ctx.slot(result)
+
+    def run(interp, frame, _fn=fn):
+        frame[ri] = bool(_fn(frame[ai], frame[bi]))
+    return run
+
+
+compiled_for("arith.cmpi")(_emit_cmp)
+compiled_for("arith.cmpf")(_emit_cmp)
+
+
+@compiled_for("arith.select")
+def _emit_select(op: Operation, ctx: FnCompiler):
+    ci, ti, fi = (ctx.slot(o) for o in op.operands)
+    ri = ctx.slot(op.results[0])
+
+    def run(interp, frame):
+        frame[ri] = frame[ti] if frame[ci] else frame[fi]
+    return run
+
+
+def _emit_cast(convert: Callable):
+    def emit(op: Operation, ctx: FnCompiler):
+        source = op.operands[0]
+        result = op.results[0]
+        lit = ctx.literal(source)
+        if lit is not NOT_CONST:
+            ctx.set_literal(result, convert(lit))
+            return None
+        si, ri = ctx.slot(source), ctx.slot(result)
+
+        def run(interp, frame, _convert=convert):
+            frame[ri] = _convert(frame[si])
+        return run
+
+    return emit
+
+
+for _name in ("arith.index_cast", "arith.extsi", "arith.trunci"):
+    compiled_for(_name)(_emit_cast(int))
+compiled_for("arith.fptosi")(_emit_cast(int))
+compiled_for("arith.extf")(_emit_cast(float))
+compiled_for("arith.truncf")(_emit_cast(lambda v: float(_f32(v))))
+
+
+@compiled_for("arith.sitofp")
+def _emit_sitofp(op: Operation, ctx: FnCompiler):
+    ty = op.results[0].type
+    if isinstance(ty, FloatType) and ty.width == 32:
+        return _emit_cast(lambda v: float(_f32(float(v))))(op, ctx)
+    return _emit_cast(float)(op, ctx)

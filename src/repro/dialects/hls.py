@@ -193,3 +193,27 @@ def _run_stream_write(interp: Interpreter, op: Operation, env: dict):
     stream_value, value = interp.operand_values(op, env)
     stream_value.append(value)
     return None
+
+
+# -- compiled-form emitters ---------------------------------------------------
+
+
+from repro.ir.compile import FnCompiler, compiled_for
+
+
+@compiled_for("hls.axi_protocol")
+def _emit_axi_protocol(op: Operation, ctx: FnCompiler):
+    src_i = ctx.slot(op.operands[0])
+    res_i = ctx.slot(op.results[0])
+
+    def run(interp, frame):
+        frame[res_i] = PROTOCOL_NAMES.get(int(frame[src_i]), "m_axi")
+    return run
+
+
+@compiled_for("hls.interface")
+@compiled_for("hls.pipeline")
+@compiled_for("hls.unroll")
+def _emit_annotation(op: Operation, ctx: FnCompiler):
+    # Functional no-op; still bulk-counted as one interpreter step.
+    return None

@@ -83,3 +83,48 @@ def _run_powf(interp: Interpreter, op: Operation, env: dict):
     base, exponent = interp.operand_values(op, env)
     interp.set_results(op, env, [base**exponent])
     return None
+
+
+# -- compiled-form emitters ---------------------------------------------------
+
+
+from repro.ir.compile import FnCompiler, compiled_for
+
+
+def _emit_unary(fn):
+    def emit(op: Operation, ctx: FnCompiler):
+        import numpy as np
+
+        src_i = ctx.slot(op.operands[0])
+        res_i = ctx.slot(op.results[0])
+        ty = op.results[0].type
+        if isinstance(ty, FloatType) and ty.width == 32:
+            def run(interp, frame, _fn=fn):
+                frame[res_i] = float(np.float32(_fn(frame[src_i])))
+        else:
+            def run(interp, frame, _fn=fn):
+                frame[res_i] = _fn(frame[src_i])
+        return run
+
+    return emit
+
+
+for _name, _fn in (
+    ("math.sqrt", _math.sqrt),
+    ("math.absf", abs),
+    ("math.exp", _math.exp),
+    ("math.log", _math.log),
+    ("math.sin", _math.sin),
+    ("math.cos", _math.cos),
+):
+    compiled_for(_name)(_emit_unary(_fn))
+
+
+@compiled_for("math.powf")
+def _emit_powf(op: Operation, ctx: FnCompiler):
+    base_i, exp_i = (ctx.slot(o) for o in op.operands)
+    res_i = ctx.slot(op.results[0])
+
+    def run(interp, frame):
+        frame[res_i] = frame[base_i] ** frame[exp_i]
+    return run

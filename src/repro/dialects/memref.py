@@ -293,3 +293,141 @@ def _run_dma_start(interp: Interpreter, op: Operation, env: dict):
 @impl("memref.wait")
 def _run_dma_wait(interp: Interpreter, op: Operation, env: dict):
     return None
+
+
+# -- compiled-form emitters ---------------------------------------------------
+#
+# Load/store dominate interpreted kernel bodies, so they get rank-
+# specialized closures; the rarer ops (alloc, copy, dma, dim...) go
+# through the interpreter-impl fallback automatically.
+
+from repro.ir.compile import FnCompiler, compiled_for
+
+
+@compiled_for("memref.load")
+def _emit_load(op: Operation, ctx: FnCompiler):
+    mem_i = ctx.slot(op.operands[0])
+    idx = tuple(ctx.slot_list(op.operands[1:]))
+    res_i = ctx.slot(op.results[0])
+    f32_dtype = np.float32
+
+    if not idx:
+        def run(interp, frame):
+            array = frame[mem_i]
+            element = array[()]
+            if isinstance(element, np.floating):
+                if array.dtype != f32_dtype:
+                    element = float(element)
+            frame[res_i] = element
+        return run
+
+    if len(idx) == 1:
+        (i0,) = idx
+
+        def run(interp, frame):
+            array = frame[mem_i]
+            element = array[int(frame[i0])]
+            if isinstance(element, np.floating):
+                if array.dtype != f32_dtype:
+                    element = float(element)
+            frame[res_i] = element
+        return run
+
+    def run(interp, frame):
+        array = frame[mem_i]
+        element = array[tuple(int(frame[i]) for i in idx)]
+        if isinstance(element, np.floating):
+            if array.dtype != f32_dtype:
+                element = float(element)
+        frame[res_i] = element
+    return run
+
+
+@compiled_for("memref.store")
+def _emit_store(op: Operation, ctx: FnCompiler):
+    val_i = ctx.slot(op.operands[0])
+    mem_i = ctx.slot(op.operands[1])
+    idx = tuple(ctx.slot_list(op.operands[2:]))
+
+    if not idx:
+        def run(interp, frame):
+            frame[mem_i][()] = frame[val_i]
+        return run
+
+    if len(idx) == 1:
+        (i0,) = idx
+
+        def run(interp, frame):
+            frame[mem_i][int(frame[i0])] = frame[val_i]
+        return run
+
+    def run(interp, frame):
+        frame[mem_i][tuple(int(frame[i]) for i in idx)] = frame[val_i]
+    return run
+
+
+@compiled_for("memref.cast")
+def _emit_cast(op: Operation, ctx: FnCompiler):
+    src_i = ctx.slot(op.operands[0])
+    res_i = ctx.slot(op.results[0])
+
+    def run(interp, frame):
+        frame[res_i] = frame[src_i]
+    return run
+
+
+@compiled_for("memref.dim")
+def _emit_dim(op: Operation, ctx: FnCompiler):
+    mem_i, dim_i = (ctx.slot(o) for o in op.operands)
+    res_i = ctx.slot(op.results[0])
+
+    def run(interp, frame):
+        frame[res_i] = int(frame[mem_i].shape[int(frame[dim_i])])
+    return run
+
+
+def _emit_alloc(op: Operation, ctx: FnCompiler):
+    ty = op.results[0].type
+    assert isinstance(ty, MemRefType)
+    dtype = element_dtype(ty.element_type)
+    size_slots = iter(ctx.slot_list(op.operands))
+    # dynamic extents hold the operand slot; static ones -extent - 1
+    shape_spec = tuple(
+        next(size_slots) if extent == DYNAMIC else -extent - 1
+        for extent in ty.shape
+    )
+    res_i = ctx.slot(op.results[0])
+    if all(entry < 0 for entry in shape_spec):
+        shape = tuple(-entry - 1 for entry in shape_spec)
+
+        def run(interp, frame):
+            frame[res_i] = np.zeros(shape, dtype=dtype)
+        return run
+
+    def run(interp, frame):
+        frame[res_i] = np.zeros(
+            tuple(
+                int(frame[entry]) if entry >= 0 else -entry - 1
+                for entry in shape_spec
+            ),
+            dtype=dtype,
+        )
+    return run
+
+
+compiled_for("memref.alloc")(_emit_alloc)
+compiled_for("memref.alloca")(_emit_alloc)
+
+
+@compiled_for("memref.dealloc")
+def _emit_dealloc(op: Operation, ctx: FnCompiler):
+    return None
+
+
+@compiled_for("memref.copy")
+def _emit_copy(op: Operation, ctx: FnCompiler):
+    src_i, dst_i = (ctx.slot(o) for o in op.operands)
+
+    def run(interp, frame):
+        np.copyto(frame[dst_i], frame[src_i])
+    return run

@@ -468,10 +468,15 @@ def _run_loop_nest(interp: Interpreter, op: Operation, env: dict):
     lb, ub, step = interp.operand_values(op, env)
     if "inclusive" in op.attributes:
         ub = ub + (1 if step > 0 else -1)
-    if step > 0:
-        from repro.ir.vectorize import try_vectorized_loop
+    if step > 0 and interp.vectorize:
+        from repro.ir.vectorize import (
+            try_vectorized_loop,
+            try_vectorized_reduction,
+        )
 
         if try_vectorized_loop(interp, op, env, lb, ub, step):
+            return None
+        if try_vectorized_reduction(interp, op, env, lb, ub, step) is not None:
             return None
     body = op.regions[0].block
     iv = lb

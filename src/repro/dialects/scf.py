@@ -193,11 +193,21 @@ def _run_for(interp: Interpreter, op: Operation, env: dict):
     values = interp.operand_values(op, env)
     lb, ub, step = values[0], values[1], values[2]
     carried = list(values[3:])
-    if not carried:
-        from repro.ir.vectorize import try_vectorized_loop
+    observer = interp.loop_observer
+    if observer is not None:
+        observer(op, max(0, -(-(ub - lb) // step)) if step > 0 else 0)
+    if interp.vectorize:
+        from repro.ir.vectorize import (
+            try_vectorized_loop,
+            try_vectorized_reduction,
+        )
 
-        if try_vectorized_loop(interp, op, env, lb, ub, step):
+        if not carried and try_vectorized_loop(interp, op, env, lb, ub, step):
             interp.set_results(op, env, [])
+            return None
+        finals = try_vectorized_reduction(interp, op, env, lb, ub, step)
+        if finals is not None:
+            interp.set_results(op, env, finals)
             return None
     body = op.regions[0].block
     iv = lb
@@ -249,6 +259,210 @@ def _run_while(interp: Interpreter, op: Operation, env: dict):
 @impl("scf.condition")
 def _run_condition(interp: Interpreter, op: Operation, env: dict):
     return Yielded(tuple(interp.operand_values(op, env)))
+
+
+# -- compiled-form emitters ---------------------------------------------------
+#
+# Structured control flow compiles to native Python loops/branches around
+# compiled block bodies.  Loop closures invoke ``interp.loop_observer``
+# (cycle accounting) and the vectorized fast paths exactly like the
+# scalar ``_run_for`` does, and keep step accounting identical: one step
+# for the structured op plus the per-iteration body op count.
+
+from repro.ir.compile import CannotCompile, FnCompiler, compiled_for
+
+
+def _single_block(op: Operation, region_index: int) -> Block:
+    regions = op.regions
+    if region_index >= len(regions) or len(regions[region_index].blocks) != 1:
+        raise CannotCompile(op.name)
+    return regions[region_index].blocks[0]
+
+
+def _observed_trips(lb, ub, step) -> int:
+    return max(0, -(-(ub - lb) // step)) if step > 0 else 0
+
+
+@compiled_for("scf.for", counts_own_steps=True)
+def _emit_for(op: Operation, ctx: FnCompiler):
+    from repro.ir.interpreter import InterpreterError
+    from repro.ir.vectorize import loop_vector_mode, try_vectorized_reduction
+
+    body = _single_block(op, 0)
+    last = body.ops[-1] if body.ops else None
+    if last is None or last.name != "scf.yield":
+        raise CannotCompile("scf.for body does not end in scf.yield")
+    if len(last.operands) != len(op.results):
+        raise CannotCompile("scf.for yield arity mismatch")
+
+    lb_i, ub_i, st_i = (ctx.slot(o) for o in op.operands[:3])
+    iter_slots = tuple(ctx.slot_list(op.operands[3:]))
+    iv_slot = ctx.slot(body.args[0])
+    arg_slots = tuple(ctx.slot_list(body.args[1:]))
+    res_slots = tuple(ctx.slot_list(op.results))
+    yld_slots = tuple(ctx.slot_list(last.operands))
+    body_run = ctx.compile_body(body.ops, allow_terminators=("scf.yield",))
+
+    mode, _ = loop_vector_mode(op)
+    if mode is not None:
+        ctx.needs_env = True
+
+    if not iter_slots:
+        if mode == "elementwise":
+            from repro.ir.vectorize import try_vectorized_loop
+
+            fast_path = try_vectorized_loop
+        elif mode == "memref_reduction":
+            def fast_path(interp, loop, env, lb, ub, step):
+                return (
+                    try_vectorized_reduction(interp, loop, env, lb, ub, step)
+                    is not None
+                )
+        else:
+            fast_path = None
+
+        def run(interp, frame):
+            interp.steps += 1
+            lb, ub, step = frame[lb_i], frame[ub_i], frame[st_i]
+            obs = interp.loop_observer
+            if obs is not None:
+                obs(op, _observed_trips(lb, ub, step))
+            if (
+                fast_path is not None
+                and interp.vectorize
+                and fast_path(interp, op, frame[0], lb, ub, step)
+            ):
+                return
+            max_steps = interp.max_steps
+            iv = lb
+            while iv < ub:
+                frame[iv_slot] = iv
+                body_run(interp, frame)
+                if interp.steps > max_steps:
+                    raise InterpreterError("interpreter step limit exceeded")
+                iv += step
+        return run
+
+    reducible = mode == "iter_reduction"
+
+    def run(interp, frame):
+        interp.steps += 1
+        lb, ub, step = frame[lb_i], frame[ub_i], frame[st_i]
+        obs = interp.loop_observer
+        if obs is not None:
+            obs(op, _observed_trips(lb, ub, step))
+        if reducible and interp.vectorize:
+            finals = try_vectorized_reduction(
+                interp, op, frame[0], lb, ub, step
+            )
+            if finals is not None:
+                for slot, value in zip(res_slots, finals):
+                    frame[slot] = value
+                return
+        carried = [frame[s] for s in iter_slots]
+        max_steps = interp.max_steps
+        iv = lb
+        while iv < ub:
+            frame[iv_slot] = iv
+            for slot, value in zip(arg_slots, carried):
+                frame[slot] = value
+            body_run(interp, frame)
+            carried = [frame[s] for s in yld_slots]
+            if interp.steps > max_steps:
+                raise InterpreterError("interpreter step limit exceeded")
+            iv += step
+        for slot, value in zip(res_slots, carried):
+            frame[slot] = value
+    return run
+
+
+@compiled_for("scf.if", counts_own_steps=True)
+def _emit_if(op: Operation, ctx: FnCompiler):
+    cond_i = ctx.slot(op.operands[0])
+    res_slots = tuple(ctx.slot_list(op.results))
+    branches = []
+    for region_index in (0, 1):
+        block = _single_block(op, region_index)
+        last = block.ops[-1] if block.ops else None
+        if last is not None and last.name == "scf.yield":
+            src = tuple(ctx.slot_list(last.operands))
+        else:
+            src = ()
+        if len(src) != len(res_slots):
+            # scalar set_results would fault at run time; stay scalar
+            raise CannotCompile("scf.if branch/result arity mismatch")
+        runner = ctx.compile_body(block.ops, allow_terminators=("scf.yield",))
+        branches.append((runner, src))
+    (then_run, then_src), (else_run, else_src) = branches
+
+    if not res_slots:
+        def run(interp, frame):
+            interp.steps += 1
+            if frame[cond_i]:
+                then_run(interp, frame)
+            else:
+                else_run(interp, frame)
+        return run
+
+    def run(interp, frame):
+        interp.steps += 1
+        if frame[cond_i]:
+            then_run(interp, frame)
+            src = then_src
+        else:
+            else_run(interp, frame)
+            src = else_src
+        values = [frame[s] for s in src]
+        for slot, value in zip(res_slots, values):
+            frame[slot] = value
+    return run
+
+
+@compiled_for("scf.while", counts_own_steps=True)
+def _emit_while(op: Operation, ctx: FnCompiler):
+    from repro.ir.interpreter import InterpreterError
+
+    before = _single_block(op, 0)
+    after = _single_block(op, 1)
+    cond_op = before.ops[-1] if before.ops else None
+    if cond_op is None or cond_op.name != "scf.condition":
+        raise CannotCompile("scf.while before-region must end in condition")
+    yield_op = after.ops[-1] if after.ops else None
+    if yield_op is None or yield_op.name != "scf.yield":
+        raise CannotCompile("scf.while after-region must end in yield")
+
+    init_slots = tuple(ctx.slot_list(op.operands))
+    before_args = tuple(ctx.slot_list(before.args))
+    after_args = tuple(ctx.slot_list(after.args))
+    res_slots = tuple(ctx.slot_list(op.results))
+    cond_i = ctx.slot(cond_op.operands[0])
+    cond_args = tuple(ctx.slot_list(cond_op.operands[1:]))
+    yld_slots = tuple(ctx.slot_list(yield_op.operands))
+    before_run = ctx.compile_body(
+        before.ops, allow_terminators=("scf.condition",)
+    )
+    after_run = ctx.compile_body(after.ops, allow_terminators=("scf.yield",))
+
+    def run(interp, frame):
+        interp.steps += 1
+        values = [frame[s] for s in init_slots]
+        max_steps = interp.max_steps
+        while True:
+            for slot, value in zip(before_args, values):
+                frame[slot] = value
+            before_run(interp, frame)
+            args = [frame[s] for s in cond_args]
+            if not frame[cond_i]:
+                for slot, value in zip(res_slots, args):
+                    frame[slot] = value
+                return
+            for slot, value in zip(after_args, args):
+                frame[slot] = value
+            after_run(interp, frame)
+            values = [frame[s] for s in yld_slots]
+            if interp.steps > max_steps:
+                raise InterpreterError("interpreter step limit exceeded")
+    return run
 
 
 @impl("scf.parallel")

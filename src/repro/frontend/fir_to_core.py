@@ -48,7 +48,7 @@ class ForwardDeclare(RewritePattern):
     op_name = "fir.declare"
 
     def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> None:
-        op.results[0].replace_by(op.operands[0])
+        rewriter.replace_all_uses_with(op.results[0], op.operands[0])
         rewriter.erase_matched_op()
 
 
@@ -159,7 +159,7 @@ class LowerConvert(RewritePattern):
         source = op.operands[0]
         src, dst = source.type, op.results[0].type
         if src == dst:
-            op.results[0].replace_by(source)
+            rewriter.replace_all_uses_with(op.results[0], source)
             rewriter.erase_matched_op()
             return
         new_op: Operation

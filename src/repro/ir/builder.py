@@ -138,6 +138,7 @@ def inline_block_before(block: Block, anchor: Operation, arg_values: Sequence[SS
         )
     for arg, value in zip(block.args, arg_values):
         arg.replace_by(value)
-    for op in list(block.ops):
+    ops = list(block.ops)
+    for op in ops:
         op.detach()
-        anchor.parent.insert_op_before(op, anchor)  # type: ignore[union-attr]
+    anchor.parent.insert_ops_before(ops, anchor)  # type: ignore[union-attr]

@@ -9,7 +9,7 @@ eagerly so rewrites can use :meth:`SSAValue.replace_by`.
 
 from __future__ import annotations
 
-import itertools
+import heapq
 from typing import Callable, Iterable, Iterator, Sequence, TypeVar
 
 from repro.ir.attributes import Attribute
@@ -28,13 +28,19 @@ class IRError(Exception):
 
 
 class Use:
-    """A single use of an SSA value: (operation, operand index)."""
+    """A single use of an SSA value: (operation, operand index).
 
-    __slots__ = ("operation", "index")
+    ``pos`` is the use's position inside the owning value's ``uses`` list,
+    maintained by :meth:`SSAValue.add_use`/:meth:`SSAValue.remove_use_object`
+    so unlinking an operand is O(1) instead of a linear scan.
+    """
+
+    __slots__ = ("operation", "index", "pos")
 
     def __init__(self, operation: "Operation", index: int):
         self.operation = operation
         self.index = index
+        self.pos = -1
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Use({self.operation.name}, {self.index})"
@@ -54,12 +60,25 @@ class SSAValue:
     # -- def-use management -------------------------------------------------
 
     def add_use(self, use: Use) -> None:
+        use.pos = len(self.uses)
         self.uses.append(use)
 
+    def remove_use_object(self, use: Use) -> None:
+        """Unlink ``use`` in O(1) (swap-remove; use order is not stable)."""
+        pos = use.pos
+        if pos < 0 or pos >= len(self.uses) or self.uses[pos] is not use:
+            raise IRError("attempting to remove a use that does not exist")
+        last = self.uses.pop()
+        if last is not use:
+            self.uses[pos] = last
+            last.pos = pos
+        use.pos = -1
+
     def remove_use(self, operation: "Operation", index: int) -> None:
-        for i, use in enumerate(self.uses):
+        """Compatibility shim: locate the use by (operation, index)."""
+        for use in self.uses:
             if use.operation is operation and use.index == index:
-                del self.uses[i]
+                self.remove_use_object(use)
                 return
         raise IRError("attempting to remove a use that does not exist")
 
@@ -134,7 +153,15 @@ class Operation:
     #: Trait classes (see :mod:`repro.ir.traits`).
     traits: tuple[type, ...] = ()
 
-    __slots__ = ("_operands", "results", "attributes", "regions", "parent")
+    __slots__ = (
+        "_operands",
+        "_operand_uses",
+        "_operands_tuple",
+        "results",
+        "attributes",
+        "regions",
+        "parent",
+    )
 
     def __init__(
         self,
@@ -144,6 +171,10 @@ class Operation:
         regions: Sequence["Region"] | None = None,
     ):
         self._operands: list[SSAValue] = []
+        #: Use objects registered with each operand (parallel to _operands)
+        #: so unlinking does not scan the value's use list.
+        self._operand_uses: list[Use] = []
+        self._operands_tuple: tuple[SSAValue, ...] | None = None
         self.results: list[OpResult] = [
             OpResult(t, self, i) for i, t in enumerate(result_types)
         ]
@@ -159,7 +190,10 @@ class Operation:
 
     @property
     def operands(self) -> tuple[SSAValue, ...]:
-        return tuple(self._operands)
+        cached = self._operands_tuple
+        if cached is None:
+            cached = self._operands_tuple = tuple(self._operands)
+        return cached
 
     def add_operand(self, value: SSAValue) -> None:
         if not isinstance(value, SSAValue):
@@ -168,19 +202,27 @@ class Operation:
             )
         index = len(self._operands)
         self._operands.append(value)
-        value.add_use(Use(self, index))
+        self._operands_tuple = None
+        use = Use(self, index)
+        self._operand_uses.append(use)
+        value.add_use(use)
 
     def set_operand(self, index: int, value: SSAValue) -> None:
         old = self._operands[index]
-        old.remove_use(self, index)
+        old.remove_use_object(self._operand_uses[index])
         self._operands[index] = value
-        value.add_use(Use(self, index))
+        self._operands_tuple = None
+        use = Use(self, index)
+        self._operand_uses[index] = use
+        value.add_use(use)
 
     def drop_all_references(self) -> None:
         """Remove this op's uses of its operands (prior to erasure)."""
-        for index, operand in enumerate(self._operands):
-            operand.remove_use(self, index)
+        for operand, use in zip(self._operands, self._operand_uses):
+            operand.remove_use_object(use)
         self._operands.clear()
+        self._operand_uses.clear()
+        self._operands_tuple = None
 
     # -- structure -----------------------------------------------------------
 
@@ -343,21 +385,58 @@ class Block:
         for op in ops:
             self.add_op(op)
 
-    def insert_op_before(self, op: Operation, anchor: Operation) -> None:
-        if anchor.parent is not self:
-            raise IRError("anchor operation is not in this block")
-        if op.parent is not None:
-            raise IRError("operation already attached to a block")
-        op.parent = self
-        self.ops.insert(self.ops.index(anchor), op)
+    def _anchor_index(self, anchor: Operation, anchor_index: int | None) -> int:
+        """Resolve ``anchor``'s position, trusting a caller-supplied index
+        when it checks out so repeated insertions avoid ``list.index``."""
+        if (
+            anchor_index is not None
+            and 0 <= anchor_index < len(self.ops)
+            and self.ops[anchor_index] is anchor
+        ):
+            return anchor_index
+        return self.ops.index(anchor)
 
-    def insert_op_after(self, op: Operation, anchor: Operation) -> None:
+    def insert_op_before(
+        self,
+        op: Operation,
+        anchor: Operation,
+        *,
+        anchor_index: int | None = None,
+    ) -> None:
         if anchor.parent is not self:
             raise IRError("anchor operation is not in this block")
         if op.parent is not None:
             raise IRError("operation already attached to a block")
         op.parent = self
-        self.ops.insert(self.ops.index(anchor) + 1, op)
+        self.ops.insert(self._anchor_index(anchor, anchor_index), op)
+
+    def insert_op_after(
+        self,
+        op: Operation,
+        anchor: Operation,
+        *,
+        anchor_index: int | None = None,
+    ) -> None:
+        if anchor.parent is not self:
+            raise IRError("anchor operation is not in this block")
+        if op.parent is not None:
+            raise IRError("operation already attached to a block")
+        op.parent = self
+        self.ops.insert(self._anchor_index(anchor, anchor_index) + 1, op)
+
+    def insert_ops_before(
+        self, ops: Sequence[Operation], anchor: Operation
+    ) -> None:
+        """Insert ``ops`` (in order) before ``anchor`` with one position
+        lookup for the whole batch."""
+        if anchor.parent is not self:
+            raise IRError("anchor operation is not in this block")
+        position = self.ops.index(anchor)
+        for op in ops:
+            if op.parent is not None:
+                raise IRError("operation already attached to a block")
+            op.parent = self
+        self.ops[position:position] = list(ops)
 
     def add_arg(self, type: TypeAttribute) -> BlockArgument:
         arg = BlockArgument(type, self, len(self.args))
@@ -527,29 +606,33 @@ def ops_topologically_sorted(block: Block) -> list[Operation]:
     """Return block ops sorted so every def precedes its uses.
 
     Used by transforms that build blocks out of order; ops whose operands
-    are all defined outside the block keep their relative order.
+    are all defined outside the block keep their relative order.  Kahn's
+    algorithm over the in-block def-use edges, O(n + e) with a heap keyed
+    by original position so ties keep source order (the same order the
+    previous quadratic scan produced).
     """
-    placed: set[Operation] = set()
-    result: list[Operation] = []
-    pending = list(block.ops)
-
-    def ready(op: Operation) -> bool:
-        for operand in op.operands:
+    position: dict[int, int] = {id(op): i for i, op in enumerate(block.ops)}
+    indegree: dict[int, int] = {id(op): 0 for op in block.ops}
+    dependents: dict[int, list[Operation]] = {id(op): [] for op in block.ops}
+    for op in block.ops:
+        for operand in op._operands:
             if isinstance(operand, OpResult) and operand.op.parent is block:
-                if operand.op not in placed:
-                    return False
-        return True
+                if operand.op is not op:  # self-loops cannot be satisfied
+                    indegree[id(op)] += 1
+                    dependents[id(operand.op)].append(op)
 
-    guard = itertools.count()
-    while pending:
-        if next(guard) > len(block.ops) ** 2 + 8:
-            raise IRError("cycle detected while sorting block operations")
-        for i, op in enumerate(pending):
-            if ready(op):
-                placed.add(op)
-                result.append(op)
-                del pending[i]
-                break
-        else:  # pragma: no cover - defensive
-            raise IRError("unable to topologically sort block")
+    ready = [
+        (position[id(op)], op) for op in block.ops if indegree[id(op)] == 0
+    ]
+    heapq.heapify(ready)
+    result: list[Operation] = []
+    while ready:
+        _, op = heapq.heappop(ready)
+        result.append(op)
+        for user in dependents[id(op)]:
+            indegree[id(user)] -= 1
+            if indegree[id(user)] == 0:
+                heapq.heappush(ready, (position[id(user)], user))
+    if len(result) != len(block.ops):
+        raise IRError("cycle detected while sorting block operations")
     return result

@@ -7,6 +7,14 @@ to the simulated board.
 
 The interpreter is the ground truth for *correctness* — performance numbers
 come from the analytic FPGA/CPU models, not from wall-clock interpretation.
+Three execution tiers produce identical results and identical step counts:
+
+1. scalar op-by-op dispatch (this module; ``compiled=False`` forces it);
+2. block-JIT compiled closures (:mod:`repro.ir.compile`, the default) —
+   each function is translated once into specialized Python closures;
+3. NumPy whole-loop evaluation for provably safe loops
+   (:mod:`repro.ir.vectorize`; ``vectorize=False`` disables it), entered
+   from either of the first two tiers.
 """
 
 from __future__ import annotations
@@ -61,6 +69,9 @@ class Interpreter:
         module: Operation,
         extra_impls: dict[str, OpImpl] | None = None,
         max_steps: int = 500_000_000,
+        *,
+        compiled: bool = True,
+        vectorize: bool = True,
     ):
         self.module = module
         self.impls: dict[str, OpImpl] = dict(_GLOBAL_IMPLS)
@@ -68,7 +79,18 @@ class Interpreter:
             self.impls.update(extra_impls)
         self.max_steps = max_steps
         self.steps = 0
+        #: enable the block-JIT tier (falls back to scalar per function)
+        self.compiled = compiled
+        #: enable the NumPy whole-loop tier (both engines honour this)
+        self.vectorize = vectorize
+        #: optional ``(loop_op, trips)`` callback fired once per ``scf.for``
+        #: execution — the cycle-accounting hook of the kernel runner.
+        self.loop_observer: Callable[[Operation, int], None] | None = None
+        #: the FpgaExecutor driving this interpreter, if any — compiled
+        #: device-op closures bind to it directly.
+        self.host_executor = None
         self._functions: dict[str, Operation] | None = None
+        self._compilation = None
 
     # -- function lookup ---------------------------------------------------------
 
@@ -103,11 +125,29 @@ class Interpreter:
                 f"function {name!r} expects {len(body.args)} arguments, "
                 f"got {len(args)}"
             )
+        if self.compiled:
+            compiled_fn = self._compiled_function(name, func)
+            if compiled_fn is not None:
+                return compiled_fn.call(self, args)
         env: dict[SSAValue, Any] = {}
         result = self.run_block(body, env, args)
         if isinstance(result, Returned):
             return result.values
         return ()
+
+    def _compiled_function(self, name: str, func: Operation):
+        """Block-JIT artifact for ``func`` (None -> scalar path)."""
+        compilation = self._compilation
+        if compilation is None:
+            from repro.ir.compile import (
+                get_module_compilation,
+                overridden_native_ops,
+            )
+
+            compilation = self._compilation = get_module_compilation(
+                self.module, overridden_native_ops(self.impls)
+            )
+        return compilation.get_function(name, func)
 
     def run_block(
         self, block: Block, env: dict, args: Sequence[Any] = ()

@@ -70,6 +70,12 @@ class PassManager:
                     print_op(module) if self.capture_ir else None,
                 )
             )
+        if self.passes:
+            # the pipeline mutated the module in place: stale compiled
+            # artifacts and loop analyses must not survive it
+            from repro.ir.compile import invalidate_compilation
+
+            invalidate_compilation(module)
 
     @property
     def pass_names(self) -> list[str]:

@@ -1,24 +1,31 @@
 """Pattern rewriting infrastructure.
 
 :class:`RewritePattern` subclasses implement ``match_and_rewrite`` and are
-applied to a fixed point by :class:`GreedyPatternRewriter` — a simplified
-but faithful analogue of MLIR's greedy driver.
+applied to a fixed point by :class:`GreedyPatternRewriter`.  The driver is
+worklist-based: patterns are indexed by their ``op_name`` filter, each
+rewrite enqueues only the ops it may have affected (new ops, users of
+replacement values, defs of erased operands), and the module is walked
+exactly once at the start — not once per fixed-point iteration.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Iterable, Sequence
 
 from repro.ir.builder import Builder, InsertPoint
-from repro.ir.core import Block, IRError, Operation, Region, SSAValue
+from repro.ir.core import Block, IRError, Operation, OpResult, Region, SSAValue
 
 
 class PatternRewriter:
-    """Mutation API handed to patterns; records whether anything changed."""
+    """Mutation API handed to patterns; records whether anything changed
+    and which ops the worklist driver must revisit."""
 
     def __init__(self, current_op: Operation):
         self.current_op = current_op
         self.changed = False
+        #: ops (possibly) affected by this rewrite, for re-enqueueing
+        self.affected_ops: list[Operation] = []
         self._builder = Builder(InsertPoint.before(current_op))
 
     # -- insertion --------------------------------------------------------------
@@ -26,21 +33,36 @@ class PatternRewriter:
     def insert_op_before_matched(self, *ops: Operation) -> None:
         for op in ops:
             self._builder.insert(op)
+        self.affected_ops.extend(ops)
         self.changed = bool(ops) or self.changed
 
     def insert_op_after_matched(self, *ops: Operation) -> None:
+        if not ops:
+            return
         anchor = self.current_op
+        block = anchor.parent
+        index = block.index_of(anchor)  # type: ignore[union-attr]
         for op in ops:
-            anchor.parent.insert_op_after(op, anchor)  # type: ignore[union-attr]
+            block.insert_op_after(op, anchor, anchor_index=index)  # type: ignore[union-attr]
             anchor = op
-        self.changed = bool(ops) or self.changed
+            index += 1
+        self.affected_ops.extend(ops)
+        self.changed = True
 
     def insert_op_at_end(self, block: Block, *ops: Operation) -> None:
         for op in ops:
             block.add_op(op)
+        self.affected_ops.extend(ops)
         self.changed = bool(ops) or self.changed
 
     # -- replacement --------------------------------------------------------------
+
+    def _note_operand_defs(self, op: Operation) -> None:
+        """Queue the defs of ``op``'s operands: erasing a use may expose
+        dead code or new match opportunities at the producer."""
+        for operand in op.operands:
+            if isinstance(operand, OpResult):
+                self.affected_ops.append(operand.op)
 
     def replace_matched_op(
         self,
@@ -62,6 +84,7 @@ class PatternRewriter:
                 f"replace_matched_op: expected {len(self.current_op.results)} "
                 f"replacement values, got {len(new_results)}"
             )
+        self._note_operand_defs(self.current_op)
         for old, new in zip(self.current_op.results, new_results):
             if new is None:
                 if old.has_uses:
@@ -70,15 +93,21 @@ class PatternRewriter:
                     )
                 continue
             old.replace_by(new)
+            # users migrated onto the new value may now match patterns
+            for use in new.uses:
+                self.affected_ops.append(use.operation)
         self.current_op.erase()
         self.changed = True
 
     def erase_matched_op(self) -> None:
+        self._note_operand_defs(self.current_op)
         self.current_op.erase()
         self.changed = True
 
     def replace_all_uses_with(self, old: SSAValue, new: SSAValue) -> None:
         old.replace_by(new)
+        for use in new.uses:
+            self.affected_ops.append(use.operation)
         self.changed = True
 
     # -- region surgery -------------------------------------------------------------
@@ -93,23 +122,36 @@ class PatternRewriter:
             raise IRError("inline: argument count mismatch")
         for arg, value in zip(block.args, arg_values):
             arg.replace_by(value)
-        for op in list(block.ops):
+        ops = list(block.ops)
+        for op in ops:
             op.detach()
             self._builder.insert(op)
+        self.affected_ops.extend(ops)
         self.changed = True
 
     def notify_changed(self) -> None:
         self.changed = True
+        # no structured information: conservatively revisit the op itself
+        # and the users of its results
+        self.affected_ops.append(self.current_op)
+        for result in self.current_op.results:
+            for use in result.uses:
+                self.affected_ops.append(use.operation)
 
 
 class RewritePattern:
     """Base class for rewrite patterns.
 
     ``match_and_rewrite`` mutates the IR through ``rewriter`` when the
-    pattern applies, otherwise leaves it untouched.
+    pattern applies, otherwise leaves it untouched.  All mutation must go
+    through the :class:`PatternRewriter` methods (in particular use
+    ``rewriter.replace_all_uses_with``, not ``SSAValue.replace_by``): the
+    worklist driver revisits only the ops those methods record, so a
+    bypassed mutation can leave a match undiscovered.
     """
 
-    #: Optional op-name filter; the driver skips non-matching ops cheaply.
+    #: Optional op-name filter; the driver indexes patterns by it so an op
+    #: only sees the patterns that can match it.
     op_name: str | None = None
 
     def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> None:
@@ -117,7 +159,14 @@ class RewritePattern:
 
 
 class GreedyPatternRewriter:
-    """Applies a set of patterns until no more changes occur."""
+    """Applies a set of patterns until no more changes occur.
+
+    Worklist driver: the root is walked once to seed the queue; afterwards
+    only ops touched by a rewrite are revisited.  ``max_iterations`` keeps
+    its historical meaning as a convergence bound — the driver allows
+    roughly ``max_iterations`` full-module's worth of rewrites before
+    declaring divergence.
+    """
 
     def __init__(
         self,
@@ -127,35 +176,65 @@ class GreedyPatternRewriter:
     ):
         self.patterns = list(patterns)
         self.max_iterations = max_iterations
+        #: op_name -> applicable patterns (filtered + generic, in original
+        #: relative order), built lazily
+        self._by_name: dict[str, list[RewritePattern]] = {}
+
+    def _patterns_for(self, op_name: str) -> list[RewritePattern]:
+        cached = self._by_name.get(op_name)
+        if cached is None:
+            cached = self._by_name[op_name] = [
+                p
+                for p in self.patterns
+                if p.op_name is None or p.op_name == op_name
+            ]
+        return cached
 
     def rewrite(self, root: Operation) -> bool:
         """Run to fixed point. Returns True if anything changed."""
-        changed_any = False
-        for _ in range(self.max_iterations):
-            changed = self._rewrite_once(root)
-            changed_any |= changed
-            if not changed:
-                return changed_any
-        raise IRError(
-            f"greedy rewriter did not converge in {self.max_iterations} "
-            "iterations"
-        )
+        worklist: deque[Operation] = deque()
+        queued: set[int] = set()
 
-    def _rewrite_once(self, root: Operation) -> bool:
-        changed = False
-        # Snapshot the walk since patterns mutate the tree; newly created
-        # ops are picked up on the next iteration.
-        for op in list(root.walk()):
-            if op.parent is None:
-                # The root itself (patterns must not match it) or an op
-                # already erased/detached by an earlier pattern.
+        def enqueue(op: Operation) -> None:
+            for nested in op.walk():
+                if id(nested) not in queued:
+                    queued.add(id(nested))
+                    worklist.append(nested)
+
+        for op in root.walk():
+            if op is root:
                 continue
-            for pattern in self.patterns:
-                if pattern.op_name is not None and pattern.op_name != op.name:
-                    continue
+            if id(op) not in queued:
+                queued.add(id(op))
+                worklist.append(op)
+
+        budget = self.max_iterations * (len(queued) + 8)
+        rewrites = 0
+        changed_any = False
+        while worklist:
+            op = worklist.popleft()
+            queued.discard(id(op))
+            if op.parent is None or op is root:
+                continue  # erased/detached, or the root itself
+            for pattern in self._patterns_for(op.name):
                 rewriter = PatternRewriter(op)
                 pattern.match_and_rewrite(op, rewriter)
                 if rewriter.changed:
-                    changed = True
-                    break  # op may be gone; move on
-        return changed
+                    changed_any = True
+                    rewrites += 1
+                    if rewrites > budget:
+                        raise IRError(
+                            "greedy rewriter did not converge in "
+                            f"{self.max_iterations} iterations"
+                        )
+                    for affected in rewriter.affected_ops:
+                        if affected.parent is not None:
+                            enqueue(affected)
+                    if op.parent is not None:
+                        enqueue(op)  # still attached: may match again
+                    break  # the op may be gone; take it from the queue
+        if changed_any:
+            from repro.ir.compile import invalidate_compilation
+
+            invalidate_compilation(root)
+        return changed_any

@@ -1,8 +1,11 @@
 """Vectorized loop execution for the interpreter.
 
 Interpreting multi-million-trip loops op-by-op in Python is prohibitively
-slow, so loops that are provably *dependence-free and elementwise* are
-executed with NumPy over the whole iteration space at once:
+slow, so loops whose behaviour is provable are executed with NumPy over
+the whole iteration space at once.  Three loop shapes are recognised (the
+analysis is cached per loop op, so each loop is classified exactly once):
+
+**Elementwise loops** (no iter_args, no reduction):
 
 * every memory subscript must be affine in the induction variable with a
   non-zero stride (injective — no scatter collisions), or loop-invariant
@@ -10,19 +13,44 @@ executed with NumPy over the whole iteration space at once:
 * the body must be straight-line (no nested regions) and consist of
   elementwise arith/math/memref ops;
 * :func:`repro.transforms.loop_analysis.loop_carried_dependences` must
-  find nothing (reductions and recurrences take the scalar path).
+  find nothing.
 
-Per-element float32 semantics are identical to the scalar interpreter —
-NumPy applies the same operation per lane; no reassociation occurs.
+**Reduction loops over iter_args** — ``%acc`` carried through
+``scf.for ... iter_args`` whose yielded value is
+``combine(%acc, %expr)`` for an add/mul/min/max combiner, with ``%expr``
+elementwise and independent of the accumulator.  ``%expr`` is evaluated
+vectorized, then folded with a *sequential* NumPy reduction.
+
+**Reduction loops over memref accumulators** — the shape the round-robin
+reduction rewrite produces: ``P[idx] = combine(P[idx], %expr)`` where the
+load and store share the same subscript values and nothing else touches
+``P``.  The subscript may be loop-invariant (a plain scalar reduction,
+rank-0 included) or vary per iteration (the periodic ``(i ...) mod N``
+round-robin pattern); repeated-index combining uses ``np.ufunc.at``,
+which applies updates in iteration order.
+
+Float32 ordering note: per-element semantics are identical to the scalar
+interpreter — NumPy applies the same operation per lane, and no
+reassociation occurs.  For ordered reductions (add, mul) the fast path
+uses ``ufunc.accumulate``/``ufunc.at``, which combine strictly in
+iteration order per accumulator cell, so float32 results are bit-identical
+to the scalar walk (pairwise-summation tricks like ``np.sum`` are *not*
+used).  min/max are combined with ``np.minimum``/``np.maximum``, which
+are order-insensitive for finite values; inputs containing NaN bail to
+the scalar path (Python ``min``/``max`` ignore a NaN rhs where NumPy
+propagates it), leaving only the sign of zero on min/max ties as a
+potential bit difference.  Integer reductions accumulate in int64 (the
+scalar engine is unbounded).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any
 
 import numpy as np
 
-from repro.ir.core import Block, Operation, SSAValue
+from repro.ir.core import Block, Operation, OpResult, SSAValue
 
 #: ops that are safe no-ops inside a vectorized body
 _SKIPPED = {"hls.pipeline", "hls.unroll", "scf.yield", "omp.yield"}
@@ -62,6 +90,24 @@ _SUPPORTED = (
     }
 )
 
+#: reduction combiners and their NumPy ufuncs
+_REDUCERS = {
+    "arith.addf": np.add, "arith.addi": np.add,
+    "arith.mulf": np.multiply, "arith.muli": np.multiply,
+    "arith.minimumf": np.minimum, "arith.minsi": np.minimum,
+    "arith.maximumf": np.maximum, "arith.maxsi": np.maximum,
+}
+
+#: below this trip count the scalar engines win on constant factors
+_MIN_TRIPS = 64
+
+
+def _trunc_divide(a, b):
+    """``arith.divsi`` with the scalar engine's exact semantics:
+    ``int(math.trunc(a / b))`` — truncating division *via float64*,
+    including its precision behaviour."""
+    return np.trunc(np.divide(a, b)).astype(np.int64)
+
 
 def _body_is_vectorizable(body: Block) -> bool:
     for op in body.ops:
@@ -87,6 +133,8 @@ def _loop_is_vectorizable(loop: Operation) -> bool:
     # All store subscripts must be injective (affine, non-zero stride).
     for op in body.ops:
         if op.name == "memref.store":
+            if len(op.operands) == 2:
+                return False  # rank-0 store: same cell every iteration
             for idx in op.operands[2:]:
                 pattern = classify_index(idx, iv, body)
                 if pattern.kind != "affine" or pattern.parameter == 0:
@@ -98,120 +146,527 @@ def _loop_is_vectorizable(loop: Operation) -> bool:
     return True
 
 
-# Keyed by id(); the op itself is kept in the value so the id cannot be
-# recycled by the allocator while the cache entry lives.
-_vectorizable_cache: dict[int, tuple[Operation, bool]] = {}
+# ---------------------------------------------------------------------------
+# Reduction recognition
+# ---------------------------------------------------------------------------
 
 
-def try_vectorized_loop(
-    interp, loop: Operation, env: dict, lb: int, ub: int, step: int
-) -> bool:
-    """Execute the loop vectorized if provably safe.  Returns True when
-    handled (the scalar path must run otherwise)."""
-    key = id(loop)
-    cached = _vectorizable_cache.get(key)
-    if cached is None or cached[0] is not loop:
-        cached = (loop, _loop_is_vectorizable(loop))
-        _vectorizable_cache[key] = cached
-    if not cached[1]:
-        return False
-    trips = max(0, -(-(ub - lb) // step)) if step > 0 else 0
-    if trips == 0:
-        return True
-    if trips < 64:
-        return False  # scalar is cheaper for short loops
+@dataclass(frozen=True)
+class _IterReduction:
+    """Per-iter_arg combiner plan: (combiner name, expr value, position)."""
+
+    combiners: tuple[tuple[str, SSAValue, int], ...]
+    skip: frozenset[int]  # op ids excluded from elementwise evaluation
+
+
+@dataclass(frozen=True)
+class _MemrefReduction:
+    """``P[idx] = combine(P[idx], expr)`` accumulator plan."""
+
+    op_name: str
+    acc: SSAValue  # the memref operand of the accumulator load
+    indices: tuple[SSAValue, ...]
+    expr: SSAValue
+    skip: frozenset[int]  # ids of the load/combiner/store
+
+
+def _analyze_iter_reduction(loop: Operation) -> _IterReduction | None:
+    if loop.name != "scf.for":
+        return None
+    from repro.transforms.loop_analysis import classify_index
+
     body = loop.regions[0].block
-    ivs = np.arange(lb, lb + trips * step, step, dtype=np.int64)
-    venv: dict[SSAValue, Any] = {body.args[0]: ivs}
+    if len(body.args) < 2:
+        return None
+    last = body.ops[-1] if body.ops else None
+    if last is None or last.name != "scf.yield":
+        return None
+    if len(last.operands) != len(body.args) - 1:
+        return None
+    iv = body.args[0]
+    combiners: list[tuple[str, SSAValue, int]] = []
+    combiner_ids: set[int] = set()
+    for position, acc in enumerate(body.args[1:]):
+        if len(acc.uses) != 1:
+            return None
+        combiner = acc.uses[0].operation
+        if combiner.parent is not body or combiner.name not in _REDUCERS:
+            return None
+        if len(combiner.results) != 1 or len(combiner.operands) != 2:
+            return None
+        result = combiner.results[0]
+        if len(result.uses) != 1:
+            return None
+        yield_use = result.uses[0]
+        if yield_use.operation is not last or yield_use.index != position:
+            return None
+        lhs, rhs = combiner.operands
+        expr = rhs if lhs is acc else lhs if rhs is acc else None
+        if expr is None:
+            return None
+        combiners.append((combiner.name, expr, position))
+        combiner_ids.add(id(combiner))
+    for op in body.ops:
+        if id(op) in combiner_ids or op is last:
+            continue
+        if op.regions or op.name not in _SUPPORTED:
+            return None
+        if op.name == "memref.store":
+            return None
+        if op.name == "memref.load":
+            for idx in op.operands[1:]:
+                if classify_index(idx, iv, body).kind not in (
+                    "affine", "invariant",
+                ):
+                    return None
+    return _IterReduction(tuple(combiners), frozenset(combiner_ids))
 
-    def value(v: SSAValue) -> Any:
-        if v in venv:
-            return venv[v]
-        return interp.get(env, v)  # loop-invariant outer value
 
+def _analyze_memref_reduction(loop: Operation) -> _MemrefReduction | None:
+    from repro.transforms.loop_analysis import classify_index, root_memref
+
+    body = loop.regions[0].block
+    if len(body.args) != 1:
+        return None
+    iv = body.args[0]
+    for op in body.ops:
+        if op.regions or op.name not in _SUPPORTED:
+            return None
+    stores = [op for op in body.ops if op.name == "memref.store"]
+    if len(stores) != 1:
+        return None
+    store = stores[0]
+    stored = store.operands[0]
+    if not isinstance(stored, OpResult):
+        return None
+    combiner = stored.op
+    if combiner.parent is not body or combiner.name not in _REDUCERS:
+        return None
+    if len(stored.uses) != 1:  # combiner feeds the store and nothing else
+        return None
+    acc_root = root_memref(store.operands[1])
+    load = None
+    expr = None
+    for candidate, other in (
+        (combiner.operands[0], combiner.operands[1]),
+        (combiner.operands[1], combiner.operands[0]),
+    ):
+        if not isinstance(candidate, OpResult):
+            continue
+        source = candidate.op
+        if (
+            source.name == "memref.load"
+            and source.parent is body
+            and root_memref(source.operands[0]) is acc_root
+            and len(candidate.uses) == 1
+            and len(source.operands) - 1 == len(store.operands) - 2
+            and all(
+                a is b
+                for a, b in zip(source.operands[1:], store.operands[2:])
+            )
+        ):
+            load, expr = source, other
+            break
+    if load is None:
+        return None
+    for op in body.ops:
+        if op is load:
+            continue
+        if op.name == "memref.load" and root_memref(op.operands[0]) is acc_root:
+            return None  # accumulator read outside the combiner chain
+        if op.name == "memref.load":
+            for idx in op.operands[1:]:
+                if classify_index(idx, iv, body).kind not in (
+                    "affine", "invariant",
+                ):
+                    return None
+    return _MemrefReduction(
+        combiner.name,
+        load.operands[0],
+        tuple(load.operands[1:]),
+        expr,
+        frozenset({id(load), id(combiner), id(store)}),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Cached per-loop classification
+# ---------------------------------------------------------------------------
+
+# Keyed by id(); the op itself is kept in the value so the id cannot be
+# recycled by the allocator while the cache entry lives.  Entries hold
+# (loop, mode, plan, compiled vector program).
+_analysis_cache: dict[int, tuple] = {}
+
+
+def _classify(loop: Operation) -> tuple:
+    key = id(loop)
+    cached = _analysis_cache.get(key)
+    if cached is not None and cached[0] is loop:
+        return cached
+    mode: str | None = None
+    plan: Any = None
+    program = None
+    if len(loop.regions) >= 1 and len(loop.regions[0].blocks) == 1:
+        body = loop.regions[0].blocks[0]
+        if len(body.args) == 1:
+            if _loop_is_vectorizable(loop):
+                mode = "elementwise"
+            else:
+                plan = _analyze_memref_reduction(loop)
+                if plan is not None:
+                    mode = "memref_reduction"
+        else:
+            plan = _analyze_iter_reduction(loop)
+            if plan is not None:
+                mode = "iter_reduction"
+        if mode is not None:
+            program = _compile_vector_body(
+                body, plan.skip if plan is not None else frozenset()
+            )
+    cached = (loop, mode, plan, program)
+    _analysis_cache[key] = cached
+    return cached
+
+
+def loop_vector_mode(loop: Operation) -> tuple[str | None, Any]:
+    """Classify ``loop`` once: ``("elementwise", None)``,
+    ``("iter_reduction", plan)``, ``("memref_reduction", plan)`` or
+    ``(None, None)``.  Cached per loop op."""
+    cached = _classify(loop)
+    return cached[1], cached[2]
+
+
+def invalidate_analysis(root: Operation) -> None:
+    """Drop cached loop classifications under ``root`` (called by the
+    pass manager / rewrite driver after in-place mutation)."""
+    for op in root.walk():
+        _analysis_cache.pop(id(op), None)
+
+
+# ---------------------------------------------------------------------------
+# Elementwise body evaluation (shared by all fast paths)
+# ---------------------------------------------------------------------------
+#
+# The body is translated *once per loop op* into a small slot-frame
+# program (closures over integer slot indices, constants prefilled in the
+# template) and cached with the loop classification, so per-execution
+# cost is just the NumPy work plus one closure call per body op.
+
+
+class _VectorProgram:
+    """Compiled whole-iteration-space evaluator for one loop body.
+
+    Frame slot 0 holds the instruction tuple itself, so a run needs only
+    one template copy plus the outer-value fetches.
+    """
+
+    __slots__ = ("template", "slots", "iv_slot", "outer")
+
+    def __init__(self, template, slots, iv_slot, outer):
+        self.template = template
+        self.slots = slots
+        self.iv_slot = iv_slot
+        #: loop-invariant values fetched from the interpreter env per run
+        self.outer = outer
+
+    def run(self, interp, env, ivs) -> list:
+        frame = self.template.copy()
+        frame[self.iv_slot] = ivs
+        get = interp.get
+        for slot, value in self.outer:
+            frame[slot] = get(env, value)
+        for instr in frame[0]:
+            instr(frame)
+        return frame
+
+
+class _VectorCompiler:
+    def __init__(self, body: Block):
+        self.body = body
+        self.slots: dict[SSAValue, int] = {}
+        #: slot 0 holds the instruction tuple itself (frame is self-contained)
+        self.template: list = [None]
+        self.outer: list[tuple[int, SSAValue]] = []
+        self.instrs: list = []
+
+    def dst(self, value: SSAValue) -> int:
+        slot = self.slots.get(value)
+        if slot is None:
+            slot = self.slots[value] = len(self.template)
+            self.template.append(None)
+        return slot
+
+    def src(self, value: SSAValue) -> int:
+        slot = self.slots.get(value)
+        if slot is None:
+            slot = self.dst(value)
+            self.outer.append((slot, value))
+        return slot
+
+
+def _compile_vector_body(
+    body: Block, skip: frozenset[int]
+) -> _VectorProgram:
+    """Translate the (already validated) body into a vector program."""
     from repro.ir.attributes import FloatAttr, IntegerAttr, StringAttr
+    from repro.ir.types import FloatType
+
+    ctx = _VectorCompiler(body)
+    iv_slot = ctx.dst(body.args[0])
 
     for op in body.ops:
         name = op.name
-        if name in _SKIPPED:
+        if name in _SKIPPED or id(op) in skip:
             continue
         if name == "arith.constant":
             attr = op.attributes["value"]
             if isinstance(attr, IntegerAttr):
-                venv[op.results[0]] = attr.value
+                ctx.template[ctx.dst(op.results[0])] = attr.value
             elif isinstance(attr, FloatAttr):
-                venv[op.results[0]] = (
+                ctx.template[ctx.dst(op.results[0])] = (
                     np.float32(attr.value) if attr.width == 32 else attr.value
                 )
             continue
-        if name in _BINOPS:
-            venv[op.results[0]] = _BINOPS[name](
-                value(op.operands[0]), value(op.operands[1])
-            )
-            continue
-        if name == "arith.divsi":
-            lhs, rhs = value(op.operands[0]), value(op.operands[1])
-            quotient = np.floor_divide(lhs, rhs)
-            venv[op.results[0]] = quotient
-            continue
-        if name == "arith.remsi":
-            venv[op.results[0]] = np.remainder(
-                value(op.operands[0]), value(op.operands[1])
-            )
-            continue
-        if name in ("arith.cmpi", "arith.cmpf"):
-            predicate = op.attributes["predicate"]
-            assert isinstance(predicate, StringAttr)
-            venv[op.results[0]] = _CMPS[predicate.value](
-                value(op.operands[0]), value(op.operands[1])
-            )
+        if name in _BINOPS or name in ("arith.divsi", "arith.remsi",
+                                       "arith.cmpi", "arith.cmpf"):
+            if name in _BINOPS:
+                fn = _BINOPS[name]
+            elif name == "arith.divsi":
+                fn = _trunc_divide
+            elif name == "arith.remsi":
+                fn = np.fmod  # trunc-style remainder, like math.fmod
+            else:
+                predicate = op.attributes["predicate"]
+                assert isinstance(predicate, StringAttr)
+                fn = _CMPS[predicate.value]
+            a, b = ctx.src(op.operands[0]), ctx.src(op.operands[1])
+            r = ctx.dst(op.results[0])
+
+            def instr(frame, _fn=fn, _a=a, _b=b, _r=r):
+                frame[_r] = _fn(frame[_a], frame[_b])
+            ctx.instrs.append(instr)
             continue
         if name == "arith.select":
-            venv[op.results[0]] = np.where(
-                value(op.operands[0]),
-                value(op.operands[1]),
-                value(op.operands[2]),
-            )
+            c, t, f = (ctx.src(o) for o in op.operands)
+            r = ctx.dst(op.results[0])
+
+            def instr(frame, _c=c, _t=t, _f=f, _r=r):
+                frame[_r] = np.where(frame[_c], frame[_t], frame[_f])
+            ctx.instrs.append(instr)
             continue
         if name in ("arith.index_cast", "arith.extsi", "arith.trunci"):
-            venv[op.results[0]] = value(op.operands[0])
+            # width-preserving in the reference interpreter: alias the slot
+            ctx.slots[op.results[0]] = ctx.src(op.operands[0])
             continue
-        if name == "arith.sitofp":
-            from repro.ir.types import FloatType
+        if name in ("arith.sitofp", "arith.fptosi", "arith.extf",
+                    "arith.truncf"):
+            if name == "arith.sitofp":
+                ty = op.results[0].type
+                dtype = (
+                    np.float32
+                    if isinstance(ty, FloatType) and ty.width == 32
+                    else np.float64
+                )
+            elif name == "arith.fptosi":
+                dtype = np.int64
+            elif name == "arith.extf":
+                dtype = np.float64
+            else:
+                dtype = np.float32
+            s = ctx.src(op.operands[0])
+            r = ctx.dst(op.results[0])
 
-            ty = op.results[0].type
-            dtype = np.float32 if isinstance(ty, FloatType) and ty.width == 32 else np.float64
-            venv[op.results[0]] = np.asarray(value(op.operands[0])).astype(dtype)
-            continue
-        if name == "arith.fptosi":
-            venv[op.results[0]] = np.asarray(value(op.operands[0])).astype(np.int64)
-            continue
-        if name == "arith.extf":
-            venv[op.results[0]] = np.asarray(value(op.operands[0])).astype(np.float64)
-            continue
-        if name == "arith.truncf":
-            venv[op.results[0]] = np.asarray(value(op.operands[0])).astype(np.float32)
+            def instr(frame, _s=s, _r=r, _dtype=dtype):
+                frame[_r] = np.asarray(frame[_s]).astype(_dtype)
+            ctx.instrs.append(instr)
             continue
         if name in _MATH:
-            venv[op.results[0]] = _MATH[name](value(op.operands[0]))
+            fn = _MATH[name]
+            s = ctx.src(op.operands[0])
+            r = ctx.dst(op.results[0])
+
+            def instr(frame, _fn=fn, _s=s, _r=r):
+                frame[_r] = _fn(frame[_s])
+            ctx.instrs.append(instr)
             continue
         if name == "memref.load":
-            array = value(op.operands[0])
-            indices = [value(i) for i in op.operands[1:]]
-            if not indices:
-                venv[op.results[0]] = array[()]
+            m = ctx.src(op.operands[0])
+            idx = tuple(ctx.src(i) for i in op.operands[1:])
+            r = ctx.dst(op.results[0])
+            if not idx:
+                def instr(frame, _m=m, _r=r):
+                    frame[_r] = frame[_m][()]
+            elif len(idx) == 1:
+                def instr(frame, _m=m, _i=idx[0], _r=r):
+                    frame[_r] = frame[_m][frame[_i]]
             else:
-                venv[op.results[0]] = array[tuple(indices)]
+                def instr(frame, _m=m, _idx=idx, _r=r):
+                    frame[_r] = frame[_m][tuple(frame[i] for i in _idx)]
+            ctx.instrs.append(instr)
             continue
         if name == "memref.store":
-            stored = value(op.operands[0])
-            array = value(op.operands[1])
-            indices = [value(i) for i in op.operands[2:]]
-            array[tuple(indices)] = stored
+            v = ctx.src(op.operands[0])
+            m = ctx.src(op.operands[1])
+            idx = tuple(ctx.src(i) for i in op.operands[2:])
+            if len(idx) == 1:
+                def instr(frame, _v=v, _m=m, _i=idx[0]):
+                    frame[_m][frame[_i]] = frame[_v]
+            else:
+                def instr(frame, _v=v, _m=m, _idx=idx):
+                    frame[_m][tuple(frame[i] for i in _idx)] = frame[_v]
+            ctx.instrs.append(instr)
             continue
         raise AssertionError(f"vectorizer admitted unsupported op {name}")
 
+    ctx.template[0] = tuple(ctx.instrs)
+    return _VectorProgram(ctx.template, ctx.slots, iv_slot, tuple(ctx.outer))
+
+
+def _trip_count(lb, ub, step) -> int:
+    return max(0, -(-(ub - lb) // step)) if step > 0 else 0
+
+
+# ---------------------------------------------------------------------------
+# Elementwise fast path
+# ---------------------------------------------------------------------------
+
+
+def try_vectorized_loop(
+    interp, loop: Operation, env, lb: int, ub: int, step: int
+) -> bool:
+    """Execute the loop vectorized if provably safe.  Returns True when
+    handled (the scalar path must run otherwise)."""
+    _, mode, _, program = _classify(loop)
+    if mode != "elementwise":
+        return False
+    trips = _trip_count(lb, ub, step)
+    if trips == 0:
+        return True
+    if trips < _MIN_TRIPS:
+        return False  # scalar is cheaper for short loops
+    ivs = np.arange(lb, lb + trips * step, step, dtype=np.int64)
+    program.run(interp, env, ivs)
+
     # Account interpreter steps as if the loop ran scalar, so CPU-baseline
     # time models are independent of this fast path.
-    interp.steps += trips * max(1, len(body.ops))
+    interp.steps += trips * max(1, len(loop.regions[0].block.ops))
     return True
+
+
+# ---------------------------------------------------------------------------
+# Reduction fast paths
+# ---------------------------------------------------------------------------
+
+
+def _dtype_for(ty) -> np.dtype:
+    from repro.ir.types import FloatType
+
+    if isinstance(ty, FloatType):
+        return np.dtype(np.float32 if ty.width == 32 else np.float64)
+    return np.dtype(np.int64)
+
+
+def _as_vector(value, trips: int, dtype) -> np.ndarray:
+    vec = np.asarray(value)
+    if vec.ndim == 0:
+        return np.full(trips, vec[()], dtype=dtype)
+    return vec.astype(dtype, copy=False)
+
+
+def _minmax_nan_hazard(op_name: str, init, vec: np.ndarray) -> bool:
+    """NaNs make ``np.minimum``/``np.maximum`` diverge from the scalar
+    engine's Python ``min``/``max`` (which ignore a NaN rhs); those
+    inputs must take the scalar path."""
+    ufunc = _REDUCERS[op_name]
+    if ufunc is not np.minimum and ufunc is not np.maximum:
+        return False
+    if vec.dtype.kind != "f":
+        return False
+    # init is a scalar for iter_args reductions and the whole accumulator
+    # array for the memref form
+    return bool(np.isnan(vec).any()) or bool(np.isnan(init).any())
+
+
+def _reduce_chain(op_name: str, init, vec: np.ndarray, dtype) -> Any:
+    """Fold ``init ⊕ vec[0] ⊕ vec[1] ⊕ ...`` with the scalar engine's
+    rounding order (ordered accumulate for add/mul)."""
+    ufunc = _REDUCERS[op_name]
+    if ufunc is np.minimum or ufunc is np.maximum:
+        partial = ufunc.reduce(vec)
+        return ufunc(np.asarray(init).astype(dtype, copy=False)[()], partial)
+    seq = np.empty(len(vec) + 1, dtype=dtype)
+    seq[0] = init
+    seq[1:] = vec
+    return ufunc.accumulate(seq)[-1]
+
+
+def _to_python(value, ty):
+    from repro.ir.types import FloatType
+
+    if isinstance(ty, FloatType):
+        return float(value)
+    return int(value)
+
+
+def try_vectorized_reduction(
+    interp, loop: Operation, env, lb: int, ub: int, step: int
+) -> list | None:
+    """Execute a recognised reduction loop vectorized.
+
+    Returns the loop's final result values when handled (``[]`` for
+    memref-accumulator loops, which have no results); None means the
+    scalar path must run.
+    """
+    _, mode, plan, program = _classify(loop)
+    if mode not in ("iter_reduction", "memref_reduction"):
+        return None
+    trips = _trip_count(lb, ub, step)
+    if trips < _MIN_TRIPS:
+        return None
+    body = loop.regions[0].block
+    ivs = np.arange(lb, lb + trips * step, step, dtype=np.int64)
+    frame = program.run(interp, env, ivs)
+
+    def value(v: SSAValue):
+        slot = program.slots.get(v)
+        if slot is not None:
+            return frame[slot]
+        return interp.get(env, v)
+
+    if mode == "iter_reduction":
+        finals = []
+        for op_name, expr, position in plan.combiners:
+            result_type = loop.results[position].type
+            dtype = _dtype_for(result_type)
+            init = interp.get(env, loop.operands[3 + position])
+            vec = _as_vector(value(expr), trips, dtype)
+            if _minmax_nan_hazard(op_name, init, vec):
+                return None  # evaluation was side-effect free: rerun scalar
+            reduced = _reduce_chain(op_name, init, vec, dtype)
+            finals.append(_to_python(reduced, result_type))
+        interp.steps += trips * max(1, len(body.ops))
+        return finals
+
+    array = value(plan.acc)
+    dtype = array.dtype
+    index_values = [value(i) for i in plan.indices]
+    vec = _as_vector(value(plan.expr), trips, dtype)
+    if _minmax_nan_hazard(plan.op_name, array, vec):
+        return None  # the accumulator is untouched so far: rerun scalar
+    if all(np.ndim(i) == 0 for i in index_values):
+        cell = tuple(int(i) for i in index_values)
+        init = array[cell] if cell else array[()]
+        reduced = _reduce_chain(plan.op_name, init, vec, dtype)
+        if cell:
+            array[cell] = reduced
+        else:
+            array[()] = reduced
+    else:
+        indices = tuple(
+            np.asarray(i) if np.ndim(i) else int(i) for i in index_values
+        )
+        ufunc = _REDUCERS[plan.op_name]
+        ufunc.at(array, indices if len(indices) > 1 else indices[0], vec)
+    interp.steps += trips * max(1, len(body.ops))
+    return []

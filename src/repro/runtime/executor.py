@@ -54,6 +54,9 @@ class ExecutionResult:
     bytes_d2h: int
     kernel_cycles: float
     returned: tuple = ()
+    #: interpreter steps retired (host program + device kernels) — the
+    #: simulator-workload measure the perf-smoke bench tracks across PRs
+    interpreter_steps: int = 0
 
     @property
     def device_time_ms(self) -> float:
@@ -98,7 +101,12 @@ class FpgaExecutor:
         interp = Interpreter(
             self.host_module, extra_impls=self._host_impls()
         )
+        # Compiled device-op closures bind straight to this executor;
+        # the extra impls above serve the scalar fallback path.
+        interp.host_executor = self
+        runner_steps_before = self._runner.interpreter_steps
         returned = interp.call(func_name, *args)
+        kernel_steps = self._runner.interpreter_steps - runner_steps_before
         jitter = _flow_jitter(f"{self.flow_label}:{func_name}:{self.queue.now_s:.9f}")
         stats = self.queue.stats
         return ExecutionResult(
@@ -111,6 +119,7 @@ class FpgaExecutor:
             bytes_d2h=stats["bytes_d2h"],
             kernel_cycles=self._kernel_cycles,
             returned=returned,
+            interpreter_steps=interp.steps + kernel_steps,
         )
 
     # -- device-op implementations -------------------------------------------------------
@@ -220,3 +229,210 @@ class FpgaExecutor:
 
     def _run_kernel_wait(self, interp: Interpreter, op: Operation, env: dict):
         return None
+
+
+# -- compiled-form emitters ---------------------------------------------------
+#
+# The host driver loop executes tens of thousands of device ops per run
+# (SGESL n=512: ~50k); going through the generic impl fallback costs a
+# handler lookup, an env proxy and an operand list per op.  These emitters
+# parse attributes once at compile time and bind the closure directly to
+# ``interp.host_executor``.  When no executor is attached (plain
+# interpretation, or a caller's custom impls) they defer to the regular
+# impl dispatch, so they are registered impl-independent.
+
+from repro.ir.compile import FnCompiler, compiled_for
+
+
+def _executor_emitter(op_name: str, build):
+    """Register an emitter whose fast path needs ``interp.host_executor``.
+
+    ``build(op, ctx, fallback)`` returns the complete closure; it must
+    defer to ``fallback`` when no executor is attached and count its own
+    step otherwise.
+    """
+
+    @compiled_for(op_name, counts_own_steps=True, impl_independent=True)
+    def emit(op: Operation, ctx: FnCompiler):
+        return build(op, ctx, ctx.fallback(op))
+
+    return emit
+
+
+def _build_alloc(op: Operation, ctx: FnCompiler, fallback):
+    name, space = FpgaExecutor._attrs(op)
+    ty = op.results[0].type
+    assert isinstance(ty, MemRefType)
+    dtype = element_dtype(ty.element_type)
+    size_slots = iter(ctx.slot_list(op.operands))
+    shape_spec = tuple(
+        next(size_slots) if extent == DYNAMIC else -extent - 1
+        for extent in ty.shape
+    )
+    res_i = ctx.slot(op.results[0])
+
+    def run(interp, frame):
+        executor = interp.host_executor
+        if executor is None:
+            fallback(interp, frame)
+            return
+        interp.steps += 1
+        shape = tuple(
+            int(frame[entry]) if entry >= 0 else -entry - 1
+            for entry in shape_spec
+        )
+        frame[res_i] = executor.table.alloc(name, shape, dtype, space).data
+    return run
+
+
+def _build_lookup(op: Operation, ctx: FnCompiler, fallback):
+    name, space = FpgaExecutor._attrs(op)
+    res_i = ctx.slot(op.results[0])
+
+    def run(interp, frame):
+        executor = interp.host_executor
+        if executor is None:
+            fallback(interp, frame)
+            return
+        interp.steps += 1
+        frame[res_i] = executor.table.lookup(name, space).data
+    return run
+
+
+def _build_check_exists(op: Operation, ctx: FnCompiler, fallback):
+    name_attr = op.attributes["name"]
+    assert isinstance(name_attr, StringAttr)
+    name = name_attr.value
+    res_i = ctx.slot(op.results[0])
+
+    def run(interp, frame):
+        executor = interp.host_executor
+        if executor is None:
+            fallback(interp, frame)
+            return
+        interp.steps += 1
+        frame[res_i] = executor.table.check_exists(name)
+    return run
+
+
+def _build_acquire(op: Operation, ctx: FnCompiler, fallback):
+    name, _ = FpgaExecutor._attrs(op)
+
+    def run(interp, frame):
+        executor = interp.host_executor
+        if executor is None:
+            fallback(interp, frame)
+            return
+        interp.steps += 1
+        executor.table.acquire(name)
+    return run
+
+
+def _build_release(op: Operation, ctx: FnCompiler, fallback):
+    name, _ = FpgaExecutor._attrs(op)
+
+    def run(interp, frame):
+        executor = interp.host_executor
+        if executor is None:
+            fallback(interp, frame)
+            return
+        interp.steps += 1
+        executor.table.release(name)
+    return run
+
+
+def _build_kernel_create(op: Operation, ctx: FnCompiler, fallback):
+    from repro.ir.compile import CannotCompile
+
+    fn_attr = op.attributes.get("device_function")
+    if not isinstance(fn_attr, SymbolRefAttr):
+        # scalar path raises the "run extract-device-module" error
+        raise CannotCompile("device.kernel_create without device_function")
+    device_function = fn_attr.symbol
+    arg_slots = tuple(ctx.slot_list(op.operands))
+    res_i = ctx.slot(op.results[0])
+
+    def run(interp, frame):
+        executor = interp.host_executor
+        if executor is None:
+            fallback(interp, frame)
+            return
+        interp.steps += 1
+        frame[res_i] = KernelInstance(
+            device_function, [frame[s] for s in arg_slots]
+        )
+    return run
+
+
+def _build_kernel_launch(op: Operation, ctx: FnCompiler, fallback):
+    handle_i = ctx.slot(op.operands[0])
+
+    def run(interp, frame):
+        executor = interp.host_executor
+        if executor is None:
+            fallback(interp, frame)
+            return
+        interp.steps += 1
+        instance = frame[handle_i]
+        kernel_run = executor._runner.run(
+            instance.device_function, *instance.args
+        )
+        executor._kernel_cycles += kernel_run.cycles
+        executor._kernel_time_s += kernel_run.seconds
+        executor.queue.now_s += (
+            executor.board.kernel_launch_overhead_s + kernel_run.seconds
+        )
+        executor.queue._counters["launches"] += 1
+    return run
+
+
+def _build_noop(op: Operation, ctx: FnCompiler, fallback):
+    def run(interp, frame):
+        if interp.host_executor is None:
+            fallback(interp, frame)
+            return
+        interp.steps += 1
+    return run
+
+
+def _build_dma_start(op: Operation, ctx: FnCompiler, fallback):
+    src_i, dst_i = (ctx.slot(o) for o in op.operands)
+    res_i = ctx.slot(op.results[0])
+    src_ty = op.operands[0].type
+    assert isinstance(src_ty, MemRefType)
+    bytes_key = "bytes_h2d" if src_ty.memory_space == 0 else "bytes_d2h"
+
+    def run(interp, frame):
+        executor = interp.host_executor
+        if executor is None:
+            fallback(interp, frame)
+            return
+        interp.steps += 1
+        source = frame[src_i]
+        np.copyto(frame[dst_i], source)
+        nbytes = int(np.asarray(source).nbytes)
+        seconds = executor.board.dma_time_s(nbytes)
+        executor.queue.now_s += seconds
+        executor._transfer_time_s += seconds
+        counters = executor.queue._counters
+        counters["transfers"] += 1
+        counters[bytes_key] += nbytes
+        frame[res_i] = 0
+    return run
+
+
+_executor_emitter("device.alloc", _build_alloc)
+_executor_emitter("device.lookup", _build_lookup)
+_executor_emitter("device.data_check_exists", _build_check_exists)
+_executor_emitter("device.data_acquire", _build_acquire)
+_executor_emitter("device.data_release", _build_release)
+_executor_emitter("device.kernel_create", _build_kernel_create)
+_executor_emitter("device.kernel_launch", _build_kernel_launch)
+_executor_emitter("device.kernel_wait", _build_noop)
+_executor_emitter("memref.dma_start", _build_dma_start)
+
+
+@compiled_for("memref.wait", impl_independent=True)
+def _emit_dma_wait(op: Operation, ctx: FnCompiler):
+    # No-op under both the plain interpreter impl and the executor's.
+    return None

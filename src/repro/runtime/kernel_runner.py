@@ -29,12 +29,19 @@ class KernelRunner:
 
     def __init__(self, bitstream: Bitstream):
         self.bitstream = bitstream
-        self._interp = Interpreter(
-            bitstream.device_module,
-            extra_impls={"scf.for": self._counting_for},
-        )
+        # Cycle accounting hooks the interpreter's loop observer (fired
+        # once per scf.for execution with the observed trip count) rather
+        # than overriding the scf.for impl, so device loops still run on
+        # the compiled/vectorized fast paths.
+        self._interp = Interpreter(bitstream.device_module)
+        self._interp.loop_observer = self._observe_loop
         self._cycle_stack: list[float] = []
         self._design_stack: list[KernelSchedule] = []
+
+    @property
+    def interpreter_steps(self) -> int:
+        """Steps retired by device-kernel interpretation so far."""
+        return self._interp.steps
 
     def run(self, kernel_name: str, *args) -> KernelRun:
         design = self.bitstream.kernels.get(kernel_name)
@@ -52,14 +59,8 @@ class KernelRunner:
 
     # -- cycle accounting -------------------------------------------------------------
 
-    def _counting_for(self, interp: Interpreter, op: Operation, env: dict):
-        from repro.dialects.scf import _run_for
-
-        values = interp.operand_values(op, env)
-        lb, ub, step = values[0], values[1], values[2]
-        trips = max(0, -(-(ub - lb) // step)) if step > 0 else 0
+    def _observe_loop(self, op: Operation, trips: int) -> None:
         if self._design_stack:
             schedule = self._design_stack[-1].loops.get(id(op))
             if schedule is not None:
                 self._cycle_stack[-1] += schedule.cycles(trips)
-        return _run_for(interp, op, env)

@@ -74,22 +74,24 @@ class AlgebraicIdentity(RewritePattern):
     identities are unsafe under rounding except trivial cases)."""
 
     def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> None:
+        # replacements go through the rewriter so the worklist driver
+        # re-enqueues the users migrated onto the replacement value
         if op.name in ("arith.addi", "arith.subi"):
             if _operand_const(op, 1) == 0:
-                op.results[0].replace_by(op.operands[0])
+                rewriter.replace_all_uses_with(op.results[0], op.operands[0])
                 rewriter.erase_matched_op()
             elif op.name == "arith.addi" and _operand_const(op, 0) == 0:
-                op.results[0].replace_by(op.operands[1])
+                rewriter.replace_all_uses_with(op.results[0], op.operands[1])
                 rewriter.erase_matched_op()
         elif op.name == "arith.muli":
             if _operand_const(op, 1) == 1:
-                op.results[0].replace_by(op.operands[0])
+                rewriter.replace_all_uses_with(op.results[0], op.operands[0])
                 rewriter.erase_matched_op()
             elif _operand_const(op, 0) == 1:
-                op.results[0].replace_by(op.operands[1])
+                rewriter.replace_all_uses_with(op.results[0], op.operands[1])
                 rewriter.erase_matched_op()
         elif op.name == "arith.divsi" and _operand_const(op, 1) == 1:
-            op.results[0].replace_by(op.operands[0])
+            rewriter.replace_all_uses_with(op.results[0], op.operands[0])
             rewriter.erase_matched_op()
 
 
@@ -130,7 +132,9 @@ class DedupConstants(RewritePattern):
                 and earlier.attributes == op.attributes
                 and earlier.results[0].type == op.results[0].type
             ):
-                op.results[0].replace_by(earlier.results[0])
+                rewriter.replace_all_uses_with(
+                    op.results[0], earlier.results[0]
+                )
                 rewriter.erase_matched_op()
                 return
 
