@@ -1,12 +1,14 @@
 #!/usr/bin/env python
 """Perf smoke: wall-clock of the compiled execution engine.
 
-Times compilation and the SAXPY/SGESL/reduction simulated runs and writes
-``BENCH_pr1.json`` (at the repo root) with seconds and interpreter-step
-counts, so later PRs have a perf trajectory to regress against.  The
-simulator's *modelled* numbers (device time, cycles) are recorded too —
-they must stay constant across engine optimisations; only wall-clock may
-move.
+Times compilation and simulated runs of **every gallery workload**
+(``repro.workloads`` registry: SAXPY, SGESL, dot, Jacobi 2-D, SpMV,
+tiled GEMM) and writes ``BENCH_pr2.json`` (at the repo root) with
+seconds and interpreter-step counts, so later PRs have a perf
+trajectory to regress against.  The simulator's *modelled* numbers
+(device time, cycles) are recorded too — they must stay constant across
+engine optimisations; only wall-clock may move.  Every run is checked
+bit-for-bit against the workload's NumPy reference.
 
 Run:  PYTHONPATH=src python benchmarks/perf_smoke.py [--out PATH]
 """
@@ -19,33 +21,19 @@ import platform
 import time
 from pathlib import Path
 
-import numpy as np
+from repro.workloads import all_workloads, get_workload
 
-from repro.pipeline import compile_fortran
-from repro.workloads import (
-    SAXPY_SOURCE,
-    SGESL_SOURCE,
-    SaxpyCase,
-    SgeslCase,
-    saxpy_reference,
-    sgesl_reference,
+#: (workload, sizes timed, best-of rounds) — interpreter-bound benches
+#: first; the allocation-heavy n=10M SAXPY goes last so its memory
+#: pressure cannot skew them.
+BENCH_PLAN: tuple[tuple[str, tuple[int, ...], int], ...] = (
+    ("sgesl", (256, 512), 5),
+    ("dot", (50_000,), 5),
+    ("spmv", (1024, 4096), 5),
+    ("jacobi2d", (256, 512), 5),
+    ("gemm", (64, 128), 3),
+    ("saxpy", (1_000_000, 10_000_000), 3),
 )
-
-REDUCTION_SOURCE = """
-subroutine sdot(x, y, s, n)
-  implicit none
-  integer, intent(in) :: n
-  real, intent(in) :: x(n), y(n)
-  real, intent(out) :: s
-  integer :: i
-  s = 0.0
-!$omp target parallel do reduction(+:s)
-  do i = 1, n
-    s = s + x(i) * y(i)
-  end do
-!$omp end target parallel do
-end subroutine sdot
-"""
 
 
 def _best_of(fn, rounds: int = 5):
@@ -69,82 +57,33 @@ def _best_of(fn, rounds: int = 5):
     return best, result
 
 
-def bench_compile(name: str, source: str) -> dict:
-    seconds, program = _best_of(lambda: compile_fortran(source))
+def bench_compile(name: str) -> tuple[dict, object]:
+    workload = get_workload(name)
+    seconds, program = _best_of(lambda: workload.compile())
     return {"name": f"compile:{name}", "seconds": round(seconds, 6)}, program
 
 
-def bench_saxpy(program, n: int, rounds: int = 5) -> dict:
-    case = SaxpyCase(n)
-    x, y = case.arrays()
-    expected = saxpy_reference(case.a, x, y)
+def bench_run(program, name: str, n: int, rounds: int) -> dict:
+    workload = get_workload(name)
+    # Instance construction and the NumPy reference are *not* part of the
+    # timed region — only executor work is; mutated outputs get a fresh
+    # copy per round (the copy cost is negligible next to the run).
+    instance = workload.instance(n)
 
     def run():
-        y_run = y.copy()
-        result = program.executor().run(
-            "saxpy",
-            np.array(case.a, dtype=np.float32),
-            x,
-            y_run,
-            np.array(n, dtype=np.int32),
-        )
-        assert np.allclose(y_run, expected, rtol=1e-5)
+        args = list(instance.args)
+        for pos in instance.expected:
+            args[pos] = instance.args[pos].copy()
+        result = program.executor().run(workload.entry, *args)
+        for pos, expected in instance.expected.items():
+            assert args[pos].tobytes() == expected.tobytes(), (
+                f"{name}: output {pos} diverged from the NumPy reference"
+            )
         return result
 
     seconds, result = _best_of(run, rounds=rounds)
     return {
-        "name": f"saxpy:n={n}",
-        "seconds": round(seconds, 6),
-        "interpreter_steps": result.interpreter_steps,
-        "device_time_ms": result.device_time_ms,
-        "kernel_cycles": result.kernel_cycles,
-    }
-
-
-def bench_sgesl(program, n: int) -> dict:
-    case = SgeslCase(n)
-    _, lu, ipvt, b = case.system()
-    expected = sgesl_reference(lu, ipvt, b)
-
-    def run():
-        b_run = b.copy()
-        result = program.executor().run(
-            "sgesl",
-            lu.copy(),
-            b_run,
-            (ipvt + 1).astype(np.int64),
-            np.array(n, dtype=np.int32),
-        )
-        assert np.allclose(b_run, expected, rtol=1e-3, atol=1e-3)
-        return result
-
-    seconds, result = _best_of(run)
-    return {
-        "name": f"sgesl:n={n}",
-        "seconds": round(seconds, 6),
-        "interpreter_steps": result.interpreter_steps,
-        "device_time_ms": result.device_time_ms,
-        "kernel_cycles": result.kernel_cycles,
-    }
-
-
-def bench_reduction(program, n: int) -> dict:
-    rng = np.random.default_rng(5)
-    x = rng.standard_normal(n).astype(np.float32)
-    y = rng.standard_normal(n).astype(np.float32)
-    expected = float(np.dot(x.astype(np.float64), y.astype(np.float64)))
-
-    def run():
-        s = np.zeros((), dtype=np.float32)
-        result = program.executor().run(
-            "sdot", x, y, s, np.array(n, np.int32)
-        )
-        assert abs(float(s) - expected) / abs(expected) < 1e-3
-        return result
-
-    seconds, result = _best_of(run)
-    return {
-        "name": f"sdot-reduction:n={n}",
+        "name": f"{name}:n={n}",
         "seconds": round(seconds, 6),
         "interpreter_steps": result.interpreter_steps,
         "device_time_ms": result.device_time_ms,
@@ -156,35 +95,30 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--out",
-        default=str(Path(__file__).resolve().parents[1] / "BENCH_pr1.json"),
-        help="output JSON path (default: <repo>/BENCH_pr1.json)",
+        default=str(Path(__file__).resolve().parents[1] / "BENCH_pr2.json"),
+        help="output JSON path (default: <repo>/BENCH_pr2.json)",
     )
     args = parser.parse_args()
 
     benches = []
+    programs: dict[str, object] = {}
+    for workload in all_workloads():
+        entry, program = bench_compile(workload.name)
+        benches.append(entry)
+        programs[workload.name] = program
 
-    entry, saxpy_program = bench_compile("saxpy", SAXPY_SOURCE)
-    benches.append(entry)
-    entry, sgesl_program = bench_compile("sgesl", SGESL_SOURCE)
-    benches.append(entry)
-    entry, sdot_program = bench_compile("sdot-reduction", REDUCTION_SOURCE)
-    benches.append(entry)
-
-    # interpreter-bound benches first; the allocation-heavy n=10M SAXPY
-    # goes last so its memory pressure cannot skew them
-    benches.append(bench_sgesl(sgesl_program, 256))
-    benches.append(bench_sgesl(sgesl_program, 512))
-    benches.append(bench_reduction(sdot_program, 50_000))
-    benches.append(bench_saxpy(saxpy_program, 1_000_000))
-    benches.append(bench_saxpy(saxpy_program, 10_000_000, rounds=3))
+    for name, sizes, rounds in BENCH_PLAN:
+        for n in sizes:
+            benches.append(bench_run(programs[name], name, n, rounds))
 
     payload = {
-        "pr": 1,
+        "pr": 2,
         "description": (
-            "Compiled execution engine: block-JIT interpretation, reduction "
-            "vectorization, worklist rewriting. Wall-clock of the simulator; "
-            "device_time_ms/kernel_cycles are modelled values and must stay "
-            "constant across engine changes."
+            "Workload gallery through the three-tier engine: every "
+            "registered workload compiled + run, outputs checked bit-for-"
+            "bit against NumPy references. Wall-clock of the simulator; "
+            "device_time_ms/kernel_cycles are modelled values and must "
+            "stay constant across engine changes."
         ),
         "python": platform.python_version(),
         "benches": benches,

@@ -18,7 +18,13 @@ from repro.reporting import format_table
 from repro.workloads import SAXPY_SIZES
 
 
-@pytest.mark.parametrize("n", SAXPY_SIZES)
+@pytest.mark.parametrize(
+    "n",
+    [
+        pytest.param(n, marks=pytest.mark.slow) if n >= 10_000_000 else n
+        for n in SAXPY_SIZES
+    ],
+)
 def test_saxpy_runtime_point(benchmark, saxpy_runs, n):
     fortran, hls = saxpy_runs.results(n)
 
@@ -38,6 +44,7 @@ def test_saxpy_runtime_point(benchmark, saxpy_runs, n):
     assert diff < 0.02
 
 
+@pytest.mark.slow
 def test_saxpy_runtime_table(benchmark, saxpy_runs, capsys):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     rows = []

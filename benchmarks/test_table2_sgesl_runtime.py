@@ -13,7 +13,13 @@ from repro.reporting import format_table
 from repro.workloads import SGESL_SIZES
 
 
-@pytest.mark.parametrize("n", SGESL_SIZES)
+@pytest.mark.parametrize(
+    "n",
+    [
+        pytest.param(n, marks=pytest.mark.slow) if n >= 2048 else n
+        for n in SGESL_SIZES
+    ],
+)
 def test_sgesl_runtime_point(benchmark, sgesl_runs, n):
     fortran, hls = sgesl_runs.results(n)
 
@@ -33,6 +39,7 @@ def test_sgesl_runtime_point(benchmark, sgesl_runs, n):
     assert fortran.launches == 2 * n - 1
 
 
+@pytest.mark.slow
 def test_sgesl_runtime_table(benchmark, sgesl_runs, capsys):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     rows = []

@@ -1,0 +1,11 @@
+"""Repo-level pytest configuration (option registration only)."""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the tests/golden/*.ir IR snapshots from the current "
+        "pipeline output instead of asserting against them",
+    )

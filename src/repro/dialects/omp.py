@@ -344,26 +344,53 @@ class SimdOp(Operation):
 
 
 class LoopNestOp(Operation):
-    """``omp.loop_nest`` — the canonical loop: lb/ub/step with the
-    Fortran-style *inclusive* upper bound marked by the ``inclusive``
-    unit attribute."""
+    """``omp.loop_nest`` — the canonical loop nest: per-dimension
+    lb/ub/step triples with the Fortran-style *inclusive* upper bounds
+    marked by the ``inclusive`` unit attribute.
+
+    Rank 1 is the paper's combined ``target parallel do``; ``collapse(n)``
+    produces a rank-n nest whose body block carries one induction-variable
+    argument per dimension (outermost first), mirroring MLIR's
+    ``omp.loop_nest``.  Operands are laid out ``lbs... ubs... steps...``.
+    """
 
     name = "omp.loop_nest"
 
     def __init__(
         self,
-        lb: SSAValue,
-        ub: SSAValue,
-        step: SSAValue,
+        lb: SSAValue | Sequence[SSAValue],
+        ub: SSAValue | Sequence[SSAValue],
+        step: SSAValue | Sequence[SSAValue],
         body: Region | None = None,
         inclusive: bool = True,
     ):
+        lbs = [lb] if isinstance(lb, SSAValue) else list(lb)
+        ubs = [ub] if isinstance(ub, SSAValue) else list(ub)
+        steps = [step] if isinstance(step, SSAValue) else list(step)
+        if not lbs or len(lbs) != len(ubs) or len(lbs) != len(steps):
+            raise IRError("omp.loop_nest: lb/ub/step ranks must match")
         attributes = {"inclusive": UnitAttr()} if inclusive else {}
         super().__init__(
-            operands=[lb, ub, step],
-            regions=[body or Region([Block([index])])],
+            operands=[*lbs, *ubs, *steps],
+            regions=[body or Region([Block([index] * len(lbs))])],
             attributes=attributes,
         )
+
+    @property
+    def rank(self) -> int:
+        return len(self.operands) // 3
+
+    @property
+    def lbs(self) -> tuple[SSAValue, ...]:
+        return self.operands[: self.rank]
+
+    @property
+    def ubs(self) -> tuple[SSAValue, ...]:
+        return self.operands[self.rank : 2 * self.rank]
+
+    @property
+    def steps(self) -> tuple[SSAValue, ...]:
+        return self.operands[2 * self.rank :]
 
     @property
     def lb(self) -> SSAValue:
@@ -371,11 +398,11 @@ class LoopNestOp(Operation):
 
     @property
     def ub(self) -> SSAValue:
-        return self.operands[1]
+        return self.operands[self.rank]
 
     @property
     def step(self) -> SSAValue:
-        return self.operands[2]
+        return self.operands[2 * self.rank]
 
     @property
     def inclusive(self) -> bool:
@@ -389,9 +416,15 @@ class LoopNestOp(Operation):
     def induction_var(self) -> SSAValue:
         return self.body.args[0]
 
+    @property
+    def induction_vars(self) -> tuple[SSAValue, ...]:
+        return tuple(self.body.args)
+
     def verify_(self) -> None:
-        if len(self.regions[0].block.args) != 1:
-            raise IRError("omp.loop_nest body must have exactly the IV arg")
+        if len(self.operands) % 3 != 0:
+            raise IRError("omp.loop_nest needs lb/ub/step per dimension")
+        if len(self.regions[0].block.args) != self.rank:
+            raise IRError("omp.loop_nest body must have one IV arg per dim")
 
 
 Omp = Dialect(
@@ -465,22 +498,48 @@ def _run_loop_wrapper(interp: Interpreter, op: Operation, env: dict):
 
 @impl("omp.loop_nest")
 def _run_loop_nest(interp: Interpreter, op: Operation, env: dict):
-    lb, ub, step = interp.operand_values(op, env)
+    values = interp.operand_values(op, env)
+    rank = len(values) // 3
+    lbs = list(values[:rank])
+    ubs = list(values[rank : 2 * rank])
+    steps = list(values[2 * rank :])
     if "inclusive" in op.attributes:
-        ub = ub + (1 if step > 0 else -1)
-    if step > 0 and interp.vectorize:
-        from repro.ir.vectorize import (
-            try_vectorized_loop,
-            try_vectorized_reduction,
-        )
-
-        if try_vectorized_loop(interp, op, env, lb, ub, step):
-            return None
-        if try_vectorized_reduction(interp, op, env, lb, ub, step) is not None:
-            return None
+        ubs = [
+            ub + (1 if step > 0 else -1) for ub, step in zip(ubs, steps)
+        ]
     body = op.regions[0].block
-    iv = lb
-    while (step > 0 and iv < ub) or (step < 0 and iv > ub):
-        interp.run_block(body, env, [iv])
-        iv += step
+    if rank == 1:
+        lb, ub, step = lbs[0], ubs[0], steps[0]
+        if step > 0 and interp.vectorize:
+            from repro.ir.vectorize import (
+                try_vectorized_loop,
+                try_vectorized_reduction,
+            )
+
+            if try_vectorized_loop(interp, op, env, lb, ub, step):
+                return None
+            if try_vectorized_reduction(interp, op, env, lb, ub, step) is not None:
+                return None
+        iv = lb
+        while (step > 0 and iv < ub) or (step < 0 and iv > ub):
+            interp.run_block(body, env, [iv])
+            iv += step
+        return None
+    if all(step > 0 for step in steps) and interp.vectorize:
+        from repro.ir.vectorize import try_vectorized_loop_nest
+
+        if try_vectorized_loop_nest(interp, op, env, lbs, ubs, steps):
+            return None
+
+    def run_dim(dim: int, ivs: list) -> None:
+        lb, ub, step = lbs[dim], ubs[dim], steps[dim]
+        iv = lb
+        while (step > 0 and iv < ub) or (step < 0 and iv > ub):
+            if dim + 1 == rank:
+                interp.run_block(body, env, [*ivs, iv])
+            else:
+                run_dim(dim + 1, [*ivs, iv])
+            iv += step
+
+    run_dim(0, [])
     return None

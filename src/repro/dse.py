@@ -150,3 +150,55 @@ def explore_simdlen(
 ) -> DseResult:
     """Convenience wrapper sweeping only the unroll factor."""
     return explore(source, evaluate, simdlen_factors=factors, **kwargs)
+
+
+def explore_workload(
+    workload,
+    *,
+    n: int | None = None,
+    seed: int = 0,
+    simdlen_factors: Sequence[int] = (1, 2, 4, 8),
+    reduction_copies: Sequence[int] = (8,),
+    **kwargs,
+) -> DseResult:
+    """Sweep directive parameters for a gallery workload (by name or
+    :class:`~repro.workloads.base.GalleryWorkload`), evaluating each
+    configuration on one representative instance (``smoke_size`` unless
+    ``n`` is given)."""
+    from repro.workloads import get_workload
+
+    if isinstance(workload, str):
+        workload = get_workload(workload)
+    return explore(
+        workload.source,
+        workload.evaluator(n, seed),
+        simdlen_factors=simdlen_factors,
+        reduction_copies=reduction_copies,
+        **kwargs,
+    )
+
+
+def explore_gallery(
+    names: Sequence[str] | None = None,
+    *,
+    simdlen_factors: Sequence[int] = (1, 4),
+    **kwargs,
+) -> dict[str, DseResult]:
+    """Run the DSE sweep over every (or the named) gallery workloads.
+
+    Returns ``{workload name: DseResult}`` — the BENCH trajectory's
+    "does DSE still find a feasible point for every workload" probe.
+    """
+    from repro.workloads import all_workloads, get_workload
+
+    workloads = (
+        [get_workload(name) for name in names]
+        if names is not None
+        else list(all_workloads())
+    )
+    return {
+        workload.name: explore_workload(
+            workload, simdlen_factors=simdlen_factors, **kwargs
+        )
+        for workload in workloads
+    }

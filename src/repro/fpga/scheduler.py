@@ -48,6 +48,7 @@ from repro.transforms.loop_analysis import (
     float_chain_latency,
     min_initiation_interval,
     root_memref,
+    walk_same_loop_level,
 )
 
 
@@ -87,18 +88,6 @@ class KernelSchedule:
     @property
     def total_resources(self) -> ResourceUsage:
         return shell_usage() + self.kernel_resources
-
-
-def _walk_excluding_nested_loops(body: Block):
-    """Yield all ops in ``body`` without descending into nested scf.for
-    loops (those are scheduled — and bound — independently)."""
-    for op in body.ops:
-        yield op
-        if op.name == "scf.for":
-            continue
-        for region in op.regions:
-            for block in region.blocks:
-                yield from _walk_excluding_nested_loops(block)
 
 
 class HlsScheduler:
@@ -234,7 +223,7 @@ class HlsScheduler:
         self, body: Block, bundles: dict[SSAValue, str]
     ) -> dict[str, int]:
         accesses: dict[str, int] = {}
-        for nested in _walk_excluding_nested_loops(body):
+        for nested in walk_same_loop_level(body):
             if nested.name == "memref.load":
                 root = root_memref(nested.operands[0])
             elif nested.name == "memref.store":
@@ -260,7 +249,7 @@ class HlsScheduler:
         mac_pairs = 0
         consumed: set[int] = set()
 
-        ops_in_body = list(_walk_excluding_nested_loops(body))
+        ops_in_body = list(walk_same_loop_level(body))
         for op in ops_in_body:
             if id(op) in consumed:
                 continue

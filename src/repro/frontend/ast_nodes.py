@@ -158,6 +158,8 @@ class OmpClauses:
     num_threads: Optional[int] = None
     #: device memory space requested via ``device(n)`` if present
     device: Optional[int] = None
+    #: loop-nest collapse depth requested via ``collapse(n)`` if present
+    collapse: Optional[int] = None
 
 
 @dataclass

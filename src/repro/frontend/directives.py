@@ -131,11 +131,17 @@ def _parse_clauses(text: str, directive: Directive, line: int) -> None:
             if arg is None or not arg.strip().isdigit():
                 raise FortranSyntaxError("device requires an integer", line)
             directive.clauses.device = int(arg.strip())
+        elif name == "collapse":
+            if arg is None or not arg.strip().isdigit() or int(arg) < 1:
+                raise FortranSyntaxError(
+                    "collapse requires a positive integer", line
+                )
+            directive.clauses.collapse = int(arg.strip())
         elif name == "to":
             directive.to_vars.extend(_parse_var_list(arg or "", line))
         elif name == "from":
             directive.from_vars.extend(_parse_var_list(arg or "", line))
-        elif name in ("private", "firstprivate", "shared", "collapse",
+        elif name in ("private", "firstprivate", "shared",
                       "schedule", "nowait", "defaultmap"):
             # Accepted and recorded as no-ops: they do not change the FPGA
             # lowering in the paper's flow.
@@ -197,3 +203,37 @@ def parse_directive(text: str, line: int = 0) -> Directive:
         )
     _parse_clauses(clause_text, directive, line)
     return directive
+
+
+def print_directive(directive: Directive) -> str:
+    """Render a :class:`Directive` back to its canonical clause text
+    (without the ``!$omp`` sentinel).  ``parse_directive`` of the result
+    reproduces the directive structurally — the round-trip property the
+    frontend fuzz suite checks."""
+    words: list[str] = []
+    if directive.is_end:
+        words.append("end")
+    words.append(directive.construct)
+    if directive.construct == "target" and directive.parallel_do:
+        words.append("parallel do")
+    if directive.simd:
+        words.append("simd")
+    clauses = directive.clauses
+    parts: list[str] = []
+    for clause in clauses.maps:
+        parts.append(f"map({clause.map_type}: {', '.join(clause.vars)})")
+    for red in clauses.reductions:
+        parts.append(f"reduction({red.operator}: {', '.join(red.vars)})")
+    if clauses.simdlen is not None:
+        parts.append(f"simdlen({clauses.simdlen})")
+    if clauses.num_threads is not None:
+        parts.append(f"num_threads({clauses.num_threads})")
+    if clauses.device is not None:
+        parts.append(f"device({clauses.device})")
+    if clauses.collapse is not None:
+        parts.append(f"collapse({clauses.collapse})")
+    if directive.to_vars:
+        parts.append(f"to({', '.join(directive.to_vars)})")
+    if directive.from_vars:
+        parts.append(f"from({', '.join(directive.from_vars)})")
+    return " ".join([" ".join(words), *parts]).strip()

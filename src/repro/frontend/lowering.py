@@ -430,15 +430,54 @@ class UnitLowering:
         assert isinstance(loop, ast.DoLoop)
         self._emit_parallel_loop(stmt, loop)
 
+    def _collapse_loops(
+        self, stmt: ast.OmpTarget, loop: ast.DoLoop
+    ) -> list[ast.DoLoop]:
+        """The ``collapse(n)``-deep perfect nest rooted at ``loop``."""
+        depth = stmt.clauses.collapse or 1
+        loops = [loop]
+        while len(loops) < depth:
+            body = loops[-1].body
+            if len(body) != 1 or not isinstance(body[0], ast.DoLoop):
+                raise LoweringError(
+                    f"collapse({depth}) requires a perfect nest of "
+                    f"{depth} do loops",
+                    loops[-1].line,
+                )
+            inner = body[0]
+            outer_vars = {l.var for l in loops}
+            for bound in (inner.start, inner.stop, inner.step):
+                if bound is None:
+                    continue
+                refs, _, _ = _collect_usage(
+                    [ast.Assign(line=inner.line,
+                                target=ast.VarRef(line=inner.line, name="_"),
+                                value=bound)]
+                )
+                if refs & outer_vars:
+                    raise LoweringError(
+                        "collapse bounds may not reference outer collapsed "
+                        "loop variables",
+                        inner.line,
+                    )
+            loops.append(inner)
+        return loops
+
     def _emit_parallel_loop(self, stmt: ast.OmpTarget, loop: ast.DoLoop) -> None:
-        """Emit omp.parallel{omp.wsloop{[omp.simd{]omp.loop_nest}}}."""
-        lb = self.to_index(self.lower_expr(loop.start))
-        ub = self.to_index(self.lower_expr(loop.stop))
-        step = (
-            self.to_index(self.lower_expr(loop.step))
-            if loop.step is not None
-            else self.constant_index(1)
-        )
+        """Emit omp.parallel{omp.wsloop{[omp.simd{]omp.loop_nest}}}.
+
+        ``collapse(n)`` collects the perfect nest of n loops into one
+        rank-n ``omp.loop_nest`` (outermost dimension first)."""
+        loops = self._collapse_loops(stmt, loop)
+        lbs, ubs, steps = [], [], []
+        for nest_loop in loops:
+            lbs.append(self.to_index(self.lower_expr(nest_loop.start)))
+            ubs.append(self.to_index(self.lower_expr(nest_loop.stop)))
+            steps.append(
+                self.to_index(self.lower_expr(nest_loop.step))
+                if nest_loop.step is not None
+                else self.constant_index(1)
+            )
         parallel = self.builder.insert(omp.ParallelOp())
         outer_builder = self.builder
         self.builder = Builder.at_end(parallel.body)
@@ -462,21 +501,24 @@ class UnitLowering:
             simd_op = self.builder.insert(omp.SimdOp(simdlen))
             self.builder.insert(omp.TerminatorOp())
             self.builder = Builder.at_end(simd_op.body)
-        nest = self.builder.insert(omp.LoopNestOp(lb, ub, step, inclusive=True))
-        nest.induction_var.name_hint = loop.var
+        nest = self.builder.insert(omp.LoopNestOp(lbs, ubs, steps, inclusive=True))
         self.builder.insert(omp.TerminatorOp())
         self.builder = Builder.at_end(nest.body)
-        iv_i32 = self.convert(nest.induction_var, i32)
-        previous = self.scope.overrides.get(loop.var)
-        self.scope.overrides[loop.var] = iv_i32
+        previous: dict[str, SSAValue | None] = {}
+        for nest_loop, iv in zip(loops, nest.induction_vars):
+            iv.name_hint = nest_loop.var
+            iv_i32 = self.convert(iv, i32)
+            previous[nest_loop.var] = self.scope.overrides.get(nest_loop.var)
+            self.scope.overrides[nest_loop.var] = iv_i32
         try:
-            self.lower_stmts(loop.body)
+            self.lower_stmts(loops[-1].body)
             self.builder.insert(omp.YieldOp())
         finally:
-            if previous is None:
-                self.scope.overrides.pop(loop.var, None)
-            else:
-                self.scope.overrides[loop.var] = previous
+            for var, old in previous.items():
+                if old is None:
+                    self.scope.overrides.pop(var, None)
+                else:
+                    self.scope.overrides[var] = old
         # close the parallel region
         self.builder = Builder.at_end(parallel.body)
         if self.builder.block.last_op is None or not isinstance(

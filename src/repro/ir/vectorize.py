@@ -45,12 +45,18 @@ scalar engine is unbounded).
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Any
 
 import numpy as np
 
 from repro.ir.core import Block, Operation, OpResult, SSAValue
+
+#: Bail-out diagnostics: enable with
+#: ``logging.getLogger("repro.ir.vectorize").setLevel(logging.DEBUG)`` to
+#: see why a hot loop fell back to the scalar tier.
+logger = logging.getLogger("repro.ir.vectorize")
 
 #: ops that are safe no-ops inside a vectorized body
 _SKIPPED = {"hls.pipeline", "hls.unroll", "scf.yield", "omp.yield"}
@@ -101,6 +107,10 @@ _REDUCERS = {
 #: below this trip count the scalar engines win on constant factors
 _MIN_TRIPS = 64
 
+#: rank-n nests above this many total iterations are evaluated one
+#: outermost slice at a time to bound the whole-space temporaries
+_MAX_NEST_ELEMS = 1 << 22
+
 
 def _trunc_divide(a, b):
     """``arith.divsi`` with the scalar engine's exact semantics:
@@ -118,10 +128,80 @@ def _body_is_vectorizable(body: Block) -> bool:
     return True
 
 
+def _is_gather_index(idx: SSAValue, iv: SSAValue, body: Block) -> bool:
+    """True when ``idx`` is an indirect subscript: the value of a load
+    from an index array that nothing in the body stores to, subscripted
+    affinely itself — SpMV's ``x(col_idx(jj))`` shape.  Safe for *loads*
+    only (a scatter through such an index could collide)."""
+    from repro.transforms.loop_analysis import classify_index, root_memref
+
+    if not isinstance(idx, OpResult):
+        return False
+    source = idx.op
+    if source.name != "memref.load" or source.parent is not body:
+        return False
+    root = root_memref(source.operands[0])
+    for op in body.ops:
+        if op.name == "memref.store" and root_memref(op.operands[1]) is root:
+            return False
+    return all(
+        classify_index(sub, iv, body).kind in ("affine", "invariant")
+        for sub in source.operands[1:]
+    )
+
+
+def _load_index_ok(idx: SSAValue, iv: SSAValue, body: Block) -> bool:
+    from repro.transforms.loop_analysis import classify_index
+
+    if classify_index(idx, iv, body).kind in ("affine", "invariant"):
+        return True
+    return _is_gather_index(idx, iv, body)
+
+
+def _stores_conflict(
+    first: Operation, second: Operation, iv: SSAValue, body: Block, step
+) -> bool:
+    """True when two stores to one buffer might touch the same cell in
+    *different* iterations — whole-space evaluation runs each store over
+    the full index vector in op order, which would reorder such writes.
+
+    Safe cases: identical subscripts in every dim (per-cell op order is
+    preserved), or some dim on provably disjoint affine lattices (the
+    unroll-by-F clones write interleaved strides and never collide).
+    """
+    from repro.transforms.loop_analysis import _exact_offset, classify_index
+
+    if len(first.operands) != len(second.operands):
+        return True
+    for wa, wb in zip(first.operands[2:], second.operands[2:]):
+        if wa is wb:
+            continue  # same subscript value: same cell in this dim
+        pa = classify_index(wa, iv, body)
+        pb = classify_index(wb, iv, body)
+        if (
+            pa.kind == "affine"
+            and pb.kind == "affine"
+            and pa.parameter == pb.parameter
+            and _exact_offset(wa, iv, body)
+            and _exact_offset(wb, iv, body)
+        ):
+            delta = pa.offset - pb.offset
+            if delta == 0:
+                continue  # same cell in this dim every iteration
+            stride = pa.parameter * (step or 1)
+            if step is not None and delta % stride != 0:
+                return False  # disjoint lattices: never the same cell
+            return True  # collide after |delta/stride| iterations
+        return True  # incomparable subscripts: assume conflict
+    return False
+
+
 def _loop_is_vectorizable(loop: Operation) -> bool:
     from repro.transforms.loop_analysis import (
         classify_index,
         loop_carried_dependences,
+        root_memref,
+        static_loop_step,
     )
 
     body = loop.regions[0].block
@@ -130,18 +210,38 @@ def _loop_is_vectorizable(loop: Operation) -> bool:
     if loop_carried_dependences(loop):
         return False
     iv = body.args[0]
-    # All store subscripts must be injective (affine, non-zero stride).
+    stores_by_root: dict[int, list[Operation]] = {}
+    for op in body.ops:
+        if op.name == "memref.store":
+            key = id(root_memref(op.operands[1]))
+            stores_by_root.setdefault(key, []).append(op)
+    # Dependence analysis only relates stores to loads; store/store
+    # overlap across iterations must be excluded separately.
+    step_const = static_loop_step(loop)
+    for stores in stores_by_root.values():
+        for i, first in enumerate(stores):
+            for other in stores[i + 1 :]:
+                if _stores_conflict(first, other, iv, body, step_const):
+                    return False
+    # All store subscripts must be injective: every dimension affine
+    # (non-zero stride) or loop-invariant, with at least one affine
+    # dimension — the 2-D array row/column stores of the gallery nests.
     for op in body.ops:
         if op.name == "memref.store":
             if len(op.operands) == 2:
                 return False  # rank-0 store: same cell every iteration
+            affine_dims = 0
             for idx in op.operands[2:]:
                 pattern = classify_index(idx, iv, body)
-                if pattern.kind != "affine" or pattern.parameter == 0:
+                if pattern.kind == "affine" and pattern.parameter != 0:
+                    affine_dims += 1
+                elif pattern.kind != "invariant":
                     return False
+            if affine_dims == 0:
+                return False  # same cell every iteration
         elif op.name == "memref.load":
             for idx in op.operands[1:]:
-                if classify_index(idx, iv, body).kind not in ("affine", "invariant"):
+                if not _load_index_ok(idx, iv, body):
                     return False
     return True
 
@@ -215,9 +315,7 @@ def _analyze_iter_reduction(loop: Operation) -> _IterReduction | None:
             return None
         if op.name == "memref.load":
             for idx in op.operands[1:]:
-                if classify_index(idx, iv, body).kind not in (
-                    "affine", "invariant",
-                ):
+                if not _load_index_ok(idx, iv, body):
                     return None
     return _IterReduction(tuple(combiners), frozenset(combiner_ids))
 
@@ -276,9 +374,7 @@ def _analyze_memref_reduction(loop: Operation) -> _MemrefReduction | None:
             return None  # accumulator read outside the combiner chain
         if op.name == "memref.load":
             for idx in op.operands[1:]:
-                if classify_index(idx, iv, body).kind not in (
-                    "affine", "invariant",
-                ):
+                if not _load_index_ok(idx, iv, body):
                     return None
     return _MemrefReduction(
         combiner.name,
@@ -325,8 +421,154 @@ def _classify(loop: Operation) -> tuple:
                 body, plan.skip if plan is not None else frozenset()
             )
     cached = (loop, mode, plan, program)
+    if mode is None and logger.isEnabledFor(logging.DEBUG):
+        logger.debug(
+            "scalar bail-out: %s loop (%d body ops) has no "
+            "elementwise/reduction classification",
+            loop.name,
+            len(loop.regions[0].blocks[0].ops) if loop.regions else 0,
+        )
     _analysis_cache[key] = cached
     return cached
+
+
+def _nest_vector_plan(loop: Operation):
+    """Elementwise plan for a rank-n ``omp.loop_nest`` body.
+
+    Returns ``(program, None)`` when the whole iteration space can be
+    evaluated at once, else ``(None, reason)`` — the reason string is the
+    logged bail-out diagnostic.
+    """
+    from repro.transforms.loop_analysis import classify_index, root_memref
+
+    body = loop.regions[0].block
+    rank = len(body.args)
+    if not _body_is_vectorizable(body):
+        return None, "body has nested regions or unsupported ops"
+    ivs = list(body.args)
+    loaded: set[int] = set()
+    store_counts: dict[int, int] = {}
+    stores = []
+    loads = []
+    for op in body.ops:
+        if op.name == "memref.store":
+            key = id(root_memref(op.operands[1]))
+            store_counts[key] = store_counts.get(key, 0) + 1
+            stores.append(op)
+        elif op.name == "memref.load":
+            loaded.add(id(root_memref(op.operands[0])))
+            loads.append(op)
+    if loaded & set(store_counts):
+        return None, "a buffer is both loaded and stored in the nest body"
+    if any(count > 1 for count in store_counts.values()):
+        return None, "multiple stores to one buffer"
+    for op in stores:
+        if len(op.operands) == 2:
+            return None, "rank-0 store hits the same cell every iteration"
+        used_ivs: set[int] = set()
+        for idx in op.operands[2:]:
+            affine_iv: int | None = None
+            for dim, iv in enumerate(ivs):
+                pattern = classify_index(idx, iv, body)
+                if pattern.kind == "affine" and pattern.parameter != 0:
+                    if affine_iv is not None:
+                        return None, "store subscript couples two IVs"
+                    affine_iv = dim
+                elif pattern.kind != "invariant":
+                    return None, "store subscript is not affine/invariant"
+            if affine_iv is not None:
+                used_ivs.add(affine_iv)
+        if used_ivs != set(range(rank)):
+            return None, "store subscripts do not cover every nest dim"
+    for op in loads:
+        for idx in op.operands[1:]:
+            for iv in ivs:
+                if classify_index(idx, iv, body).kind not in (
+                    "affine", "invariant",
+                ):
+                    return None, "load subscript is not affine/invariant"
+    return _compile_vector_body(body, frozenset(), n_ivs=rank), None
+
+
+def _classify_nest(loop: Operation) -> tuple:
+    """Cached classification for rank>=2 ``omp.loop_nest`` ops."""
+    key = id(loop)
+    cached = _analysis_cache.get(key)
+    if cached is not None and cached[0] is loop:
+        return cached
+    program, reason = _nest_vector_plan(loop)
+    mode = "nest_elementwise" if program is not None else None
+    if mode is None:
+        logger.debug(
+            "scalar bail-out: rank-%d omp.loop_nest not vectorized: %s",
+            len(loop.regions[0].block.args),
+            reason,
+        )
+    cached = (loop, mode, None, program)
+    _analysis_cache[key] = cached
+    return cached
+
+
+def try_vectorized_loop_nest(
+    interp, loop: Operation, env, lbs, ubs, steps
+) -> bool:
+    """Whole-iteration-space evaluation of a rank-n elementwise nest.
+
+    ``ubs`` are already exclusive.  Returns True when handled; the
+    scalar nested walk must run otherwise.  Step accounting matches the
+    scalar walk exactly (one step per body op per innermost iteration).
+    """
+    _, mode, _, program = _classify_nest(loop)
+    if mode != "nest_elementwise":
+        return False
+    trips = [_trip_count(lb, ub, step) for lb, ub, step in zip(lbs, ubs, steps)]
+    total = 1
+    for t in trips:
+        total *= t
+    if total == 0:
+        return True
+    if total < _MIN_TRIPS:
+        return False
+
+    def flattened(dim_trips, dim_lbs, dim_steps):
+        """Row-major index vectors over the given dimensions."""
+        size = 1
+        for t in dim_trips:
+            size *= t
+        vecs = []
+        reps_after = size
+        reps_before = 1
+        for dim, t in enumerate(dim_trips):
+            reps_after //= t
+            arange = np.arange(
+                dim_lbs[dim],
+                dim_lbs[dim] + t * dim_steps[dim],
+                dim_steps[dim],
+                dtype=np.int64,
+            )
+            vecs.append(np.tile(np.repeat(arange, reps_after), reps_before))
+            reps_before *= t
+        return vecs
+
+    if total <= _MAX_NEST_ELEMS:
+        program.run(interp, env, flattened(trips, lbs, steps))
+    else:
+        # Bound peak memory: evaluate one outermost-dimension slice at a
+        # time (the whole-space temporaries scale with the *product* of
+        # the nest dims, unlike rank-1 loops).
+        inner = flattened(trips[1:], lbs[1:], steps[1:])
+        inner_total = total // trips[0]
+        for outer_iv in range(
+            lbs[0], lbs[0] + trips[0] * steps[0], steps[0]
+        ):
+            slice_vecs = [
+                np.full(inner_total, outer_iv, dtype=np.int64),
+                *inner,
+            ]
+            program.run(interp, env, slice_vecs)
+    body = loop.regions[0].block
+    interp.steps += total * max(1, len(body.ops))
+    return True
 
 
 def loop_vector_mode(loop: Operation) -> tuple[str | None, Any]:
@@ -358,21 +600,28 @@ class _VectorProgram:
     """Compiled whole-iteration-space evaluator for one loop body.
 
     Frame slot 0 holds the instruction tuple itself, so a run needs only
-    one template copy plus the outer-value fetches.
+    one template copy plus the outer-value fetches.  ``iv_slots`` holds
+    one slot per induction variable (rank-n ``omp.loop_nest`` bodies have
+    several); ``run`` accepts a single iv vector for rank 1 or a sequence
+    of per-dimension vectors otherwise.
     """
 
-    __slots__ = ("template", "slots", "iv_slot", "outer")
+    __slots__ = ("template", "slots", "iv_slots", "outer")
 
-    def __init__(self, template, slots, iv_slot, outer):
+    def __init__(self, template, slots, iv_slots, outer):
         self.template = template
         self.slots = slots
-        self.iv_slot = iv_slot
+        self.iv_slots = iv_slots
         #: loop-invariant values fetched from the interpreter env per run
         self.outer = outer
 
     def run(self, interp, env, ivs) -> list:
         frame = self.template.copy()
-        frame[self.iv_slot] = ivs
+        if len(self.iv_slots) == 1:
+            frame[self.iv_slots[0]] = ivs
+        else:
+            for slot, vec in zip(self.iv_slots, ivs):
+                frame[slot] = vec
         get = interp.get
         for slot, value in self.outer:
             frame[slot] = get(env, value)
@@ -406,14 +655,14 @@ class _VectorCompiler:
 
 
 def _compile_vector_body(
-    body: Block, skip: frozenset[int]
+    body: Block, skip: frozenset[int], n_ivs: int = 1
 ) -> _VectorProgram:
     """Translate the (already validated) body into a vector program."""
     from repro.ir.attributes import FloatAttr, IntegerAttr, StringAttr
     from repro.ir.types import FloatType
 
     ctx = _VectorCompiler(body)
-    iv_slot = ctx.dst(body.args[0])
+    iv_slots = tuple(ctx.dst(arg) for arg in body.args[:n_ivs])
 
     for op in body.ops:
         name = op.name
@@ -520,7 +769,7 @@ def _compile_vector_body(
         raise AssertionError(f"vectorizer admitted unsupported op {name}")
 
     ctx.template[0] = tuple(ctx.instrs)
-    return _VectorProgram(ctx.template, ctx.slots, iv_slot, tuple(ctx.outer))
+    return _VectorProgram(ctx.template, ctx.slots, iv_slots, tuple(ctx.outer))
 
 
 def _trip_count(lb, ub, step) -> int:

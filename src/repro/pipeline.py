@@ -66,10 +66,22 @@ class CompiledProgram:
     board: U280Board
     stages: list[PipelineStage] = field(default_factory=list)
 
-    def executor(self, flow_label: str = "fortran-openmp") -> FpgaExecutor:
-        """Fresh executor (fresh device state) for this program."""
+    def executor(
+        self,
+        flow_label: str = "fortran-openmp",
+        *,
+        compiled: bool = True,
+        vectorize: bool = True,
+    ) -> FpgaExecutor:
+        """Fresh executor (fresh device state) for this program.
+
+        ``compiled``/``vectorize`` select the execution tiers (scalar
+        interpreter, block-JIT, NumPy loop evaluation); every combination
+        must produce bit-identical results and accounting.
+        """
         return FpgaExecutor(
-            self.host_module, self.bitstream, self.board, flow_label
+            self.host_module, self.bitstream, self.board, flow_label,
+            compiled=compiled, vectorize=vectorize,
         )
 
     def run(self, func_name: str | None = None, *args) -> ExecutionResult:
@@ -152,3 +164,12 @@ def compile_fortran(
         board=board,
         stages=stages,
     )
+
+
+def compile_workload(name: str, **kwargs) -> CompiledProgram:
+    """Compile a registered gallery workload by name (see
+    :mod:`repro.workloads`); ``kwargs`` forward to
+    :func:`compile_fortran`."""
+    from repro.workloads import get_workload
+
+    return compile_fortran(get_workload(name).source, **kwargs)

@@ -109,3 +109,26 @@ def format_table(
 def relative_difference(ours: float, reference: float) -> float:
     """Signed relative difference in percent (reference vs ours)."""
     return (reference / ours - 1.0) * 100.0
+
+
+def gallery_table() -> str:
+    """The workload gallery as a paper-style table (name, loop shape,
+    entry point, size sweep) — regenerated from the registry so reports
+    can never drift from the code."""
+    from repro.workloads import all_workloads
+
+    rows = [
+        (
+            w.name,
+            w.loop_shape,
+            w.entry,
+            ", ".join(str(s) for s in w.sizes),
+            w.description,
+        )
+        for w in all_workloads()
+    ]
+    return format_table(
+        "Workload gallery",
+        ["workload", "loop shape", "entry", "sizes", "description"],
+        rows,
+    )

@@ -80,11 +80,19 @@ class FpgaExecutor:
         bitstream: Bitstream,
         board: U280Board | None = None,
         flow_label: str = "fortran-openmp",
+        *,
+        compiled: bool = True,
+        vectorize: bool = True,
     ):
         self.host_module = host_module
         self.bitstream = bitstream
         self.board = board or bitstream.board
         self.flow_label = flow_label
+        #: execution-tier selection, forwarded to both the host program
+        #: interpreter and the device-kernel runner (the conformance suite
+        #: sweeps these and asserts bit-identical results + accounting)
+        self.compiled = compiled
+        self.vectorize = vectorize
         self.context = ClContext(self.board)
         self.table = DeviceDataTable(self.context)
         self.queue = ClCommandQueue(self.board)
@@ -93,13 +101,18 @@ class FpgaExecutor:
         self._kernel_cycles = 0.0
         from repro.runtime.kernel_runner import KernelRunner
 
-        self._runner = KernelRunner(bitstream)
+        self._runner = KernelRunner(
+            bitstream, compiled=compiled, vectorize=vectorize
+        )
 
     # -- public API --------------------------------------------------------------------
 
     def run(self, func_name: str, *args) -> ExecutionResult:
         interp = Interpreter(
-            self.host_module, extra_impls=self._host_impls()
+            self.host_module,
+            extra_impls=self._host_impls(),
+            compiled=self.compiled,
+            vectorize=self.vectorize,
         )
         # Compiled device-op closures bind straight to this executor;
         # the extra impls above serve the scalar fallback path.

@@ -27,13 +27,21 @@ class KernelRun:
 class KernelRunner:
     """Runs bitstream kernels functionally while accounting cycles."""
 
-    def __init__(self, bitstream: Bitstream):
+    def __init__(
+        self,
+        bitstream: Bitstream,
+        *,
+        compiled: bool = True,
+        vectorize: bool = True,
+    ):
         self.bitstream = bitstream
         # Cycle accounting hooks the interpreter's loop observer (fired
         # once per scf.for execution with the observed trip count) rather
         # than overriding the scf.for impl, so device loops still run on
         # the compiled/vectorized fast paths.
-        self._interp = Interpreter(bitstream.device_module)
+        self._interp = Interpreter(
+            bitstream.device_module, compiled=compiled, vectorize=vectorize
+        )
         self._interp.loop_observer = self._observe_loop
         self._cycle_stack: list[float] = []
         self._design_stack: list[KernelSchedule] = []

@@ -229,14 +229,27 @@ def static_loop_step(for_op: Operation) -> Optional[int]:
     return None
 
 
+def walk_same_loop_level(body: Block):
+    """All ops in ``body`` without descending into nested ``scf.for``
+    loops — those are scheduled (and bound, and their accesses charged)
+    independently, so they must not contribute to the enclosing loop's
+    II, latency or binding.  Shared with the HLS scheduler."""
+    for op in body.ops:
+        yield op
+        if op.name == "scf.for":
+            continue
+        for region in op.regions:
+            for block in region.blocks:
+                yield from walk_same_loop_level(block)
+
+
 def _accesses(body: Block, iv: SSAValue):
     """Yield (op, memref_root, indices, is_store) for body memory ops."""
-    for op in body.ops:
-        for nested in op.walk():
-            if nested.name == "memref.load":
-                yield nested, root_memref(nested.operands[0]), nested.operands[1:], False
-            elif nested.name == "memref.store":
-                yield nested, root_memref(nested.operands[1]), nested.operands[2:], True
+    for nested in walk_same_loop_level(body):
+        if nested.name == "memref.load":
+            yield nested, root_memref(nested.operands[0]), nested.operands[1:], False
+        elif nested.name == "memref.store":
+            yield nested, root_memref(nested.operands[1]), nested.operands[2:], True
 
 
 def loop_carried_dependences(for_op: Operation) -> list[Dependence]:
@@ -344,9 +357,11 @@ def float_chain_latency(
     """Approximate latency of the longest arithmetic chain in the body.
 
     Computed as a proper critical path over the SSA graph of the block
-    (nested regions contribute their own paths).  ``float_only`` restricts
-    the path to floating-point operators — the right measure for a
-    recurrence cycle, where index arithmetic is not on the carried path.
+    (nested non-loop regions contribute their own paths; nested
+    ``scf.for`` loops are excluded — their cycles are charged by their
+    own schedules).  ``float_only`` restricts the path to floating-point
+    operators — the right measure for a recurrence cycle, where index
+    arithmetic is not on the carried path.
     """
     table = latencies or DEFAULT_LATENCIES
 
@@ -358,16 +373,15 @@ def float_chain_latency(
         return table.get(op.name, 1 if op.results else 0)
 
     best = 0
-    for op in body.ops:
-        for nested in op.walk():
-            in_depth = max(
-                (depth.get(operand, 0) for operand in nested.operands),
-                default=0,
-            )
-            out = in_depth + op_latency(nested)
-            for result in nested.results:
-                depth[result] = out
-            best = max(best, out)
+    for nested in walk_same_loop_level(body):
+        in_depth = max(
+            (depth.get(operand, 0) for operand in nested.operands),
+            default=0,
+        )
+        out = in_depth + op_latency(nested)
+        for result in nested.results:
+            depth[result] = out
+        best = max(best, out)
     return best
 
 

@@ -135,21 +135,48 @@ class LowerOmpToHlsPass(ModulePass):
 
         builder = Builder.before(par)
         one = builder.insert(arith.Constant.index(1)).results[0]
-        ub_ex = builder.insert(arith.AddI(nest.ub, one)).results[0]
-        lb, step = nest.lb, nest.step
+        ub_exs = [
+            builder.insert(arith.AddI(ub, one)).results[0] for ub in nest.ubs
+        ]
+        lb, step = nest.lbs[-1], nest.steps[-1]
+        ub_ex = ub_exs[-1]
 
         factor = simd_op.simdlen if isinstance(simd_op, omp.SimdOp) else 1
         reductions = self._setup_reductions(
             wsloop, builder, factor if factor > 1 else self.default_reduction_copies
         )
 
-        if factor <= 1 and not reductions:
-            self._emit_pipelined_for(builder, nest, lb, ub_ex, step)
+        # collapse(n) nests: materialize the outer n-1 dimensions as plain
+        # (unpipelined) scf.for loops; only the innermost dimension is
+        # pipelined/unrolled below.  The outer induction variables replace
+        # the nest's leading block args when the body is cloned.
+        inner_builder = builder
+        outer_map: dict[SSAValue, SSAValue] = {}
+        outer_loops: list[Operation] = []
+        for dim in range(nest.rank - 1):
+            outer = inner_builder.insert(
+                scf.For(nest.lbs[dim], ub_exs[dim], nest.steps[dim])
+            )
+            outer.induction_var.name_hint = nest.body.args[dim].name_hint
+            outer_map[nest.body.args[dim]] = outer.induction_var
+            outer_loops.append(outer)
+            inner_builder = Builder.at_end(outer.body)
+
+        if factor <= 1 and not reductions and nest.rank == 1:
+            self._emit_pipelined_for(inner_builder, nest, lb, ub_ex, step)
         elif factor <= 1:
-            self._emit_cloned_loop(builder, nest, lb, ub_ex, step, reductions)
+            self._emit_cloned_loop(
+                inner_builder, nest, lb, ub_ex, step, reductions, outer_map
+            )
             nest.erase(safe=False)
         else:
-            self._emit_unrolled(builder, nest, lb, ub_ex, step, factor, reductions)
+            self._emit_unrolled(
+                inner_builder, nest, lb, ub_ex, step, factor, reductions,
+                outer_map,
+            )
+
+        for outer in outer_loops:
+            Builder.at_end(outer.regions[0].block).insert(scf.Yield())
 
         self._combine_reductions(builder, reductions)
         par.erase(safe=False)
@@ -246,6 +273,7 @@ class LowerOmpToHlsPass(ModulePass):
         ub_ex: SSAValue,
         step: SSAValue,
         reductions: list[_Reduction],
+        outer_map: dict[SSAValue, SSAValue] | None = None,
     ) -> None:
         """Pipelined loop with body cloning (reduction redirection)."""
         loop = builder.insert(scf.For(lb, ub_ex, step))
@@ -253,7 +281,7 @@ class LowerOmpToHlsPass(ModulePass):
         ii = inner.insert(arith.Constant.int(self.target_ii, 32)).results[0]
         inner.insert(hls.PipelineOp(ii))
         self._instantiate_body(
-            inner, nest, loop.induction_var, lb, step, reductions
+            inner, nest, loop.induction_var, lb, step, reductions, outer_map
         )
         inner.insert(scf.Yield())
 
@@ -266,6 +294,7 @@ class LowerOmpToHlsPass(ModulePass):
         step: SSAValue,
         factor: int,
         reductions: list[_Reduction],
+        outer_map: dict[SSAValue, SSAValue] | None = None,
     ) -> None:
         """Partial unrolling by ``factor``: main loop + remainder loop."""
         factor_c = builder.insert(arith.Constant.index(factor)).results[0]
@@ -286,13 +315,16 @@ class LowerOmpToHlsPass(ModulePass):
             iv_j = inner.insert(
                 arith.AddI(main.induction_var, scaled)
             ).results[0]
-            self._instantiate_body(inner, nest, iv_j, lb, step, reductions)
+            self._instantiate_body(
+                inner, nest, iv_j, lb, step, reductions, outer_map
+            )
         inner.insert(scf.Yield())
 
         remainder = builder.insert(scf.For(main_ub, ub_ex, step))
         rem_inner = Builder.at_end(remainder.body)
         self._instantiate_body(
-            rem_inner, nest, remainder.induction_var, lb, step, reductions
+            rem_inner, nest, remainder.induction_var, lb, step, reductions,
+            outer_map,
         )
         rem_inner.insert(scf.Yield())
         nest.erase(safe=False)
@@ -305,14 +337,17 @@ class LowerOmpToHlsPass(ModulePass):
         lb: SSAValue,
         step: SSAValue,
         reductions: list[_Reduction],
+        outer_map: dict[SSAValue, SSAValue] | None = None,
     ) -> None:
-        """Clone the loop-nest body at ``iv``, redirecting reduction
-        accesses into the round-robin copy buffers."""
+        """Clone the loop-nest body at ``iv`` (the innermost dimension;
+        ``outer_map`` substitutes outer collapse dimensions), redirecting
+        reduction accesses into the round-robin copy buffers."""
         slot: SSAValue | None = None
         if reductions:
             # The slot must dominate the cloned body ops that use it.
             slot = self._slot_value(builder, iv, lb, step, reductions[0].ncopies)
-        value_map: dict[SSAValue, SSAValue] = {nest.induction_var: iv}
+        value_map: dict[SSAValue, SSAValue] = dict(outer_map or {})
+        value_map[nest.body.args[-1]] = iv
         cloned: list[Operation] = []
         for op in nest.body.ops:
             if isinstance(op, omp.YieldOp):

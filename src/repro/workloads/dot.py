@@ -1,0 +1,80 @@
+"""Dot product — ``reduction(+:s)`` through the round-robin rewrite.
+
+The kernel's ``s`` accumulation is rewritten into ``NCOPIES`` partial
+accumulators combined after the loop (paper §3), so the bit-exact NumPy
+reference reproduces exactly that fold: strided partial sums in
+iteration order, then an ordered combine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import GalleryWorkload, WorkloadInstance, register
+
+DOT_SOURCE = """
+subroutine sdot(x, y, s, n)
+  implicit none
+  integer, intent(in) :: n
+  real, intent(in) :: x(n), y(n)
+  real, intent(out) :: s
+  integer :: i
+  s = 0.0
+!$omp target parallel do reduction(+:s)
+  do i = 1, n
+    s = s + x(i) * y(i)
+  end do
+!$omp end target parallel do
+end subroutine sdot
+"""
+
+#: partial accumulators the reduction rewrite emits by default
+NCOPIES = 8
+
+
+def dot_reference(
+    x: np.ndarray, y: np.ndarray, ncopies: int = NCOPIES
+) -> np.float32:
+    """Round-robin reduction in float32, matching the rewritten kernel
+    bit for bit: ``P[t mod N] += x[t]*y[t]`` in iteration order, then
+    ``s = 0 + P[0] + P[1] + ...``."""
+    products = (x * y).astype(np.float32)
+    partials = np.empty(ncopies, dtype=np.float32)
+    for slot in range(ncopies):
+        lane = products[slot::ncopies]
+        seq = np.empty(len(lane) + 1, dtype=np.float32)
+        seq[0] = np.float32(0.0)
+        seq[1:] = lane
+        partials[slot] = np.add.accumulate(seq)[-1]
+    acc = np.float32(0.0)
+    for slot in range(ncopies):
+        acc = np.float32(acc + partials[slot])
+    return acc
+
+
+DOT_SIZES = (10_000, 100_000, 1_000_000, 10_000_000)
+
+
+def _make_instance(n: int, seed: int) -> WorkloadInstance:
+    rng = np.random.default_rng(53 + seed)
+    x = rng.standard_normal(n).astype(np.float32)
+    y = rng.standard_normal(n).astype(np.float32)
+    s = np.zeros((), dtype=np.float32)
+    expected = np.array(dot_reference(x, y), dtype=np.float32)
+    args = (x, y, s, np.array(n, dtype=np.int32))
+    return WorkloadInstance(args=args, expected={2: expected})
+
+
+DOT = register(
+    GalleryWorkload(
+        name="dot",
+        description="dot-product reduction(+:s) through the round-robin "
+        f"{NCOPIES}-copy rewrite",
+        source=DOT_SOURCE,
+        entry="sdot",
+        sizes=DOT_SIZES,
+        smoke_size=4096,
+        make_instance=_make_instance,
+        loop_shape="1-D reduction",
+    )
+)

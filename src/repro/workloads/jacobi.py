@@ -1,0 +1,67 @@
+"""Jacobi 2-D stencil — a ``collapse(2)`` loop nest over a 2-D array.
+
+One sweep of the four-point stencil from ``a`` into ``b``: the first
+gallery workload whose offloaded region is a rank-2 ``omp.loop_nest``
+(outer dimension lowered to an unpipelined ``scf.for``, inner dimension
+pipelined), and whose inner loops vectorize with an invariant row
+subscript.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import GalleryWorkload, WorkloadInstance, register
+
+JACOBI2D_SOURCE = """
+subroutine jacobi2d(a, b, n)
+  implicit none
+  integer, intent(in) :: n
+  real, intent(in) :: a(n, n)
+  real, intent(inout) :: b(n, n)
+  integer :: i, j
+!$omp target parallel do collapse(2)
+  do i = 2, n - 1
+    do j = 2, n - 1
+      b(i, j) = 0.25 * (a(i - 1, j) + a(i + 1, j) + a(i, j - 1) + a(i, j + 1))
+    end do
+  end do
+!$omp end target parallel do
+end subroutine jacobi2d
+"""
+
+
+def jacobi2d_reference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """One stencil sweep in float32, association order matching the
+    kernel's left-to-right adds (bit-exact)."""
+    out = b.astype(np.float32).copy()
+    interior = a[:-2, 1:-1] + a[2:, 1:-1] + a[1:-1, :-2] + a[1:-1, 2:]
+    out[1:-1, 1:-1] = np.float32(0.25) * interior
+    return out
+
+
+JACOBI2D_SIZES = (64, 128, 256, 512)
+
+
+def _make_instance(n: int, seed: int) -> WorkloadInstance:
+    rng = np.random.default_rng(23 + seed)
+    a = rng.standard_normal((n, n)).astype(np.float32)
+    b = np.zeros((n, n), dtype=np.float32)
+    expected = jacobi2d_reference(a, b)
+    args = (a, b, np.array(n, dtype=np.int32))
+    return WorkloadInstance(args=args, expected={1: expected})
+
+
+JACOBI2D = register(
+    GalleryWorkload(
+        name="jacobi2d",
+        description="four-point 2-D stencil sweep under "
+        "target parallel do collapse(2)",
+        source=JACOBI2D_SOURCE,
+        entry="jacobi2d",
+        sizes=JACOBI2D_SIZES,
+        smoke_size=96,
+        make_instance=_make_instance,
+        loop_shape="2-D collapse",
+    )
+)

@@ -1,0 +1,77 @@
+"""SAXPY — the paper's Listing 5 (``parallel do simd simdlen(10)``)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.base import GalleryWorkload, WorkloadInstance, register
+
+#: Paper Listing 5: the offloaded SAXPY (y = y + a*x).
+SAXPY_SOURCE = """
+subroutine saxpy(a, x, y, n)
+  implicit none
+  integer, intent(in) :: n
+  real, intent(in) :: a
+  real, intent(in) :: x(n)
+  real, intent(inout) :: y(n)
+  integer :: i
+!$omp target parallel do simd simdlen(10)
+  do i = 1, n
+    y(i) = y(i) + a * x(i)
+  end do
+!$omp end target parallel do simd
+end subroutine saxpy
+"""
+
+
+def saxpy_reference(a: float, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """y + a*x in float32."""
+    return (y + np.float32(a) * x).astype(np.float32)
+
+
+@dataclass
+class SaxpyCase:
+    """One SAXPY experiment instance."""
+
+    n: int
+    a: float = 2.0
+    seed: int = 7
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        rng = np.random.default_rng(self.seed)
+        x = rng.standard_normal(self.n).astype(np.float32)
+        y = rng.standard_normal(self.n).astype(np.float32)
+        return x, y
+
+
+#: The problem sizes of the paper's evaluation.
+SAXPY_SIZES = (10_000, 100_000, 1_000_000, 10_000_000)
+
+
+def _make_instance(n: int, seed: int) -> WorkloadInstance:
+    case = SaxpyCase(n, seed=7 + seed)
+    x, y = case.arrays()
+    expected = saxpy_reference(case.a, x, y)
+    args = (
+        np.array(case.a, dtype=np.float32),
+        x,
+        y,
+        np.array(n, dtype=np.int32),
+    )
+    return WorkloadInstance(args=args, expected={2: expected})
+
+
+SAXPY = register(
+    GalleryWorkload(
+        name="saxpy",
+        description="y = y + a*x, unroll-by-10 SIMD offload (paper Listing 5)",
+        source=SAXPY_SOURCE,
+        entry="saxpy",
+        sizes=SAXPY_SIZES,
+        smoke_size=4096,
+        make_instance=_make_instance,
+        loop_shape="1-D simd",
+    )
+)

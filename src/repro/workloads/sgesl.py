@@ -1,10 +1,4 @@
-"""Benchmark workloads: the paper's Fortran sources + NumPy references.
-
-The SAXPY source is the paper's Listing 5 (``parallel do simd
-simdlen(10)``); SGESL follows Listing 6 — the LINPACK solve with the
-inner update loops offloaded via ``target parallel do``, operating on the
-current column (1-D, as in the listing).
-"""
+"""SGESL — the paper's Listing 6 LINPACK solve (offloaded column updates)."""
 
 from __future__ import annotations
 
@@ -12,22 +6,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-#: Paper Listing 5: the offloaded SAXPY (y = y + a*x).
-SAXPY_SOURCE = """
-subroutine saxpy(a, x, y, n)
-  implicit none
-  integer, intent(in) :: n
-  real, intent(in) :: a
-  real, intent(in) :: x(n)
-  real, intent(inout) :: y(n)
-  integer :: i
-!$omp target parallel do simd simdlen(10)
-  do i = 1, n
-    y(i) = y(i) + a * x(i)
-  end do
-!$omp end target parallel do simd
-end subroutine saxpy
-"""
+from repro.workloads.base import GalleryWorkload, WorkloadInstance, register
 
 #: Paper Listing 6 (plus the analogous second loop): SGESL solve of
 #: A x = b given the LU factors and pivots from SGEFA.  The update loops
@@ -101,11 +80,6 @@ end subroutine sgesl
 # -- NumPy references -------------------------------------------------------------
 
 
-def saxpy_reference(a: float, x: np.ndarray, y: np.ndarray) -> np.ndarray:
-    """y + a*x in float32."""
-    return (y + np.float32(a) * x).astype(np.float32)
-
-
 def sgesl_reference(
     lu: np.ndarray, ipvt: np.ndarray, b: np.ndarray
 ) -> np.ndarray:
@@ -154,21 +128,6 @@ def sgefa_reference(a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
 
 
 @dataclass
-class SaxpyCase:
-    """One SAXPY experiment instance."""
-
-    n: int
-    a: float = 2.0
-    seed: int = 7
-
-    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
-        rng = np.random.default_rng(self.seed)
-        x = rng.standard_normal(self.n).astype(np.float32)
-        y = rng.standard_normal(self.n).astype(np.float32)
-        return x, y
-
-
-@dataclass
 class SgeslCase:
     """One SGESL experiment instance (well-conditioned random system)."""
 
@@ -187,5 +146,32 @@ class SgeslCase:
 
 
 #: The problem sizes of the paper's evaluation.
-SAXPY_SIZES = (10_000, 100_000, 1_000_000, 10_000_000)
 SGESL_SIZES = (256, 512, 1024, 2048)
+
+
+def _make_instance(n: int, seed: int) -> WorkloadInstance:
+    case = SgeslCase(n, seed=11 + seed)
+    _, lu, ipvt, b = case.system()
+    expected = sgesl_reference(lu, ipvt, b)
+    args = (
+        lu.copy(),
+        b.copy(),
+        (ipvt + 1).astype(np.int64),
+        np.array(n, dtype=np.int32),
+    )
+    return WorkloadInstance(args=args, expected={1: expected})
+
+
+SGESL = register(
+    GalleryWorkload(
+        name="sgesl",
+        description="LINPACK triangular solve with offloaded column updates "
+        "(paper Listing 6)",
+        source=SGESL_SOURCE,
+        entry="sgesl",
+        sizes=SGESL_SIZES,
+        smoke_size=64,
+        make_instance=_make_instance,
+        loop_shape="1-D, dynamic bounds",
+    )
+)

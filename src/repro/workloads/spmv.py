@@ -1,0 +1,112 @@
+"""SpMV (CSR) — sparse matrix-vector product with gather accesses.
+
+``y(i) = sum_j vals(jj) * x(col_idx(jj))`` over each row's CSR slice:
+the gallery's indirect-indexing workload.  The inner accumulation loop
+carries a rank-0 scalar (serial recurrence, II bound by the adder
+latency); the ``x(col_idx(jj))`` gather exercises the vectorizer's
+indirect-load classification.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import GalleryWorkload, WorkloadInstance, register
+
+SPMV_SOURCE = """
+subroutine spmv(row_ptr, col_idx, vals, x, y, n)
+  implicit none
+  integer, intent(in) :: n
+  integer, intent(in) :: row_ptr(n + 1)
+  integer, intent(in) :: col_idx(row_ptr(n + 1) - 1)
+  real, intent(in) :: vals(row_ptr(n + 1) - 1)
+  real, intent(in) :: x(n)
+  real, intent(inout) :: y(n)
+  integer :: i, jj
+  real :: t
+!$omp target parallel do
+  do i = 1, n
+    t = 0.0
+    do jj = row_ptr(i), row_ptr(i + 1) - 1
+      t = t + vals(jj) * x(col_idx(jj))
+    end do
+    y(i) = t
+  end do
+!$omp end target parallel do
+end subroutine spmv
+"""
+
+#: fixed nonzeros per row — >= 64 so the inner gather loop crosses the
+#: vectorizer's minimum trip count
+NNZ_PER_ROW = 72
+
+
+def make_csr(
+    n: int, seed: int, nnz_per_row: int = NNZ_PER_ROW
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Random CSR structure: (row_ptr, col_idx, vals), 0-based indices."""
+    rng = np.random.default_rng(31 + seed)
+    nnz_per_row = min(nnz_per_row, n)
+    row_ptr = np.arange(0, (n + 1) * nnz_per_row, nnz_per_row, dtype=np.int32)
+    cols = np.empty(n * nnz_per_row, dtype=np.int32)
+    for i in range(n):
+        picked = rng.choice(n, size=nnz_per_row, replace=False)
+        picked.sort()
+        cols[i * nnz_per_row : (i + 1) * nnz_per_row] = picked
+    vals = rng.standard_normal(n * nnz_per_row).astype(np.float32)
+    return row_ptr, cols, vals
+
+
+def spmv_reference(
+    row_ptr: np.ndarray,
+    col_idx: np.ndarray,
+    vals: np.ndarray,
+    x: np.ndarray,
+) -> np.ndarray:
+    """CSR SpMV in float32 with the kernel's exact accumulation order:
+    each row folds ``0.0 + p0 + p1 + ...`` left to right."""
+    n = len(row_ptr) - 1
+    products = (vals * x[col_idx]).astype(np.float32)
+    y = np.empty(n, dtype=np.float32)
+    for i in range(n):
+        start, end = int(row_ptr[i]), int(row_ptr[i + 1])
+        row = np.empty(end - start + 1, dtype=np.float32)
+        row[0] = np.float32(0.0)
+        row[1:] = products[start:end]
+        y[i] = np.add.accumulate(row)[-1]
+    return y
+
+
+SPMV_SIZES = (256, 1024, 4096, 16384)
+
+
+def _make_instance(n: int, seed: int) -> WorkloadInstance:
+    rng = np.random.default_rng(37 + seed)
+    row_ptr, col_idx, vals = make_csr(n, seed)
+    x = rng.standard_normal(n).astype(np.float32)
+    y = np.zeros(n, dtype=np.float32)
+    expected = spmv_reference(row_ptr, col_idx, vals, x)
+    args = (
+        (row_ptr + 1).astype(np.int32),  # Fortran 1-based CSR offsets
+        (col_idx + 1).astype(np.int32),
+        vals,
+        x,
+        y,
+        np.array(n, dtype=np.int32),
+    )
+    return WorkloadInstance(args=args, expected={4: expected})
+
+
+SPMV = register(
+    GalleryWorkload(
+        name="spmv",
+        description="CSR sparse matrix-vector product with "
+        "x(col_idx(jj)) gather",
+        source=SPMV_SOURCE,
+        entry="spmv",
+        sizes=SPMV_SIZES,
+        smoke_size=128,
+        make_instance=_make_instance,
+        loop_shape="1-D + serial gather loop",
+    )
+)

@@ -1,0 +1,79 @@
+"""Golden-IR snapshots of the pipeline's stage outputs.
+
+For SAXPY (the paper's Listing 5) and the Jacobi 2-D gallery workload
+(a ``collapse(2)`` nest), the module is printed after each major stage:
+
+* ``core-omp``  — after fir→core lowering (frontend output),
+* ``device-hls`` — after *lower omp loops to HLS* on the device module,
+* ``hls-func``  — after *lower HLS to func call* (the Vitis entry form).
+
+Snapshots live next to this file as ``<workload>.<stage>.ir``.  When an
+intentional IR change lands, refresh them with::
+
+    PYTHONPATH=src python -m pytest tests/golden --update-golden
+
+and review the diff like any other code change.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.ir.printer import print_op
+from repro.pipeline import compile_fortran
+from repro.transforms.lower_hls_to_func import LowerHlsToFuncPass
+from repro.workloads import get_workload
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+
+WORKLOADS = ("saxpy", "jacobi2d")
+
+#: pipeline-stage name -> snapshot slug
+STAGES = {
+    "core+omp": "core-omp",
+    "device-hls": "device-hls",
+    "hls-func": "hls-func",
+}
+
+_CACHE: dict[str, dict[str, str]] = {}
+
+
+def _stage_texts(name: str) -> dict[str, str]:
+    if name not in _CACHE:
+        workload = get_workload(name)
+        program = compile_fortran(workload.source, capture_stages=True)
+        texts = {s.name: s.ir for s in program.stages}
+        clone = program.device_module.clone()
+        LowerHlsToFuncPass().apply(clone)
+        texts["hls-func"] = print_op(clone)
+        _CACHE[name] = texts
+    return _CACHE[name]
+
+
+@pytest.mark.parametrize("stage", sorted(STAGES))
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_stage_matches_golden(workload, stage, request):
+    actual = _stage_texts(workload)[stage].rstrip("\n") + "\n"
+    path = GOLDEN_DIR / f"{workload}.{STAGES[stage]}.ir"
+    if request.config.getoption("--update-golden"):
+        path.write_text(actual)
+        return
+    assert path.exists(), (
+        f"missing golden snapshot {path.name}; generate it with "
+        "pytest tests/golden --update-golden"
+    )
+    expected = path.read_text()
+    assert actual == expected, (
+        f"{path.name} drifted from the pipeline output — if the IR "
+        "change is intentional, refresh with --update-golden and review "
+        "the diff"
+    )
+
+
+def test_snapshots_are_deterministic():
+    """Two independent compilations print byte-identical IR (value
+    numbering and pass order are stable)."""
+    workload = get_workload("saxpy")
+    first = compile_fortran(workload.source, capture_stages=True)
+    second = compile_fortran(workload.source, capture_stages=True)
+    assert [s.ir for s in first.stages] == [s.ir for s in second.stages]

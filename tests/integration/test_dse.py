@@ -3,8 +3,40 @@
 import numpy as np
 import pytest
 
-from repro.dse import DseResult, _with_simdlen, explore, explore_simdlen
+from repro.dse import (
+    DseResult,
+    _with_simdlen,
+    explore,
+    explore_simdlen,
+    explore_workload,
+)
 from repro.workloads import SAXPY_SOURCE
+
+pytestmark = pytest.mark.slow  # DSE sweeps synthesize several variants
+
+
+class TestGallerySweep:
+    def test_explore_workload_by_name(self):
+        result = explore_workload(
+            "jacobi2d", simdlen_factors=(1, 2), n=64
+        )
+        assert len(result.points) == 2
+        assert result.best is not None
+        assert result.best.lut_pct > 0
+
+    def test_collapse_nest_survives_simd_rewrite(self):
+        """The simd-unrolled variant of a collapse(2) workload still
+        produces bit-exact output (unroll happens on the innermost dim)."""
+        from repro.pipeline import compile_fortran
+        from repro.workloads import get_workload
+
+        workload = get_workload("jacobi2d")
+        variant = _with_simdlen(workload.source, 4)
+        assert "simdlen(4)" in variant and "collapse(2)" in variant
+        program = compile_fortran(variant)
+        instance = workload.instance(workload.smoke_size)
+        program.executor().run(workload.entry, *instance.args)
+        workload.check(instance)
 
 
 def _saxpy_evaluator(n=5000):

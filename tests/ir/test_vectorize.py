@@ -153,3 +153,235 @@ def test_saxpy_body_property(offset, scale, n):
     expected = (ya + np.float32(scale) * xa).astype(np.float32)
     Interpreter(module).call("f", xa, ya, np.array(scale, np.float32))
     assert ya.tobytes() == expected.tobytes()
+
+
+# ---------------------------------------------------------------------------
+# Gallery loop shapes: invariant store dims, gathers, rank-2 nests
+# ---------------------------------------------------------------------------
+
+
+def _row_update_module(n: int):
+    """b[row, j] = a[row, j] + 1.0 — invariant row subscript, affine j."""
+    module = builtin.ModuleOp()
+    mat = MemRefType(f32, [n, n])
+    fn = func.FuncOp("f", FunctionType([mat, mat, MemRefType(f32, [])], []))
+    module.body.add_op(fn)
+    b = Builder.at_end(fn.body)
+    lb = b.insert(arith.Constant.index(0)).results[0]
+    ub = b.insert(arith.Constant.index(n)).results[0]
+    step = b.insert(arith.Constant.index(1)).results[0]
+    row = b.insert(arith.Constant.index(2)).results[0]
+    loop = b.insert(scf.For(lb, ub, step))
+    inner = Builder.at_end(loop.body)
+    a_arg, b_arg, _ = fn.body.args
+    av = inner.insert(memref.Load(a_arg, [row, loop.induction_var])).results[0]
+    one = inner.insert(arith.Constant.float(1.0, 32)).results[0]
+    r = inner.insert(arith.AddF(av, one)).results[0]
+    inner.insert(memref.Store(r, b_arg, [row, loop.induction_var]))
+    inner.insert(scf.Yield())
+    b.insert(func.ReturnOp())
+    return module, loop
+
+
+class TestInvariantStoreDim:
+    """2-D array row updates: one invariant subscript + one affine."""
+
+    def test_is_vectorizable(self):
+        _, loop = _row_update_module(128)
+        assert _loop_is_vectorizable(loop)
+
+    def test_bit_identical(self):
+        n = 128
+        module, _ = _row_update_module(n)
+        rng_local = np.random.default_rng(9)
+        a = rng_local.standard_normal((n, n)).astype(np.float32)
+        out_vec = np.zeros((n, n), np.float32)
+        out_scalar = np.zeros((n, n), np.float32)
+        Interpreter(module).call("f", a, out_vec, np.zeros((), np.float32))
+        Interpreter(module, compiled=False, vectorize=False).call(
+            "f", a, out_scalar, np.zeros((), np.float32)
+        )
+        assert out_vec.tobytes() == out_scalar.tobytes()
+        assert np.array_equal(out_vec[2], a[2] + np.float32(1.0))
+
+    def test_all_invariant_dims_stay_scalar(self):
+        """b[2, 3] = ... every iteration: same cell, must not vectorize."""
+        n = 128
+        module = builtin.ModuleOp()
+        mat = MemRefType(f32, [n, n])
+        fn = func.FuncOp("f", FunctionType([mat], []))
+        module.body.add_op(fn)
+        b = Builder.at_end(fn.body)
+        lb = b.insert(arith.Constant.index(0)).results[0]
+        ub = b.insert(arith.Constant.index(n)).results[0]
+        step = b.insert(arith.Constant.index(1)).results[0]
+        i2 = b.insert(arith.Constant.index(2)).results[0]
+        i3 = b.insert(arith.Constant.index(3)).results[0]
+        loop = b.insert(scf.For(lb, ub, step))
+        inner = Builder.at_end(loop.body)
+        v = inner.insert(arith.Constant.float(5.0, 32)).results[0]
+        inner.insert(memref.Store(v, fn.body.args[0], [i2, i3]))
+        inner.insert(scf.Yield())
+        b.insert(func.ReturnOp())
+        assert not _loop_is_vectorizable(loop)
+
+
+def _gather_module(n: int):
+    """y[i] = x[idx[i]] — the SpMV gather shape."""
+    module = builtin.ModuleOp()
+    from repro.ir.types import i32
+
+    fn = func.FuncOp(
+        "f",
+        FunctionType(
+            [MemRefType(f32, [n]), MemRefType(i32, [n]), MemRefType(f32, [n])],
+            [],
+        ),
+    )
+    module.body.add_op(fn)
+    b = Builder.at_end(fn.body)
+    lb = b.insert(arith.Constant.index(0)).results[0]
+    ub = b.insert(arith.Constant.index(n)).results[0]
+    step = b.insert(arith.Constant.index(1)).results[0]
+    loop = b.insert(scf.For(lb, ub, step))
+    inner = Builder.at_end(loop.body)
+    x, idx, y = fn.body.args
+    iv = inner.insert(memref.Load(idx, [loop.induction_var])).results[0]
+    xv = inner.insert(memref.Load(x, [iv])).results[0]
+    inner.insert(memref.Store(xv, y, [loop.induction_var]))
+    inner.insert(scf.Yield())
+    b.insert(func.ReturnOp())
+    return module, loop
+
+
+class TestGatherLoads:
+    def test_is_vectorizable(self):
+        _, loop = _gather_module(128)
+        assert _loop_is_vectorizable(loop)
+
+    def test_bit_identical(self):
+        n = 128
+        module, _ = _gather_module(n)
+        rng_local = np.random.default_rng(11)
+        x = rng_local.standard_normal(n).astype(np.float32)
+        idx = rng_local.integers(0, n, n).astype(np.int32)
+        y_vec = np.zeros(n, np.float32)
+        y_scalar = np.zeros(n, np.float32)
+        Interpreter(module).call("f", x, idx, y_vec)
+        Interpreter(module, compiled=False, vectorize=False).call(
+            "f", x, idx, y_scalar
+        )
+        assert y_vec.tobytes() == y_scalar.tobytes()
+        assert np.array_equal(y_vec, x[idx])
+
+    def test_scatter_through_index_stays_scalar(self):
+        """y[idx[i]] = x[i]: indirect *store* could collide — scalar."""
+        n = 128
+        module2 = builtin.ModuleOp()
+        from repro.ir.types import i32
+
+        fn2 = func.FuncOp(
+            "f",
+            FunctionType(
+                [MemRefType(f32, [n]), MemRefType(i32, [n]),
+                 MemRefType(f32, [n])],
+                [],
+            ),
+        )
+        module2.body.add_op(fn2)
+        b = Builder.at_end(fn2.body)
+        lb = b.insert(arith.Constant.index(0)).results[0]
+        ub = b.insert(arith.Constant.index(n)).results[0]
+        step = b.insert(arith.Constant.index(1)).results[0]
+        loop = b.insert(scf.For(lb, ub, step))
+        inner = Builder.at_end(loop.body)
+        x, idx, y = fn2.body.args
+        iv = inner.insert(memref.Load(idx, [loop.induction_var])).results[0]
+        xv = inner.insert(memref.Load(x, [loop.induction_var])).results[0]
+        inner.insert(memref.Store(xv, y, [iv]))
+        inner.insert(scf.Yield())
+        b.insert(func.ReturnOp())
+        assert not _loop_is_vectorizable(loop)
+
+
+class TestBailOutLogging:
+    def test_scalar_bail_out_is_logged(self, caplog):
+        import logging
+
+        from repro.ir.vectorize import _analysis_cache, loop_vector_mode
+
+        module = builtin.ModuleOp()
+        fn = func.FuncOp("f", FunctionType([MemRefType(f32, [])], []))
+        module.body.add_op(fn)
+        b = Builder.at_end(fn.body)
+        lb = b.insert(arith.Constant.index(0)).results[0]
+        ub = b.insert(arith.Constant.index(128)).results[0]
+        step = b.insert(arith.Constant.index(1)).results[0]
+        loop = b.insert(scf.For(lb, ub, step))
+        inner = Builder.at_end(loop.body)
+        v = inner.insert(arith.Constant.float(1.0, 32)).results[0]
+        inner.insert(memref.Store(v, fn.body.args[0], []))  # rank-0 store
+        inner.insert(scf.Yield())
+        b.insert(func.ReturnOp())
+        _analysis_cache.pop(id(loop), None)
+        with caplog.at_level(logging.DEBUG, logger="repro.ir.vectorize"):
+            mode, _ = loop_vector_mode(loop)
+        assert mode is None
+        assert any("bail-out" in r.message for r in caplog.records)
+
+
+class TestOverlappingStores:
+    def test_two_offset_stores_stay_scalar(self):
+        """b[i] = 1; b[i+1] = 2 overlaps across iterations: whole-space
+        evaluation would reorder the writes, so it must not vectorize."""
+        n = 128
+        module = builtin.ModuleOp()
+        fn = func.FuncOp("f", FunctionType([MemRefType(f32, [n + 1])], []))
+        module.body.add_op(fn)
+        b = Builder.at_end(fn.body)
+        lb = b.insert(arith.Constant.index(0)).results[0]
+        ub = b.insert(arith.Constant.index(n)).results[0]
+        step = b.insert(arith.Constant.index(1)).results[0]
+        loop = b.insert(scf.For(lb, ub, step))
+        inner = Builder.at_end(loop.body)
+        one = inner.insert(arith.Constant.index(1)).results[0]
+        v1 = inner.insert(arith.Constant.float(1.0, 32)).results[0]
+        v2 = inner.insert(arith.Constant.float(2.0, 32)).results[0]
+        shifted = inner.insert(arith.AddI(loop.induction_var, one)).results[0]
+        inner.insert(memref.Store(v1, fn.body.args[0], [loop.induction_var]))
+        inner.insert(memref.Store(v2, fn.body.args[0], [shifted]))
+        inner.insert(scf.Yield())
+        b.insert(func.ReturnOp())
+        assert not _loop_is_vectorizable(loop)
+
+    def test_same_cell_stores_still_vectorize(self):
+        """Two stores to the identical subscript keep body op order per
+        cell — safe, and results match the scalar tier bit for bit."""
+        n = 128
+        module = builtin.ModuleOp()
+        vec = MemRefType(f32, [n])
+        fn = func.FuncOp("f", FunctionType([vec, vec], []))
+        module.body.add_op(fn)
+        b = Builder.at_end(fn.body)
+        lb = b.insert(arith.Constant.index(0)).results[0]
+        ub = b.insert(arith.Constant.index(n)).results[0]
+        step = b.insert(arith.Constant.index(1)).results[0]
+        loop = b.insert(scf.For(lb, ub, step))
+        inner = Builder.at_end(loop.body)
+        x, y = fn.body.args
+        xv = inner.insert(memref.Load(x, [loop.induction_var])).results[0]
+        inner.insert(memref.Store(xv, y, [loop.induction_var]))
+        doubled = inner.insert(arith.AddF(xv, xv)).results[0]
+        inner.insert(memref.Store(doubled, y, [loop.induction_var]))
+        inner.insert(scf.Yield())
+        b.insert(func.ReturnOp())
+        assert _loop_is_vectorizable(loop)
+        rng_local = np.random.default_rng(13)
+        x_data = rng_local.standard_normal(n).astype(np.float32)
+        y_vec = np.zeros(n, np.float32)
+        y_scalar = np.zeros(n, np.float32)
+        Interpreter(module).call("f", x_data, y_vec)
+        Interpreter(module, compiled=False, vectorize=False).call(
+            "f", x_data, y_scalar
+        )
+        assert y_vec.tobytes() == y_scalar.tobytes()

@@ -1,0 +1,131 @@
+"""Hypothesis fuzz: OpenMP directives round-trip without loss.
+
+Random well-formed :class:`~repro.frontend.directives.Directive` values
+are printed with ``print_directive``, pushed through the real frontend
+path (lexer sentinel extraction, then ``parse_directive``), and must
+come back structurally identical — no clause, variable list, operator
+or integer parameter may be dropped or reordered.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend.ast_nodes import MapClause, OmpClauses, ReductionClause
+from repro.frontend.directives import (
+    Directive,
+    parse_directive,
+    print_directive,
+)
+from repro.frontend.lexer import TokenKind, tokenize
+
+idents = st.from_regex(r"[a-z][a-z0-9_]{0,9}", fullmatch=True)
+var_lists = st.lists(idents, min_size=1, max_size=4, unique=True)
+
+map_clauses = st.builds(
+    MapClause,
+    st.sampled_from(("to", "from", "tofrom", "alloc")),
+    var_lists,
+)
+reduction_clauses = st.builds(
+    ReductionClause,
+    st.sampled_from(("+", "*", "max", "min")),
+    var_lists,
+)
+
+
+def _clauses(
+    with_maps: bool = True, with_reductions: bool = False
+) -> st.SearchStrategy[OmpClauses]:
+    return st.builds(
+        OmpClauses,
+        maps=st.lists(map_clauses, max_size=3) if with_maps else st.just([]),
+        reductions=(
+            st.lists(reduction_clauses, max_size=2)
+            if with_reductions
+            else st.just([])
+        ),
+        simdlen=st.none() | st.integers(1, 64),
+        num_threads=st.none() | st.integers(1, 128),
+        device=st.none() | st.integers(0, 3),
+        collapse=st.none() | st.integers(1, 4),
+    )
+
+
+@st.composite
+def directives(draw) -> Directive:
+    kind = draw(
+        st.sampled_from(
+            (
+                "target",
+                "target data",
+                "target enter data",
+                "target exit data",
+                "target update",
+                "parallel do",
+            )
+        )
+    )
+    directive = Directive(construct=kind)
+    if kind == "target":
+        directive.parallel_do = draw(st.booleans())
+        directive.simd = draw(st.booleans())
+        directive.clauses = draw(
+            _clauses(with_reductions=directive.parallel_do)
+        )
+    elif kind == "parallel do":
+        directive.parallel_do = True
+        directive.simd = draw(st.booleans())
+        directive.clauses = draw(_clauses(with_maps=False, with_reductions=True))
+    elif kind == "target update":
+        directive.to_vars = draw(var_lists)
+        directive.from_vars = draw(st.just([]) | var_lists)
+    else:
+        directive.clauses = draw(_clauses())
+    return directive
+
+
+@st.composite
+def end_directives(draw) -> Directive:
+    kind = draw(st.sampled_from(("target", "target data", "parallel do")))
+    directive = Directive(construct=kind, is_end=True)
+    if kind == "target":
+        directive.parallel_do = draw(st.booleans())
+        directive.simd = draw(st.booleans())
+    elif kind == "parallel do":
+        directive.parallel_do = True
+        directive.simd = draw(st.booleans())
+    return directive
+
+
+def _through_lexer(text: str) -> str:
+    """Extract the directive text the way the real frontend does."""
+    tokens = tokenize(f"!$omp {text}\n")
+    assert tokens[0].kind == TokenKind.OMP_DIRECTIVE
+    return tokens[0].text
+
+
+@given(directives())
+@settings(max_examples=200, deadline=None)
+def test_directive_roundtrip(directive):
+    text = print_directive(directive)
+    reparsed = parse_directive(_through_lexer(text))
+    assert dataclasses.asdict(reparsed) == dataclasses.asdict(directive)
+
+
+@given(end_directives())
+@settings(max_examples=50, deadline=None)
+def test_end_directive_roundtrip(directive):
+    text = print_directive(directive)
+    reparsed = parse_directive(_through_lexer(text))
+    assert dataclasses.asdict(reparsed) == dataclasses.asdict(directive)
+
+
+@given(directives())
+@settings(max_examples=50, deadline=None)
+def test_printing_is_stable(directive):
+    """print(parse(print(d))) == print(d) — printing is a fixed point."""
+    once = print_directive(directive)
+    twice = print_directive(parse_directive(_through_lexer(once)))
+    assert once == twice

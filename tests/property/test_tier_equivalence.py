@@ -1,0 +1,99 @@
+"""Cross-tier conformance: every gallery workload, every engine tier.
+
+The execution engine has three tiers (scalar interpreter, block-JIT,
+NumPy loop vectorization — ROADMAP "Performance architecture").  This
+suite runs every registered workload under all four
+``compiled × vectorize`` combinations and asserts
+
+* bit-identical output buffers (and bit-exact match with the workload's
+  NumPy reference),
+* identical ``Interpreter.steps`` accounting, and
+* identical modelled ``device_time_ms`` / ``kernel_cycles``
+
+so no engine fast path can silently change results or the paper's
+modelled numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.workloads import all_workloads, get_workload
+
+#: (compiled, vectorize) — scalar ground truth first.
+TIERS = ((False, False), (False, True), (True, False), (True, True))
+
+#: workloads whose scalar-tier smoke run is multi-second (the tiled GEMM
+#: interprets ~4M ops twice under vectorize=False)
+_SLOW_SCALAR = {"gemm"}
+
+_PROGRAMS: dict[str, object] = {}
+
+
+def _program(name: str):
+    if name not in _PROGRAMS:
+        _PROGRAMS[name] = get_workload(name).compile()
+    return _PROGRAMS[name]
+
+
+def _workload_params():
+    for workload in all_workloads():
+        marks = (
+            [pytest.mark.slow] if workload.name in _SLOW_SCALAR else []
+        )
+        yield pytest.param(workload.name, marks=marks)
+
+
+@pytest.mark.parametrize("name", _workload_params())
+def test_tiers_bit_identical(name):
+    workload = get_workload(name)
+    program = _program(name)
+    observed = []
+    for compiled, vectorize in TIERS:
+        result, instance = workload.run(
+            program, compiled=compiled, vectorize=vectorize
+        )
+        # every tier matches the NumPy reference bit for bit
+        workload.check(instance)
+        outputs = {
+            pos: np.asarray(arg).tobytes()
+            for pos, arg in instance.outputs().items()
+        }
+        observed.append(((compiled, vectorize), result, outputs))
+
+    _, scalar_result, scalar_outputs = observed[0]
+    for (tier, result, outputs) in observed[1:]:
+        assert outputs == scalar_outputs, f"tier {tier}: outputs differ"
+        assert result.interpreter_steps == scalar_result.interpreter_steps, (
+            f"tier {tier}: steps {result.interpreter_steps} != "
+            f"{scalar_result.interpreter_steps}"
+        )
+        assert result.device_time_ms == scalar_result.device_time_ms, (
+            f"tier {tier}: device_time_ms diverged"
+        )
+        assert result.kernel_cycles == scalar_result.kernel_cycles, (
+            f"tier {tier}: kernel_cycles diverged"
+        )
+        assert result.launches == scalar_result.launches
+
+
+@pytest.mark.parametrize(
+    "name", [w.name for w in all_workloads() if w.name not in _SLOW_SCALAR]
+)
+def test_fresh_seed_still_conforms(name):
+    """A second seed (different data, same shapes) also holds across the
+    two extreme tiers — guards against data-dependent fast-path bugs."""
+    workload = get_workload(name)
+    program = _program(name)
+    result_scalar, inst_scalar = workload.run(
+        program, seed=1, compiled=False, vectorize=False
+    )
+    result_fast, inst_fast = workload.run(
+        program, seed=1, compiled=True, vectorize=True
+    )
+    for pos in inst_scalar.expected:
+        assert (
+            np.asarray(inst_scalar.args[pos]).tobytes()
+            == np.asarray(inst_fast.args[pos]).tobytes()
+        )
+    assert result_scalar.interpreter_steps == result_fast.interpreter_steps
+    assert result_scalar.kernel_cycles == result_fast.kernel_cycles
