@@ -3,12 +3,18 @@
 
 Times compilation and simulated runs of **every gallery workload**
 (``repro.workloads`` registry: SAXPY, SGESL, dot, Jacobi 2-D, SpMV,
-tiled GEMM) and writes ``BENCH_pr2.json`` (at the repo root) with
+tiled GEMM) and writes ``BENCH_pr3.json`` (at the repo root) with
 seconds and interpreter-step counts, so later PRs have a perf
 trajectory to regress against.  The simulator's *modelled* numbers
 (device time, cycles) are recorded too — they must stay constant across
 engine optimisations; only wall-clock may move.  Every run is checked
 bit-for-bit against the workload's NumPy reference.
+
+New in PR 3: the DSE artifact-reuse benchmark — the same sweep run with
+one fresh :class:`~repro.session.Session` per point (the pre-session
+cost model: full frontend + host build every time) versus one shared
+session (frontend compiled once, sweep points are device builds only),
+recording frontend compiles and sweep wall-clock for both.
 
 Run:  PYTHONPATH=src python benchmarks/perf_smoke.py [--out PATH]
 """
@@ -21,6 +27,8 @@ import platform
 import time
 from pathlib import Path
 
+from repro.ir.pass_manager import Instrumentation
+from repro.session import KernelOverrides, Session
 from repro.workloads import all_workloads, get_workload
 
 #: (workload, sizes timed, best-of rounds) — interpreter-bound benches
@@ -91,12 +99,53 @@ def bench_run(program, name: str, n: int, rounds: int) -> dict:
     }
 
 
+#: (workload, simdlen sweep, evaluation size) for the DSE reuse bench —
+#: small n so compile cost dominates and the reuse win is what's measured.
+DSE_PLAN: tuple[tuple[str, tuple[int, ...], int], ...] = (
+    ("saxpy", (1, 2, 4, 8), 2000),
+    ("jacobi2d", (1, 2, 4), 32),
+)
+
+
+def bench_dse_reuse(name: str, factors: tuple[int, ...], n: int) -> dict:
+    """One sweep, two ways: fresh session per point vs shared session."""
+    workload = get_workload(name)
+    evaluate = workload.evaluator(n)
+
+    def sweep_fresh_sessions() -> int:
+        compiles = 0
+        for factor in factors:
+            session = Session(
+                workload.source, instrumentation=Instrumentation()
+            )
+            evaluate(session.program(KernelOverrides(simdlen=factor)))
+            compiles += session.counters["frontend_compiles"]
+        return compiles
+
+    def sweep_shared_session() -> int:
+        session = Session(workload.source, instrumentation=Instrumentation())
+        for factor in factors:
+            evaluate(session.program(KernelOverrides(simdlen=factor)))
+        return session.counters["frontend_compiles"]
+
+    fresh_s, fresh_compiles = _best_of(sweep_fresh_sessions, rounds=3)
+    shared_s, shared_compiles = _best_of(sweep_shared_session, rounds=3)
+    return {
+        "name": f"dse:{name}:points={len(factors)}",
+        "fresh_seconds": round(fresh_s, 6),
+        "shared_seconds": round(shared_s, 6),
+        "speedup": round(fresh_s / shared_s, 3),
+        "fresh_frontend_compiles": fresh_compiles,
+        "shared_frontend_compiles": shared_compiles,
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--out",
-        default=str(Path(__file__).resolve().parents[1] / "BENCH_pr2.json"),
-        help="output JSON path (default: <repo>/BENCH_pr2.json)",
+        default=str(Path(__file__).resolve().parents[1] / "BENCH_pr3.json"),
+        help="output JSON path (default: <repo>/BENCH_pr3.json)",
     )
     args = parser.parse_args()
 
@@ -111,17 +160,25 @@ def main() -> None:
         for n in sizes:
             benches.append(bench_run(programs[name], name, n, rounds))
 
+    dse_benches = [
+        bench_dse_reuse(name, factors, n) for name, factors, n in DSE_PLAN
+    ]
+
     payload = {
-        "pr": 2,
+        "pr": 3,
         "description": (
             "Workload gallery through the three-tier engine: every "
             "registered workload compiled + run, outputs checked bit-for-"
             "bit against NumPy references. Wall-clock of the simulator; "
             "device_time_ms/kernel_cycles are modelled values and must "
-            "stay constant across engine changes."
+            "stay constant across engine changes. dse_artifact_reuse "
+            "compares a sweep with a fresh Session per point (old cost "
+            "model) against one shared Session (frontend + host build "
+            "amortized over the sweep)."
         ),
         "python": platform.python_version(),
         "benches": benches,
+        "dse_artifact_reuse": dse_benches,
     }
     out = Path(args.out)
     out.write_text(json.dumps(payload, indent=2) + "\n")
@@ -131,6 +188,14 @@ def main() -> None:
         steps = bench.get("interpreter_steps")
         extra = f"  steps={steps:,}" if steps is not None else ""
         print(f"{bench['name']:<{width}}  {bench['seconds']*1e3:9.2f} ms{extra}")
+    for bench in dse_benches:
+        print(
+            f"{bench['name']}  fresh {bench['fresh_seconds']*1e3:8.2f} ms "
+            f"({bench['fresh_frontend_compiles']} frontend compiles)  "
+            f"shared {bench['shared_seconds']*1e3:8.2f} ms "
+            f"({bench['shared_frontend_compiles']})  "
+            f"speedup {bench['speedup']:.2f}x"
+        )
     print(f"\nwrote {out}")
 
 

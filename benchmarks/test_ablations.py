@@ -19,8 +19,8 @@ import numpy as np
 import pytest
 
 from conftest import emit
-from repro.pipeline import compile_fortran
 from repro.reporting import format_table
+from repro.session import KernelOverrides, Session
 
 SDOT_SOURCE = """
 subroutine sdot(x, y, s, n)
@@ -62,10 +62,11 @@ def _loop_iis(program):
 
 def test_reduction_copies_ablation(benchmark, capsys):
     def sweep():
+        session = Session(SDOT_SOURCE)  # frontend/host shared by the sweep
         rows = []
         for copies in (1, 2, 4, 8, 16):
-            program = compile_fortran(
-                SDOT_SOURCE, default_reduction_copies=copies
+            program = session.program(
+                KernelOverrides(reduction_copies=copies)
             )
             dep_ii, achieved_ii = _loop_iis(program)[0]
             rows.append((copies, dep_ii, achieved_ii))
@@ -123,9 +124,10 @@ def test_simdlen_ablation(benchmark, capsys):
 
 def test_bundle_policy_ablation(benchmark, capsys):
     def sweep():
+        session = Session(VADD_SOURCE)
         rows = []
         for shared in (False, True):
-            program = compile_fortran(VADD_SOURCE, shared_bundle=shared)
+            program = session.program(KernelOverrides(shared_bundle=shared))
             (dep_ii, achieved_ii) = _loop_iis(program)[0]
             rows.append(
                 (

@@ -12,16 +12,22 @@ checked for the artifacts the paper's diagram shows —
 from __future__ import annotations
 
 from conftest import emit
-from repro.pipeline import compile_fortran
-from repro.reporting import format_table
+from repro.ir.pass_manager import Instrumentation
+from repro.reporting import format_table, pass_timing_table
+from repro.session import Session
 from repro.workloads import SAXPY_SOURCE
 
 
 def test_pipeline_stage_trace(benchmark, capsys):
+    instrumentation = Instrumentation(capture_ir=True)
+
+    def compile_instrumented():
+        return Session(
+            SAXPY_SOURCE, instrumentation=instrumentation
+        ).program()
+
     program = benchmark.pedantic(
-        lambda: compile_fortran(SAXPY_SOURCE, capture_stages=True),
-        rounds=1,
-        iterations=1,
+        compile_instrumented, rounds=1, iterations=1
     )
     stages = {stage.name: stage.ir for stage in program.stages}
 
@@ -66,8 +72,12 @@ def test_pipeline_stage_trace(benchmark, capsys):
         rows,
     )
     emit(capsys, "fig2_pipeline_stages", table)
+    # per-pass wall-clock of the same instrumented compilation
+    emit(capsys, "fig2_pass_timings", pass_timing_table(instrumentation))
 
     assert program.stage_names == [
         "fir+omp", "core+omp", "device-dialect", "device-hls",
         "llvm-ir", "amd-hls-llvm7",
     ]
+    timed = {t.pass_name for t in instrumentation.pass_traces}
+    assert {"fir-to-core", "lower-omp-to-hls", "canonicalize"} <= timed

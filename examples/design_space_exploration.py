@@ -5,8 +5,11 @@ The paper notes that the ``simdlen`` unroll factor is user-chosen and
 that "design space exploration could be added in the future to
 automatically find the best combination of directives and their
 parameters".  The :mod:`repro.dse` extension implements exactly that on
-the simulated toolchain: sweep the factor, synthesize each variant,
-evaluate the modeled runtime, and report the best feasible point.
+the staged session API: one :class:`~repro.session.Session` compiles the
+frontend and host side once, then each sweep point is a cached device
+build with a different :class:`~repro.session.KernelOverrides` —
+``simdlen`` is applied inside the ``lower-omp-to-hls`` pass, not by
+editing the Fortran text.
 
 For the memory-bound SAXPY the sweep confirms the paper's analysis: the
 achieved II scales with the unroll factor, so the per-element rate — and
@@ -43,6 +46,14 @@ def main() -> None:
     print(
         f"best: simdlen({best.simdlen}) at {best.device_time_ms:.3f} ms, "
         f"LUT {best.lut_pct:.2f}%"
+    )
+    print()
+    counters = result.session.counters
+    print(
+        f"artifact reuse: {counters['frontend_compiles']} frontend compile, "
+        f"{counters['host_device_builds']} host build, "
+        f"{counters['device_builds']} device builds for "
+        f"{len(result.points)} sweep points"
     )
     print()
     print("The kernel is m_axi-bound, so unrolling multiplies the II")

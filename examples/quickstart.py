@@ -2,16 +2,18 @@
 """Quickstart: offload a Fortran loop to the (simulated) U280 FPGA.
 
 Compiles a vector-add subroutine with an OpenMP ``target parallel do``
-through the full MLIR pipeline — Flang-style frontend, the paper's
-``device``-dialect passes, HLS lowering, simulated Vitis synthesis —
-then runs it and prints the timing/utilisation reports.
+through the full MLIR pipeline using the staged session API — Flang-style
+frontend, the paper's ``device``-dialect passes, HLS lowering, simulated
+Vitis synthesis — then runs it and prints the timing/utilisation
+reports.  The session caches every stage: asking for a second program
+with different kernel overrides only re-runs the device build.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro.pipeline import compile_fortran
+from repro import Instrumentation, KernelOverrides, Session
 
 SOURCE = """
 subroutine vadd(x, y, z, n)
@@ -30,7 +32,8 @@ end subroutine vadd
 
 
 def main() -> None:
-    program = compile_fortran(SOURCE, capture_stages=True)
+    session = Session(SOURCE, instrumentation=Instrumentation(capture_ir=True))
+    program = session.program()
 
     n = 100_000
     rng = np.random.default_rng(0)
@@ -52,6 +55,15 @@ def main() -> None:
     print(program.bitstream.report())
     print()
     print("Pipeline stages:", " -> ".join(program.stage_names))
+    print()
+
+    # Stage reuse: an unrolled variant costs one device build — the
+    # frontend and host side come from the session cache.
+    unrolled = session.program(KernelOverrides(simdlen=4))
+    print("unrolled variant reuses cached stages:",
+          dict(session.counters))
+    print("  base LUTs    :", program.bitstream.resources.luts)
+    print("  simdlen=4 LUTs:", unrolled.bitstream.resources.luts)
     print()
     print("--- generated host code (first 40 lines) ---")
     print("\n".join(program.host_cpp.splitlines()[:40]))

@@ -12,7 +12,7 @@ Run:  python examples/reduction_offload.py
 
 import numpy as np
 
-from repro.pipeline import compile_fortran
+from repro import KernelOverrides, Session
 
 SOURCE = """
 subroutine sdot(x, y, s, n)
@@ -37,8 +37,9 @@ def main() -> None:
     x = rng.standard_normal(n).astype(np.float32)
     y = rng.standard_normal(n).astype(np.float32)
 
+    session = Session(SOURCE)  # frontend/host compiled once for the sweep
     for ncopies in (1, 8):
-        program = compile_fortran(SOURCE, default_reduction_copies=ncopies)
+        program = session.program(KernelOverrides(reduction_copies=ncopies))
         s = np.zeros((), dtype=np.float32)
         result = program.executor().run(
             "sdot", x, y, s, np.array(n, np.int32)

@@ -7,22 +7,54 @@ and transformation passes, the HLS dialect of Stencil-HMLS, the AMD HLS
 backend bridge, a simulated Vitis toolchain and U280 board, and the
 OpenCL-style host runtime.
 
-Quickstart::
+The public API is the staged session (each stage computed once, cached
+by its options, later stages re-runnable with different overrides)::
 
-    from repro import compile_fortran
+    from repro import KernelOverrides, Session
 
-    program = compile_fortran(FORTRAN_SOURCE)
+    session = Session(FORTRAN_SOURCE)
+    program = session.program()            # full Figure-2 flow
     result = program.run()                 # simulated U280 execution
     print(program.bitstream.report())      # Vitis-style utilisation
+
+    wide = session.program(KernelOverrides(simdlen=8))  # device build only
+
+:func:`compile_fortran` remains as the one-shot convenience over a fresh
+session.  Pass pipelines are declarative
+(``PassManager.parse("lower-omp-to-hls{reduction_copies=4},cse")``) and
+observable through :class:`Instrumentation` (stage snapshots, per-pass
+timing, artifact-build counters).
 """
 
-from repro.pipeline import CompiledProgram, PipelineStage, compile_fortran
+from repro.ir.pass_manager import Instrumentation, PassManager, PipelineStage
+from repro.pipeline import CompiledProgram, compile_fortran, compile_workload
+from repro.session import (
+    DeviceBuild,
+    FrontendArtifact,
+    HostDeviceArtifact,
+    KernelOverrides,
+    Session,
+    TargetConfig,
+    device_pipeline,
+    host_device_pipeline,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CompiledProgram",
+    "DeviceBuild",
+    "FrontendArtifact",
+    "HostDeviceArtifact",
+    "Instrumentation",
+    "KernelOverrides",
+    "PassManager",
     "PipelineStage",
+    "Session",
+    "TargetConfig",
     "compile_fortran",
+    "compile_workload",
+    "device_pipeline",
+    "host_device_pipeline",
     "__version__",
 ]

@@ -3,10 +3,12 @@
 The paper (§4) notes that "design space exploration could be added in
 the future to automatically find the best combination of directives and
 their parameters".  This module implements that extension on top of the
-simulated toolchain: it sweeps candidate ``simdlen`` factors (and
-reduction copy counts) for an offloaded kernel, synthesizes each
-configuration, evaluates the modeled runtime on a user-supplied workload,
-and reports the Pareto-best choice under a resource budget.
+staged :class:`~repro.session.Session` API: one session per source
+compiles the frontend and the host side exactly once, and the sweep
+re-runs only the device build with each
+:class:`~repro.session.KernelOverrides` point (``simdlen`` x reduction
+copies), evaluates the modeled runtime on a user-supplied workload, and
+reports the Pareto-best choice under a resource budget.
 
 .. code-block:: python
 
@@ -14,22 +16,34 @@ and reports the Pareto-best choice under a resource budget.
 
     result = explore_simdlen(SAXPY_SOURCE, run_workload, factors=(1, 2, 4, 8, 10))
     print(result.best.simdlen, result.best.device_time_s)
+    print(result.session.counters["frontend_compiles"])   # == 1
 """
 
 from __future__ import annotations
 
-import re
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.fpga.board import U280Board
-from repro.pipeline import CompiledProgram, compile_fortran
+from repro.ir.pass_manager import Instrumentation
 from repro.runtime.executor import ExecutionResult
+from repro.session import (
+    CompiledProgram,
+    KernelOverrides,
+    Session,
+    TargetConfig,
+)
 
 
 @dataclass
 class DsePoint:
-    """One evaluated configuration."""
+    """One evaluated configuration.
+
+    ``program`` is only retained when the sweep runs with
+    ``keep_programs=True`` — a full :class:`CompiledProgram` (bitstream +
+    modules) per point makes gallery-wide sweeps hold every artifact
+    alive, so the default keeps only the modeled numbers.
+    """
 
     simdlen: int
     reduction_copies: int
@@ -37,7 +51,7 @@ class DsePoint:
     lut_pct: float
     dsp_pct: float
     achieved_iis: tuple[int, ...]
-    program: CompiledProgram
+    program: CompiledProgram | None = None
 
     @property
     def device_time_ms(self) -> float:
@@ -50,6 +64,9 @@ class DseResult:
 
     points: list[DsePoint] = field(default_factory=list)
     best: DsePoint | None = None
+    #: the session the sweep ran on — exposes the shared artifacts and
+    #: the instrumentation counters (``frontend_compiles`` stays at 1)
+    session: Session | None = None
 
     def table(self) -> str:
         from repro.reporting import format_table
@@ -72,28 +89,6 @@ class DseResult:
         )
 
 
-_SIMDLEN_RE = re.compile(r"simdlen\(\d+\)")
-
-
-def _with_simdlen(source: str, factor: int) -> str:
-    """Rewrite the directive's simdlen (or drop simd entirely for 1)."""
-    if _SIMDLEN_RE.search(source):
-        if factor <= 1:
-            return (
-                source.replace("parallel do simd", "parallel do")
-                .replace(" simdlen(10)", "")
-                .replace(" simdlen(4)", "")
-            )
-        return _SIMDLEN_RE.sub(f"simdlen({factor})", source)
-    if factor <= 1:
-        return source
-    return source.replace(
-        "parallel do", f"parallel do simd simdlen({factor})", 1
-    ).replace(
-        "end parallel do simd simdlen", "end parallel do simd", 1
-    )
-
-
 def explore(
     source: str,
     evaluate: Callable[[CompiledProgram], ExecutionResult],
@@ -102,22 +97,34 @@ def explore(
     reduction_copies: Sequence[int] = (8,),
     max_lut_pct: float = 70.0,
     board: U280Board | None = None,
+    keep_programs: bool = False,
+    session: Session | None = None,
 ) -> DseResult:
     """Sweep directive parameters and pick the fastest feasible point.
 
     ``evaluate`` runs a representative workload on a compiled program and
     returns its :class:`ExecutionResult`; the sweep minimizes
-    ``device_time_s`` subject to the LUT budget.
+    ``device_time_s`` subject to the LUT budget.  All points share one
+    :class:`Session`: the frontend and host build run once, each point
+    costs one device build.
     """
-    result = DseResult()
+    if session is not None and session.source != source:
+        raise ValueError(
+            "explore(session=...) got a session built over different "
+            "source text than the `source` argument"
+        )
+    session = session or Session(
+        source,
+        target=TargetConfig(board=board),
+        instrumentation=Instrumentation(),
+    )
+    result = DseResult(session=session)
     for copies in reduction_copies:
         for factor in simdlen_factors:
-            variant = _with_simdlen(source, factor)
-            program = compile_fortran(
-                variant,
-                board=board,
-                default_reduction_copies=copies,
+            overrides = KernelOverrides(
+                simdlen=factor, reduction_copies=copies
             )
+            program = session.program(overrides)
             run = evaluate(program)
             utilization = program.bitstream.utilization()
             iis = tuple(
@@ -133,9 +140,14 @@ def explore(
                     lut_pct=utilization.lut,
                     dsp_pct=utilization.dsp,
                     achieved_iis=iis,
-                    program=program,
+                    program=program if keep_programs else None,
                 )
             )
+            if not keep_programs:
+                # evict the heavy device build (bitstream + lowered
+                # module) now that its numbers are extracted, so gallery
+                # sweeps hold at most one build at a time
+                session.release_build(overrides)
     feasible = [p for p in result.points if p.lut_pct <= max_lut_pct]
     if feasible:
         result.best = min(feasible, key=lambda p: p.device_time_s)
@@ -164,7 +176,8 @@ def explore_workload(
     """Sweep directive parameters for a gallery workload (by name or
     :class:`~repro.workloads.base.GalleryWorkload`), evaluating each
     configuration on one representative instance (``smoke_size`` unless
-    ``n`` is given)."""
+    ``n`` is given).  The frontend compiles exactly once per workload per
+    sweep (``result.session.counters["frontend_compiles"] == 1``)."""
     from repro.workloads import get_workload
 
     if isinstance(workload, str):
@@ -188,6 +201,8 @@ def explore_gallery(
 
     Returns ``{workload name: DseResult}`` — the BENCH trajectory's
     "does DSE still find a feasible point for every workload" probe.
+    Memory stays flat across the gallery: points drop their programs
+    unless ``keep_programs=True`` is forwarded.
     """
     from repro.workloads import all_workloads, get_workload
 

@@ -1,6 +1,11 @@
 """Frontend driver: Fortran source -> FIR module -> core-dialect module.
 
 This is the "Flang + [3]" half of the paper's Figure 1/Figure 2 flow.
+Both entry points accept an optional
+:class:`~repro.ir.pass_manager.Instrumentation`: the frontend counts its
+compiles (``frontend_compiles`` — the artifact-reuse evidence the DSE
+sweep asserts on) and records the ``fir+omp``/``core+omp`` stage
+snapshots when IR capture is enabled.
 """
 
 from __future__ import annotations
@@ -12,7 +17,7 @@ from repro.frontend.fir_to_core import FirToCorePass
 from repro.frontend.lowering import lower_program
 from repro.frontend.parser import parse_source
 from repro.frontend.sema import ProgramInfo, analyze
-from repro.ir.pass_manager import PassManager, PassTrace
+from repro.ir.pass_manager import Instrumentation, PassManager
 from repro.ir.verifier import verify
 
 
@@ -26,31 +31,32 @@ class FrontendResult:
 
 
 def compile_to_fir(
-    source: str, *, capture_stages: bool = False
+    source: str, *, instrumentation: Instrumentation | None = None
 ) -> FrontendResult:
     """Parse + analyze + lower Fortran source to the FIR+omp module."""
-    from repro.ir.printer import print_op
-
     tree = parse_source(source)
     info = analyze(tree)
     module = lower_program(info)
     verify(module)
-    stages = []
-    if capture_stages:
-        stages.append(("fir+omp", print_op(module)))
-    return FrontendResult(module=module, program_info=info, stages=stages)
+    result = FrontendResult(module=module, program_info=info)
+    if instrumentation is not None:
+        snap = instrumentation.snapshot("fir+omp", module)
+        if snap is not None:
+            result.stages.append((snap.name, snap.ir))
+    return result
 
 
 def compile_to_core(
-    source: str, *, capture_stages: bool = False
+    source: str, *, instrumentation: Instrumentation | None = None
 ) -> FrontendResult:
     """Full frontend path: Fortran -> FIR -> core dialects (+omp)."""
-    from repro.ir.printer import print_op
-
-    result = compile_to_fir(source, capture_stages=capture_stages)
-    pm = PassManager(verify_each=True)
+    result = compile_to_fir(source, instrumentation=instrumentation)
+    pm = PassManager(verify_each=True, instrumentation=instrumentation)
     pm.add(FirToCorePass())
     pm.run(result.module)
-    if capture_stages:
-        result.stages.append(("core+omp", print_op(result.module)))
+    if instrumentation is not None:
+        instrumentation.count("frontend_compiles")
+        snap = instrumentation.snapshot("core+omp", result.module)
+        if snap is not None:
+            result.stages.append((snap.name, snap.ir))
     return result

@@ -38,10 +38,15 @@ from repro.ir.core import (
 from repro.ir.interpreter import Interpreter, InterpreterError, Returned, Yielded, impl
 from repro.ir.parser import ParseError, Parser, parse_module
 from repro.ir.pass_manager import (
+    Instrumentation,
     ModulePass,
     PassManager,
+    PassOption,
     PassTrace,
+    PipelineParseError,
+    PipelineStage,
     get_pass,
+    get_pass_class,
     parse_pipeline,
     register_pass,
     registered_passes,
@@ -78,8 +83,10 @@ __all__ = [
     "default_context",
     "Interpreter", "InterpreterError", "Returned", "Yielded", "impl",
     "ParseError", "Parser", "parse_module",
-    "ModulePass", "PassManager", "PassTrace", "get_pass", "parse_pipeline",
-    "register_pass", "registered_passes",
+    "Instrumentation", "ModulePass", "PassManager", "PassOption",
+    "PassTrace", "PipelineParseError", "PipelineStage", "get_pass",
+    "get_pass_class", "parse_pipeline", "register_pass",
+    "registered_passes",
     "Printer", "print_op",
     "GreedyPatternRewriter", "PatternRewriter", "RewritePattern",
     "DYNAMIC", "FloatType", "FunctionType", "IndexType", "IntegerType",

@@ -1,14 +1,27 @@
-"""End-to-end compiler driver: Fortran+OpenMP source -> host C++ + FPGA
+"""One-shot compiler driver: Fortran+OpenMP source -> host C++ + FPGA
 bitstream (Figure 2 of the paper).
 
-.. code-block:: python
+:func:`compile_fortran` is a thin shim over the staged
+:class:`repro.session.Session` API — it builds a fresh session, runs
+every stage once and returns the assembled
+:class:`~repro.session.CompiledProgram`.  Use a :class:`Session` directly
+when you want to re-run later stages with different
+:class:`~repro.session.KernelOverrides` (DSE sweeps, pipeline
+introspection) without re-parsing the source or re-building the host
+side::
 
-    from repro.pipeline import compile_fortran
+    from repro.session import KernelOverrides, Session
 
-    program = compile_fortran(SOURCE)
-    result = program.run("my_program")      # simulated U280 execution
-    print(program.host_cpp)                 # generated OpenCL host code
-    print(program.bitstream.report())       # Vitis-style utilisation
+    session = Session(SOURCE)
+    base = session.program()
+    wide = session.program(KernelOverrides(simdlen=8))   # device build only
+
+The legacy keyword arguments (``memory_space_policy``,
+``default_reduction_copies``, ``shared_bundle``, ``capture_stages``)
+still work bit-identically but emit a :class:`DeprecationWarning`; their
+replacements are :class:`~repro.session.TargetConfig`,
+:class:`~repro.session.KernelOverrides` and
+:class:`~repro.ir.pass_manager.Instrumentation`.
 
 Pipeline stages (each named as in the paper's Figure 2):
 
@@ -23,76 +36,24 @@ Pipeline stages (each named as in the paper's Figure 2):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
 
-from repro.backend.host_codegen import generate_host_code
-from repro.backend.vitis import Bitstream, VitisCompiler
-from repro.dialects import builtin
 from repro.fpga.board import U280Board
-from repro.frontend.driver import compile_to_core
-from repro.frontend.sema import ProgramInfo
-from repro.ir.pass_manager import PassManager
-from repro.ir.printer import print_op
-from repro.runtime.executor import ExecutionResult, FpgaExecutor
-from repro.transforms import (
-    CanonicalizePass,
-    CsePass,
-    ExtractDeviceModulePass,
-    LowerOmpMappedDataPass,
-    LowerOmpTargetRegionPass,
-    LowerOmpToHlsPass,
-    MemorySpacePolicy,
-    split_host_device,
+from repro.ir.pass_manager import Instrumentation, PipelineStage
+from repro.session import (
+    CompiledProgram,
+    KernelOverrides,
+    Session,
+    TargetConfig,
 )
+from repro.transforms import MemorySpacePolicy
 
-
-@dataclass
-class PipelineStage:
-    """Named IR snapshot for pipeline introspection (Figure 2 bench)."""
-
-    name: str
-    ir: str
-
-
-@dataclass
-class CompiledProgram:
-    """Everything the flow produces for one Fortran source file."""
-
-    host_module: builtin.ModuleOp
-    device_module: builtin.ModuleOp
-    bitstream: Bitstream
-    host_cpp: str
-    program_info: ProgramInfo
-    board: U280Board
-    stages: list[PipelineStage] = field(default_factory=list)
-
-    def executor(
-        self,
-        flow_label: str = "fortran-openmp",
-        *,
-        compiled: bool = True,
-        vectorize: bool = True,
-    ) -> FpgaExecutor:
-        """Fresh executor (fresh device state) for this program.
-
-        ``compiled``/``vectorize`` select the execution tiers (scalar
-        interpreter, block-JIT, NumPy loop evaluation); every combination
-        must produce bit-identical results and accounting.
-        """
-        return FpgaExecutor(
-            self.host_module, self.bitstream, self.board, flow_label,
-            compiled=compiled, vectorize=vectorize,
-        )
-
-    def run(self, func_name: str | None = None, *args) -> ExecutionResult:
-        """Compile-and-go convenience: run the main program unit."""
-        if func_name is None:
-            func_name = self.program_info.main().unit.name
-        return self.executor().run(func_name, *args)
-
-    @property
-    def stage_names(self) -> list[str]:
-        return [s.name for s in self.stages]
+__all__ = [
+    "CompiledProgram",
+    "PipelineStage",
+    "compile_fortran",
+    "compile_workload",
+]
 
 
 def compile_fortran(
@@ -100,69 +61,44 @@ def compile_fortran(
     *,
     board: U280Board | None = None,
     memory_space_policy: MemorySpacePolicy | None = None,
-    default_reduction_copies: int = 8,
-    shared_bundle: bool = False,
-    capture_stages: bool = False,
+    default_reduction_copies: int | None = None,
+    shared_bundle: bool | None = None,
+    capture_stages: bool | None = None,
 ) -> CompiledProgram:
     """Run the full Figure-2 pipeline over Fortran+OpenMP source."""
-    board = board or U280Board()
-    stages: list[PipelineStage] = []
-
-    def snap(name: str, module) -> None:
-        if capture_stages:
-            stages.append(PipelineStage(name, print_op(module)))
-
-    # Stage 1: Flang + [3] lowering to core dialects.
-    frontend = compile_to_core(source, capture_stages=capture_stages)
-    module = frontend.module
-    if capture_stages:
-        for stage_name, ir in frontend.stages:
-            stages.append(PipelineStage(stage_name, ir))
-
-    # Stages 2-4: the paper's device-dialect transformations.
-    pm = PassManager(verify_each=True)
-    pm.add(
-        LowerOmpMappedDataPass(memory_space_policy),
-        LowerOmpTargetRegionPass(),
-        ExtractDeviceModulePass(),
-    )
-    pm.run(module)
-    snap("device-dialect", module)
-
-    host_module, device_module = split_host_device(module)
-
-    # Stage 5 (device): lower omp loops to HLS + cleanup.
-    device_pm = PassManager(verify_each=True)
-    device_pm.add(
-        LowerOmpToHlsPass(
-            default_reduction_copies=default_reduction_copies,
-            shared_bundle=shared_bundle,
-        ),
-        CanonicalizePass(),
-        CsePass(),
-    )
-    device_pm.run(device_module)
-    snap("device-hls", device_module)
-
-    # Stage 5 (host): C++/OpenCL printing.
-    host_cpp = generate_host_code(host_module)
-
-    # Stage 6: Vitis build (HLS->func, LLVM-IR, AMD mapping, synthesis).
-    bitstream = VitisCompiler(board).compile(device_module)
-    if capture_stages:
-        stages.append(PipelineStage("llvm-ir", bitstream.llvm_ir))
-        stages.append(
-            PipelineStage("amd-hls-llvm7", bitstream.amd_artifact.llvm_ir)
+    legacy = [
+        name
+        for name, value in (
+            ("memory_space_policy", memory_space_policy),
+            ("default_reduction_copies", default_reduction_copies),
+            ("shared_bundle", shared_bundle),
+            ("capture_stages", capture_stages),
         )
-
-    return CompiledProgram(
-        host_module=host_module,
-        device_module=device_module,
-        bitstream=bitstream,
-        host_cpp=host_cpp,
-        program_info=frontend.program_info,
-        board=board,
-        stages=stages,
+        if value is not None
+    ]
+    if legacy:
+        warnings.warn(
+            f"compile_fortran({', '.join(legacy)}=...) is deprecated; "
+            "build a repro.session.Session with TargetConfig / "
+            "KernelOverrides / Instrumentation instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    session = Session(
+        source,
+        target=TargetConfig(
+            board=board, memory_space_policy=memory_space_policy
+        ),
+        instrumentation=Instrumentation(capture_ir=bool(capture_stages)),
+    )
+    return session.program(
+        KernelOverrides(
+            reduction_copies=(
+                8 if default_reduction_copies is None
+                else default_reduction_copies
+            ),
+            shared_bundle=bool(shared_bundle),
+        )
     )
 
 

@@ -111,6 +111,44 @@ def relative_difference(ours: float, reference: float) -> float:
     return (reference / ours - 1.0) * 100.0
 
 
+def pass_timing_table(instrumentation) -> str:
+    """Per-pass wall-clock of an instrumented compilation, aggregated by
+    pass name (a :class:`~repro.ir.pass_manager.Instrumentation` consumer
+    — the Figure-2 benchmark prints this next to the stage trace)."""
+    totals: dict[str, tuple[int, float]] = {}
+    for trace in instrumentation.pass_traces:
+        runs, seconds = totals.get(trace.pass_name, (0, 0.0))
+        totals[trace.pass_name] = (runs + 1, seconds + trace.duration_s)
+    rows = [
+        (name, runs, f"{seconds * 1e3:.3f}")
+        for name, (runs, seconds) in sorted(
+            totals.items(), key=lambda kv: -kv[1][1]
+        )
+    ]
+    return format_table(
+        "Pass timings", ["pass", "runs", "total (ms)"], rows
+    )
+
+
+def stage_trace_table(instrumentation) -> str:
+    """The captured pipeline-stage snapshots as a summary table (stage
+    name + IR size), for reports that trace the Figure-2 flow."""
+    rows = [
+        (snap.name, len(snap.ir.splitlines()), len(snap.ir))
+        for snap in instrumentation.snapshots
+    ]
+    return format_table(
+        "Pipeline stages", ["stage", "IR lines", "IR bytes"], rows
+    )
+
+
+def counter_table(instrumentation) -> str:
+    """Artifact-build counters (frontend/host/device) — the DSE
+    artifact-reuse evidence in human-readable form."""
+    rows = sorted(instrumentation.counters.items())
+    return format_table("Build counters", ["event", "count"], rows)
+
+
 def gallery_table() -> str:
     """The workload gallery as a paper-style table (name, loop shape,
     entry point, size sweep) — regenerated from the registry so reports

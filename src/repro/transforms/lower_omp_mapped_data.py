@@ -36,7 +36,7 @@ from repro.dialects import arith, device, memref, omp
 from repro.dialects.omp import MapInfoOp
 from repro.ir.builder import Builder, InsertPoint
 from repro.ir.core import IRError, Operation, OpResult, SSAValue
-from repro.ir.pass_manager import ModulePass, register_pass
+from repro.ir.pass_manager import ModulePass, PassOption, register_pass
 from repro.ir.types import DYNAMIC, MemRefType
 
 
@@ -216,8 +216,26 @@ class LowerOmpMappedDataPass(ModulePass):
 
     name = "lower-omp-mapped-data"
 
-    def __init__(self, policy: MemorySpacePolicy | None = None):
-        self.policy = policy or MemorySpacePolicy()
+    options = (
+        PassOption(
+            "policy", str, "single",
+            "memory-space assignment: 'single' (HBM bank 1) or "
+            "'round_robin' over the banks",
+        ),
+        PassOption("num_banks", int, 16, "HBM bank count for round_robin"),
+    )
+
+    def __init__(
+        self,
+        policy: MemorySpacePolicy | str | None = None,
+        num_banks: int = 16,
+    ):
+        if isinstance(policy, str):
+            policy = MemorySpacePolicy(mode=policy, num_banks=num_banks)
+        self.policy = policy or MemorySpacePolicy(num_banks=num_banks)
+
+    def option_values(self) -> dict[str, object]:
+        return {"policy": self.policy.mode, "num_banks": self.policy.num_banks}
 
     def apply(self, module: Operation) -> None:
         # Iterate until no data ops remain (target_data regions may nest).

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from repro.dialects import arith, builtin, func, hls, memref, omp, scf
 from repro.ir.builder import Builder
 from repro.ir.core import Block, IRError, Operation, Region, SSAValue
-from repro.ir.pass_manager import ModulePass, register_pass
+from repro.ir.pass_manager import ModulePass, PassOption, register_pass
 from repro.ir.types import FloatType, IntegerType, MemRefType, index, i32
 
 
@@ -69,17 +69,46 @@ class LowerOmpToHlsPass(ModulePass):
 
     name = "lower-omp-to-hls"
 
+    options = (
+        PassOption(
+            "reduction_copies", int, 8,
+            "round-robin partial accumulators when no simdlen applies",
+        ),
+        PassOption("target_ii", int, 1, "pipeline initiation-interval goal"),
+        PassOption(
+            "shared_bundle", bool, False,
+            "bind every array to one shared m_axi bundle (ablation)",
+        ),
+        PassOption(
+            "simdlen", int, None,
+            "override the directive's simdlen unroll factor (1 disables "
+            "unrolling; unset respects the source directive)",
+        ),
+    )
+
     def __init__(
         self,
-        default_reduction_copies: int = 8,
+        reduction_copies: int = 8,
         target_ii: int = 1,
         shared_bundle: bool = False,
+        simdlen: int | None = None,
+        *,
+        default_reduction_copies: int | None = None,
     ):
-        self.default_reduction_copies = default_reduction_copies
+        if default_reduction_copies is not None:  # pre-Session spelling
+            reduction_copies = default_reduction_copies
+        self.reduction_copies = reduction_copies
         self.target_ii = target_ii
         #: ablation knob: True binds every array to one shared m_axi
         #: bundle instead of the paper's one-bundle-per-argument choice.
         self.shared_bundle = shared_bundle
+        #: when set, wins over (or supplies) the ``omp.simd`` factor —
+        #: the DSE sweep knob that replaced source-text rewriting.
+        self.simdlen = simdlen
+
+    @property
+    def default_reduction_copies(self) -> int:
+        return self.reduction_copies
 
     def apply(self, module: Operation) -> None:
         for fn in list(module.walk_type(func.FuncOp)):
@@ -141,9 +170,10 @@ class LowerOmpToHlsPass(ModulePass):
         lb, step = nest.lbs[-1], nest.steps[-1]
         ub_ex = ub_exs[-1]
 
-        factor = simd_op.simdlen if isinstance(simd_op, omp.SimdOp) else 1
+        source_factor = simd_op.simdlen if isinstance(simd_op, omp.SimdOp) else 1
+        factor = self.simdlen if self.simdlen is not None else source_factor
         reductions = self._setup_reductions(
-            wsloop, builder, factor if factor > 1 else self.default_reduction_copies
+            wsloop, builder, factor if factor > 1 else self.reduction_copies
         )
 
         # collapse(n) nests: materialize the outer n-1 dimensions as plain

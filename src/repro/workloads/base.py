@@ -27,6 +27,7 @@ import numpy as np
 if TYPE_CHECKING:
     from repro.pipeline import CompiledProgram
     from repro.runtime.executor import ExecutionResult
+    from repro.session import Session
 
 
 @dataclass
@@ -76,6 +77,13 @@ class GalleryWorkload:
         from repro.pipeline import compile_fortran
 
         return compile_fortran(self.source, **kwargs)
+
+    def session(self, **kwargs) -> "Session":
+        """A staged :class:`~repro.session.Session` over this workload's
+        source — the entry point for DSE sweeps with artifact reuse."""
+        from repro.session import Session
+
+        return Session(self.source, **kwargs)
 
     def run(
         self,

@@ -19,8 +19,9 @@ from pathlib import Path
 
 import pytest
 
+from repro.ir.pass_manager import Instrumentation
 from repro.ir.printer import print_op
-from repro.pipeline import compile_fortran
+from repro.session import Session
 from repro.transforms.lower_hls_to_func import LowerHlsToFuncPass
 from repro.workloads import get_workload
 
@@ -41,7 +42,11 @@ _CACHE: dict[str, dict[str, str]] = {}
 def _stage_texts(name: str) -> dict[str, str]:
     if name not in _CACHE:
         workload = get_workload(name)
-        program = compile_fortran(workload.source, capture_stages=True)
+        session = Session(
+            workload.source,
+            instrumentation=Instrumentation(capture_ir=True),
+        )
+        program = session.program()
         texts = {s.name: s.ir for s in program.stages}
         clone = program.device_module.clone()
         LowerHlsToFuncPass().apply(clone)
@@ -74,6 +79,14 @@ def test_snapshots_are_deterministic():
     """Two independent compilations print byte-identical IR (value
     numbering and pass order are stable)."""
     workload = get_workload("saxpy")
-    first = compile_fortran(workload.source, capture_stages=True)
-    second = compile_fortran(workload.source, capture_stages=True)
+
+    def compile_once():
+        session = Session(
+            workload.source,
+            instrumentation=Instrumentation(capture_ir=True),
+        )
+        return session.program()
+
+    first = compile_once()
+    second = compile_once()
     assert [s.ir for s in first.stages] == [s.ir for s in second.stages]

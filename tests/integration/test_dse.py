@@ -1,15 +1,16 @@
-"""Design-space exploration extension tests (paper §4 future work)."""
+"""Design-space exploration extension tests (paper §4 future work).
+
+The sweep runs on the staged :class:`~repro.session.Session` API: one
+frontend + host build per workload per sweep, one device build per
+point, ``simdlen`` honored inside ``lower-omp-to-hls`` instead of
+rewriting the Fortran source text.
+"""
 
 import numpy as np
 import pytest
 
-from repro.dse import (
-    DseResult,
-    _with_simdlen,
-    explore,
-    explore_simdlen,
-    explore_workload,
-)
+from repro.dse import explore, explore_simdlen, explore_workload
+from repro.session import KernelOverrides, Session
 from repro.workloads import SAXPY_SOURCE
 
 pytestmark = pytest.mark.slow  # DSE sweeps synthesize several variants
@@ -24,16 +25,26 @@ class TestGallerySweep:
         assert result.best is not None
         assert result.best.lut_pct > 0
 
-    def test_collapse_nest_survives_simd_rewrite(self):
-        """The simd-unrolled variant of a collapse(2) workload still
-        produces bit-exact output (unroll happens on the innermost dim)."""
-        from repro.pipeline import compile_fortran
+    def test_frontend_compiles_once_per_sweep(self):
+        """The artifact-reuse contract: a 3-point sweep parses and
+        host-builds exactly once; only device builds repeat."""
+        result = explore_workload(
+            "saxpy", simdlen_factors=(1, 2, 4), n=2000
+        )
+        counters = result.session.counters
+        assert counters["frontend_compiles"] == 1
+        assert counters["host_device_builds"] == 1
+        assert counters["device_builds"] == 3
+
+    def test_collapse_nest_survives_simd_override(self):
+        """A simdlen override on a collapse(2) workload still produces
+        bit-exact output (unroll happens on the innermost dim)."""
         from repro.workloads import get_workload
 
         workload = get_workload("jacobi2d")
-        variant = _with_simdlen(workload.source, 4)
-        assert "simdlen(4)" in variant and "collapse(2)" in variant
-        program = compile_fortran(variant)
+        session = Session(workload.source)
+        program = session.program(KernelOverrides(simdlen=4))
+        assert program is not session.program()  # distinct device build
         instance = workload.instance(workload.smoke_size)
         program.executor().run(workload.entry, *instance.args)
         workload.check(instance)
@@ -53,20 +64,27 @@ def _saxpy_evaluator(n=5000):
     return evaluate
 
 
-class TestSourceRewriting:
-    def test_replaces_existing_simdlen(self):
-        rewritten = _with_simdlen(SAXPY_SOURCE, 8)
-        assert "simdlen(8)" in rewritten
-        assert "simdlen(10)" not in rewritten
+class TestSimdlenOverride:
+    def test_override_wins_over_source_directive(self):
+        """SAXPY's source says simdlen(10); the override must replace it
+        in the lowered device module's unroll factor."""
+        session = Session(SAXPY_SOURCE)
+        program = session.program(KernelOverrides(simdlen=8))
+        kernel = next(iter(program.bitstream.kernels.values()))
+        # main loop unrolled by the override; the remainder loop stays 1
+        assert max(s.unroll_factor for s in kernel.loops.values()) == 8
 
-    def test_factor_one_drops_simd(self):
-        rewritten = _with_simdlen(SAXPY_SOURCE, 1)
-        assert "simd" not in rewritten
+    def test_override_one_disables_unrolling(self):
+        session = Session(SAXPY_SOURCE)
+        program = session.program(KernelOverrides(simdlen=1))
+        kernel = next(iter(program.bitstream.kernels.values()))
+        assert {s.unroll_factor for s in kernel.loops.values()} == {1}
 
-    def test_adds_simd_when_absent(self):
-        bare = SAXPY_SOURCE.replace(" simd simdlen(10)", "")
-        rewritten = _with_simdlen(bare, 4)
-        assert "simd simdlen(4)" in rewritten
+    def test_unset_respects_source(self):
+        session = Session(SAXPY_SOURCE)
+        program = session.program()  # simdlen=None
+        kernel = next(iter(program.bitstream.kernels.values()))
+        assert max(s.unroll_factor for s in kernel.loops.values()) == 10
 
 
 class TestExploration:
@@ -94,6 +112,36 @@ class TestExploration:
         assert result.best.device_time_s == min(
             p.device_time_s for p in result.points
         )
+
+    def test_programs_dropped_by_default(self):
+        """DsePoint.program is opt-in so gallery sweeps stay flat."""
+        result = explore_simdlen(
+            SAXPY_SOURCE, _saxpy_evaluator(), factors=(1, 2)
+        )
+        assert all(p.program is None for p in result.points)
+        # the heavy device builds were evicted from the session cache
+        # too, not just hidden behind a None attribute
+        assert result.session._builds == {}
+        assert result.session.counters["device_builds"] == 2
+
+    def test_session_source_mismatch_rejected(self):
+        session = Session(SAXPY_SOURCE)
+        with pytest.raises(ValueError, match="different"):
+            explore(
+                "subroutine other\nend subroutine other",
+                _saxpy_evaluator(),
+                session=session,
+            )
+
+    def test_keep_programs_opt_in(self):
+        result = explore_simdlen(
+            SAXPY_SOURCE, _saxpy_evaluator(), factors=(1, 2),
+            keep_programs=True,
+        )
+        assert all(p.program is not None for p in result.points)
+        # all points share the session's host-side artifacts
+        hosts = {id(p.program.host_module) for p in result.points}
+        assert len(hosts) == 1
 
     def test_table_render(self):
         result = explore_simdlen(

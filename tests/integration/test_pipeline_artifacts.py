@@ -3,14 +3,18 @@
 import numpy as np
 import pytest
 
+from repro.ir.pass_manager import Instrumentation
 from repro.pipeline import compile_fortran
+from repro.session import Session
 from repro.workloads import SGESL_SOURCE
 from tests.conftest import SAXPY_MINI
 
 
 class TestStageCapture:
     def test_stage_order_and_content(self):
-        program = compile_fortran(SAXPY_MINI, capture_stages=True)
+        program = Session(
+            SAXPY_MINI, instrumentation=Instrumentation(capture_ir=True)
+        ).program()
         assert program.stage_names == [
             "fir+omp", "core+omp", "device-dialect", "device-hls",
             "llvm-ir", "amd-hls-llvm7",

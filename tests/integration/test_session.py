@@ -1,0 +1,186 @@
+"""Staged-session API: stage caching, artifact reuse, and bit-identical
+back-compat of the :func:`compile_fortran` shim."""
+
+import warnings
+
+import pytest
+
+from repro.ir import print_op
+from repro.ir.pass_manager import Instrumentation
+from repro.pipeline import compile_fortran
+from repro.session import KernelOverrides, Session, TargetConfig
+from repro.transforms import MemorySpacePolicy
+from repro.workloads import SAXPY_SOURCE, get_workload
+from tests.conftest import SAXPY_MINI
+
+
+class TestStageCaching:
+    def test_frontend_computed_once(self):
+        session = Session(SAXPY_MINI)
+        assert session.frontend() is session.frontend()
+        assert session.counters["frontend_compiles"] == 1
+
+    def test_host_device_cached_per_policy(self):
+        session = Session(SAXPY_MINI)
+        single = session.host_device()
+        assert session.host_device() is single
+        robin = session.host_device("round_robin")
+        assert robin is not single
+        assert session.counters["host_device_builds"] == 2
+
+    def test_device_build_cached_per_overrides(self):
+        session = Session(SAXPY_MINI)
+        base = session.device_build()
+        assert session.device_build(KernelOverrides()) is base
+        wide = session.device_build(KernelOverrides(simdlen=4))
+        assert wide is not base
+        assert session.counters["frontend_compiles"] == 1
+        assert session.counters["device_builds"] == 2
+
+    def test_programs_share_host_artifacts(self):
+        session = Session(SAXPY_MINI)
+        a = session.program()
+        b = session.program(KernelOverrides(simdlen=2))
+        assert a.host_module is b.host_module
+        assert a.host_cpp is b.host_cpp
+        assert a.bitstream is not b.bitstream
+
+    def test_frontend_module_stays_pristine(self):
+        """Stages clone before mutating: the frontend module keeps its
+        omp form, and the pre-HLS device module keeps omp loops."""
+        session = Session(SAXPY_MINI)
+        session.program()
+        names = {op.name for op in session.frontend().module.walk()}
+        assert "omp.target" in names
+        device_names = {
+            op.name for op in session.host_device().device_module.walk()
+        }
+        assert "omp.parallel" in device_names  # not yet HLS-lowered
+        assert "hls.pipeline" not in device_names
+
+    def test_rebuild_after_pristine_reuse_is_deterministic(self):
+        """Two sessions over the same source produce identical builds
+        even after the first session ran multiple device builds."""
+        first = Session(SAXPY_MINI)
+        first.program(KernelOverrides(simdlen=2))
+        first_base = first.program()
+        second_base = Session(SAXPY_MINI).program()
+        assert print_op(first_base.device_module) == print_op(
+            second_base.device_module
+        )
+
+
+class TestInstrumentedSession:
+    def test_stage_snapshots(self):
+        session = Session(
+            SAXPY_MINI, instrumentation=Instrumentation(capture_ir=True)
+        )
+        program = session.program()
+        assert program.stage_names == [
+            "fir+omp", "core+omp", "device-dialect", "device-hls",
+            "llvm-ir", "amd-hls-llvm7",
+        ]
+        assert "hls.pipeline" in session.instrumentation.stage("device-hls")
+
+    def test_pass_timings_recorded(self):
+        session = Session(SAXPY_MINI)
+        session.program()
+        names = [t.pass_name for t in session.instrumentation.pass_traces]
+        assert "fir-to-core" in names
+        assert "lower-omp-to-hls" in names
+        assert all(t.duration_s >= 0 for t in session.instrumentation.pass_traces)
+
+    def test_no_snapshots_without_capture(self):
+        session = Session(SAXPY_MINI)
+        assert session.program().stages == []
+
+
+class TestBackCompatShim:
+    """compile_fortran(**old_kwargs) warns but is bit-identical to a
+    hand-built Session."""
+
+    def test_legacy_kwargs_warn(self):
+        with pytest.warns(DeprecationWarning, match="capture_stages"):
+            compile_fortran(SAXPY_MINI, capture_stages=True)
+        with pytest.warns(DeprecationWarning, match="default_reduction_copies"):
+            compile_fortran(SAXPY_MINI, default_reduction_copies=4)
+
+    def test_plain_compile_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            compile_fortran(SAXPY_MINI)
+
+    def test_bit_identical_to_hand_built_session(self):
+        with pytest.warns(DeprecationWarning):
+            old = compile_fortran(
+                SAXPY_SOURCE,
+                memory_space_policy=MemorySpacePolicy(mode="round_robin"),
+                default_reduction_copies=4,
+                shared_bundle=True,
+                capture_stages=True,
+            )
+        session = Session(
+            SAXPY_SOURCE,
+            target=TargetConfig(memory_space_policy="round_robin"),
+            instrumentation=Instrumentation(capture_ir=True),
+        )
+        new = session.program(
+            KernelOverrides(reduction_copies=4, shared_bundle=True)
+        )
+        assert [s.name for s in old.stages] == [s.name for s in new.stages]
+        assert [s.ir for s in old.stages] == [s.ir for s in new.stages]
+        assert old.host_cpp == new.host_cpp
+        assert print_op(old.device_module) == print_op(new.device_module)
+        assert print_op(old.host_module) == print_op(new.host_module)
+        assert old.bitstream.utilization().rounded() == \
+            new.bitstream.utilization().rounded()
+
+    def test_modelled_values_identical(self):
+        """Same simulated run numbers (device time, steps, outputs)
+        through the shim and the staged API."""
+        workload = get_workload("saxpy")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            old = compile_fortran(workload.source)
+        new = Session(workload.source).program()
+        results = []
+        for program in (old, new):
+            instance = workload.instance(2000)
+            run = program.executor().run(workload.entry, *instance.args)
+            workload.check(instance)
+            results.append(
+                (run.device_time_s, run.interpreter_steps, run.kernel_cycles)
+            )
+        assert results[0] == results[1]
+
+    def test_compile_workload_shim(self):
+        from repro.pipeline import compile_workload
+
+        program = compile_workload("saxpy")
+        assert any("saxpy" in name for name in program.bitstream.kernels)
+
+
+class TestTargetConfig:
+    def test_policy_applies_to_memory_spaces(self):
+        session = Session(
+            SAXPY_SOURCE,
+            target=TargetConfig(memory_space_policy="round_robin"),
+        )
+        program = session.program()
+        kernel = next(iter(program.bitstream.kernels.values()))
+        spaces = {
+            arg.type.memory_space for arg in kernel.func_op.body.args
+        }
+        assert len(spaces) > 1  # spread across HBM banks
+
+    def test_policy_object_accepted(self):
+        policy = MemorySpacePolicy(mode="round_robin", num_banks=4)
+        session = Session(
+            SAXPY_SOURCE, target=TargetConfig(memory_space_policy=policy)
+        )
+        program = session.program()
+        kernel = next(iter(program.bitstream.kernels.values()))
+        assert all(
+            arg.type.memory_space <= 4
+            for arg in kernel.func_op.body.args
+        )

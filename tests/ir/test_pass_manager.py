@@ -1,17 +1,18 @@
-"""Pass manager & registry tests."""
+"""Pass manager, registry and instrumentation tests."""
 
 import pytest
 
 from repro.dialects import arith, builtin, func
 from repro.ir import (
     Builder,
+    Instrumentation,
     IRError,
     ModulePass,
     PassManager,
+    PipelineParseError,
     get_pass,
     parse_pipeline,
     registered_passes,
-    verify,
 )
 from repro.ir.types import FunctionType
 
@@ -50,15 +51,6 @@ class TestPassManager:
         fn = module.body.first_op
         assert [op.name for op in fn.body.ops[:2]] == ["arith.constant"] * 2
 
-    def test_traces_recorded(self):
-        module = _module()
-        pm = PassManager(capture_ir=True)
-        pm.add(AddConstantPass())
-        pm.run(module)
-        assert len(pm.traces) == 1
-        assert pm.traces[0].pass_name == "test-add-constant"
-        assert "arith.constant" in pm.traces[0].ir_after
-
     def test_verify_between_passes(self):
         module = _module()
         pm = PassManager(verify_each=True)
@@ -76,6 +68,47 @@ class TestPassManager:
         pm = PassManager()
         pm.add(AddConstantPass())
         assert pm.pass_names == ["test-add-constant"]
+
+
+class TestInstrumentation:
+    def test_pass_traces_recorded(self):
+        module = _module()
+        instr = Instrumentation(capture_ir=True)
+        pm = PassManager(instrumentation=instr)
+        pm.add(AddConstantPass())
+        pm.run(module)
+        assert len(instr.pass_traces) == 1
+        trace = instr.pass_traces[0]
+        assert trace.pass_name == "test-add-constant"
+        assert trace.duration_s >= 0
+        assert "arith.constant" not in trace.ir_before
+        assert "arith.constant" in trace.ir_after
+
+    def test_no_ir_capture_by_default(self):
+        module = _module()
+        instr = Instrumentation()
+        pm = PassManager(instrumentation=instr)
+        pm.add(AddConstantPass())
+        pm.run(module)
+        assert instr.pass_traces[0].ir_before is None
+        assert instr.pass_traces[0].ir_after is None
+
+    def test_snapshots_and_counters(self):
+        module = _module()
+        instr = Instrumentation(capture_ir=True)
+        instr.snapshot("initial", module)
+        instr.count("builds")
+        instr.count("builds", 2)
+        assert instr.stage_names() == ["initial"]
+        assert "func.func" in instr.stage("initial")
+        assert instr.counters["builds"] == 3
+        with pytest.raises(KeyError):
+            instr.stage("no-such-stage")
+
+    def test_snapshot_noop_without_capture(self):
+        instr = Instrumentation()
+        assert instr.snapshot("x", _module()) is None
+        assert instr.snapshots == []
 
 
 class TestRegistry:
@@ -98,8 +131,13 @@ class TestRegistry:
         p = get_pass("canonicalize")
         assert p.name == "canonicalize"
 
+    def test_get_pass_with_options(self):
+        p = get_pass("lower-omp-to-hls", reduction_copies="4", simdlen=2)
+        assert p.reduction_copies == 4
+        assert p.simdlen == 2
+
     def test_get_unknown_raises(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(PipelineParseError, match="no-such-pass"):
             get_pass("no-such-pass")
 
     def test_parse_pipeline(self):

@@ -1,0 +1,197 @@
+"""Textual pass-pipeline specs: parse/print round-trips, typed-option
+validation errors, and golden specs for the default stage pipelines."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import ModulePass, PassManager, PassOption, PipelineParseError
+from repro.ir.pass_manager import register_pass
+from repro.session import KernelOverrides, device_pipeline, host_device_pipeline
+
+
+@register_pass
+class _SpecProbePass(ModulePass):
+    """A registered no-op pass exercising every option type."""
+
+    name = "test-spec-probe"
+    options = (
+        PassOption("factor", int, 1),
+        PassOption("fast", bool, False),
+        PassOption("mode", str, "plain"),
+        PassOption("scale", float, 1.0),
+    )
+
+    def __init__(
+        self,
+        factor: int = 1,
+        fast: bool = False,
+        mode: str = "plain",
+        scale: float = 1.0,
+    ):
+        self.factor = factor
+        self.fast = fast
+        self.mode = mode
+        self.scale = scale
+
+    def apply(self, module):
+        pass
+
+
+class TestGoldenSpecs:
+    """The stage pipelines' textual form is part of the public API."""
+
+    def test_default_device_pipeline(self):
+        assert device_pipeline().spec() == "lower-omp-to-hls,canonicalize,cse"
+
+    def test_device_pipeline_with_overrides(self):
+        pm = device_pipeline(
+            KernelOverrides(simdlen=2, reduction_copies=4, shared_bundle=True)
+        )
+        assert pm.spec() == (
+            "lower-omp-to-hls{reduction_copies=4,shared_bundle=true,"
+            "simdlen=2},canonicalize,cse"
+        )
+
+    def test_default_host_device_pipeline(self):
+        assert host_device_pipeline().spec() == (
+            "lower-omp-mapped-data,lower-omp-target-region,"
+            "extract-device-module"
+        )
+
+    def test_host_device_pipeline_with_policy(self):
+        assert host_device_pipeline("round_robin").spec() == (
+            "lower-omp-mapped-data{policy=round_robin},"
+            "lower-omp-target-region,extract-device-module"
+        )
+
+    def test_issue_example_round_trips(self):
+        spec = (
+            "lower-omp-mapped-data{policy=round_robin},"
+            "lower-omp-to-hls{reduction_copies=4},canonicalize,cse"
+        )
+        pm = PassManager.parse(spec)
+        assert pm.spec() == spec
+        assert pm.pass_names == [
+            "lower-omp-mapped-data", "lower-omp-to-hls",
+            "canonicalize", "cse",
+        ]
+
+    def test_default_pipelines_round_trip(self):
+        for pm in (device_pipeline(), host_device_pipeline()):
+            assert PassManager.parse(pm.spec()).spec() == pm.spec()
+
+
+class TestParsing:
+    def test_whitespace_tolerated(self):
+        pm = PassManager.parse(
+            " test-spec-probe{ factor=3 , fast=true } , canonicalize "
+        )
+        probe = pm.passes[0]
+        assert probe.factor == 3 and probe.fast is True
+        assert pm.pass_names == ["test-spec-probe", "canonicalize"]
+
+    def test_typed_values(self):
+        probe = PassManager.parse(
+            "test-spec-probe{factor=7,fast=false,mode=wide,scale=0.5}"
+        ).passes[0]
+        assert probe.factor == 7
+        assert probe.fast is False
+        assert probe.mode == "wide"
+        assert probe.scale == 0.5
+
+
+class TestErrors:
+    def test_unknown_pass_names_candidates(self):
+        with pytest.raises(PipelineParseError) as err:
+            PassManager.parse("no-such-pass")
+        assert "no-such-pass" in str(err.value)
+        assert "lower-omp-to-hls" in str(err.value)  # lists registered
+
+    def test_unknown_option_names_valid_ones(self):
+        with pytest.raises(PipelineParseError) as err:
+            PassManager.parse("test-spec-probe{bogus=1}")
+        message = str(err.value)
+        assert "test-spec-probe" in message and "bogus" in message
+        assert "factor" in message  # valid options listed
+
+    def test_bad_int_value(self):
+        with pytest.raises(PipelineParseError) as err:
+            PassManager.parse("test-spec-probe{factor=banana}")
+        assert "int" in str(err.value) and "banana" in str(err.value)
+
+    def test_bad_bool_value(self):
+        with pytest.raises(PipelineParseError) as err:
+            PassManager.parse("test-spec-probe{fast=maybe}")
+        assert "bool" in str(err.value)
+
+    def test_missing_equals(self):
+        with pytest.raises(PipelineParseError, match="key=value"):
+            PassManager.parse("test-spec-probe{factor}")
+
+    def test_unbalanced_braces(self):
+        with pytest.raises(PipelineParseError, match="unbalanced"):
+            PassManager.parse("test-spec-probe{factor=1")
+
+    def test_pass_without_options_rejects_any(self):
+        with pytest.raises(PipelineParseError, match="<none>"):
+            PassManager.parse("canonicalize{x=1}")
+
+
+# -- property: parse(spec(pm)) is the identity on rendered pipelines -----------
+
+_probe_entries = st.fixed_dictionaries(
+    {},
+    optional={
+        "factor": st.integers(min_value=0, max_value=99),
+        "fast": st.booleans(),
+        "mode": st.sampled_from(["plain", "wide", "round_robin"]),
+    },
+)
+
+_hls_entries = st.fixed_dictionaries(
+    {},
+    optional={
+        "reduction_copies": st.integers(min_value=1, max_value=32),
+        "simdlen": st.integers(min_value=1, max_value=16),
+        "shared_bundle": st.booleans(),
+        "target_ii": st.integers(min_value=1, max_value=4),
+    },
+)
+
+
+@st.composite
+def _pipelines(draw):
+    entries = []
+    for _ in range(draw(st.integers(min_value=1, max_value=6))):
+        kind = draw(st.sampled_from(["probe", "hls", "plain"]))
+        if kind == "probe":
+            opts = draw(_probe_entries)
+            entries.append(("test-spec-probe", opts))
+        elif kind == "hls":
+            opts = draw(_hls_entries)
+            entries.append(("lower-omp-to-hls", opts))
+        else:
+            entries.append(
+                (draw(st.sampled_from(["canonicalize", "cse", "dce"])), {})
+            )
+    return ",".join(
+        name + (
+            "{" + ",".join(f"{k}={str(v).lower()}" for k, v in opts.items()) + "}"
+            if opts else ""
+        )
+        for name, opts in entries
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(_pipelines())
+def test_spec_parse_round_trip(spec_text):
+    pm = PassManager.parse(spec_text)
+    rendered = pm.spec()
+    again = PassManager.parse(rendered)
+    assert again.spec() == rendered
+    assert again.pass_names == pm.pass_names
+    # option values survive the round trip
+    for a, b in zip(pm.passes, again.passes):
+        assert a.option_values() == b.option_values()

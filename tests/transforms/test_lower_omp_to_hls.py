@@ -7,6 +7,7 @@ from repro.dialects import hls
 from repro.frontend import compile_to_core
 from repro.ir import Interpreter, PassManager, print_op, verify
 from repro.pipeline import compile_fortran
+from repro.session import KernelOverrides, Session
 from repro.transforms import (
     ExtractDeviceModulePass,
     LowerOmpMappedDataPass,
@@ -146,7 +147,7 @@ end subroutine sdot
 
 class TestReductionRewrite:
     def test_round_robin_copies_allocated(self):
-        device = device_module(REDUCTION_SOURCE, default_reduction_copies=8)
+        device = device_module(REDUCTION_SOURCE, reduction_copies=8)
         allocas = [
             op for op in device.walk() if op.name == "memref.alloca"
         ]
@@ -156,12 +157,12 @@ class TestReductionRewrite:
     def test_periodic_access_pattern(self):
         """Copy accesses go through remsi — the periodic index pattern the
         scheduler credits with distance-N dependences."""
-        device = device_module(REDUCTION_SOURCE, default_reduction_copies=8)
+        device = device_module(REDUCTION_SOURCE, reduction_copies=8)
         names = {op.name for op in device.walk()}
         assert "arith.remsi" in names
 
     def test_combine_after_loop(self):
-        device = device_module(REDUCTION_SOURCE, default_reduction_copies=4)
+        device = device_module(REDUCTION_SOURCE, reduction_copies=4)
         kernel = next(op for op in device.walk() if op.name == "func.func")
         top_names = [op.name for op in kernel.body.ops]
         loop_at = top_names.index("scf.for")
@@ -172,8 +173,8 @@ class TestReductionRewrite:
 
     @pytest.mark.parametrize("ncopies", [1, 2, 8])
     def test_reduction_value_preserved(self, ncopies):
-        program = compile_fortran(
-            REDUCTION_SOURCE, default_reduction_copies=ncopies
+        program = Session(REDUCTION_SOURCE).program(
+            KernelOverrides(reduction_copies=ncopies)
         )
         n = 300
         rng = np.random.default_rng(4)
@@ -203,7 +204,7 @@ subroutine extreme(x, s, n)
 !$omp end target parallel do
 end subroutine extreme
 """
-        program = compile_fortran(source, default_reduction_copies=4)
+        program = Session(source).program(KernelOverrides(reduction_copies=4))
         rng = np.random.default_rng(9)
         x = rng.standard_normal(200).astype(np.float32)
         s = np.zeros((), np.float32)
