@@ -3,18 +3,23 @@
 
 Times compilation and simulated runs of **every gallery workload**
 (``repro.workloads`` registry: SAXPY, SGESL, dot, Jacobi 2-D, SpMV,
-tiled GEMM) and writes ``BENCH_pr3.json`` (at the repo root) with
-seconds and interpreter-step counts, so later PRs have a perf
+tiled GEMM, histogram) and writes ``BENCH_pr4.json`` (at the repo root)
+with seconds and interpreter-step counts, so later PRs have a perf
 trajectory to regress against.  The simulator's *modelled* numbers
 (device time, cycles) are recorded too — they must stay constant across
 engine optimisations; only wall-clock may move.  Every run is checked
 bit-for-bit against the workload's NumPy reference.
 
-New in PR 3: the DSE artifact-reuse benchmark — the same sweep run with
+PR 3 added the DSE artifact-reuse benchmark — the same sweep run with
 one fresh :class:`~repro.session.Session` per point (the pre-session
 cost model: full frontend + host build every time) versus one shared
 session (frontend compiled once, sweep points are device builds only),
 recording frontend compiles and sweep wall-clock for both.
+
+New in PR 4: the scatter-tier benchmark — the histogram workload
+(colliding ``ufunc.at`` accumulate + injectivity-proved permutation
+scatter) run on the scalar tier versus the vectorized tier at its
+largest sweep size, recording the speedup (must stay >= 5x).
 
 Run:  PYTHONPATH=src python benchmarks/perf_smoke.py [--out PATH]
 """
@@ -40,6 +45,7 @@ BENCH_PLAN: tuple[tuple[str, tuple[int, ...], int], ...] = (
     ("spmv", (1024, 4096), 5),
     ("jacobi2d", (256, 512), 5),
     ("gemm", (64, 128), 3),
+    ("histogram", (16384, 65536), 5),
     ("saxpy", (1_000_000, 10_000_000), 3),
 )
 
@@ -71,25 +77,37 @@ def bench_compile(name: str) -> tuple[dict, object]:
     return {"name": f"compile:{name}", "seconds": round(seconds, 6)}, program
 
 
-def bench_run(program, name: str, n: int, rounds: int) -> dict:
-    workload = get_workload(name)
-    # Instance construction and the NumPy reference are *not* part of the
-    # timed region — only executor work is; mutated outputs get a fresh
-    # copy per round (the copy cost is negligible next to the run).
-    instance = workload.instance(n)
+def _timed_checked_run(
+    program, workload, instance, rounds: int, **executor_kwargs
+):
+    """Best-of-N of one executor run, outputs checked bit-for-bit.
+
+    Instance construction and the NumPy reference are *not* part of the
+    timed region — only executor work is; mutated outputs get a fresh
+    copy per round (the copy cost is negligible next to the run).
+    """
 
     def run():
         args = list(instance.args)
         for pos in instance.expected:
             args[pos] = instance.args[pos].copy()
-        result = program.executor().run(workload.entry, *args)
+        result = program.executor(**executor_kwargs).run(
+            workload.entry, *args
+        )
         for pos, expected in instance.expected.items():
             assert args[pos].tobytes() == expected.tobytes(), (
-                f"{name}: output {pos} diverged from the NumPy reference"
+                f"{workload.name}: output {pos} diverged from the "
+                "NumPy reference"
             )
         return result
 
-    seconds, result = _best_of(run, rounds=rounds)
+    return _best_of(run, rounds=rounds)
+
+
+def bench_run(program, name: str, n: int, rounds: int) -> dict:
+    workload = get_workload(name)
+    instance = workload.instance(n)
+    seconds, result = _timed_checked_run(program, workload, instance, rounds)
     return {
         "name": f"{name}:n={n}",
         "seconds": round(seconds, 6),
@@ -140,12 +158,38 @@ def bench_dse_reuse(name: str, factors: tuple[int, ...], n: int) -> dict:
     }
 
 
+def bench_scatter_tiers(program, name: str, n: int) -> dict:
+    """Scalar vs vectorized tier on the scatter workload (PR 4): both
+    tiers must agree bit-for-bit and in step accounting; only wall-clock
+    may differ.  The scalar side interprets ~n ops per kernel, so it runs
+    once; the vectorized side is best-of-3."""
+    workload = get_workload(name)
+    instance = workload.instance(n)
+    scalar_s, scalar_result = _timed_checked_run(
+        program, workload, instance, rounds=1,
+        compiled=False, vectorize=False,
+    )
+    fast_s, fast_result = _timed_checked_run(
+        program, workload, instance, rounds=3,
+        compiled=True, vectorize=True,
+    )
+    assert scalar_result.interpreter_steps == fast_result.interpreter_steps
+    assert scalar_result.kernel_cycles == fast_result.kernel_cycles
+    return {
+        "name": f"scatter_tiers:{name}:n={n}",
+        "scalar_seconds": round(scalar_s, 6),
+        "vectorized_seconds": round(fast_s, 6),
+        "speedup": round(scalar_s / fast_s, 2),
+        "interpreter_steps": scalar_result.interpreter_steps,
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--out",
-        default=str(Path(__file__).resolve().parents[1] / "BENCH_pr3.json"),
-        help="output JSON path (default: <repo>/BENCH_pr3.json)",
+        default=str(Path(__file__).resolve().parents[1] / "BENCH_pr4.json"),
+        help="output JSON path (default: <repo>/BENCH_pr4.json)",
     )
     args = parser.parse_args()
 
@@ -164,8 +208,15 @@ def main() -> None:
         bench_dse_reuse(name, factors, n) for name, factors, n in DSE_PLAN
     ]
 
+    histogram_sizes = get_workload("histogram").sizes
+    scatter_benches = [
+        bench_scatter_tiers(
+            programs["histogram"], "histogram", max(histogram_sizes)
+        )
+    ]
+
     payload = {
-        "pr": 3,
+        "pr": 4,
         "description": (
             "Workload gallery through the three-tier engine: every "
             "registered workload compiled + run, outputs checked bit-for-"
@@ -174,11 +225,15 @@ def main() -> None:
             "stay constant across engine changes. dse_artifact_reuse "
             "compares a sweep with a fresh Session per point (old cost "
             "model) against one shared Session (frontend + host build "
-            "amortized over the sweep)."
+            "amortized over the sweep). scatter_tiers records the "
+            "histogram workload's scalar-vs-vectorized wall-clock at its "
+            "largest sweep size (the ufunc.at scatter fast path; the "
+            "speedup must stay >= 5x)."
         ),
         "python": platform.python_version(),
         "benches": benches,
         "dse_artifact_reuse": dse_benches,
+        "scatter_tiers": scatter_benches,
     }
     out = Path(args.out)
     out.write_text(json.dumps(payload, indent=2) + "\n")
@@ -195,6 +250,12 @@ def main() -> None:
             f"shared {bench['shared_seconds']*1e3:8.2f} ms "
             f"({bench['shared_frontend_compiles']})  "
             f"speedup {bench['speedup']:.2f}x"
+        )
+    for bench in scatter_benches:
+        print(
+            f"{bench['name']}  scalar {bench['scalar_seconds']*1e3:9.2f} ms  "
+            f"vectorized {bench['vectorized_seconds']*1e3:8.2f} ms  "
+            f"speedup {bench['speedup']:.1f}x"
         )
     print(f"\nwrote {out}")
 

@@ -308,7 +308,10 @@ def _emit_for(op: Operation, ctx: FnCompiler):
         ctx.needs_env = True
 
     if not iter_slots:
-        if mode == "elementwise":
+        if mode in ("elementwise", "scatter_store"):
+            # scatter_store may still decline at runtime (failed
+            # injectivity proof) — it returns False without side effects
+            # and the scalar loop below takes over, accounting normally.
             from repro.ir.vectorize import try_vectorized_loop
 
             fast_path = try_vectorized_loop

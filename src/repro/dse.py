@@ -67,6 +67,9 @@ class DseResult:
     #: the session the sweep ran on — exposes the shared artifacts and
     #: the instrumentation counters (``frontend_compiles`` stays at 1)
     session: Session | None = None
+    #: the resource budgets the feasibility filter enforced
+    max_lut_pct: float = 70.0
+    max_dsp_pct: float = 70.0
 
     def table(self) -> str:
         from repro.reporting import format_table
@@ -77,14 +80,18 @@ class DseResult:
                 p.reduction_copies,
                 f"{p.device_time_ms:.3f}",
                 f"{p.lut_pct:.2f}",
+                f"{p.dsp_pct:.2f}",
                 ",".join(str(ii) for ii in p.achieved_iis),
                 "*" if p is self.best else "",
             )
             for p in self.points
         ]
         return format_table(
-            "Design-space exploration",
-            ["simdlen", "red.copies", "time (ms)", "LUT %", "IIs", "best"],
+            "Design-space exploration "
+            f"(budget: LUT <= {self.max_lut_pct:g} %, "
+            f"DSP <= {self.max_dsp_pct:g} %)",
+            ["simdlen", "red.copies", "time (ms)", "LUT %", "DSP %", "IIs",
+             "best"],
             rows,
         )
 
@@ -96,6 +103,7 @@ def explore(
     simdlen_factors: Sequence[int] = (1, 2, 4, 8, 10),
     reduction_copies: Sequence[int] = (8,),
     max_lut_pct: float = 70.0,
+    max_dsp_pct: float = 70.0,
     board: U280Board | None = None,
     keep_programs: bool = False,
     session: Session | None = None,
@@ -104,21 +112,31 @@ def explore(
 
     ``evaluate`` runs a representative workload on a compiled program and
     returns its :class:`ExecutionResult`; the sweep minimizes
-    ``device_time_s`` subject to the LUT budget.  All points share one
-    :class:`Session`: the frontend and host build run once, each point
-    costs one device build.
+    ``device_time_s`` subject to *both* resource budgets (LUT and DSP
+    utilization).  All points share one :class:`Session`: the frontend
+    and host build run once, each point costs one device build.
     """
     if session is not None and session.source != source:
         raise ValueError(
             "explore(session=...) got a session built over different "
             "source text than the `source` argument"
         )
+    if session is not None and board is not None and session.board != board:
+        raise ValueError(
+            "explore(session=..., board=...) got a session built for a "
+            "different board than the `board` argument — the session's "
+            "board always wins, so passing a disagreeing board would be "
+            "silently ignored; build the session with "
+            "TargetConfig(board=...) instead"
+        )
     session = session or Session(
         source,
         target=TargetConfig(board=board),
         instrumentation=Instrumentation(),
     )
-    result = DseResult(session=session)
+    result = DseResult(
+        session=session, max_lut_pct=max_lut_pct, max_dsp_pct=max_dsp_pct
+    )
     for copies in reduction_copies:
         for factor in simdlen_factors:
             overrides = KernelOverrides(
@@ -148,7 +166,11 @@ def explore(
                 # module) now that its numbers are extracted, so gallery
                 # sweeps hold at most one build at a time
                 session.release_build(overrides)
-    feasible = [p for p in result.points if p.lut_pct <= max_lut_pct]
+    feasible = [
+        p
+        for p in result.points
+        if p.lut_pct <= max_lut_pct and p.dsp_pct <= max_dsp_pct
+    ]
     if feasible:
         result.best = min(feasible, key=lambda p: p.device_time_s)
     return result
@@ -205,6 +227,14 @@ def explore_gallery(
     unless ``keep_programs=True`` is forwarded.
     """
     from repro.workloads import all_workloads, get_workload
+
+    if "session" in kwargs:
+        raise ValueError(
+            "explore_gallery() builds one Session per workload (each "
+            "workload has its own source text); a shared session= cannot "
+            "be forwarded — pass session= to explore_workload/explore "
+            "for a single-source sweep instead"
+        )
 
     workloads = (
         [get_workload(name) for name in names]

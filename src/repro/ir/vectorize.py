@@ -2,7 +2,7 @@
 
 Interpreting multi-million-trip loops op-by-op in Python is prohibitively
 slow, so loops whose behaviour is provable are executed with NumPy over
-the whole iteration space at once.  Three loop shapes are recognised (the
+the whole iteration space at once.  Four loop shapes are recognised (the
 analysis is cached per loop op, so each loop is classified exactly once):
 
 **Elementwise loops** (no iter_args, no reduction):
@@ -23,11 +23,39 @@ vectorized, then folded with a *sequential* NumPy reduction.
 
 **Reduction loops over memref accumulators** — the shape the round-robin
 reduction rewrite produces: ``P[idx] = combine(P[idx], %expr)`` where the
-load and store share the same subscript values and nothing else touches
-``P``.  The subscript may be loop-invariant (a plain scalar reduction,
-rank-0 included) or vary per iteration (the periodic ``(i ...) mod N``
-round-robin pattern); repeated-index combining uses ``np.ufunc.at``,
-which applies updates in iteration order.
+load and store share *provably equal* subscript values (SSA-identical, or
+structurally equal chains — including two separate loads of the same
+index-array cell, the frontend's lowering of ``h(bins(i))``) and nothing
+else touches ``P``.  The subscript may be loop-invariant (a plain scalar
+reduction, rank-0 included), vary per iteration (the periodic
+``(i ...) mod N`` round-robin pattern), or be *indirect* — loaded from an
+index array — with arbitrary collisions: repeated-index combining uses
+``np.ufunc.at``, which applies updates strictly in iteration order, so a
+colliding histogram ``h(bins(i)) = h(bins(i)) + w(i)`` needs no
+injectivity proof and stays bit-exact in float32.
+
+**Scatter-store loops** — elementwise bodies whose store subscript is
+*indirect*: ``A[idx(i)] = %expr`` where ``idx`` is loaded from a memref
+nothing in the body stores to (``transforms.loop_analysis`` classifies
+the subscript ``indirect``).  Unlike the accumulator form, a plain
+scatter must not write one cell twice — whole-space NumPy fancy
+assignment does not promise scalar iteration order for duplicate indices
+— so the store is guarded by an **injectivity proof**, a small lattice
+evaluated per store subscript, strongest proof first:
+
+1. ``affine``   — static: a subscript dimension ``a*iv + b`` with
+   ``a != 0`` never repeats (no runtime work; the pre-existing
+   elementwise path);
+2. ``monotone`` — runtime, O(n): the loaded index vector is strictly
+   increasing/decreasing, hence injective;
+3. ``unique``   — runtime, O(n log n): ``np.unique`` finds no duplicate;
+4. ``⊥``        — no proof: the loop logs a *reasoned* bail-out naming
+   the failed proof and re-runs on the scalar tier (the deferred-store
+   evaluation has mutated nothing at that point).
+
+One statically injective (affine) dimension proves the whole subscript
+tuple; otherwise any single indirect dimension passing the runtime proof
+does.  Store application is deferred until every store's proof succeeds.
 
 Float32 ordering note: per-element semantics are identical to the scalar
 interpreter — NumPy applies the same operation per lane, and no
@@ -270,6 +298,92 @@ class _MemrefReduction:
     skip: frozenset[int]  # ids of the load/combiner/store
 
 
+@dataclass(frozen=True)
+class _ScatterStore:
+    """Deferred-store plan for ``A[idx(i)] = expr`` scatter loops.
+
+    ``proof_dims`` holds, per store, the subscript dimensions whose
+    loaded index vector must pass the runtime injectivity proof — empty
+    when a statically injective (affine) dimension already proves the
+    tuple.
+    """
+
+    stores: tuple[Operation, ...]  # in body op order
+    proof_dims: tuple[tuple[int, ...], ...]
+    skip: frozenset[int]  # ids of the deferred stores
+
+
+def _analyze_scatter_store(
+    loop: Operation,
+) -> tuple[_ScatterStore | None, str | None]:
+    """Classify an indirect-store loop; ``(plan, None)`` on success,
+    ``(None, reason)`` when the body *looks* like a scatter but fails a
+    proof obligation (the reason becomes the logged bail-out), and
+    ``(None, None)`` when the shape is something else entirely."""
+    from repro.transforms.loop_analysis import classify_index, root_memref
+
+    body = loop.regions[0].block
+    if len(body.args) != 1:
+        return None, None
+    iv = body.args[0]
+    for op in body.ops:
+        if op.regions or op.name not in _SUPPORTED:
+            return None, None
+    stores = [op for op in body.ops if op.name == "memref.store"]
+    loaded = {
+        id(root_memref(op.operands[0]))
+        for op in body.ops
+        if op.name == "memref.load"
+    }
+    store_roots: set[int] = set()
+    proof_dims: list[tuple[int, ...]] = []
+    has_indirect = False
+    for store in stores:
+        if len(store.operands) == 2:
+            return None, None  # rank-0 store: the reduction form's territory
+        root = id(root_memref(store.operands[1]))
+        if root in store_roots:
+            return None, (
+                "two scatter stores to one buffer cannot be ordered"
+            )
+        store_roots.add(root)
+        indirect: list[int] = []
+        statically_injective = False
+        for dim, idx in enumerate(store.operands[2:]):
+            pattern = classify_index(idx, iv, body)
+            if pattern.kind == "affine" and pattern.parameter != 0:
+                statically_injective = True
+            elif pattern.kind == "indirect":
+                indirect.append(dim)
+            elif pattern.kind != "invariant":
+                return None, (
+                    "store subscript is neither affine nor a gather from "
+                    "an un-stored index array"
+                )
+        if not indirect and not statically_injective:
+            return None, None  # invariant-only subscript: not a scatter
+        has_indirect = has_indirect or bool(indirect)
+        proof_dims.append(() if statically_injective else tuple(indirect))
+    if not has_indirect:
+        return None, None  # plain affine stores: the elementwise path's job
+    if loaded & store_roots:
+        return None, (
+            "a scattered-to buffer is also read in the body, so deferred "
+            "store application could reorder a read-after-write"
+        )
+    for op in body.ops:
+        if op.name == "memref.load":
+            for idx in op.operands[1:]:
+                if not _load_index_ok(idx, iv, body):
+                    return None, "load subscript is not affine/invariant/gather"
+    plan = _ScatterStore(
+        stores=tuple(stores),
+        proof_dims=tuple(proof_dims),
+        skip=frozenset(id(op) for op in stores),
+    )
+    return plan, None
+
+
 def _analyze_iter_reduction(loop: Operation) -> _IterReduction | None:
     if loop.name != "scf.for":
         return None
@@ -321,7 +435,11 @@ def _analyze_iter_reduction(loop: Operation) -> _IterReduction | None:
 
 
 def _analyze_memref_reduction(loop: Operation) -> _MemrefReduction | None:
-    from repro.transforms.loop_analysis import classify_index, root_memref
+    from repro.transforms.loop_analysis import (
+        classify_index,
+        index_values_equal,
+        root_memref,
+    )
 
     body = loop.regions[0].block
     if len(body.args) != 1:
@@ -358,8 +476,11 @@ def _analyze_memref_reduction(loop: Operation) -> _MemrefReduction | None:
             and root_memref(source.operands[0]) is acc_root
             and len(candidate.uses) == 1
             and len(source.operands) - 1 == len(store.operands) - 2
+            # Provably equal subscripts: SSA-identical, or structurally
+            # equal chains (two separate loads of the same index-array
+            # cell — the lowered ``h(bins(i)) = h(bins(i)) + ...``).
             and all(
-                a is b
+                index_values_equal(a, b, body)
                 for a, b in zip(source.operands[1:], store.operands[2:])
             )
         ):
@@ -403,6 +524,7 @@ def _classify(loop: Operation) -> tuple:
     mode: str | None = None
     plan: Any = None
     program = None
+    bail_reason: str | None = None
     if len(loop.regions) >= 1 and len(loop.regions[0].blocks) == 1:
         body = loop.regions[0].blocks[0]
         if len(body.args) == 1:
@@ -412,6 +534,10 @@ def _classify(loop: Operation) -> tuple:
                 plan = _analyze_memref_reduction(loop)
                 if plan is not None:
                     mode = "memref_reduction"
+                else:
+                    plan, bail_reason = _analyze_scatter_store(loop)
+                    if plan is not None:
+                        mode = "scatter_store"
         else:
             plan = _analyze_iter_reduction(loop)
             if plan is not None:
@@ -422,12 +548,20 @@ def _classify(loop: Operation) -> tuple:
             )
     cached = (loop, mode, plan, program)
     if mode is None and logger.isEnabledFor(logging.DEBUG):
-        logger.debug(
-            "scalar bail-out: %s loop (%d body ops) has no "
-            "elementwise/reduction classification",
-            loop.name,
-            len(loop.regions[0].blocks[0].ops) if loop.regions else 0,
-        )
+        if bail_reason is not None:
+            logger.debug(
+                "scalar bail-out: %s scatter-store loop not vectorized: "
+                "%s",
+                loop.name,
+                bail_reason,
+            )
+        else:
+            logger.debug(
+                "scalar bail-out: %s loop (%d body ops) has no "
+                "elementwise/reduction/scatter classification",
+                loop.name,
+                len(loop.regions[0].blocks[0].ops) if loop.regions else 0,
+            )
     _analysis_cache[key] = cached
     return cached
 
@@ -573,8 +707,9 @@ def try_vectorized_loop_nest(
 
 def loop_vector_mode(loop: Operation) -> tuple[str | None, Any]:
     """Classify ``loop`` once: ``("elementwise", None)``,
-    ``("iter_reduction", plan)``, ``("memref_reduction", plan)`` or
-    ``(None, None)``.  Cached per loop op."""
+    ``("iter_reduction", plan)``, ``("memref_reduction", plan)``,
+    ``("scatter_store", plan)`` or ``(None, None)``.  Cached per loop
+    op."""
     cached = _classify(loop)
     return cached[1], cached[2]
 
@@ -781,25 +916,75 @@ def _trip_count(lb, ub, step) -> int:
 # ---------------------------------------------------------------------------
 
 
+def _prove_injective(vec: np.ndarray) -> str | None:
+    """Runtime tiers of the injectivity-proof lattice (see the module
+    docstring): ``monotone`` (O(n)) before ``unique`` (O(n log n));
+    None when the vector has duplicates."""
+    if vec.size <= 1:
+        return "trivial"
+    deltas = np.diff(vec)
+    if bool(np.all(deltas > 0)) or bool(np.all(deltas < 0)):
+        return "monotone"
+    if np.unique(vec).size == vec.size:
+        return "unique"
+    return None
+
+
 def try_vectorized_loop(
     interp, loop: Operation, env, lb: int, ub: int, step: int
 ) -> bool:
     """Execute the loop vectorized if provably safe.  Returns True when
     handled (the scalar path must run otherwise)."""
-    _, mode, _, program = _classify(loop)
-    if mode != "elementwise":
+    _, mode, plan, program = _classify(loop)
+    if mode not in ("elementwise", "scatter_store"):
         return False
     trips = _trip_count(lb, ub, step)
     if trips == 0:
         return True
     if trips < _MIN_TRIPS:
         return False  # scalar is cheaper for short loops
+    body = loop.regions[0].block
     ivs = np.arange(lb, lb + trips * step, step, dtype=np.int64)
-    program.run(interp, env, ivs)
+    frame = program.run(interp, env, ivs)
+
+    if mode == "scatter_store":
+        # Stores were deferred (skipped from the compiled body), so the
+        # evaluation above mutated nothing: prove every store's subscript
+        # injective *before* applying any of them, and fall back to the
+        # scalar walk cleanly when a proof fails.
+        def value(v: SSAValue):
+            slot = program.slots.get(v)
+            if slot is not None:
+                return frame[slot]
+            return interp.get(env, v)
+
+        resolved = []
+        for store, proof_dims in zip(plan.stores, plan.proof_dims):
+            indices = [value(i) for i in store.operands[2:]]
+            proof = "affine" if not proof_dims else None
+            for dim in proof_dims:
+                proof = _prove_injective(np.asarray(indices[dim]))
+                if proof is not None:
+                    break
+            if proof is None:
+                logger.debug(
+                    "scalar bail-out: scatter store failed the "
+                    "injectivity proof (index vector has duplicate "
+                    "entries; neither monotone nor unique); rerunning "
+                    "the loop on the scalar tier",
+                )
+                return False
+            resolved.append((store, indices))
+        for store, indices in resolved:
+            array = value(store.operands[1])
+            key = tuple(
+                np.asarray(i) if np.ndim(i) else int(i) for i in indices
+            )
+            array[key if len(key) > 1 else key[0]] = value(store.operands[0])
 
     # Account interpreter steps as if the loop ran scalar, so CPU-baseline
     # time models are independent of this fast path.
-    interp.steps += trips * max(1, len(loop.regions[0].block.ops))
+    interp.steps += trips * max(1, len(body.ops))
     return True
 
 
@@ -891,6 +1076,13 @@ def try_vectorized_reduction(
             init = interp.get(env, loop.operands[3 + position])
             vec = _as_vector(value(expr), trips, dtype)
             if _minmax_nan_hazard(op_name, init, vec):
+                logger.debug(
+                    "scalar bail-out: %s reduction input contains NaN "
+                    "(np.minimum/np.maximum propagate NaN where the "
+                    "scalar engine's min/max ignore a NaN rhs); "
+                    "rerunning the loop on the scalar tier",
+                    op_name,
+                )
                 return None  # evaluation was side-effect free: rerun scalar
             reduced = _reduce_chain(op_name, init, vec, dtype)
             finals.append(_to_python(reduced, result_type))
@@ -902,6 +1094,13 @@ def try_vectorized_reduction(
     index_values = [value(i) for i in plan.indices]
     vec = _as_vector(value(plan.expr), trips, dtype)
     if _minmax_nan_hazard(plan.op_name, array, vec):
+        logger.debug(
+            "scalar bail-out: %s reduction input contains NaN "
+            "(np.minimum/np.maximum propagate NaN where the scalar "
+            "engine's min/max ignore a NaN rhs); rerunning the loop on "
+            "the scalar tier",
+            plan.op_name,
+        )
         return None  # the accumulator is untouched so far: rerun scalar
     if all(np.ndim(i) == 0 for i in index_values):
         cell = tuple(int(i) for i in index_values)

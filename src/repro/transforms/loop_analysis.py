@@ -46,9 +46,18 @@ DEFAULT_LATENCIES = {
 
 @dataclass(frozen=True)
 class IndexPattern:
-    """Classification of a subscript as a function of the loop IV."""
+    """Classification of a subscript as a function of the loop IV.
 
-    kind: str  # "invariant" | "affine" | "periodic" | "unknown"
+    ``indirect`` marks a subscript whose value is loaded from an *index
+    array* — a memref nothing in the loop body stores to — at a position
+    that is itself affine in the IV (the SpMV ``col_idx(jj)`` / histogram
+    ``bins(i)`` shape).  The cell it names depends on runtime array
+    contents, so an indirect *store* subscript is only usable by the
+    vectorizer together with an injectivity proof over the loaded values
+    (:mod:`repro.ir.vectorize` runs that proof at execution time).
+    """
+
+    kind: str  # "invariant" | "affine" | "periodic" | "indirect" | "unknown"
     #: iv coefficient for affine; period for periodic
     parameter: int = 0
     #: constant offset for affine patterns (``a*iv + offset``)
@@ -97,12 +106,125 @@ def classify_index(
     """
     coeff, offset, periodic, ok = _affine_walk(value, iv, body)
     if not ok:
+        if body is not None and indirect_index_load(value, iv, body) is not None:
+            return IndexPattern("indirect")
         return IndexPattern("unknown")
     if periodic is not None:
         return IndexPattern("periodic", periodic)
     if coeff == 0:
         return IndexPattern("invariant", offset=offset)
     return IndexPattern("affine", coeff, offset)
+
+
+def _body_stores_to(root: SSAValue, body: Block) -> bool:
+    """True when any (possibly nested) op in ``body`` stores to ``root``."""
+    for op in body.ops:
+        for nested in op.walk():
+            if (
+                nested.name == "memref.store"
+                and root_memref(nested.operands[1]) is root
+            ):
+                return True
+    return False
+
+
+def indirect_index_load(
+    value: SSAValue, iv: SSAValue, body: Block
+) -> Operation | None:
+    """The gather load behind an *indirect* subscript, or None.
+
+    Returns the ``memref.load`` op when ``value`` is (through
+    ``index_cast``/``extsi``/``trunci`` and ``addi``/``subi``/``muli``
+    with IV-invariant other operands) the value of a load from an index
+    array that
+
+    * nothing in the body stores to (its contents are loop-invariant), and
+    * is subscripted affinely in the IV with a non-zero stride (each
+      iteration reads a fresh index-array cell).
+
+    The *value* loaded is still runtime data: a scatter store through it
+    additionally needs the injectivity proof run by the vectorizer.
+    """
+    if not isinstance(value, OpResult):
+        return None
+    op = value.op
+    if not _defined_inside(op, body):
+        return None
+    name = op.name
+    if name in ("arith.index_cast", "arith.extsi", "arith.trunci"):
+        return indirect_index_load(op.operands[0], iv, body)
+    if name in ("arith.addi", "arith.subi", "arith.muli"):
+        found: Operation | None = None
+        for operand in op.operands:
+            coeff, _, period, ok = _affine_walk(operand, iv, body)
+            if ok and coeff == 0 and period is None:
+                continue  # loop-invariant shift/scale preserves injectivity
+            nested = indirect_index_load(operand, iv, body)
+            if nested is None or found is not None:
+                return None  # two varying operands: not a pure gather chain
+            found = nested
+        # muli by an invariant may be a *zero* scale at runtime, which
+        # would collapse every index onto one cell — the runtime proof
+        # still covers it, so the chain stays classifiable.
+        return found
+    if name != "memref.load":
+        return None
+    root = root_memref(op.operands[0])
+    if _body_stores_to(root, body):
+        return None
+    saw_affine = False
+    for idx in op.operands[1:]:
+        coeff, _, period, ok = _affine_walk(idx, iv, body)
+        if not ok or period is not None:
+            return None
+        if coeff != 0:
+            saw_affine = True
+    return op if saw_affine else None
+
+
+_STRUCTURAL_INDEX_OPS = (
+    "arith.index_cast", "arith.extsi", "arith.trunci",
+    "arith.addi", "arith.subi", "arith.muli", "arith.divsi", "arith.remsi",
+)
+
+
+def index_values_equal(a: SSAValue, b: SSAValue, body: Block) -> bool:
+    """True when two subscript values are provably equal in *every*
+    iteration of the loop owning ``body``.
+
+    Beyond SSA identity this recognises structurally identical pure
+    integer chains and — the histogram accumulator shape — two loads of
+    the same index-array cell (same un-stored buffer, provably equal
+    subscripts), which the frontend emits separately for the load and the
+    store side of ``h(bins(i)) = h(bins(i)) + w(i)``.
+    """
+    if a is b:
+        return True
+    if not (isinstance(a, OpResult) and isinstance(b, OpResult)):
+        return False
+    oa, ob = a.op, b.op
+    if oa.name != ob.name or len(oa.operands) != len(ob.operands):
+        return False
+    if a.index != b.index:
+        return False
+    if oa.name == "arith.constant":
+        return oa.attributes == ob.attributes
+    if oa.name == "memref.load":
+        root = root_memref(oa.operands[0])
+        if root is not root_memref(ob.operands[0]):
+            return False
+        if _body_stores_to(root, body):
+            return False  # the cell may change between the two loads
+        return all(
+            index_values_equal(x, y, body)
+            for x, y in zip(oa.operands[1:], ob.operands[1:])
+        )
+    if oa.name in _STRUCTURAL_INDEX_OPS:
+        return all(
+            index_values_equal(x, y, body)
+            for x, y in zip(oa.operands, ob.operands)
+        )
+    return False
 
 
 def _affine_walk(
@@ -177,13 +299,8 @@ def _affine_walk(
         # A load is loop-invariant when nothing in the body stores to the
         # same buffer and its own subscripts are invariant.
         root = root_memref(op.operands[0])
-        for other in body.ops:
-            for nested in other.walk():
-                if (
-                    nested.name == "memref.store"
-                    and root_memref(nested.operands[1]) is root
-                ):
-                    return 0, 0, None, False
+        if _body_stores_to(root, body):
+            return 0, 0, None, False
         for idx in op.operands[1:]:
             coeff, _, period, ok = _affine_walk(idx, iv, body)
             if not ok or coeff != 0 or period is not None:

@@ -3,8 +3,9 @@
 The paper evaluates SAXPY (Listing 5) and SGESL (Listing 6); this
 package grows that set into a registry of workloads covering the loop
 shapes the toolchain handles — 1-D SIMD offloads, dynamic-bound loops,
-``collapse(2)`` nests over 2-D arrays, CSR gather accesses and
-round-robin reductions.  Each workload module registers itself at import
+``collapse(2)`` nests over 2-D arrays, CSR gather accesses, round-robin
+reductions and indirect scatter stores (colliding histogram accumulate +
+injectivity-proved permutation scatter).  Each workload module registers itself at import
 time; consumers enumerate the gallery through :func:`all_workloads` /
 :func:`get_workload`.
 
@@ -28,6 +29,14 @@ from repro.workloads.gemm import (
     GEMM_SOURCE,
     TILE,
     gemm_reference,
+)
+from repro.workloads.histogram import (
+    HISTOGRAM,
+    HISTOGRAM_SIZES,
+    HISTOGRAM_SOURCE,
+    histogram_reference,
+    num_bins,
+    scatter_reference,
 )
 from repro.workloads.jacobi import (
     JACOBI2D,
@@ -79,4 +88,7 @@ __all__ = [
     "DOT", "DOT_SIZES", "DOT_SOURCE", "NCOPIES", "dot_reference",
     # gemm
     "GEMM", "GEMM_SIZES", "GEMM_SOURCE", "TILE", "gemm_reference",
+    # histogram
+    "HISTOGRAM", "HISTOGRAM_SIZES", "HISTOGRAM_SOURCE",
+    "histogram_reference", "num_bins", "scatter_reference",
 ]

@@ -1,7 +1,8 @@
 """Golden-IR snapshots of the pipeline's stage outputs.
 
-For SAXPY (the paper's Listing 5) and the Jacobi 2-D gallery workload
-(a ``collapse(2)`` nest), the module is printed after each major stage:
+For SAXPY (the paper's Listing 5), the Jacobi 2-D gallery workload
+(a ``collapse(2)`` nest) and the histogram workload (indirect scatter
+stores), the module is printed after each major stage:
 
 * ``core-omp``  — after fir→core lowering (frontend output),
 * ``device-hls`` — after *lower omp loops to HLS* on the device module,
@@ -27,7 +28,7 @@ from repro.workloads import get_workload
 
 GOLDEN_DIR = Path(__file__).resolve().parent
 
-WORKLOADS = ("saxpy", "jacobi2d")
+WORKLOADS = ("saxpy", "jacobi2d", "histogram")
 
 #: pipeline-stage name -> snapshot slug
 STAGES = {

@@ -133,6 +133,41 @@ class TestExploration:
                 session=session,
             )
 
+    def test_session_board_mismatch_rejected(self):
+        """board= used to be silently ignored when session= was given;
+        disagreeing values must raise like the source mismatch does."""
+        from repro.fpga.board import U280Board
+        from repro.session import TargetConfig
+
+        session = Session(SAXPY_SOURCE)
+        other = U280Board(kernel_clock_hz=150e6)
+        with pytest.raises(ValueError, match="different board"):
+            explore(
+                SAXPY_SOURCE, _saxpy_evaluator(), session=session,
+                board=other,
+            )
+        # an *agreeing* board is redundant but harmless
+        agreeing = Session(
+            SAXPY_SOURCE, target=TargetConfig(board=U280Board())
+        )
+        result = explore(
+            SAXPY_SOURCE, _saxpy_evaluator(), session=agreeing,
+            board=U280Board(), simdlen_factors=(1,),
+        )
+        assert len(result.points) == 1
+
+    def test_dsp_budget_filters(self):
+        """DSP utilization is enforced alongside the LUT budget: an
+        impossible DSP ceiling leaves no feasible best point."""
+        result = explore(
+            SAXPY_SOURCE,
+            _saxpy_evaluator(),
+            simdlen_factors=(1,),
+            max_dsp_pct=0.0,
+        )
+        assert result.points[0].dsp_pct > 0.0
+        assert result.best is None
+
     def test_keep_programs_opt_in(self):
         result = explore_simdlen(
             SAXPY_SOURCE, _saxpy_evaluator(), factors=(1, 2),
@@ -145,7 +180,31 @@ class TestExploration:
 
     def test_table_render(self):
         result = explore_simdlen(
-            SAXPY_SOURCE, _saxpy_evaluator(), factors=(1,)
+            SAXPY_SOURCE, _saxpy_evaluator(), factors=(1,),
+            max_lut_pct=65.0, max_dsp_pct=55.0,
         )
         table = result.table()
         assert "simdlen" in table and "LUT %" in table
+        # both enforced budgets are surfaced in the rendered table
+        assert "DSP %" in table
+        assert "LUT <= 65" in table and "DSP <= 55" in table
+
+
+class TestGallerySessionForwarding:
+    def test_shared_session_rejected_up_front(self):
+        """One session cannot serve several workloads (each has its own
+        source); the old behaviour was a confusing source-mismatch error
+        on the *second* workload."""
+        from repro.dse import explore_gallery
+
+        session = Session(SAXPY_SOURCE)
+        with pytest.raises(ValueError, match="one Session per workload"):
+            explore_gallery(["saxpy", "dot"], session=session)
+
+    def test_histogram_sweep_finds_feasible_point(self):
+        result = explore_workload(
+            "histogram", simdlen_factors=(1, 2), n=512
+        )
+        assert len(result.points) == 2
+        assert result.best is not None
+        assert result.best.dsp_pct <= result.max_dsp_pct

@@ -1,4 +1,10 @@
-"""The example scripts must run end-to-end (quick modes)."""
+"""The example scripts must run end-to-end (quick modes).
+
+Examples run with ``-W error::DeprecationWarning`` (part of the CI fast
+job): they are the public face of the API, so they must never quietly
+regress onto the deprecated ``compile_fortran`` kwargs shims — a
+deprecated call path fails the example outright.
+"""
 
 import subprocess
 import sys
@@ -11,7 +17,12 @@ EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
 
 def run_example(name: str, *args: str) -> str:
     result = subprocess.run(
-        [sys.executable, str(EXAMPLES / name), *args],
+        [
+            sys.executable,
+            "-W", "error::DeprecationWarning",
+            str(EXAMPLES / name),
+            *args,
+        ],
         capture_output=True,
         text=True,
         timeout=600,

@@ -13,7 +13,9 @@ from repro.workloads import (
     workload_names,
 )
 
-EXPECTED_NAMES = {"saxpy", "sgesl", "jacobi2d", "spmv", "dot", "gemm"}
+EXPECTED_NAMES = {
+    "saxpy", "sgesl", "jacobi2d", "spmv", "dot", "gemm", "histogram",
+}
 
 
 class TestRegistry:

@@ -274,13 +274,182 @@ class TestGatherLoads:
         assert y_vec.tobytes() == y_scalar.tobytes()
         assert np.array_equal(y_vec, x[idx])
 
-    def test_scatter_through_index_stays_scalar(self):
-        """y[idx[i]] = x[i]: indirect *store* could collide — scalar."""
+    def test_scatter_through_index_is_not_elementwise(self):
+        """y[idx[i]] = x[i]: an indirect *store* could collide, so it is
+        excluded from the elementwise path — it classifies as the
+        runtime-proved ``scatter_store`` mode instead."""
+        from repro.ir.vectorize import loop_vector_mode
+
+        _, loop = _scatter_module(128)
+        assert not _loop_is_vectorizable(loop)
+        mode, plan = loop_vector_mode(loop)
+        assert mode == "scatter_store"
+        # the single store's subscript has no static (affine) proof, so
+        # dimension 0 must pass the runtime injectivity proof
+        assert plan.proof_dims == ((0,),)
+
+
+def _scatter_module(n: int, scale: bool = False):
+    """y[idx[i]] = x[i] (optionally 2*x[i]) — the permutation-scatter
+    shape behind the histogram workload's second kernel."""
+    module = builtin.ModuleOp()
+    from repro.ir.types import i32
+
+    fn = func.FuncOp(
+        "f",
+        FunctionType(
+            [MemRefType(f32, [n]), MemRefType(i32, [n]), MemRefType(f32, [n])],
+            [],
+        ),
+    )
+    module.body.add_op(fn)
+    b = Builder.at_end(fn.body)
+    lb = b.insert(arith.Constant.index(0)).results[0]
+    ub = b.insert(arith.Constant.index(n)).results[0]
+    step = b.insert(arith.Constant.index(1)).results[0]
+    loop = b.insert(scf.For(lb, ub, step))
+    inner = Builder.at_end(loop.body)
+    x, idx, y = fn.body.args
+    iv = inner.insert(memref.Load(idx, [loop.induction_var])).results[0]
+    xv = inner.insert(memref.Load(x, [loop.induction_var])).results[0]
+    if scale:
+        two = inner.insert(arith.Constant.float(2.0, 32)).results[0]
+        xv = inner.insert(arith.MulF(two, xv)).results[0]
+    inner.insert(memref.Store(xv, y, [iv]))
+    inner.insert(scf.Yield())
+    b.insert(func.ReturnOp())
+    return module, loop
+
+
+def _accumulate_scatter_module(n: int, nb: int):
+    """h[idx[i]] = h[idx[i]] + w[i] with *separate* index-load chains on
+    the load and store side (the frontend's lowering of
+    ``h(bins(i)) = h(bins(i)) + w(i)``)."""
+    module = builtin.ModuleOp()
+    from repro.ir.types import i32
+
+    fn = func.FuncOp(
+        "f",
+        FunctionType(
+            [MemRefType(i32, [n]), MemRefType(f32, [n]), MemRefType(f32, [nb])],
+            [],
+        ),
+    )
+    module.body.add_op(fn)
+    b = Builder.at_end(fn.body)
+    lb = b.insert(arith.Constant.index(0)).results[0]
+    ub = b.insert(arith.Constant.index(n)).results[0]
+    step = b.insert(arith.Constant.index(1)).results[0]
+    loop = b.insert(scf.For(lb, ub, step))
+    inner = Builder.at_end(loop.body)
+    idx, w, h = fn.body.args
+    load_idx = inner.insert(memref.Load(idx, [loop.induction_var])).results[0]
+    hv = inner.insert(memref.Load(h, [load_idx])).results[0]
+    wv = inner.insert(memref.Load(w, [loop.induction_var])).results[0]
+    acc = inner.insert(arith.AddF(hv, wv)).results[0]
+    store_idx = inner.insert(memref.Load(idx, [loop.induction_var])).results[0]
+    inner.insert(memref.Store(acc, h, [store_idx]))
+    inner.insert(scf.Yield())
+    b.insert(func.ReturnOp())
+    return module, loop
+
+
+class TestScatterStores:
+    def test_permutation_scatter_bit_identical(self):
+        n = 256
+        module, loop = _scatter_module(n, scale=True)
+        from repro.ir.vectorize import loop_vector_mode
+
+        mode, _ = loop_vector_mode(loop)
+        assert mode == "scatter_store"
+        rng = np.random.default_rng(17)
+        x = rng.standard_normal(n).astype(np.float32)
+        idx = rng.permutation(n).astype(np.int32)
+        y_vec = np.zeros(n, np.float32)
+        y_scalar = np.zeros(n, np.float32)
+        Interpreter(module).call("f", x, idx, y_vec)
+        Interpreter(module, compiled=False, vectorize=False).call(
+            "f", x, idx, y_scalar
+        )
+        assert y_vec.tobytes() == y_scalar.tobytes()
+        expected = np.zeros(n, np.float32)
+        expected[idx] = (np.float32(2.0) * x).astype(np.float32)
+        assert np.array_equal(y_vec, expected)
+
+    def test_monotone_index_proof(self):
+        """A sorted (strictly increasing, non-contiguous) index array
+        passes the cheap monotone tier of the proof lattice."""
         n = 128
-        module2 = builtin.ModuleOp()
+        module, _ = _scatter_module(n)
+        rng = np.random.default_rng(19)
+        x = rng.standard_normal(n).astype(np.float32)
+        idx = np.sort(
+            rng.choice(4 * n, size=n, replace=False).astype(np.int32)
+        )
+        y_vec = np.zeros(4 * n, np.float32)
+        y_scalar = np.zeros(4 * n, np.float32)
+        Interpreter(module).call("f", x, idx, y_vec)
+        Interpreter(module, compiled=False, vectorize=False).call(
+            "f", x, idx, y_scalar
+        )
+        assert y_vec.tobytes() == y_scalar.tobytes()
+
+    def test_colliding_scatter_bails_and_matches_scalar(self, caplog):
+        """Duplicate indices fail every runtime proof tier: the loop logs
+        the failed proof, reruns scalar, and last-write-wins order is
+        preserved bit for bit."""
+        import logging
+
+        n = 128
+        module, _ = _scatter_module(n)
+        rng = np.random.default_rng(23)
+        x = rng.standard_normal(n).astype(np.float32)
+        idx = rng.integers(0, 8, n).astype(np.int32)  # heavy collisions
+        y_vec = np.zeros(n, np.float32)
+        y_scalar = np.zeros(n, np.float32)
+        with caplog.at_level(logging.DEBUG, logger="repro.ir.vectorize"):
+            Interpreter(module).call("f", x, idx, y_vec)
+        Interpreter(module, compiled=False, vectorize=False).call(
+            "f", x, idx, y_scalar
+        )
+        assert y_vec.tobytes() == y_scalar.tobytes()
+        assert any(
+            "injectivity proof" in r.message for r in caplog.records
+        )
+
+    def test_accumulate_scatter_is_memref_reduction(self):
+        """h[idx[i]] += w[i] with separate load/store index chains is the
+        collision-tolerant ``ufunc.at`` reduction — no proof needed."""
+        from repro.ir.vectorize import loop_vector_mode
+
+        n, nb = 512, 16
+        module, loop = _accumulate_scatter_module(n, nb)
+        mode, _ = loop_vector_mode(loop)
+        assert mode == "memref_reduction"
+        rng = np.random.default_rng(29)
+        w = rng.standard_normal(n).astype(np.float32)
+        idx = rng.integers(0, nb, n).astype(np.int32)
+        h_vec = np.zeros(nb, np.float32)
+        h_scalar = np.zeros(nb, np.float32)
+        Interpreter(module).call("f", idx, w, h_vec)
+        Interpreter(module, compiled=False, vectorize=False).call(
+            "f", idx, w, h_scalar
+        )
+        assert h_vec.tobytes() == h_scalar.tobytes()
+        expected = np.zeros(nb, np.float32)
+        np.add.at(expected, idx, w)
+        assert h_vec.tobytes() == expected.tobytes()
+
+    def test_stored_index_array_is_not_indirect(self):
+        """Storing to the index array inside the body voids the gather
+        proof: the loop must not classify as a scatter."""
+        from repro.ir.vectorize import loop_vector_mode
+
+        n = 128
+        module = builtin.ModuleOp()
         from repro.ir.types import i32
 
-        fn2 = func.FuncOp(
+        fn = func.FuncOp(
             "f",
             FunctionType(
                 [MemRefType(f32, [n]), MemRefType(i32, [n]),
@@ -288,20 +457,59 @@ class TestGatherLoads:
                 [],
             ),
         )
-        module2.body.add_op(fn2)
-        b = Builder.at_end(fn2.body)
+        module.body.add_op(fn)
+        b = Builder.at_end(fn.body)
         lb = b.insert(arith.Constant.index(0)).results[0]
         ub = b.insert(arith.Constant.index(n)).results[0]
         step = b.insert(arith.Constant.index(1)).results[0]
         loop = b.insert(scf.For(lb, ub, step))
         inner = Builder.at_end(loop.body)
-        x, idx, y = fn2.body.args
+        x, idx, y = fn.body.args
         iv = inner.insert(memref.Load(idx, [loop.induction_var])).results[0]
         xv = inner.insert(memref.Load(x, [loop.induction_var])).results[0]
         inner.insert(memref.Store(xv, y, [iv]))
+        zero = inner.insert(arith.Constant.int(0, 32)).results[0]
+        inner.insert(memref.Store(zero, idx, [loop.induction_var]))
         inner.insert(scf.Yield())
         b.insert(func.ReturnOp())
-        assert not _loop_is_vectorizable(loop)
+        mode, _ = loop_vector_mode(loop)
+        assert mode is None
+
+    def test_scatter_read_back_stays_scalar(self):
+        """A body that also *reads* the scattered-to buffer cannot defer
+        its stores — must not classify."""
+        from repro.ir.vectorize import loop_vector_mode
+
+        n = 128
+        module = builtin.ModuleOp()
+        from repro.ir.types import i32
+
+        fn = func.FuncOp(
+            "f",
+            FunctionType(
+                [MemRefType(f32, [n]), MemRefType(i32, [n]),
+                 MemRefType(f32, [n])],
+                [],
+            ),
+        )
+        module.body.add_op(fn)
+        b = Builder.at_end(fn.body)
+        lb = b.insert(arith.Constant.index(0)).results[0]
+        ub = b.insert(arith.Constant.index(n)).results[0]
+        step = b.insert(arith.Constant.index(1)).results[0]
+        loop = b.insert(scf.For(lb, ub, step))
+        inner = Builder.at_end(loop.body)
+        x, idx, y = fn.body.args
+        iv = inner.insert(memref.Load(idx, [loop.induction_var])).results[0]
+        # read y at an affine position, then scatter into y
+        yv = inner.insert(memref.Load(y, [loop.induction_var])).results[0]
+        xv = inner.insert(memref.Load(x, [loop.induction_var])).results[0]
+        summed = inner.insert(arith.AddF(yv, xv)).results[0]
+        inner.insert(memref.Store(summed, y, [iv]))
+        inner.insert(scf.Yield())
+        b.insert(func.ReturnOp())
+        mode, _ = loop_vector_mode(loop)
+        assert mode is None
 
 
 class TestBailOutLogging:
@@ -328,6 +536,99 @@ class TestBailOutLogging:
             mode, _ = loop_vector_mode(loop)
         assert mode is None
         assert any("bail-out" in r.message for r in caplog.records)
+
+    def test_nan_minmax_bail_is_logged_and_scalar_identical(self, caplog):
+        """A NaN in a min/max reduction input logs the documented reason
+        (NumPy would propagate the NaN where Python min/max ignore it)
+        and the scalar rerun produces the scalar tier's exact bits."""
+        import logging
+
+        n = 128
+        rng_local = np.random.default_rng(31)
+        x = rng_local.standard_normal(n).astype(np.float32)
+        x[n // 2] = np.nan
+
+        def reduce_with(compiled, vectorize):
+            module = builtin.ModuleOp()
+            fn = func.FuncOp(
+                "f", FunctionType([MemRefType(f32, [n]), f32], [f32])
+            )
+            module.body.add_op(fn)
+            b = Builder.at_end(fn.body)
+            arr, init = fn.body.args
+            lb = b.insert(arith.Constant.index(0)).results[0]
+            ub = b.insert(arith.Constant.index(n)).results[0]
+            step = b.insert(arith.Constant.index(1)).results[0]
+            loop = b.insert(scf.For(lb, ub, step, [init]))
+            inner = Builder.at_end(loop.body)
+            xv = inner.insert(
+                memref.Load(arr, [loop.induction_var])
+            ).results[0]
+            combined = inner.insert(
+                arith.MinF(loop.body.args[1], xv)
+            ).results[0]
+            inner.insert(scf.Yield([combined]))
+            b.insert(func.ReturnOp([loop.results[0]]))
+            interp = Interpreter(module, compiled=compiled, vectorize=vectorize)
+            (value,) = interp.call("f", x, float(np.float32(1e5)))
+            return value
+
+        with caplog.at_level(logging.DEBUG, logger="repro.ir.vectorize"):
+            fast = reduce_with(True, True)
+        scalar = reduce_with(False, False)
+        assert np.float32(fast).tobytes() == np.float32(scalar).tobytes()
+        assert any(
+            "NaN" in r.message and "bail-out" in r.message
+            for r in caplog.records
+        )
+
+    def test_rank_n_nest_bail_is_logged(self, caplog):
+        """A rank-2 nest whose store couples both IVs logs the reasoned
+        rank-n bail-out, and the scalar nested walk it falls back to
+        produces bit-identical results on every tier."""
+        import logging
+
+        from repro.dialects import omp
+
+        n = 16
+
+        def build():
+            module = builtin.ModuleOp()
+            fn = func.FuncOp(
+                "f", FunctionType([MemRefType(f32, [2 * n + 2])], [])
+            )
+            module.body.add_op(fn)
+            b = Builder.at_end(fn.body)
+            lb = b.insert(arith.Constant.index(0)).results[0]
+            ub = b.insert(arith.Constant.index(n)).results[0]
+            step = b.insert(arith.Constant.index(1)).results[0]
+            nest = b.insert(
+                omp.LoopNestOp([lb, lb], [ub, ub], [step, step])
+            )
+            inner = Builder.at_end(nest.body)
+            i, j = nest.body.args
+            # couples both IVs (and collides across iterations)
+            flat = inner.insert(arith.AddI(i, j)).results[0]
+            as_f = inner.insert(arith.SIToFP(flat, f32)).results[0]
+            inner.insert(memref.Store(as_f, fn.body.args[0], [flat]))
+            inner.insert(omp.YieldOp())
+            b.insert(func.ReturnOp())
+            return module, nest
+
+        module, nest = build()
+        out_fast = np.full(2 * n + 2, -1.0, np.float32)
+        with caplog.at_level(logging.DEBUG, logger="repro.ir.vectorize"):
+            Interpreter(module).call("f", out_fast)
+        assert any(
+            "rank-2" in r.message and "couples two IVs" in r.message
+            for r in caplog.records
+        )
+        module_s, _ = build()
+        out_scalar = np.full(2 * n + 2, -1.0, np.float32)
+        Interpreter(module_s, compiled=False, vectorize=False).call(
+            "f", out_scalar
+        )
+        assert out_fast.tobytes() == out_scalar.tobytes()
 
 
 class TestOverlappingStores:

@@ -76,6 +76,25 @@ def test_tiers_bit_identical(name):
         assert result.launches == scalar_result.launches
 
 
+def test_histogram_scatter_kernels_vectorize():
+    """Guard against silent scalar fallback: the histogram's two device
+    loops must classify as the collision-tolerant ``ufunc.at`` reduction
+    and the injectivity-proved scatter store — a regression here would
+    keep this suite green (the scalar walk is always correct) while
+    silently losing the fast tier."""
+    from repro.ir.vectorize import loop_vector_mode
+
+    program = _program("histogram")
+    modes = [
+        loop_vector_mode(op)[0]
+        for op in program.device_module.walk()
+        if op.name == "scf.for"
+    ]
+    assert sorted(m for m in modes if m is not None) == [
+        "memref_reduction", "scatter_store",
+    ]
+
+
 @pytest.mark.parametrize(
     "name", [w.name for w in all_workloads() if w.name not in _SLOW_SCALAR]
 )
