@@ -16,9 +16,7 @@ import pytest
 from repro.baselines import HandwrittenSaxpy, HandwrittenSgesl
 from repro.pipeline import CompiledProgram, compile_fortran
 from repro.workloads import (
-    SAXPY_SIZES,
     SAXPY_SOURCE,
-    SGESL_SIZES,
     SGESL_SOURCE,
     SaxpyCase,
     SgeslCase,

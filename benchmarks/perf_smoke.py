@@ -1,25 +1,36 @@
 #!/usr/bin/env python
-"""Perf smoke: wall-clock of the compiled execution engine.
+"""Perf smoke: wall-clock of the compiled execution engine, plus the CI
+bench-regression gate.
 
 Times compilation and simulated runs of **every gallery workload**
 (``repro.workloads`` registry: SAXPY, SGESL, dot, Jacobi 2-D, SpMV,
-tiled GEMM, histogram) and writes ``BENCH_pr4.json`` (at the repo root)
-with seconds and interpreter-step counts, so later PRs have a perf
-trajectory to regress against.  The simulator's *modelled* numbers
-(device time, cycles) are recorded too — they must stay constant across
-engine optimisations; only wall-clock may move.  Every run is checked
-bit-for-bit against the workload's NumPy reference.
+tiled GEMM, histogram, heat3d, batched GEMM) and writes
+``BENCH_pr5.json`` (at the repo root) with seconds and interpreter-step
+counts, so later PRs have a perf trajectory to regress against.  The
+simulator's *modelled* numbers (device time, cycles) are recorded too —
+they must stay constant across engine optimisations; only wall-clock may
+move.  Every run is checked bit-for-bit against the workload's NumPy
+reference.
 
-PR 3 added the DSE artifact-reuse benchmark — the same sweep run with
-one fresh :class:`~repro.session.Session` per point (the pre-session
-cost model: full frontend + host build every time) versus one shared
-session (frontend compiled once, sweep points are device builds only),
-recording frontend compiles and sweep wall-clock for both.
+New in PR 5: the nest-tier benchmark — heat3d (rank-3 ``collapse(3)``
+stencil collapsed into one whole-space NumPy evaluation) run on the
+scalar tier versus the vectorized tier at its largest sweep size — and
+the ``--check-against`` bench gate:
 
-New in PR 4: the scatter-tier benchmark — the histogram workload
-(colliding ``ufunc.at`` accumulate + injectivity-proved permutation
-scatter) run on the scalar tier versus the vectorized tier at its
-largest sweep size, recording the speedup (must stay >= 5x).
+    PYTHONPATH=src python benchmarks/perf_smoke.py \\
+        --out bench.json --check-against BENCH_pr5.json
+
+compares the fresh run to the committed baseline and exits non-zero when
+
+* any modelled ``interpreter_steps`` / ``device_time_ms`` /
+  ``kernel_cycles`` drifts for a bench present in both files (these are
+  simulator outputs, not wall-clock: an engine change must not move
+  them), or
+* any recorded scalar-vs-vectorized speedup falls below the baseline's
+  ``floor`` (wall-clock ratio: the fast tier must stay >= 5x).
+
+Benches present on only one side (new/retired workloads) are reported
+but never fail the gate; re-baseline by committing the fresh JSON.
 
 Run:  PYTHONPATH=src python benchmarks/perf_smoke.py [--out PATH]
 """
@@ -29,6 +40,7 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import sys
 import time
 from pathlib import Path
 
@@ -46,8 +58,15 @@ BENCH_PLAN: tuple[tuple[str, tuple[int, ...], int], ...] = (
     ("jacobi2d", (256, 512), 5),
     ("gemm", (64, 128), 3),
     ("histogram", (16384, 65536), 5),
+    ("heat3d", (32, 64), 5),
+    ("batched_gemm", (32, 64), 3),
     ("saxpy", (1_000_000, 10_000_000), 3),
 )
+
+#: wall-clock ratio the vectorized tier must keep over the scalar tier
+#: in the ``*_tiers`` benches; recorded into the JSON so the bench gate
+#: can hold later PRs to it.
+TIER_SPEEDUP_FLOOR = 5.0
 
 
 def _best_of(fn, rounds: int = 5):
@@ -158,11 +177,11 @@ def bench_dse_reuse(name: str, factors: tuple[int, ...], n: int) -> dict:
     }
 
 
-def bench_scatter_tiers(program, name: str, n: int) -> dict:
-    """Scalar vs vectorized tier on the scatter workload (PR 4): both
-    tiers must agree bit-for-bit and in step accounting; only wall-clock
-    may differ.  The scalar side interprets ~n ops per kernel, so it runs
-    once; the vectorized side is best-of-3."""
+def bench_tiers(program, name: str, n: int) -> dict:
+    """Scalar vs vectorized tier on one workload: both tiers must agree
+    bit-for-bit and in step accounting; only wall-clock may differ.  The
+    scalar side interprets millions of ops per kernel, so it runs once;
+    the vectorized side is best-of-3."""
     workload = get_workload(name)
     instance = workload.instance(n)
     scalar_s, scalar_result = _timed_checked_run(
@@ -176,20 +195,86 @@ def bench_scatter_tiers(program, name: str, n: int) -> dict:
     assert scalar_result.interpreter_steps == fast_result.interpreter_steps
     assert scalar_result.kernel_cycles == fast_result.kernel_cycles
     return {
-        "name": f"scatter_tiers:{name}:n={n}",
+        "name": f"{name}:n={n}",
         "scalar_seconds": round(scalar_s, 6),
         "vectorized_seconds": round(fast_s, 6),
         "speedup": round(scalar_s / fast_s, 2),
+        "floor": TIER_SPEEDUP_FLOOR,
         "interpreter_steps": scalar_result.interpreter_steps,
     }
+
+
+# ---------------------------------------------------------------------------
+# Bench gate (--check-against)
+# ---------------------------------------------------------------------------
+
+#: per-bench values the simulator *models*; an engine change must not
+#: move them, so the gate requires exact equality against the baseline.
+MODELLED_KEYS = ("interpreter_steps", "device_time_ms", "kernel_cycles")
+
+
+def _tier_sections(payload: dict) -> dict[str, dict]:
+    """name -> entry over every ``*_tiers`` section of a bench JSON."""
+    entries = {}
+    for key, section in payload.items():
+        if key.endswith("_tiers") and isinstance(section, list):
+            for entry in section:
+                entries[f"{key}:{entry['name']}"] = entry
+    return entries
+
+
+def check_against(baseline: dict, current: dict) -> list[str]:
+    """Compare a fresh run to the committed baseline; returns the list
+    of human-readable gate failures (empty == gate passes)."""
+    failures: list[str] = []
+    base_benches = {b["name"]: b for b in baseline.get("benches", ())}
+    cur_benches = {b["name"]: b for b in current.get("benches", ())}
+    only_base = sorted(set(base_benches) - set(cur_benches))
+    only_cur = sorted(set(cur_benches) - set(base_benches))
+    if only_base:
+        print(f"bench gate: baseline-only benches ignored: {only_base}")
+    if only_cur:
+        print(f"bench gate: new benches not in baseline: {only_cur}")
+    for name in sorted(set(base_benches) & set(cur_benches)):
+        base, cur = base_benches[name], cur_benches[name]
+        for key in MODELLED_KEYS:
+            if key not in base and key not in cur:
+                continue  # compile:* entries carry wall-clock only
+            if base.get(key) != cur.get(key):
+                failures.append(
+                    f"{name}: modelled {key} drifted from the baseline "
+                    f"({base.get(key)!r} -> {cur.get(key)!r}); engine "
+                    "changes must keep modelled values constant (or the "
+                    "baseline must be re-committed with the reviewed "
+                    "change)"
+                )
+    base_tiers = _tier_sections(baseline)
+    cur_tiers = _tier_sections(current)
+    for name in sorted(set(base_tiers) & set(cur_tiers)):
+        floor = base_tiers[name].get("floor", TIER_SPEEDUP_FLOOR)
+        speedup = cur_tiers[name].get("speedup", 0.0)
+        if speedup < floor:
+            failures.append(
+                f"{name}: vectorized/scalar speedup {speedup:.2f}x fell "
+                f"below the recorded floor {floor:.2f}x"
+            )
+    return failures
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--out",
-        default=str(Path(__file__).resolve().parents[1] / "BENCH_pr4.json"),
-        help="output JSON path (default: <repo>/BENCH_pr4.json)",
+        default=str(Path(__file__).resolve().parents[1] / "BENCH_pr5.json"),
+        help="output JSON path (default: <repo>/BENCH_pr5.json)",
+    )
+    parser.add_argument(
+        "--check-against",
+        metavar="BASELINE",
+        default=None,
+        help="committed baseline JSON to gate against: exit 1 when any "
+        "modelled value drifts or a tier speedup falls below its "
+        "recorded floor",
     )
     args = parser.parse_args()
 
@@ -208,32 +293,43 @@ def main() -> None:
         bench_dse_reuse(name, factors, n) for name, factors, n in DSE_PLAN
     ]
 
-    histogram_sizes = get_workload("histogram").sizes
     scatter_benches = [
-        bench_scatter_tiers(
-            programs["histogram"], "histogram", max(histogram_sizes)
+        bench_tiers(
+            programs["histogram"], "histogram",
+            max(get_workload("histogram").sizes),
         )
+    ]
+    nest_benches = [
+        bench_tiers(
+            programs["heat3d"], "heat3d", max(get_workload("heat3d").sizes)
+        ),
+        bench_tiers(
+            programs["batched_gemm"], "batched_gemm",
+            max(get_workload("batched_gemm").sizes),
+        ),
     ]
 
     payload = {
-        "pr": 4,
+        "pr": 5,
         "description": (
             "Workload gallery through the three-tier engine: every "
             "registered workload compiled + run, outputs checked bit-for-"
             "bit against NumPy references. Wall-clock of the simulator; "
             "device_time_ms/kernel_cycles are modelled values and must "
-            "stay constant across engine changes. dse_artifact_reuse "
+            "stay constant across engine changes (the --check-against "
+            "bench gate enforces this in CI). dse_artifact_reuse "
             "compares a sweep with a fresh Session per point (old cost "
-            "model) against one shared Session (frontend + host build "
-            "amortized over the sweep). scatter_tiers records the "
-            "histogram workload's scalar-vs-vectorized wall-clock at its "
-            "largest sweep size (the ufunc.at scatter fast path; the "
-            "speedup must stay >= 5x)."
+            "model) against one shared Session. scatter_tiers and "
+            "nest_tiers record scalar-vs-vectorized wall-clock at each "
+            "workload's largest sweep size (ufunc.at scatter; rank-3 "
+            "collapse(3) whole-space nests); each records the speedup "
+            "floor the gate holds later runs to."
         ),
         "python": platform.python_version(),
         "benches": benches,
         "dse_artifact_reuse": dse_benches,
         "scatter_tiers": scatter_benches,
+        "nest_tiers": nest_benches,
     }
     out = Path(args.out)
     out.write_text(json.dumps(payload, indent=2) + "\n")
@@ -251,13 +347,30 @@ def main() -> None:
             f"({bench['shared_frontend_compiles']})  "
             f"speedup {bench['speedup']:.2f}x"
         )
-    for bench in scatter_benches:
-        print(
-            f"{bench['name']}  scalar {bench['scalar_seconds']*1e3:9.2f} ms  "
-            f"vectorized {bench['vectorized_seconds']*1e3:8.2f} ms  "
-            f"speedup {bench['speedup']:.1f}x"
-        )
+    for section, entries in (
+        ("scatter_tiers", scatter_benches), ("nest_tiers", nest_benches)
+    ):
+        for bench in entries:
+            print(
+                f"{section}:{bench['name']}  "
+                f"scalar {bench['scalar_seconds']*1e3:9.2f} ms  "
+                f"vectorized {bench['vectorized_seconds']*1e3:8.2f} ms  "
+                f"speedup {bench['speedup']:.1f}x (floor {bench['floor']:.0f}x)"
+            )
     print(f"\nwrote {out}")
+
+    if args.check_against:
+        baseline = json.loads(Path(args.check_against).read_text())
+        failures = check_against(baseline, payload)
+        if failures:
+            print(
+                f"\nbench gate FAILED against {args.check_against}:",
+                file=sys.stderr,
+            )
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            sys.exit(1)
+        print(f"bench gate passed against {args.check_against}")
 
 
 if __name__ == "__main__":

@@ -16,7 +16,6 @@ Three knobs of the flow, swept with the same harness as the main tables:
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from conftest import emit
 from repro.reporting import format_table

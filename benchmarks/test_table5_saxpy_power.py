@@ -36,7 +36,7 @@ def _power_rows(saxpy_program, saxpy_baseline, cpu_executor):
         case = SaxpyCase(min(n, 100_000))  # CPU run for functional check
         x, y = case.arrays()
         expected = saxpy_reference(case.a, x, y)
-        cpu_run = cpu_executor.run(
+        cpu_executor.run(
             "saxpy",
             np.array(case.a, np.float32),
             x,

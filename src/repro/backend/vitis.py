@@ -12,7 +12,7 @@ place-and-route is abstracted into the resource totals (shell + kernels).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.backend.amd_hls import AmdHlsArtifact, prepare_for_vitis
 from repro.backend.llvm_ir import emit_llvm_ir
@@ -24,7 +24,7 @@ from repro.fpga.resources import (
     shell_usage,
 )
 from repro.fpga.scheduler import HlsScheduler, KernelSchedule
-from repro.ir.core import IRError, Operation
+from repro.ir.core import IRError
 
 
 @dataclass

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import math
 import operator
-from typing import Callable, Sequence
+from typing import Callable
 
 from repro.ir.attributes import Attribute, FloatAttr, IntegerAttr, StringAttr
 from repro.ir.core import Dialect, IRError, Operation, SSAValue
@@ -15,8 +15,6 @@ from repro.ir.types import (
     IndexType,
     IntegerType,
     TypeAttribute,
-    f32,
-    f64,
     i1,
     index,
 )

@@ -11,7 +11,6 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.ir.attributes import IntegerAttr
 from repro.ir.core import Dialect, IRError, Operation, SSAValue
 from repro.ir.interpreter import Interpreter, impl
 from repro.ir.traits import MemoryRead, MemoryWrite
@@ -24,7 +23,6 @@ from repro.ir.types import (
     TypeAttribute,
     i32,
     index,
-    none,
 )
 
 

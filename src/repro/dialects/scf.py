@@ -199,10 +199,14 @@ def _run_for(interp: Interpreter, op: Operation, env: dict):
     if interp.vectorize:
         from repro.ir.vectorize import (
             try_vectorized_loop,
+            try_vectorized_nest,
             try_vectorized_reduction,
         )
 
         if not carried and try_vectorized_loop(interp, op, env, lb, ub, step):
+            interp.set_results(op, env, [])
+            return None
+        if not carried and try_vectorized_nest(interp, op, env, lb, ub, step):
             interp.set_results(op, env, [])
             return None
         finals = try_vectorized_reduction(interp, op, env, lb, ub, step)
@@ -315,6 +319,13 @@ def _emit_for(op: Operation, ctx: FnCompiler):
             from repro.ir.vectorize import try_vectorized_loop
 
             fast_path = try_vectorized_loop
+        elif mode in ("nest_elementwise", "nest_reduction"):
+            # Perfect loop-nest chains evaluate whole-space; a runtime
+            # decline (short trip count, NaN min/max fold) is side-effect
+            # free, so the scalar nested walk below stays correct.
+            from repro.ir.vectorize import try_vectorized_nest
+
+            fast_path = try_vectorized_nest
         elif mode == "memref_reduction":
             def fast_path(interp, loop, env, lb, ub, step):
                 return (

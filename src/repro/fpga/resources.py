@@ -19,7 +19,7 @@ Models Vitis HLS resource binding:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.fpga.board import U280Resources
 

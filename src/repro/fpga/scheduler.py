@@ -41,7 +41,7 @@ from repro.fpga.resources import (
     bram_blocks_for,
     shell_usage,
 )
-from repro.ir.core import Block, BlockArgument, Operation, OpResult, SSAValue
+from repro.ir.core import Block, Operation, SSAValue
 from repro.ir.types import MemRefType
 from repro.transforms.loop_analysis import (
     DEFAULT_LATENCIES,

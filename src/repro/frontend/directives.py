@@ -202,6 +202,14 @@ def parse_directive(text: str, line: int = 0) -> Directive:
             f"unexpected tokens after construct: {' '.join(words)!r}", line
         )
     _parse_clauses(clause_text, directive, line)
+    if directive.clauses.collapse is not None and not directive.parallel_do:
+        # collapse names a loop-nest depth: only loop directives carry one
+        # (OpenMP 5.2 §4.4.3); on data/update constructs it is an error.
+        raise FortranSyntaxError(
+            "collapse is only valid on a work-sharing loop directive "
+            f"(got {directive.construct!r})",
+            line,
+        )
     return directive
 
 

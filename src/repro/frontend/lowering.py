@@ -18,7 +18,7 @@ dialect:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Sequence
 
 from repro.dialects import arith, builtin, fir, func, math as math_d, memref, omp
 from repro.frontend import ast_nodes as ast
@@ -30,7 +30,7 @@ from repro.frontend.sema import (
     _fold_const,
 )
 from repro.ir.builder import Builder
-from repro.ir.core import Block, Operation, Region, SSAValue
+from repro.ir.core import SSAValue
 from repro.ir.types import (
     DYNAMIC,
     FloatType,
@@ -445,7 +445,7 @@ class UnitLowering:
                     loops[-1].line,
                 )
             inner = body[0]
-            outer_vars = {l.var for l in loops}
+            outer_vars = {nested.var for nested in loops}
             for bound in (inner.start, inner.stop, inner.step):
                 if bound is None:
                     continue

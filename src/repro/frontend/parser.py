@@ -24,7 +24,6 @@ from repro.frontend.ast_nodes import (
     IfBlock,
     IntLit,
     LogicalLit,
-    OmpClauses,
     OmpTarget,
     OmpTargetData,
     OmpTargetEnterData,
@@ -39,7 +38,7 @@ from repro.frontend.ast_nodes import (
     UnOp,
     VarRef,
 )
-from repro.frontend.directives import Directive, parse_directive
+from repro.frontend.directives import parse_directive
 from repro.frontend.lexer import FortranSyntaxError, Token, TokenKind, tokenize
 
 _LOGICAL_BINOPS = {

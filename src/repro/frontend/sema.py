@@ -16,7 +16,6 @@ from repro.frontend.ast_nodes import (
     BinOp,
     CallStmt,
     CompilationUnit,
-    Declaration,
     DoLoop,
     Expr,
     IfBlock,

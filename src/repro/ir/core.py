@@ -10,7 +10,7 @@ eagerly so rewrites can use :meth:`SSAValue.replace_by`.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Iterable, Iterator, Sequence, TypeVar
+from typing import Iterable, Iterator, Sequence, TypeVar
 
 from repro.ir.attributes import Attribute
 from repro.ir.types import TypeAttribute

@@ -57,6 +57,17 @@ One statically injective (affine) dimension proves the whole subscript
 tuple; otherwise any single indirect dimension passing the runtime proof
 does.  Store application is deferred until every store's proof succeeds.
 
+**Whole-space loop nests** — beyond the four rank-1 shapes, a rank-n
+``omp.loop_nest`` or a *perfect chain* of ``scf.for`` loops (the form
+``lower-omp-to-hls`` emits for ``collapse(n)``) collapses back into one
+NumPy evaluation over the full iteration space: ``nest_elementwise``
+when the stores affinely cover every dimension, or ``nest_reduction``
+when the innermost dimension folds into a memref accumulator with an
+ordered per-cell accumulate (see :func:`_nest_vector_plan`).  Step
+accounting and inner-loop cycle observers replay the scalar nested walk
+exactly, so every tier stays bit-identical in results *and* modelled
+numbers.
+
 Float32 ordering note: per-element semantics are identical to the scalar
 interpreter — NumPy applies the same operation per lane, and no
 reassociation occurs.  For ordered reductions (add, mul) the fast path
@@ -435,16 +446,24 @@ def _analyze_iter_reduction(loop: Operation) -> _IterReduction | None:
 
 
 def _analyze_memref_reduction(loop: Operation) -> _MemrefReduction | None:
+    body = loop.regions[0].block
+    if len(body.args) != 1:
+        return None
+    return _analyze_memref_reduction_body(body, body.args[0])
+
+
+def _analyze_memref_reduction_body(
+    body: Block, iv: SSAValue
+) -> _MemrefReduction | None:
+    """The ``P[idx] = combine(P[idx], expr)`` accumulator shape in
+    ``body``, reduced along ``iv`` — shared between rank-1 loops (``iv``
+    is the loop IV) and rank-n nests (``iv`` is the innermost dim)."""
     from repro.transforms.loop_analysis import (
         classify_index,
         index_values_equal,
         root_memref,
     )
 
-    body = loop.regions[0].block
-    if len(body.args) != 1:
-        return None
-    iv = body.args[0]
     for op in body.ops:
         if op.regions or op.name not in _SUPPORTED:
             return None
@@ -524,6 +543,7 @@ def _classify(loop: Operation) -> tuple:
     mode: str | None = None
     plan: Any = None
     program = None
+    bail_kind: str | None = None
     bail_reason: str | None = None
     if len(loop.regions) >= 1 and len(loop.regions[0].blocks) == 1:
         body = loop.regions[0].blocks[0]
@@ -538,21 +558,37 @@ def _classify(loop: Operation) -> tuple:
                     plan, bail_reason = _analyze_scatter_store(loop)
                     if plan is not None:
                         mode = "scatter_store"
+                    elif bail_reason is not None:
+                        bail_kind = "scatter-store"
+            if mode is None and bail_reason is None and any(
+                op.name == "scf.for" for op in body.ops
+            ):
+                # A perfectly nested loop chain: whole-space evaluation
+                # of the collapsed iteration space (rank-n nests that
+                # lower-omp-to-hls produced from collapse(n)).
+                mode, plan, program, bail_reason = _nest_vector_plan(loop)
+                if mode is None:
+                    bail_kind = (
+                        f"rank-{_chain_depth(loop)} {loop.name} nest"
+                    )
         else:
             plan = _analyze_iter_reduction(loop)
             if plan is not None:
                 mode = "iter_reduction"
-        if mode is not None:
+        if mode is not None and program is None:
+            # Rank-1 fast paths: the induction variable is the sole iv
+            # slot (iter_args feed skipped combiners, never the program).
             program = _compile_vector_body(
-                body, plan.skip if plan is not None else frozenset()
+                list(body.ops),
+                plan.skip if plan is not None else frozenset(),
+                [body.args[0]],
             )
     cached = (loop, mode, plan, program)
     if mode is None and logger.isEnabledFor(logging.DEBUG):
         if bail_reason is not None:
             logger.debug(
-                "scalar bail-out: %s scatter-store loop not vectorized: "
-                "%s",
-                loop.name,
+                "scalar bail-out: %s loop not vectorized: %s",
+                bail_kind or loop.name,
                 bail_reason,
             )
         else:
@@ -566,25 +602,142 @@ def _classify(loop: Operation) -> tuple:
     return cached
 
 
-def _nest_vector_plan(loop: Operation):
-    """Elementwise plan for a rank-n ``omp.loop_nest`` body.
+def _chain_depth(loop: Operation) -> int:
+    """Depth of the perfect loop chain rooted at ``loop`` (diagnostics)."""
+    depth = len(loop.regions[0].block.args) if loop.name == "omp.loop_nest" else 1
+    body = loop.regions[0].block
+    while True:
+        nested = [op for op in body.ops if op.name == "scf.for"]
+        if len(nested) != 1:
+            return depth
+        depth += 1
+        body = nested[0].regions[0].block
 
-    Returns ``(program, None)`` when the whole iteration space can be
-    evaluated at once, else ``(None, reason)`` — the reason string is the
-    logged bail-out diagnostic.
+
+@dataclass(frozen=True)
+class _NestPlan:
+    """Whole-space plan for a rank-n loop nest.
+
+    A nest is either a rank-n ``omp.loop_nest`` (``root_dims == rank``)
+    or a *perfect chain* of ``scf.for`` loops rooted at one outer loop
+    (``root_dims == 1``); in both forms the chain may extend through
+    further perfectly nested ``scf.for`` members (``chain``), each
+    contributing one extra dimension whose bounds are loop-invariant.
+
+    ``charge_specs`` reproduce the scalar walk's step accounting: each
+    ``(dims, ops)`` entry charges ``prod(trips[:dims]) * ops`` steps —
+    one step per op visit per execution of that block.  ``observer_specs``
+    fire the interpreter's loop observer for each chain member exactly as
+    often as the scalar walk would (cycle accounting).  ``prelude``
+    holds, per chain member, the IV-independent body ops its bounds may
+    depend on; each level is pre-evaluated (step-neutral) only when its
+    containing body would execute under the scalar walk, so the
+    iteration space can be sized before the vector program runs without
+    ever evaluating an expression the scalar tier would not reach.
+    """
+
+    ivs: tuple[SSAValue, ...]  # one per dimension, outermost first
+    root_dims: int
+    chain: tuple[Operation, ...]  # scf.for members below the root
+    charge_specs: tuple[tuple[int, int], ...]
+    observer_specs: tuple[tuple[int, Operation], ...]
+    prelude: tuple[tuple[Operation, ...], ...]  # one entry per chain member
+    reduction: _MemrefReduction | None  # innermost-dim reduction fold
+
+
+def _defined_outside(value: SSAValue, root_body: Block) -> bool:
+    """True when ``value`` is defined outside the nest entirely."""
+    from repro.ir.core import BlockArgument
+
+    if isinstance(value, BlockArgument):
+        block = value.block
+        while block is not None:
+            if block is root_body:
+                return False
+            parent_op = block.parent.parent if block.parent else None
+            if parent_op is None:
+                return True
+            block = parent_op.parent
+        return True
+    if isinstance(value, OpResult):
+        from repro.transforms.loop_analysis import _defined_inside
+
+        return not _defined_inside(value.op, root_body)
+    return False
+
+
+def _nest_vector_plan(loop: Operation):
+    """Classify a loop nest for whole-space evaluation.
+
+    ``loop`` is a rank-n ``omp.loop_nest`` or an ``scf.for`` whose body
+    perfectly nests further loops.  Returns ``(mode, plan, program,
+    reason)`` where mode is ``"nest_elementwise"`` (dependence-free body,
+    stores cover every dimension), ``"nest_reduction"`` (the innermost
+    dimension folds into a memref accumulator whose subscripts are
+    invariant along it) or None with a reasoned bail-out diagnostic.
     """
     from repro.transforms.loop_analysis import classify_index, root_memref
 
-    body = loop.regions[0].block
-    rank = len(body.args)
-    if not _body_is_vectorizable(body):
-        return None, "body has nested regions or unsupported ops"
-    ivs = list(body.args)
+    root_body = loop.regions[0].block
+    if loop.name == "omp.loop_nest":
+        ivs = list(root_body.args)
+    else:
+        ivs = [root_body.args[0]]
+    root_dims = len(ivs)
+
+    # -- walk the perfect chain ------------------------------------------------
+    chain: list[Operation] = []
+    charge_specs: list[tuple[int, int]] = []
+    observer_specs: list[tuple[int, Operation]] = []
+    # non-loop body ops above the innermost, one entry per chain member
+    extras_by_level: list[list[Operation]] = []
+    body = root_body
+    while True:
+        nested = [op for op in body.ops if op.name == "scf.for"]
+        if not nested:
+            innermost = body
+            charge_specs.append((len(ivs), max(1, len(body.ops))))
+            break
+        if len(nested) > 1:
+            return None, None, None, "body contains multiple nested loops"
+        inner_for = nested[0]
+        if inner_for.results or len(inner_for.regions[0].blocks) != 1:
+            return None, None, None, "nested loop carries iter_args"
+        inner_body = inner_for.regions[0].block
+        if len(inner_body.args) != 1:
+            return None, None, None, "nested loop carries iter_args"
+        level_extras: list[Operation] = []
+        for op in body.ops:
+            if op is inner_for:
+                continue
+            if op.regions:
+                return None, None, None, "body has nested regions or unsupported ops"
+            if op.name not in _SUPPORTED:
+                return None, None, None, "body has nested regions or unsupported ops"
+            if op.name == "memref.store":
+                return None, None, None, "store outside the innermost loop body"
+            if op.name not in _SKIPPED:
+                level_extras.append(op)
+        extras_by_level.append(level_extras)
+        charge_specs.append((len(ivs), max(1, len(body.ops))))
+        observer_specs.append((len(ivs), inner_for))
+        chain.append(inner_for)
+        ivs.append(inner_body.args[0])
+        body = inner_body
+
+    rank = len(ivs)
+    if rank < 2:
+        return None, None, None, "nest has a single dimension"
+    if not _body_is_vectorizable(innermost):
+        return None, None, None, "body has nested regions or unsupported ops"
+
+    # -- collect memory accesses over the whole nest ---------------------------
+    extra_ops = [op for level in extras_by_level for op in level]
     loaded: set[int] = set()
     store_counts: dict[int, int] = {}
     stores = []
     loads = []
-    for op in body.ops:
+    for op in [*extra_ops, *innermost.ops]:
         if op.name == "memref.store":
             key = id(root_memref(op.operands[1]))
             store_counts[key] = store_counts.get(key, 0) + 1
@@ -592,36 +745,150 @@ def _nest_vector_plan(loop: Operation):
         elif op.name == "memref.load":
             loaded.add(id(root_memref(op.operands[0])))
             loads.append(op)
+
+    # -- chain-loop bounds must be invariant (IV-independent prelude) ----------
+    # One prelude per chain level: a level's ops are only pre-evaluated
+    # at runtime when its containing body would actually execute under
+    # the scalar walk (a faulting bound expression below a zero-trip
+    # dim must stay unevaluated, exactly like the scalar tier).
+    independent: set[SSAValue] = set()
+    prelude_levels: list[tuple[Operation, ...]] = []
+    for level_extras in extras_by_level:
+        level_prelude: list[Operation] = []
+        for op in level_extras:
+            if not all(
+                _defined_outside(v, root_body) or v in independent
+                for v in op.operands
+            ):
+                continue  # varies with a nest IV: evaluated by the program
+            if op.name == "memref.load" and id(
+                root_memref(op.operands[0])
+            ) in store_counts:
+                continue  # value may change as the nest runs
+            independent.update(op.results)
+            level_prelude.append(op)
+        prelude_levels.append(tuple(level_prelude))
+    for inner_for in chain:
+        for bound in inner_for.operands[:3]:
+            if not (
+                _defined_outside(bound, root_body) or bound in independent
+            ):
+                return None, None, None, (
+                    "nested loop bounds vary with an outer induction "
+                    "variable"
+                )
+
+    def loads_are_affine(skip: frozenset[int]) -> str | None:
+        for op in loads:
+            if id(op) in skip:
+                continue
+            for idx in op.operands[1:]:
+                for iv in ivs:
+                    if classify_index(idx, iv, root_body).kind not in (
+                        "affine", "invariant",
+                    ):
+                        return "load subscript is not affine/invariant"
+        return None
+
+    program_ops = [*extra_ops, *innermost.ops]
+
+    # -- innermost-dim reduction: P[f(outer ivs)] = P[...] (+) expr ------------
+    reduction = _analyze_memref_reduction_body(innermost, ivs[-1])
+    if reduction is not None:
+        acc_root = root_memref(reduction.acc)
+        covered: set[int] = set()
+        for idx in reduction.indices:
+            affine_dim: int | None = None
+            for dim, iv in enumerate(ivs):
+                pattern = classify_index(idx, iv, root_body)
+                if pattern.kind == "affine" and pattern.parameter != 0:
+                    if dim == rank - 1:
+                        return None, None, None, (
+                            "accumulator subscript varies along the "
+                            "reduction dim"
+                        )
+                    if affine_dim is not None:
+                        return None, None, None, (
+                            "accumulator subscript couples two IVs"
+                        )
+                    affine_dim = dim
+                elif pattern.kind != "invariant":
+                    return None, None, None, (
+                        "accumulator subscript is not affine/invariant"
+                    )
+            if affine_dim is not None:
+                covered.add(affine_dim)
+        if covered != set(range(rank - 1)):
+            return None, None, None, (
+                "accumulator subscripts do not cover the outer nest dims"
+            )
+        for op in loads:
+            if id(op) in reduction.skip:
+                continue
+            if root_memref(op.operands[0]) is acc_root:
+                return None, None, None, (
+                    "accumulator read outside the combiner chain"
+                )
+        reason = loads_are_affine(reduction.skip)
+        if reason is not None:
+            return None, None, None, reason
+        plan = _NestPlan(
+            ivs=tuple(ivs),
+            root_dims=root_dims,
+            chain=tuple(chain),
+            charge_specs=tuple(charge_specs),
+            observer_specs=tuple(observer_specs),
+            prelude=tuple(prelude_levels),
+            reduction=reduction,
+        )
+        program = _compile_vector_body(program_ops, reduction.skip, ivs)
+        return "nest_reduction", plan, program, None
+
+    # -- elementwise: dependence-free, stores cover every dimension ------------
     if loaded & set(store_counts):
-        return None, "a buffer is both loaded and stored in the nest body"
+        return None, None, None, (
+            "a buffer is both loaded and stored in the nest body"
+        )
     if any(count > 1 for count in store_counts.values()):
-        return None, "multiple stores to one buffer"
+        return None, None, None, "multiple stores to one buffer"
     for op in stores:
         if len(op.operands) == 2:
-            return None, "rank-0 store hits the same cell every iteration"
+            return None, None, None, (
+                "rank-0 store hits the same cell every iteration"
+            )
         used_ivs: set[int] = set()
         for idx in op.operands[2:]:
             affine_iv: int | None = None
             for dim, iv in enumerate(ivs):
-                pattern = classify_index(idx, iv, body)
+                pattern = classify_index(idx, iv, root_body)
                 if pattern.kind == "affine" and pattern.parameter != 0:
                     if affine_iv is not None:
-                        return None, "store subscript couples two IVs"
+                        return None, None, None, (
+                            "store subscript couples two IVs"
+                        )
                     affine_iv = dim
                 elif pattern.kind != "invariant":
-                    return None, "store subscript is not affine/invariant"
+                    return None, None, None, (
+                        "store subscript is not affine/invariant"
+                    )
             if affine_iv is not None:
                 used_ivs.add(affine_iv)
         if used_ivs != set(range(rank)):
-            return None, "store subscripts do not cover every nest dim"
-    for op in loads:
-        for idx in op.operands[1:]:
-            for iv in ivs:
-                if classify_index(idx, iv, body).kind not in (
-                    "affine", "invariant",
-                ):
-                    return None, "load subscript is not affine/invariant"
-    return _compile_vector_body(body, frozenset(), n_ivs=rank), None
+            return None, None, None, "store subscripts do not cover every nest dim"
+    reason = loads_are_affine(frozenset())
+    if reason is not None:
+        return None, None, None, reason
+    plan = _NestPlan(
+        ivs=tuple(ivs),
+        root_dims=root_dims,
+        chain=tuple(chain),
+        charge_specs=tuple(charge_specs),
+        observer_specs=tuple(observer_specs),
+        prelude=tuple(prelude_levels),
+        reduction=None,
+    )
+    program = _compile_vector_body(program_ops, frozenset(), ivs)
+    return "nest_elementwise", plan, program, None
 
 
 def _classify_nest(loop: Operation) -> tuple:
@@ -630,86 +897,238 @@ def _classify_nest(loop: Operation) -> tuple:
     cached = _analysis_cache.get(key)
     if cached is not None and cached[0] is loop:
         return cached
-    program, reason = _nest_vector_plan(loop)
-    mode = "nest_elementwise" if program is not None else None
+    mode, plan, program, reason = _nest_vector_plan(loop)
     if mode is None:
         logger.debug(
             "scalar bail-out: rank-%d omp.loop_nest not vectorized: %s",
             len(loop.regions[0].block.args),
             reason,
         )
-    cached = (loop, mode, None, program)
+    cached = (loop, mode, plan, program)
     _analysis_cache[key] = cached
     return cached
+
+
+def _accepts_count(observer) -> bool:
+    """True when the observer accepts the batching ``count`` argument."""
+    import inspect
+
+    try:
+        inspect.signature(observer).bind("op", "trips", "count")
+    except TypeError:
+        return False
+    return True
+
+
+def _fire_observer(observer, op: Operation, trips: int, count: int) -> None:
+    """Fire the loop observer as often as the scalar walk would.
+
+    Batched observers (``observer(op, trips, count)``) get one call;
+    two-argument observers are called ``count`` times.  Arity is probed
+    by signature, not by catching TypeError — an error raised *inside*
+    the observer must propagate, not trigger duplicate calls.
+    """
+    if _accepts_count(observer):
+        observer(op, trips, count)
+    else:
+        for _ in range(count):
+            observer(op, trips)
+
+
+def _flatten_space(dim_values: list) -> list:
+    """Row-major per-dimension index vectors over the product space."""
+    size = 1
+    for values in dim_values:
+        size *= len(values)
+    vecs = []
+    reps_after = size
+    reps_before = 1
+    for values in dim_values:
+        t = len(values)
+        reps_after //= t
+        vecs.append(np.tile(np.repeat(values, reps_after), reps_before))
+        reps_before *= t
+    return vecs
+
+
+def _run_nest(interp, loop: Operation, env, root_bounds, plan, program) -> bool:
+    """Execute a classified nest whole-space.  ``root_bounds`` holds one
+    ``(lb, exclusive ub, step)`` triple per root dimension; chain-member
+    bounds are read from the environment (after the step-neutral prelude
+    evaluation).  Returns True when handled — observers and step
+    accounting then exactly match the scalar nested walk; False leaves
+    no visible side effects, so the scalar walk can rerun safely.
+    """
+    trips = [_trip_count(lb, ub, step) for lb, ub, step in root_bounds]
+    bounds = list(root_bounds)
+    total = 1
+    for t in trips:
+        total *= t
+    for chain_op, level_prelude in zip(plan.chain, plan.prelude):
+        if total == 0:
+            # The scalar walk never reaches this level: its bound
+            # expressions must stay unevaluated (they may fault), and
+            # every deeper charge/observer product is zero regardless.
+            trips.append(0)
+            continue
+        if level_prelude:
+            # Bounds of chain loops may depend on IV-independent body
+            # ops (e.g. the cloned ``n`` load of an inner ``do k = 1,
+            # n``); they are pure, so pre-evaluating them is
+            # step-neutral and idempotent.
+            before = interp.steps
+            try:
+                for op in level_prelude:
+                    interp.run_op(op, env)
+            finally:
+                interp.steps = before
+        lb = interp.get(env, chain_op.operands[0])
+        ub = interp.get(env, chain_op.operands[1])
+        step = interp.get(env, chain_op.operands[2])
+        if step <= 0:
+            return False
+        bounds.append((lb, ub, step))
+        trips.append(_trip_count(lb, ub, step))
+        total *= trips[-1]
+    if 0 < total < _MIN_TRIPS:
+        return False  # scalar wins on constant factors
+
+    def commit() -> bool:
+        steps_charged = 0
+        for dims, op_count in plan.charge_specs:
+            executions = 1
+            for t in trips[:dims]:
+                executions *= t
+            steps_charged += executions * op_count
+        interp.steps += steps_charged
+        observer = interp.loop_observer
+        if observer is not None:
+            for dims, chain_op in plan.observer_specs:
+                count = 1
+                for t in trips[:dims]:
+                    count *= t
+                if count:
+                    _fire_observer(observer, chain_op, trips[dims], count)
+        return True
+
+    if total == 0:
+        return commit()
+
+    reduction = plan.reduction
+    red_trips = trips[-1] if reduction is not None else 1
+    dim_values = [
+        np.arange(lb, lb + t * step, step, dtype=np.int64)
+        for (lb, _, step), t in zip(bounds, trips)
+    ]
+    if total <= _MAX_NEST_ELEMS:
+        outer_chunks = [dim_values[0]]
+    else:
+        # Bound peak memory: evaluate chunks of outermost-dim slices (the
+        # whole-space temporaries scale with the *product* of the dims).
+        inner_total = total // trips[0]
+        per_chunk = max(1, _MAX_NEST_ELEMS // max(1, inner_total))
+        outer_chunks = [
+            dim_values[0][start : start + per_chunk]
+            for start in range(0, trips[0], per_chunk)
+        ]
+        if reduction is not None and _REDUCERS[reduction.op_name] in (
+            np.minimum, np.maximum,
+        ):
+            # Chunked evaluation commits chunk-by-chunk, but a NaN found
+            # in a later chunk must abort *before* anything was stored —
+            # stay scalar rather than risk a partial update.
+            logger.debug(
+                "scalar bail-out: min/max nest reduction exceeds the "
+                "whole-space size bound (NaN check needs one pass); "
+                "rerunning the loop on the scalar tier",
+            )
+            return False
+
+    for chunk in outer_chunks:
+        vecs = _flatten_space([chunk, *dim_values[1:]])
+        frame = program.run(interp, env, vecs)
+        if reduction is None:
+            continue  # stores were applied by the compiled program
+
+        def value(v: SSAValue):
+            slot = program.slots.get(v)
+            if slot is not None:
+                return frame[slot]
+            return interp.get(env, v)
+
+        array = value(reduction.acc)
+        dtype = array.dtype
+        chunk_total = len(vecs[0])
+        outer_n = chunk_total // red_trips
+        vec = _as_vector(value(reduction.expr), chunk_total, dtype)
+        if _minmax_nan_hazard(reduction.op_name, array, vec):
+            logger.debug(
+                "scalar bail-out: %s reduction input contains NaN "
+                "(np.minimum/np.maximum propagate NaN where the scalar "
+                "engine's min/max ignore a NaN rhs); rerunning the loop "
+                "on the scalar tier",
+                reduction.op_name,
+            )
+            return False  # single chunk (see above): nothing stored yet
+        # Subscripts are invariant along the reduction dim (the fastest-
+        # varying axis), so one representative per outer point suffices.
+        cell = tuple(
+            np.asarray(i)[::red_trips] if np.ndim(i) else int(i)
+            for i in (value(i) for i in reduction.indices)
+        )
+        init = array[cell]
+        expr_mat = vec.reshape(outer_n, red_trips)
+        ufunc = _REDUCERS[reduction.op_name]
+        if ufunc is np.minimum or ufunc is np.maximum:
+            folded = ufunc(init, ufunc.reduce(expr_mat, axis=1))
+        else:
+            # Ordered fold per accumulator cell: bit-exact f32, matching
+            # the scalar walk's left-to-right combine order.
+            seq = np.empty((outer_n, red_trips + 1), dtype=dtype)
+            seq[:, 0] = init
+            seq[:, 1:] = expr_mat
+            folded = ufunc.accumulate(seq, axis=1)[:, -1]
+        array[cell] = folded
+
+    return commit()
+
+
+def try_vectorized_nest(
+    interp, loop: Operation, env, lb: int, ub: int, step: int
+) -> bool:
+    """Whole-space evaluation of a perfect ``scf.for`` nest rooted at
+    ``loop``.  Returns True when handled; the scalar walk must run
+    otherwise."""
+    _, mode, plan, program = _classify(loop)
+    if mode not in ("nest_elementwise", "nest_reduction"):
+        return False
+    return _run_nest(interp, loop, env, [(lb, ub, step)], plan, program)
 
 
 def try_vectorized_loop_nest(
     interp, loop: Operation, env, lbs, ubs, steps
 ) -> bool:
-    """Whole-iteration-space evaluation of a rank-n elementwise nest.
+    """Whole-iteration-space evaluation of a rank-n ``omp.loop_nest``
+    (elementwise, or folding an innermost-dim reduction).
 
     ``ubs`` are already exclusive.  Returns True when handled; the
     scalar nested walk must run otherwise.  Step accounting matches the
     scalar walk exactly (one step per body op per innermost iteration).
     """
-    _, mode, _, program = _classify_nest(loop)
-    if mode != "nest_elementwise":
+    _, mode, plan, program = _classify_nest(loop)
+    if mode is None:
         return False
-    trips = [_trip_count(lb, ub, step) for lb, ub, step in zip(lbs, ubs, steps)]
-    total = 1
-    for t in trips:
-        total *= t
-    if total == 0:
-        return True
-    if total < _MIN_TRIPS:
-        return False
-
-    def flattened(dim_trips, dim_lbs, dim_steps):
-        """Row-major index vectors over the given dimensions."""
-        size = 1
-        for t in dim_trips:
-            size *= t
-        vecs = []
-        reps_after = size
-        reps_before = 1
-        for dim, t in enumerate(dim_trips):
-            reps_after //= t
-            arange = np.arange(
-                dim_lbs[dim],
-                dim_lbs[dim] + t * dim_steps[dim],
-                dim_steps[dim],
-                dtype=np.int64,
-            )
-            vecs.append(np.tile(np.repeat(arange, reps_after), reps_before))
-            reps_before *= t
-        return vecs
-
-    if total <= _MAX_NEST_ELEMS:
-        program.run(interp, env, flattened(trips, lbs, steps))
-    else:
-        # Bound peak memory: evaluate one outermost-dimension slice at a
-        # time (the whole-space temporaries scale with the *product* of
-        # the nest dims, unlike rank-1 loops).
-        inner = flattened(trips[1:], lbs[1:], steps[1:])
-        inner_total = total // trips[0]
-        for outer_iv in range(
-            lbs[0], lbs[0] + trips[0] * steps[0], steps[0]
-        ):
-            slice_vecs = [
-                np.full(inner_total, outer_iv, dtype=np.int64),
-                *inner,
-            ]
-            program.run(interp, env, slice_vecs)
-    body = loop.regions[0].block
-    interp.steps += total * max(1, len(body.ops))
-    return True
+    return _run_nest(
+        interp, loop, env, list(zip(lbs, ubs, steps)), plan, program
+    )
 
 
 def loop_vector_mode(loop: Operation) -> tuple[str | None, Any]:
     """Classify ``loop`` once: ``("elementwise", None)``,
     ``("iter_reduction", plan)``, ``("memref_reduction", plan)``,
-    ``("scatter_store", plan)`` or ``(None, None)``.  Cached per loop
-    op."""
+    ``("scatter_store", plan)``, ``("nest_elementwise", plan)`` /
+    ``("nest_reduction", plan)`` for perfect loop-nest chain roots, or
+    ``(None, None)``.  Cached per loop op."""
     cached = _classify(loop)
     return cached[1], cached[2]
 
@@ -766,8 +1185,7 @@ class _VectorProgram:
 
 
 class _VectorCompiler:
-    def __init__(self, body: Block):
-        self.body = body
+    def __init__(self):
         self.slots: dict[SSAValue, int] = {}
         #: slot 0 holds the instruction tuple itself (frame is self-contained)
         self.template: list = [None]
@@ -790,16 +1208,18 @@ class _VectorCompiler:
 
 
 def _compile_vector_body(
-    body: Block, skip: frozenset[int], n_ivs: int = 1
+    ops, skip: frozenset[int], ivs
 ) -> _VectorProgram:
-    """Translate the (already validated) body into a vector program."""
+    """Translate the (already validated) op sequence into a vector
+    program.  ``ivs`` holds one induction-variable value per nest
+    dimension (rank-n nests gather them from several blocks)."""
     from repro.ir.attributes import FloatAttr, IntegerAttr, StringAttr
     from repro.ir.types import FloatType
 
-    ctx = _VectorCompiler(body)
-    iv_slots = tuple(ctx.dst(arg) for arg in body.args[:n_ivs])
+    ctx = _VectorCompiler()
+    iv_slots = tuple(ctx.dst(iv) for iv in ivs)
 
-    for op in body.ops:
+    for op in ops:
         name = op.name
         if name in _SKIPPED or id(op) in skip:
             continue

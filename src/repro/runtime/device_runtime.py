@@ -13,7 +13,6 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.fpga.board import U280Board
 from repro.runtime.opencl import ClBuffer, ClContext
 
 

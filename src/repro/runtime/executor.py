@@ -17,7 +17,7 @@ dynamically-bounded loops (SGESL's ``j = k+1, n``) are timed exactly.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -67,8 +67,12 @@ class KernelRunner:
 
     # -- cycle accounting -------------------------------------------------------------
 
-    def _observe_loop(self, op: Operation, trips: int) -> None:
+    def _observe_loop(self, op: Operation, trips: int, count: int = 1) -> None:
+        """Charge one loop execution (``count`` identical executions when
+        the vectorized nest fast path batches its inner loops).  Cycle
+        values are integer-valued floats, so ``count * cycles`` is exact
+        — bit-identical to ``count`` repeated additions."""
         if self._design_stack:
             schedule = self._design_stack[-1].loops.get(id(op))
             if schedule is not None:
-                self._cycle_stack[-1] += schedule.cycles(trips)
+                self._cycle_stack[-1] += count * schedule.cycles(trips)

@@ -9,12 +9,12 @@ subexpression elimination and dead-code elimination of pure ops.
 from __future__ import annotations
 
 from repro.dialects import arith
-from repro.ir.attributes import Attribute, FloatAttr, IntegerAttr
+from repro.ir.attributes import FloatAttr, IntegerAttr
 from repro.ir.core import Block, Operation
 from repro.ir.pass_manager import ModulePass, register_pass
 from repro.ir.rewriting import GreedyPatternRewriter, PatternRewriter, RewritePattern
 from repro.ir.traits import ConstantLike, Pure
-from repro.ir.types import FloatType, IndexType, IntegerType
+from repro.ir.types import IndexType, IntegerType
 
 
 def _const_value(op: Operation) -> int | float | None:

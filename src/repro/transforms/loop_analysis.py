@@ -274,9 +274,17 @@ def _affine_walk(
         rc, ro, rp, rok = _affine_walk(op.operands[1], iv, body)
         if not (lok and rok) or lp is not None or rp is not None:
             return 0, 0, None, False
+        # A varying side scaled by an invariant is affine only when the
+        # scale is a compile-time constant: non-constant invariants are
+        # reported with placeholder offset 0, which would silently zero
+        # the coefficient (``k * m`` is *not* invariant in ``k``).
         if lc == 0:
+            if rc != 0 and not _exact_offset(op.operands[0], iv, body):
+                return 0, 0, None, False
             return lo * rc, lo * ro, None, True
         if rc == 0:
+            if not _exact_offset(op.operands[1], iv, body):
+                return 0, 0, None, False
             return lc * ro, lo * ro, None, True
         return 0, 0, None, False
     if name == "arith.divsi":

@@ -8,7 +8,7 @@ for the called symbols are added to the module so it stays self-contained.
 
 from __future__ import annotations
 
-from repro.dialects import builtin, func, hls
+from repro.dialects import builtin, func
 from repro.ir.attributes import StringAttr
 from repro.ir.core import Operation
 from repro.ir.pass_manager import ModulePass, register_pass

@@ -32,9 +32,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.dialects import arith, device, memref, omp
+from repro.dialects import arith, device, memref
 from repro.dialects.omp import MapInfoOp
-from repro.ir.builder import Builder, InsertPoint
+from repro.ir.builder import Builder
 from repro.ir.core import IRError, Operation, OpResult, SSAValue
 from repro.ir.pass_manager import ModulePass, PassOption, register_pass
 from repro.ir.types import DYNAMIC, MemRefType

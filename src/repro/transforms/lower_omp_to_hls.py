@@ -17,11 +17,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.dialects import arith, builtin, func, hls, memref, omp, scf
+from repro.dialects import arith, func, hls, memref, omp, scf
 from repro.ir.builder import Builder
-from repro.ir.core import Block, IRError, Operation, Region, SSAValue
+from repro.ir.core import IRError, Operation, Region, SSAValue
 from repro.ir.pass_manager import ModulePass, PassOption, register_pass
-from repro.ir.types import FloatType, IntegerType, MemRefType, index, i32
+from repro.ir.types import FloatType, IntegerType, MemRefType
 
 
 _IDENTITY = {

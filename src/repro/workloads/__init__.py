@@ -3,11 +3,12 @@
 The paper evaluates SAXPY (Listing 5) and SGESL (Listing 6); this
 package grows that set into a registry of workloads covering the loop
 shapes the toolchain handles — 1-D SIMD offloads, dynamic-bound loops,
-``collapse(2)`` nests over 2-D arrays, CSR gather accesses, round-robin
-reductions and indirect scatter stores (colliding histogram accumulate +
-injectivity-proved permutation scatter).  Each workload module registers itself at import
-time; consumers enumerate the gallery through :func:`all_workloads` /
-:func:`get_workload`.
+``collapse(2)``/``collapse(3)`` nests over 2-D/3-D arrays, CSR gather
+accesses, round-robin reductions, indirect scatter stores (colliding
+histogram accumulate + injectivity-proved permutation scatter) and
+rank-3 nests with in-place k reductions.  Each workload module registers
+itself at import time; consumers enumerate the gallery through
+:func:`all_workloads` / :func:`get_workload`.
 
 Importing this package keeps the original ``repro.workloads`` flat API
 (``SAXPY_SOURCE``, ``SaxpyCase``, ``sgesl_reference``, ...) intact.
@@ -21,6 +22,13 @@ from repro.workloads.base import (
     iter_workloads,
     register,
     workload_names,
+)
+from repro.workloads.batched_gemm import (
+    BATCH,
+    BATCHED_GEMM,
+    BATCHED_GEMM_SIZES,
+    BATCHED_GEMM_SOURCE,
+    batched_gemm_reference,
 )
 from repro.workloads.dot import DOT, DOT_SIZES, DOT_SOURCE, NCOPIES, dot_reference
 from repro.workloads.gemm import (
@@ -37,6 +45,12 @@ from repro.workloads.histogram import (
     histogram_reference,
     num_bins,
     scatter_reference,
+)
+from repro.workloads.heat3d import (
+    HEAT3D,
+    HEAT3D_SIZES,
+    HEAT3D_SOURCE,
+    heat3d_reference,
 )
 from repro.workloads.jacobi import (
     JACOBI2D,
@@ -82,6 +96,11 @@ __all__ = [
     "sgefa_reference", "sgesl_reference",
     # jacobi
     "JACOBI2D", "JACOBI2D_SIZES", "JACOBI2D_SOURCE", "jacobi2d_reference",
+    # heat3d
+    "HEAT3D", "HEAT3D_SIZES", "HEAT3D_SOURCE", "heat3d_reference",
+    # batched gemm
+    "BATCH", "BATCHED_GEMM", "BATCHED_GEMM_SIZES", "BATCHED_GEMM_SOURCE",
+    "batched_gemm_reference",
     # spmv
     "SPMV", "SPMV_SIZES", "SPMV_SOURCE", "make_csr", "spmv_reference",
     # dot

@@ -1,0 +1,87 @@
+"""Batched GEMM — C += A*B over a batch of matrices, a ``collapse(3)``
+output nest with a k-loop reduction.
+
+The offloaded region is a rank-3 ``omp.loop_nest`` over the
+(batch, i, j) output space whose body is a serial k loop accumulating
+into ``c(ib, i, j)`` in place.  The vectorizer recognises the chain as a
+``nest_reduction``: the whole (batch, i, j, k) space is evaluated at
+once and folded along k with an ordered per-cell accumulate (bit-exact
+float32), with the accumulator subscripts proving injectivity over the
+outer dimensions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import GalleryWorkload, WorkloadInstance, register
+
+#: batch count: small enough that the smoke instance stays quick on the
+#: scalar tier, large enough that the batch dim shapes the iteration space
+BATCH = 4
+
+BATCHED_GEMM_SOURCE = """
+subroutine batched_gemm(a, b, c, nb, n)
+  implicit none
+  integer, intent(in) :: nb, n
+  real, intent(in) :: a(nb, n, n)
+  real, intent(in) :: b(nb, n, n)
+  real, intent(inout) :: c(nb, n, n)
+  integer :: ib, i, j, k
+!$omp target parallel do collapse(3)
+  do ib = 1, nb
+    do i = 1, n
+      do j = 1, n
+        do k = 1, n
+          c(ib, i, j) = c(ib, i, j) + a(ib, i, k) * b(ib, k, j)
+        end do
+      end do
+    end do
+  end do
+!$omp end target parallel do
+end subroutine batched_gemm
+"""
+
+
+def batched_gemm_reference(
+    a: np.ndarray, b: np.ndarray, c: np.ndarray
+) -> np.ndarray:
+    """C + A@B per batch in float32 with the kernel's exact accumulation
+    order: every (ib, i, j) folds k = 0..n-1 sequentially from c."""
+    acc = c.astype(np.float32).copy()
+    n = a.shape[-1]
+    for k in range(n):
+        acc += a[:, :, k : k + 1] * b[:, k : k + 1, :]
+    return acc
+
+
+BATCHED_GEMM_SIZES = (16, 32, 48, 64)
+
+
+def _make_instance(n: int, seed: int) -> WorkloadInstance:
+    rng = np.random.default_rng(53 + seed)
+    a = rng.standard_normal((BATCH, n, n)).astype(np.float32)
+    b = rng.standard_normal((BATCH, n, n)).astype(np.float32)
+    c = rng.standard_normal((BATCH, n, n)).astype(np.float32)
+    expected = batched_gemm_reference(a, b, c)
+    args = (
+        a, b, c,
+        np.array(BATCH, dtype=np.int32),
+        np.array(n, dtype=np.int32),
+    )
+    return WorkloadInstance(args=args, expected={2: expected})
+
+
+BATCHED_GEMM = register(
+    GalleryWorkload(
+        name="batched_gemm",
+        description=f"batch-of-{BATCH} dense GEMM under "
+        "target parallel do collapse(3) with an in-place k reduction",
+        source=BATCHED_GEMM_SOURCE,
+        entry="batched_gemm",
+        sizes=BATCHED_GEMM_SIZES,
+        smoke_size=16,
+        make_instance=_make_instance,
+        loop_shape="3-D collapse + k reduction",
+    )
+)

@@ -1,0 +1,80 @@
+"""Heat 3-D stencil — a ``collapse(3)`` loop nest over a 3-D array.
+
+One sweep of the seven-point heat stencil from ``a`` into ``b``: the
+first gallery workload whose offloaded region is a rank-3
+``omp.loop_nest``.  ``lower-omp-to-hls`` materializes the two outer
+dimensions as plain ``scf.for`` loops around the pipelined innermost
+dimension, and the vectorizer collapses the resulting perfect chain
+back into one whole-iteration-space NumPy evaluation
+(``nest_elementwise``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import GalleryWorkload, WorkloadInstance, register
+
+HEAT3D_SOURCE = """
+subroutine heat3d(a, b, n)
+  implicit none
+  integer, intent(in) :: n
+  real, intent(in) :: a(n, n, n)
+  real, intent(inout) :: b(n, n, n)
+  integer :: i, j, k
+!$omp target parallel do collapse(3)
+  do i = 2, n - 1
+    do j = 2, n - 1
+      do k = 2, n - 1
+        b(i, j, k) = 0.125 * a(i, j, k) + 0.0625 * (a(i - 1, j, k) + &
+          a(i + 1, j, k) + a(i, j - 1, k) + a(i, j + 1, k) + &
+          a(i, j, k - 1) + a(i, j, k + 1))
+      end do
+    end do
+  end do
+!$omp end target parallel do
+end subroutine heat3d
+"""
+
+
+def heat3d_reference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """One stencil sweep in float32, association order matching the
+    kernel's left-to-right adds (bit-exact)."""
+    out = b.astype(np.float32).copy()
+    centre = a[1:-1, 1:-1, 1:-1]
+    neighbours = a[:-2, 1:-1, 1:-1] + a[2:, 1:-1, 1:-1]
+    neighbours = neighbours + a[1:-1, :-2, 1:-1]
+    neighbours = neighbours + a[1:-1, 2:, 1:-1]
+    neighbours = neighbours + a[1:-1, 1:-1, :-2]
+    neighbours = neighbours + a[1:-1, 1:-1, 2:]
+    out[1:-1, 1:-1, 1:-1] = (
+        np.float32(0.125) * centre + np.float32(0.0625) * neighbours
+    )
+    return out
+
+
+HEAT3D_SIZES = (16, 32, 48, 64)
+
+
+def _make_instance(n: int, seed: int) -> WorkloadInstance:
+    rng = np.random.default_rng(47 + seed)
+    a = rng.standard_normal((n, n, n)).astype(np.float32)
+    b = np.zeros((n, n, n), dtype=np.float32)
+    expected = heat3d_reference(a, b)
+    args = (a, b, np.array(n, dtype=np.int32))
+    return WorkloadInstance(args=args, expected={1: expected})
+
+
+HEAT3D = register(
+    GalleryWorkload(
+        name="heat3d",
+        description="seven-point 3-D stencil sweep under "
+        "target parallel do collapse(3)",
+        source=HEAT3D_SOURCE,
+        entry="heat3d",
+        sizes=HEAT3D_SIZES,
+        smoke_size=20,
+        make_instance=_make_instance,
+        loop_shape="3-D collapse",
+    )
+)

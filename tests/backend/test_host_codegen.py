@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.backend.host_codegen import cpp_type, generate_host_code
+from repro.backend.host_codegen import cpp_type
 from repro.pipeline import compile_fortran
 from repro.ir.types import IndexType, MemRefType, f32, f64, i1, i32
 

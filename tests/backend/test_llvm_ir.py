@@ -7,7 +7,6 @@ from repro.baselines import build_saxpy_module, build_sgesl_module
 from repro.ir import IRError
 from repro.ir.types import (
     FunctionType,
-    IndexType,
     MemRefType,
     NoneType,
     f32,

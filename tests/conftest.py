@@ -7,7 +7,7 @@ import pytest
 
 from repro.dialects import arith, builtin, func, memref, scf
 from repro.ir import Builder, verify
-from repro.ir.types import FunctionType, MemRefType, f32, index
+from repro.ir.types import FunctionType, MemRefType, f32
 
 
 @pytest.fixture

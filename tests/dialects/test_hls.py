@@ -63,7 +63,6 @@ class TestPipelineAndUnroll:
 class TestStreams:
     def test_stream_interp(self):
         """Runtime-library stream read/write round-trips values."""
-        import numpy as np
 
         from repro.ir import Interpreter
         from repro.ir.types import FunctionType as FT

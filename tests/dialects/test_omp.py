@@ -5,7 +5,7 @@ import pytest
 
 from repro.dialects import arith, builtin, func, memref, omp
 from repro.ir import Builder, Interpreter, IRError, verify
-from repro.ir.types import FunctionType, MemRefType, f32, index, i32
+from repro.ir.types import FunctionType, MemRefType, f32
 
 
 class TestMapInfo:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.dialects import arith, memref, scf
-from repro.ir import Block, IRError, Region
+from repro.ir import Block, IRError
 from repro.ir.types import MemRefType, f32, i32, index
 
 

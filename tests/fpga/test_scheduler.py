@@ -52,6 +52,53 @@ class TestMemoryII:
         assert loop.cycles(0) == 0
 
 
+class TestNestExclusion:
+    """Depth-3 nests: an outer loop's II/latency/bundle accounting must
+    exclude nested loops — inner loops are charged by their own
+    schedules (ROADMAP, PR 2 rank-n work, extended to rank 3 in PR 5)."""
+
+    @staticmethod
+    def _workload_schedule(name):
+        from repro.session import Session
+        from repro.workloads import get_workload
+
+        program = Session(get_workload(name).source).program()
+        return _schedule(program.device_module)
+
+    def test_heat3d_outer_loops_charge_nothing(self):
+        schedule = self._workload_schedule("heat3d")
+        loops = list(schedule.loops.values())
+        assert len(loops) == 3
+        outers = [s for s in loops if not s.pipelined]
+        (inner,) = [s for s in loops if s.pipelined]
+        assert len(outers) == 2
+        for outer in outers:
+            assert outer.bundle_accesses == {}
+            assert outer.memory_ii == 0
+            assert outer.achieved_ii == 1
+        # seven a loads on gmem0 + one b store on gmem1, innermost only
+        assert inner.bundle_accesses == {"gmem0": 7, "gmem1": 1}
+        assert inner.memory_ii == 7 * 16  # the hottest bundle bounds II
+
+    def test_batched_gemm_k_loop_charged_separately(self):
+        schedule = self._workload_schedule("batched_gemm")
+        loops = list(schedule.loops.values())
+        assert len(loops) == 4
+        k_loop = max(loops, key=lambda s: s.memory_ii)
+        # c load+store (gmem2) + a load (gmem0) + b load (gmem1), all in
+        # the serial k body — none of it leaks into the enclosing loops
+        assert k_loop.bundle_accesses == {
+            "gmem0": 1, "gmem1": 1, "gmem2": 2,
+        }
+        # carried c(ib,i,j) recurrence: mulf (4) + addf (7) chain
+        assert k_loop.dependence_ii == 11
+        for other in loops:
+            if other is k_loop:
+                continue
+            assert other.bundle_accesses == {}
+            assert other.memory_ii == 0
+
+
 class TestBinding:
     def test_unit_sharing_under_large_ii(self):
         """10 unroll copies of the MAC bind to a single physical unit

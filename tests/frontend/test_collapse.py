@@ -39,6 +39,40 @@ class TestDirective:
         directive = parse_directive("target parallel do collapse(3)")
         assert "collapse(3)" in print_directive(directive)
 
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "target data map(tofrom: a) collapse(2)",
+            "target update to(a) collapse(3)",
+            "target collapse(2)",
+        ],
+    )
+    def test_collapse_rejected_off_loop_directives(self, text):
+        """collapse names a loop-nest depth; data/update/bare-target
+        constructs have no associated loop to collapse."""
+        with pytest.raises(Exception, match="work-sharing loop"):
+            parse_directive(text)
+
+
+NEST_3D = """
+subroutine sweep3(a, b, n)
+  implicit none
+  integer, intent(in) :: n
+  real, intent(in) :: a(n, n, n)
+  real, intent(inout) :: b(n, n, n)
+  integer :: i, j, k
+!$omp target parallel do collapse(3)
+  do i = 1, n
+    do j = 1, n
+      do k = 1, n
+        b(i, j, k) = a(i, j, k) + 1.0
+      end do
+    end do
+  end do
+!$omp end target parallel do
+end subroutine sweep3
+"""
+
 
 class TestLoopNestOp:
     def test_rank_two_nest(self):
@@ -52,6 +86,16 @@ class TestLoopNestOp:
         assert nest.rank == 2
         assert len(nest.induction_vars) == 2
         assert len(nest.lbs) == len(nest.ubs) == len(nest.steps) == 2
+
+    def test_rank_three_nest(self):
+        result = compile_to_fir(NEST_3D)
+        nest = next(
+            op for op in result.module.walk()
+            if isinstance(op, omp.LoopNestOp)
+        )
+        assert nest.rank == 3
+        assert len(nest.induction_vars) == 3
+        assert len(nest.lbs) == len(nest.ubs) == len(nest.steps) == 3
 
     def test_rank_one_unchanged(self):
         source = NEST_2D.replace(" collapse(2)", "").replace(
@@ -82,6 +126,43 @@ class TestLoweringErrors:
 
 
 class TestSemantics:
+    def test_rank3_nest_interprets_like_python(self):
+        import numpy as np
+
+        from repro.frontend.driver import compile_to_core
+        from repro.ir.interpreter import Interpreter
+
+        result = compile_to_core(NEST_3D)
+        n = 4
+        a = np.arange(n**3, dtype=np.float32).reshape(n, n, n)
+        b = np.zeros((n, n, n), dtype=np.float32)
+        Interpreter(result.module).call(
+            "sweep3", a, b, np.array(n, np.int32)
+        )
+        assert np.array_equal(b, a + np.float32(1.0))
+
+    def test_rank3_nest_scalar_and_vector_tiers_agree(self):
+        import numpy as np
+
+        from repro.frontend.driver import compile_to_core
+        from repro.ir.interpreter import Interpreter
+
+        n = 6  # 216 iterations >= the vector threshold
+        outs = []
+        steps = []
+        for vectorize in (False, True):
+            result = compile_to_core(NEST_3D)
+            a = np.arange(n**3, dtype=np.float32).reshape(n, n, n)
+            b = np.zeros((n, n, n), dtype=np.float32)
+            interp = Interpreter(
+                result.module, compiled=False, vectorize=vectorize
+            )
+            interp.call("sweep3", a, b, np.array(n, np.int32))
+            outs.append(b.tobytes())
+            steps.append(interp.steps)
+        assert outs[0] == outs[1]
+        assert steps[0] == steps[1]
+
     def test_nest_interprets_like_python(self):
         import numpy as np
 

@@ -1,12 +1,11 @@
 """FIR -> core lowering ([3]) tests: structure and semantic preservation."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.frontend import compile_to_core, compile_to_fir
-from repro.ir import Interpreter, verify
+from repro.ir import Interpreter
 
 
 class TestStructure:

@@ -1,10 +1,9 @@
 """Host-side (non-target) ``!$omp parallel do`` support."""
 
 import numpy as np
-import pytest
 
 from repro.frontend import compile_to_core
-from repro.ir import Interpreter, verify
+from repro.ir import Interpreter
 from repro.pipeline import compile_fortran
 
 HOST_PARALLEL = """

@@ -1,8 +1,10 @@
 """Golden-IR snapshots of the pipeline's stage outputs.
 
 For SAXPY (the paper's Listing 5), the Jacobi 2-D gallery workload
-(a ``collapse(2)`` nest) and the histogram workload (indirect scatter
-stores), the module is printed after each major stage:
+(a ``collapse(2)`` nest), the histogram workload (indirect scatter
+stores), heat3d (a ``collapse(3)`` rank-3 nest) and batched GEMM (a
+rank-3 nest with a k-loop reduction), the module is printed after each
+major stage:
 
 * ``core-omp``  — after fir→core lowering (frontend output),
 * ``device-hls`` — after *lower omp loops to HLS* on the device module,
@@ -28,7 +30,7 @@ from repro.workloads import get_workload
 
 GOLDEN_DIR = Path(__file__).resolve().parent
 
-WORKLOADS = ("saxpy", "jacobi2d", "histogram")
+WORKLOADS = ("saxpy", "jacobi2d", "histogram", "heat3d", "batched_gemm")
 
 #: pipeline-stage name -> snapshot slug
 STAGES = {

@@ -49,6 +49,27 @@ class TestGallerySweep:
         program.executor().run(workload.entry, *instance.args)
         workload.check(instance)
 
+    @pytest.mark.parametrize("name", ["heat3d", "batched_gemm"])
+    def test_rank3_nests_sweep(self, name):
+        """DSE over the rank-3 workloads: every point feasible, outputs
+        bit-exact even when the simdlen override unrolls the innermost
+        dim (which drops the nest out of the whole-space fast path —
+        results must not change, only wall-clock)."""
+        result = explore_workload(name, simdlen_factors=(1, 2))
+        assert len(result.points) == 2
+        assert result.best is not None
+
+    @pytest.mark.parametrize("name", ["heat3d", "batched_gemm"])
+    def test_rank3_simd_override_stays_bit_exact(self, name):
+        from repro.workloads import get_workload
+
+        workload = get_workload(name)
+        session = Session(workload.source)
+        program = session.program(KernelOverrides(simdlen=2))
+        instance = workload.instance(workload.smoke_size)
+        program.executor().run(workload.entry, *instance.args)
+        workload.check(instance)
+
 
 def _saxpy_evaluator(n=5000):
     rng = np.random.default_rng(0)

@@ -10,7 +10,6 @@ import subprocess
 import sys
 from pathlib import Path
 
-import pytest
 
 EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
 
@@ -54,7 +53,10 @@ def test_nested_data_regions():
     out = run_example("nested_data_regions.py")
     assert "with target data" in out
     # the scoped version must transfer strictly less
-    lines = [l for l in out.splitlines() if l.startswith("bytes host->device")]
+    lines = [
+        line for line in out.splitlines()
+        if line.startswith("bytes host->device")
+    ]
     scoped, bare = (int(x) for x in lines[0].split()[-2:])
     assert scoped < bare
 

@@ -15,6 +15,7 @@ from repro.workloads import (
 
 EXPECTED_NAMES = {
     "saxpy", "sgesl", "jacobi2d", "spmv", "dot", "gemm", "histogram",
+    "heat3d", "batched_gemm",
 }
 
 

@@ -15,7 +15,7 @@ from repro.ir.attributes import (
     UnitAttr,
     attr_from_python,
 )
-from repro.ir.types import IndexType, f32, i32
+from repro.ir.types import f32, i32
 
 
 class TestPrinting:

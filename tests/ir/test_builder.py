@@ -2,10 +2,10 @@
 
 import pytest
 
-from repro.dialects import arith, builtin, func
+from repro.dialects import arith
 from repro.ir import Block, Builder, InsertPoint, IRError, build_region
 from repro.ir.builder import inline_block_before
-from repro.ir.types import FunctionType, index
+from repro.ir.types import index
 
 
 def _block_with(*values):

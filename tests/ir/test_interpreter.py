@@ -5,7 +5,7 @@ import pytest
 
 from repro.dialects import arith, builtin, func, math as math_d, memref, scf
 from repro.ir import Builder, Interpreter, InterpreterError, Region, Block
-from repro.ir.types import FunctionType, MemRefType, f32, f64, i1, i32, index
+from repro.ir.types import FunctionType, MemRefType, f32, f64, i32, index
 
 
 def build_fn(arg_types, result_types, populate):

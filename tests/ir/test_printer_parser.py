@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.dialects import arith, builtin, func, memref, omp, scf
+from repro.dialects import arith, builtin, func
 from repro.ir import (
     Builder,
     ParseError,
@@ -13,7 +13,7 @@ from repro.ir import (
     print_op,
     verify,
 )
-from repro.ir.types import FunctionType, MemRefType, f32, f64, i32, index
+from repro.ir.types import FunctionType, MemRefType, f32, f64, i32
 
 
 def roundtrip(module):

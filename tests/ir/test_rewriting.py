@@ -96,7 +96,7 @@ class TestGreedyDriver:
 class TestPatternRewriterApi:
     def test_replace_arity_mismatch(self):
         module, b = _module()
-        x = b.insert(arith.Constant.int(1, 32))
+        b.insert(arith.Constant.int(1, 32))
         b.insert(func.ReturnOp())
 
         class Bad(RewritePattern):

@@ -13,7 +13,7 @@ from hypothesis import strategies as st
 from repro.dialects import arith, builtin, func, memref, scf
 from repro.ir import Builder, Interpreter
 from repro.ir.vectorize import _loop_is_vectorizable, try_vectorized_loop
-from repro.ir.types import FunctionType, MemRefType, f32, index
+from repro.ir.types import FunctionType, MemRefType, f32
 
 
 def build_elementwise_module(n: int, op_cls):

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.dialects import arith, builtin, func, omp, scf
-from repro.ir import Block, Builder, Region, VerificationError, verify
+from repro.ir import Builder, VerificationError, verify
 from repro.ir.types import FunctionType, MemRefType, f32, index
 
 

@@ -36,7 +36,9 @@ reduction_clauses = st.builds(
 
 
 def _clauses(
-    with_maps: bool = True, with_reductions: bool = False
+    with_maps: bool = True,
+    with_reductions: bool = False,
+    with_collapse: bool = False,
 ) -> st.SearchStrategy[OmpClauses]:
     return st.builds(
         OmpClauses,
@@ -49,7 +51,11 @@ def _clauses(
         simdlen=st.none() | st.integers(1, 64),
         num_threads=st.none() | st.integers(1, 128),
         device=st.none() | st.integers(0, 3),
-        collapse=st.none() | st.integers(1, 4),
+        # collapse is only legal on loop directives (the parser rejects
+        # it elsewhere), so only loop-shaped draws may carry one
+        collapse=(
+            st.none() | st.integers(1, 4) if with_collapse else st.none()
+        ),
     )
 
 
@@ -72,12 +78,17 @@ def directives(draw) -> Directive:
         directive.parallel_do = draw(st.booleans())
         directive.simd = draw(st.booleans())
         directive.clauses = draw(
-            _clauses(with_reductions=directive.parallel_do)
+            _clauses(
+                with_reductions=directive.parallel_do,
+                with_collapse=directive.parallel_do,
+            )
         )
     elif kind == "parallel do":
         directive.parallel_do = True
         directive.simd = draw(st.booleans())
-        directive.clauses = draw(_clauses(with_maps=False, with_reductions=True))
+        directive.clauses = draw(
+            _clauses(with_maps=False, with_reductions=True, with_collapse=True)
+        )
     elif kind == "target update":
         directive.to_vars = draw(var_lists)
         directive.from_vars = draw(st.just([]) | var_lists)

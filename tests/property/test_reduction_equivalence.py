@@ -23,7 +23,7 @@ from hypothesis import strategies as st
 from repro.dialects import arith, builtin, func, memref, scf
 from repro.ir import Builder, Interpreter
 from repro.ir import vectorize
-from repro.ir.types import FunctionType, MemRefType, f32, index
+from repro.ir.types import FunctionType, MemRefType, f32
 
 
 @pytest.fixture(autouse=True)

@@ -95,6 +95,34 @@ def test_histogram_scatter_kernels_vectorize():
     ]
 
 
+def _device_root_mode(name: str) -> str | None:
+    """Vectorizer classification of the outermost device loop."""
+    from repro.ir.vectorize import loop_vector_mode
+
+    program = _program(name)
+    for op in program.device_module.walk():
+        if op.name == "scf.for":
+            return loop_vector_mode(op)[0]
+    return None
+
+
+@pytest.mark.parametrize(
+    "name, expected_mode",
+    [
+        ("heat3d", "nest_elementwise"),
+        ("batched_gemm", "nest_reduction"),
+        ("jacobi2d", "nest_elementwise"),
+    ],
+)
+def test_rank_n_nests_vectorize_whole_space(name, expected_mode):
+    """Guard against silent scalar fallback for ``collapse(n)`` nests:
+    the outermost device loop of each nest workload must classify as a
+    whole-space nest evaluation — heat3d's rank-3 elementwise stencil,
+    batched_gemm's rank-3 nest with the in-place k reduction folded
+    along the innermost dim, and jacobi2d's rank-2 stencil."""
+    assert _device_root_mode(name) == expected_mode
+
+
 @pytest.mark.parametrize(
     "name", [w.name for w in all_workloads() if w.name not in _SLOW_SCALAR]
 )

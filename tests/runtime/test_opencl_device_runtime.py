@@ -3,15 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.fpga.board import U280Board
 from repro.runtime.device_runtime import DeviceDataTable, DeviceRuntimeError
-from repro.runtime.opencl import (
-    ClCommandQueue,
-    ClContext,
-    ClError,
-    ClKernel,
-    ClProgram,
-)
+from repro.runtime.opencl import ClCommandQueue, ClContext, ClError, ClProgram
 
 
 class TestContext:

@@ -1,7 +1,7 @@
 """Canonicalize / CSE / DCE tests."""
 
 from repro.dialects import arith, builtin, func, memref
-from repro.ir import Builder, PassManager, verify
+from repro.ir import Builder, verify
 from repro.ir.types import FunctionType, MemRefType, f32, index
 from repro.transforms import CanonicalizePass, CsePass, DcePass
 

@@ -1,6 +1,5 @@
 """Dependence analysis / II computation tests."""
 
-import pytest
 
 from repro.dialects import arith, builtin, func, memref, scf
 from repro.ir import Builder
@@ -153,7 +152,7 @@ class TestLatency:
         a = fn.body.args[0]
         v = inner.insert(memref.Load(a, [loop.induction_var])).results[0]
         m1 = inner.insert(arith.MulF(v, v)).results[0]
-        m2 = inner.insert(arith.MulF(v, v)).results[0]
+        inner.insert(arith.MulF(v, v))  # second, independent mul
         inner.insert(memref.Store(m1, a, [loop.induction_var]))
         inner.insert(scf.Yield())
         latency = float_chain_latency(loop.regions[0].block)

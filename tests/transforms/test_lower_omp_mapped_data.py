@@ -1,10 +1,9 @@
 """Tests for *lower omp mapped data*: device data ops + ref counting."""
 
 import numpy as np
-import pytest
 
 from repro.frontend import compile_to_core
-from repro.ir import PassManager, print_op, verify
+from repro.ir import PassManager, print_op
 from repro.transforms import LowerOmpMappedDataPass, MemorySpacePolicy
 
 

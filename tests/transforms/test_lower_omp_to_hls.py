@@ -5,7 +5,7 @@ import pytest
 
 from repro.dialects import hls
 from repro.frontend import compile_to_core
-from repro.ir import Interpreter, PassManager, print_op, verify
+from repro.ir import PassManager, print_op
 from repro.pipeline import compile_fortran
 from repro.session import KernelOverrides, Session
 from repro.transforms import (
