@@ -24,7 +24,7 @@ from repro.fpga.resources import (
     shell_usage,
 )
 from repro.fpga.scheduler import HlsScheduler, KernelSchedule
-from repro.ir.core import IRError
+from repro.reliability.errors import DeviceBuildError, wrap_error
 
 
 @dataclass
@@ -83,7 +83,7 @@ class VitisCompiler:
         path runs on a clone so the scheduler sees the ``hls`` ops.
         """
         if device_module.target != "fpga":
-            raise IRError(
+            raise DeviceBuildError(
                 "VitisCompiler.compile expects the target=\"fpga\" module"
             )
         scheduler = HlsScheduler(self.board)
@@ -91,7 +91,17 @@ class VitisCompiler:
         for fn in device_module.walk_type(func.FuncOp):
             if not fn.body.ops:
                 continue  # declaration
-            kernels[fn.sym_name] = scheduler.schedule(fn)
+            try:
+                kernels[fn.sym_name] = scheduler.schedule(fn)
+            except DeviceBuildError:
+                raise
+            except Exception as error:
+                raise wrap_error(
+                    error,
+                    DeviceBuildError,
+                    kernel=fn.sym_name,
+                    context="hls scheduling",
+                ) from error
 
         # LLVM path (on a clone, preserving the HLS-form module).
         from repro.transforms.lower_hls_to_func import LowerHlsToFuncPass

@@ -19,6 +19,7 @@ from repro.frontend.parser import parse_source
 from repro.frontend.sema import ProgramInfo, analyze
 from repro.ir.pass_manager import Instrumentation, PassManager
 from repro.ir.verifier import verify
+from repro.reliability.errors import FrontendError, ReproError, wrap_error
 
 
 @dataclass
@@ -30,14 +31,31 @@ class FrontendResult:
     stages: list[tuple[str, str]] = field(default_factory=list)
 
 
+def _stage(name: str, fn, *args):
+    """Run one frontend stage, adopting failures into the taxonomy.
+
+    The adopted error still satisfies ``isinstance`` for its original
+    class (``FortranSyntaxError``, ``SemanticError``, ...), and the
+    ``from error`` chain keeps the originating source line/traceback.
+    """
+    try:
+        return fn(*args)
+    except ReproError:
+        raise  # already carries stage context
+    except Exception as error:
+        raise wrap_error(
+            error, FrontendError, context=f"frontend:{name}"
+        ) from error
+
+
 def compile_to_fir(
     source: str, *, instrumentation: Instrumentation | None = None
 ) -> FrontendResult:
     """Parse + analyze + lower Fortran source to the FIR+omp module."""
-    tree = parse_source(source)
-    info = analyze(tree)
-    module = lower_program(info)
-    verify(module)
+    tree = _stage("parse", parse_source, source)
+    info = _stage("sema", analyze, tree)
+    module = _stage("lower", lower_program, info)
+    _stage("verify", verify, module)
     result = FrontendResult(module=module, program_info=info)
     if instrumentation is not None:
         snap = instrumentation.snapshot("fir+omp", module)
@@ -53,7 +71,7 @@ def compile_to_core(
     result = compile_to_fir(source, instrumentation=instrumentation)
     pm = PassManager(verify_each=True, instrumentation=instrumentation)
     pm.add(FirToCorePass())
-    pm.run(result.module)
+    _stage("fir-to-core", pm.run, result.module)
     if instrumentation is not None:
         instrumentation.count("frontend_compiles")
         snap = instrumentation.snapshot("core+omp", result.module)

@@ -93,8 +93,14 @@ class Interpreter:
         #: the FpgaExecutor driving this interpreter, if any — compiled
         #: device-op closures bind to it directly.
         self.host_executor = None
+        #: optional :class:`~repro.reliability.report.RunReport` — engine
+        #: tier degradations are recorded here when an executor armed one
+        self.reliability_report = None
         self._functions: dict[str, Operation] | None = None
         self._compilation = None
+        #: functions whose block-JIT compilation crashed this session —
+        #: recorded once, then permanently served by the scalar tier
+        self._degraded_functions: set[str] = set()
 
     # -- function lookup ---------------------------------------------------------
 
@@ -129,8 +135,15 @@ class Interpreter:
                 f"function {name!r} expects {len(body.args)} arguments, "
                 f"got {len(args)}"
             )
-        if self.compiled:
-            compiled_fn = self._compiled_function(name, func)
+        if self.compiled and name not in self._degraded_functions:
+            try:
+                compiled_fn = self._compiled_function(name, func)
+            except Exception as error:  # noqa: BLE001 - degrade, never crash
+                self._degraded_functions.add(name)
+                from repro.reliability.report import record_degradation
+
+                record_degradation(self, "block-jit", "scalar", name, error)
+                compiled_fn = None
             if compiled_fn is not None:
                 return compiled_fn.call(self, args)
         env: dict[SSAValue, Any] = {}

@@ -909,6 +909,37 @@ def _classify_nest(loop: Operation) -> tuple:
     return cached
 
 
+def _classify_guarded(interp, loop: Operation, classifier) -> tuple:
+    """Classification that degrades instead of crashing.
+
+    The classifiers are side-effect free, so an engine bug inside the
+    vectorizer's analysis must never take down a run the scalar tier
+    could complete: the crash is recorded as a ``vectorized -> scalar``
+    degradation (once — the cache is poisoned with a no-mode entry) and
+    the caller takes its normal scalar bail path.  The cache is consulted
+    here too, so the poisoned entry short-circuits before the crashed
+    classifier runs again.
+    """
+    cached = _analysis_cache.get(id(loop))
+    if cached is not None and cached[0] is loop:
+        return cached
+    try:
+        return classifier(loop)
+    except Exception as error:  # noqa: BLE001 - degrade, never crash
+        cached = (loop, None, None, None)
+        _analysis_cache[id(loop)] = cached
+        from repro.reliability.report import record_degradation
+
+        record_degradation(
+            interp,
+            "vectorized",
+            "scalar",
+            f"{loop.name} classification",
+            error,
+        )
+        return cached
+
+
 def _accepts_count(observer) -> bool:
     """True when the observer accepts the batching ``count`` argument."""
     import inspect
@@ -1099,7 +1130,7 @@ def try_vectorized_nest(
     """Whole-space evaluation of a perfect ``scf.for`` nest rooted at
     ``loop``.  Returns True when handled; the scalar walk must run
     otherwise."""
-    _, mode, plan, program = _classify(loop)
+    _, mode, plan, program = _classify_guarded(interp, loop, _classify)
     if mode not in ("nest_elementwise", "nest_reduction"):
         return False
     return _run_nest(interp, loop, env, [(lb, ub, step)], plan, program)
@@ -1115,7 +1146,7 @@ def try_vectorized_loop_nest(
     scalar nested walk must run otherwise.  Step accounting matches the
     scalar walk exactly (one step per body op per innermost iteration).
     """
-    _, mode, plan, program = _classify_nest(loop)
+    _, mode, plan, program = _classify_guarded(interp, loop, _classify_nest)
     if mode is None:
         return False
     return _run_nest(
@@ -1355,7 +1386,7 @@ def try_vectorized_loop(
 ) -> bool:
     """Execute the loop vectorized if provably safe.  Returns True when
     handled (the scalar path must run otherwise)."""
-    _, mode, plan, program = _classify(loop)
+    _, mode, plan, program = _classify_guarded(interp, loop, _classify)
     if mode not in ("elementwise", "scatter_store"):
         return False
     trips = _trip_count(lb, ub, step)
@@ -1472,7 +1503,7 @@ def try_vectorized_reduction(
     memref-accumulator loops, which have no results); None means the
     scalar path must run.
     """
-    _, mode, plan, program = _classify(loop)
+    _, mode, plan, program = _classify_guarded(interp, loop, _classify)
     if mode not in ("iter_reduction", "memref_reduction"):
         return None
     trips = _trip_count(lb, ub, step)

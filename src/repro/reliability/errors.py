@@ -1,0 +1,156 @@
+"""Structured error taxonomy for the whole pipeline.
+
+Every failure the reproduction can raise toward a user is a
+:class:`ReproError` carrying *where* it happened (``stage``), *which
+kernel* was involved when known (``kernel``) and a short source/op
+``context`` string.  The concrete classes mirror the pipeline stages::
+
+    ReproError
+      +-- FrontendError       (parse / sema / Fortran->core lowering)
+      +-- LoweringError       (device-dialect + omp->HLS transforms)
+      +-- DeviceBuildError    (simulated Vitis synthesis)
+      +-- DeviceRuntimeError  (simulated board execution)
+      |     +-- DeviceAllocationError   (device.alloc out-of-memory)
+      |     +-- DmaError               (DMA start/wait failure)
+      |     +-- DataIntegrityError     (bit-flip detected on readback)
+      |     +-- WatchdogTimeout        (kernel step budget exhausted)
+      +-- EngineError         (execution-tier internal failure)
+
+``LoweringError`` and ``DeviceBuildError`` also subclass
+:class:`~repro.ir.core.IRError` so existing callers catching ``IRError``
+keep working; :func:`wrap_error` upgrades a foreign exception into the
+taxonomy *while preserving its original type* (the wrapped class
+inherits from both), so ``except SemanticError`` and ``except
+FrontendError`` both match the same raised object.
+
+Transient vs. persistent: errors produced by the fault-injection layer
+carry ``transient=True`` when a bounded retry is expected to succeed;
+the retry machinery in :mod:`repro.reliability.faults` keys off that
+flag.  Errors that escape to the caller are final — a transient fault
+that exhausted its retries is raised with the flag still set so reports
+can distinguish "gave up retrying" from "never retryable".
+"""
+
+from __future__ import annotations
+
+from repro.ir.core import IRError
+
+
+class ReproError(Exception):
+    """Base of the pipeline error taxonomy (see module docstring)."""
+
+    #: default stage name for the subclass (overridden per class)
+    default_stage: str | None = None
+    #: whether a bounded retry is expected to succeed
+    transient: bool = False
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        stage: str | None = None,
+        kernel: str | None = None,
+        context: str | None = None,
+        transient: bool | None = None,
+    ):
+        self.stage = stage if stage is not None else self.default_stage
+        self.kernel = kernel
+        self.context = context
+        if transient is not None:
+            self.transient = transient
+        detail = []
+        if self.stage:
+            detail.append(f"stage={self.stage}")
+        if kernel:
+            detail.append(f"kernel={kernel}")
+        if context:
+            detail.append(f"context={context}")
+        text = f"{message} [{', '.join(detail)}]" if detail else message
+        super().__init__(text)
+
+
+class FrontendError(ReproError):
+    """Parse/sema/lowering failure in the Fortran frontend."""
+
+    default_stage = "frontend"
+
+
+class LoweringError(ReproError, IRError):
+    """Failure inside the device-dialect / omp->HLS transform passes."""
+
+    default_stage = "lowering"
+
+
+class DeviceBuildError(ReproError, IRError):
+    """Failure during the simulated Vitis hardware build."""
+
+    default_stage = "device_build"
+
+
+class DeviceRuntimeError(ReproError):
+    """Failure on the simulated board at execution time."""
+
+    default_stage = "device_runtime"
+
+
+class DeviceAllocationError(DeviceRuntimeError):
+    """``device.alloc`` could not satisfy the request (simulated OOM)."""
+
+
+class DmaError(DeviceRuntimeError):
+    """A DMA start/wait command failed on the simulated queue."""
+
+
+class DataIntegrityError(DeviceRuntimeError):
+    """Readback checksum mismatch: a buffer was corrupted in flight."""
+
+
+class WatchdogTimeout(DeviceRuntimeError):
+    """A kernel exceeded its watchdog step budget (simulated hang)."""
+
+
+class EngineError(ReproError):
+    """Internal failure of an execution tier (vectorizer / block-JIT)."""
+
+    default_stage = "engine"
+
+
+# ---------------------------------------------------------------------------
+# Foreign-exception adoption
+# ---------------------------------------------------------------------------
+
+#: (taxonomy base, original class) -> combined class
+_WRAPPED: dict[tuple[type, type], type] = {}
+
+
+def wrap_error(
+    error: BaseException,
+    base: type[ReproError],
+    *,
+    stage: str | None = None,
+    kernel: str | None = None,
+    context: str | None = None,
+) -> ReproError:
+    """A taxonomy error that is *also* an instance of ``type(error)``.
+
+    Callers catching the original class (``SemanticError``,
+    ``IRError``, ...) and callers catching the taxonomy class both match
+    the returned object, so adopting an error into the taxonomy never
+    breaks an existing ``except`` clause.  Raise the result ``from
+    error`` so the originating traceback (source line, op context) stays
+    on the chain.
+    """
+    if isinstance(error, base):
+        return error
+    cls = type(error)
+    key = (base, cls)
+    wrapped = _WRAPPED.get(key)
+    if wrapped is None:
+        try:
+            wrapped = type(
+                f"{base.__name__}:{cls.__name__}", (base, cls), {}
+            )
+        except TypeError:  # incompatible layout: fall back to the base
+            wrapped = base
+        _WRAPPED[key] = wrapped
+    return wrapped(str(error), stage=stage, kernel=kernel, context=context)

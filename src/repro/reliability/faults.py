@@ -1,0 +1,212 @@
+"""Seeded, deterministic fault injection for the simulated device runtime.
+
+A :class:`FaultPlan` is a set of :class:`FaultSpec` entries, each naming
+an injection *site* (a device-op class the executor runs), the dynamic
+*occurrence* of that site to hit, a fault *kind*, and whether it is
+transient (recoverable by a bounded retry) or persistent.  Arm a plan on
+an executor::
+
+    plan = FaultPlan.from_seed(7)                 # or hand-written specs
+    executor = program.executor(fault_plan=plan)
+    result = executor.run("saxpy", *args)
+    result.report.faults                           # what was injected
+
+The hook mirrors the :class:`~repro.ir.pass_manager.Instrumentation`
+pattern: when no plan is armed the executor's fault slot is ``None`` and
+every site costs exactly one attribute check — no behavioural or
+accounting difference.  The chaos conformance suite
+(``tests/reliability/``) asserts the contract: under *any* plan a run
+either completes **bit-identical** to the fault-free baseline (outputs
+and ``steps``/``device_time_ms``/``kernel_cycles``; retries and backoff
+priced into the :class:`~repro.reliability.report.RunReport` only) or
+raises a typed :class:`~repro.reliability.errors.ReproError` — never a
+silently wrong result.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.reliability.errors import (
+    DeviceAllocationError,
+    DeviceRuntimeError,
+    DmaError,
+)
+from repro.reliability.report import RunReport
+from repro.reliability.retry import DEFAULT_RETRY_POLICY, RetryPolicy
+
+#: injection sites: the device-op classes the executor guards
+SITES = ("alloc", "dma_start", "dma_wait", "kernel_launch")
+#: fault kinds; "hang" and "bitflip" are kernel_launch-only
+KINDS = ("fail", "hang", "bitflip")
+
+#: typed error raised per site when a "fail" fault wins
+SITE_ERRORS: dict[str, type[DeviceRuntimeError]] = {
+    "alloc": DeviceAllocationError,
+    "dma_start": DmaError,
+    "dma_wait": DmaError,
+    "kernel_launch": DeviceRuntimeError,
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault (see module docstring)."""
+
+    #: injection site (one of :data:`SITES`)
+    site: str
+    #: "fail" (op errors before doing work), "hang" (kernel runs out of
+    #: step budget mid-execution) or "bitflip" (kernel output corrupted,
+    #: detected on readback) — the latter two only at kernel_launch
+    kind: str = "fail"
+    #: which dynamic occurrence of the site fires (0-based)
+    index: int = 0
+    #: transient faults recover once retried past ``fail_count``
+    transient: bool = True
+    #: failing attempts before a transient fault clears (1-based)
+    fail_count: int = 1
+    #: restrict kernel-site faults to one kernel name (None = any)
+    kernel: str | None = None
+    #: bitflip target buffer name (None = first array argument)
+    buffer: str | None = None
+    #: injected step budget simulating the hang (must be small enough
+    #: that the kernel cannot finish inside it)
+    hang_steps: int = 16
+    #: which bit to flip (modulo the target's size)
+    bit: int = 0
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise ValueError(f"unknown fault site {self.site!r}")
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.kind != "fail" and self.site != "kernel_launch":
+            raise ValueError(
+                f"{self.kind!r} faults only apply to kernel_launch"
+            )
+        if self.fail_count < 1:
+            raise ValueError("fail_count must be >= 1")
+
+
+class FaultPlan:
+    """An immutable, seed-reproducible collection of faults."""
+
+    def __init__(self, specs: Sequence[FaultSpec], seed: int | None = None):
+        self.specs = tuple(specs)
+        self.seed = seed
+
+    def __repr__(self) -> str:
+        label = f"seed={self.seed}, " if self.seed is not None else ""
+        return f"FaultPlan({label}{list(self.specs)!r})"
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    @classmethod
+    def from_seed(
+        cls,
+        seed: int,
+        *,
+        n_faults: int = 1,
+        sites: Sequence[str] = SITES,
+        max_index: int = 4,
+        transient_ratio: float = 0.5,
+    ) -> "FaultPlan":
+        """A deterministic pseudo-random plan: same seed, same plan."""
+        rng = random.Random(seed)
+        specs = []
+        for _ in range(n_faults):
+            site = rng.choice(list(sites))
+            kind = (
+                rng.choice(list(KINDS)) if site == "kernel_launch" else "fail"
+            )
+            transient = rng.random() < transient_ratio
+            specs.append(
+                FaultSpec(
+                    site=site,
+                    kind=kind,
+                    index=rng.randrange(max_index),
+                    transient=transient,
+                    fail_count=rng.randint(1, 2) if transient else 1,
+                    hang_steps=rng.randint(8, 32),
+                    bit=rng.randrange(256),
+                )
+            )
+        return cls(specs, seed=seed)
+
+    def controller(
+        self,
+        report: RunReport,
+        policy: RetryPolicy | None = None,
+    ) -> "FaultController":
+        """Fresh per-run controller (occurrence counters reset)."""
+        return FaultController(self, report, policy or DEFAULT_RETRY_POLICY)
+
+
+class FaultController:
+    """Per-run matching + retry bookkeeping for one armed plan.
+
+    Occurrence counters advance once per *logical* site event; retries of
+    the same event re-consult the matched spec via :meth:`fires` rather
+    than consuming a new occurrence, so transient recovery is
+    deterministic across tiers.
+    """
+
+    def __init__(
+        self, plan: FaultPlan, report: RunReport, policy: RetryPolicy
+    ):
+        self.plan = plan
+        self.report = report
+        self.policy = policy
+        self._by_site: dict[str, list[FaultSpec]] = {}
+        for spec in plan.specs:
+            self._by_site.setdefault(spec.site, []).append(spec)
+        self._counts: Counter = Counter()
+
+    def poll(self, site: str, kernel: str | None = None) -> FaultSpec | None:
+        """Advance the site's occurrence counter; return the matched
+        spec, if any."""
+        occurrence = self._counts[site]
+        self._counts[site] = occurrence + 1
+        for spec in self._by_site.get(site, ()):
+            if spec.index != occurrence:
+                continue
+            if spec.kernel is not None and spec.kernel != kernel:
+                continue
+            return spec
+        return None
+
+    @staticmethod
+    def fires(spec: FaultSpec, attempt: int) -> bool:
+        """Whether the fault still manifests on 1-based ``attempt``."""
+        return (not spec.transient) or attempt <= spec.fail_count
+
+    def resolve(
+        self, spec: FaultSpec, site: str, kernel: str | None = None
+    ) -> None:
+        """Simulated detect->retry->backoff loop for faults that fire
+        *before* the op's work begins (alloc OOM, DMA command errors,
+        kernel launch failures).  Returns normally when a transient
+        fault clears within the retry budget — the op then executes its
+        fault-free semantics, so accounting stays bit-identical; raises
+        the site's typed error otherwise.
+        """
+        policy = self.policy
+        error_cls = SITE_ERRORS[site]
+        for attempt in range(1, policy.max_attempts + 1):
+            if not self.fires(spec, attempt):
+                return  # recovered
+            self.report.record_fault(
+                site, spec.kind, spec.transient, attempt, kernel=kernel
+            )
+            if not spec.transient or attempt == policy.max_attempts:
+                raise error_cls(
+                    f"injected {spec.kind} fault at {site} "
+                    f"(occurrence {spec.index}, attempt {attempt})",
+                    kernel=kernel,
+                    transient=spec.transient,
+                )
+            self.report.record_retry(policy.backoff_s(attempt))

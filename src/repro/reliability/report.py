@@ -1,0 +1,123 @@
+"""Per-run reliability reports: what faulted, what was retried, what
+degraded.
+
+A :class:`RunReport` is created fresh for every
+:meth:`~repro.runtime.executor.FpgaExecutor.run` and attached to the
+returned :class:`~repro.runtime.executor.ExecutionResult` as
+``result.report``.  Retries and backoff are *priced into the report* —
+never into ``device_time_ms`` / ``kernel_cycles`` — so a run that
+recovers from transient faults stays bit-identical to the fault-free
+baseline in every modelled value.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+
+logger = logging.getLogger("repro.reliability")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault occurrence observed during a run."""
+
+    site: str          # alloc | dma_start | dma_wait | kernel_launch
+    kind: str          # fail | hang | bitflip
+    transient: bool
+    attempt: int       # 1-based attempt number that hit the fault
+    kernel: str | None = None
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class Degradation:
+    """One engine-tier fallback taken during a run."""
+
+    tier_from: str     # "vectorized" | "block-jit"
+    tier_to: str       # "scalar"
+    where: str         # function / loop the degradation happened in
+    reason: str
+
+
+@dataclass
+class RunReport:
+    """Reliability record of one executor run (see module docstring)."""
+
+    faults: list[FaultEvent] = field(default_factory=list)
+    degradations: list[Degradation] = field(default_factory=list)
+    #: retries performed after transient faults (all sites combined)
+    retries: int = 0
+    #: simulated backoff accumulated across retries — a *separate* clock
+    #: from the command queue, so modelled device time stays fault-free
+    backoff_s: float = 0.0
+    #: the kernel watchdog step budget in force, if any
+    watchdog_budget: int | None = None
+    #: whether the run reached the end of the host program
+    completed: bool = False
+
+    # -- recording ---------------------------------------------------------------------
+
+    def record_fault(
+        self,
+        site: str,
+        kind: str,
+        transient: bool,
+        attempt: int,
+        kernel: str | None = None,
+        detail: str = "",
+    ) -> None:
+        self.faults.append(
+            FaultEvent(site, kind, transient, attempt, kernel, detail)
+        )
+
+    def record_retry(self, backoff_s: float) -> None:
+        self.retries += 1
+        self.backoff_s += backoff_s
+
+    def record_degradation(
+        self, tier_from: str, tier_to: str, where: str, reason: str
+    ) -> None:
+        self.degradations.append(
+            Degradation(tier_from, tier_to, where, reason)
+        )
+
+    # -- introspection -----------------------------------------------------------------
+
+    @property
+    def faults_hit(self) -> int:
+        return len(self.faults)
+
+    @property
+    def recovered(self) -> bool:
+        """True when faults were hit but the run still completed."""
+        return self.completed and bool(self.faults or self.degradations)
+
+    def summary(self) -> str:
+        parts = [
+            f"completed={self.completed}",
+            f"faults={len(self.faults)}",
+            f"retries={self.retries}",
+            f"backoff_s={self.backoff_s:.6f}",
+            f"degradations={len(self.degradations)}",
+        ]
+        return "RunReport(" + ", ".join(parts) + ")"
+
+
+def record_degradation(interp, tier_from: str, tier_to: str, where: str,
+                       error: BaseException) -> None:
+    """Log an engine-tier fallback and record it on the interpreter's
+    attached :class:`RunReport` (if an executor armed one).
+
+    This is the reliability counterpart of the *reasoned* bail-out log on
+    ``repro.ir.vectorize``: a reasoned bail is expected and logged at
+    DEBUG there; a degradation means an engine **crashed** and the next
+    tier took over, so it is logged at WARNING here.
+    """
+    logger.warning(
+        "engine degradation: %s -> %s at %s: %r",
+        tier_from, tier_to, where, error,
+    )
+    report = getattr(interp, "reliability_report", None)
+    if report is not None:
+        report.record_degradation(tier_from, tier_to, where, repr(error))

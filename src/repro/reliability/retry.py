@@ -1,0 +1,39 @@
+"""Deterministic retry/backoff policy for transient device faults.
+
+Backoff is *simulated-clock*: the delay for attempt ``k`` is a pure
+function of the policy parameters and ``k`` (no wall clock, no RNG), and
+it accumulates on :attr:`RunReport.backoff_s` rather than the command
+queue — recovered runs therefore reproduce the fault-free
+``device_time_ms`` bit-for-bit while the report still prices the
+recovery work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with deterministic exponential backoff."""
+
+    #: total attempts (first try included); 3 means "retry twice"
+    max_attempts: int = 3
+    #: simulated delay before the first retry
+    backoff_base_s: float = 1e-3
+    #: multiplier applied per subsequent retry
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base_s < 0 or self.backoff_factor <= 0:
+            raise ValueError("backoff parameters must be positive")
+
+    def backoff_s(self, attempt: int) -> float:
+        """Simulated delay after failed attempt ``attempt`` (1-based)."""
+        return self.backoff_base_s * self.backoff_factor ** (attempt - 1)
+
+
+#: policy used when an executor arms faults without choosing one
+DEFAULT_RETRY_POLICY = RetryPolicy()

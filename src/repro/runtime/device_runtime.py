@@ -13,11 +13,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.reliability.errors import DeviceRuntimeError
 from repro.runtime.opencl import ClBuffer, ClContext
 
-
-class DeviceRuntimeError(Exception):
-    """Raised on counter/table misuse (release without acquire...)."""
+__all__ = ["DeviceDataTable", "DeviceRuntimeError"]
 
 
 @dataclass

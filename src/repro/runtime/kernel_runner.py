@@ -4,6 +4,13 @@ Shared by the compiled-flow executor and the hand-written-HLS baselines:
 runs a kernel from a :class:`~repro.backend.vitis.Bitstream` on NumPy
 arguments, observing loop trip counts during interpretation and charging
 ``fill + trips * achieved_II`` cycles per scheduled loop.
+
+Reliability: a *watchdog step budget* bounds how many interpreter steps
+one kernel execution may retire — a hung (or injected-hang) kernel
+raises a typed :class:`~repro.reliability.errors.WatchdogTimeout`
+instead of spinning.  An aborted execution discards its cycle stack and
+the executor rolls its step counter back via :meth:`reset_steps`, so a
+retried kernel reproduces fault-free accounting exactly.
 """
 
 from __future__ import annotations
@@ -13,7 +20,8 @@ from dataclasses import dataclass
 from repro.backend.vitis import Bitstream
 from repro.fpga.scheduler import KernelSchedule
 from repro.ir.core import IRError, Operation
-from repro.ir.interpreter import Interpreter
+from repro.ir.interpreter import Interpreter, InterpreterError
+from repro.reliability.errors import WatchdogTimeout
 
 
 @dataclass
@@ -33,8 +41,12 @@ class KernelRunner:
         *,
         compiled: bool = True,
         vectorize: bool = True,
+        watchdog_steps: int | None = None,
     ):
         self.bitstream = bitstream
+        #: default per-run step budget (None = unbounded); the watchdog
+        #: of every kernel simulation this runner performs
+        self.watchdog_steps = watchdog_steps
         # Cycle accounting hooks the interpreter's loop observer (fired
         # once per scf.for execution with the observed trip count) rather
         # than overriding the scf.for impl, so device loops still run on
@@ -51,15 +63,51 @@ class KernelRunner:
         """Steps retired by device-kernel interpretation so far."""
         return self._interp.steps
 
-    def run(self, kernel_name: str, *args) -> KernelRun:
+    def reset_steps(self, value: int) -> None:
+        """Roll the step counter back to ``value`` — used by the
+        executor's retry path after an aborted kernel execution so the
+        partial attempt leaves no trace in the modelled step count."""
+        self._interp.steps = value
+
+    def attach_report(self, report) -> None:
+        """Attach a :class:`~repro.reliability.report.RunReport` so
+        engine-tier degradations inside kernel simulation are recorded."""
+        self._interp.reliability_report = report
+
+    def run(
+        self, kernel_name: str, *args, step_budget: int | None = None
+    ) -> KernelRun:
+        """Execute ``kernel_name`` on ``args``.
+
+        ``step_budget`` overrides the runner's default watchdog for this
+        one execution (the fault injector uses a tiny budget to simulate
+        a hang); exhausting either budget raises
+        :class:`WatchdogTimeout` with the partial cycle count discarded.
+        """
         design = self.bitstream.kernels.get(kernel_name)
         if design is None:
             raise IRError(f"no kernel {kernel_name!r} in the bitstream")
+        interp = self._interp
+        budget = step_budget if step_budget is not None else self.watchdog_steps
+        saved_max = interp.max_steps
+        budget_limit = None
+        if budget is not None:
+            budget_limit = interp.steps + budget
+            interp.max_steps = min(saved_max, budget_limit)
         self._cycle_stack.append(float(design.start_overhead_cycles))
         self._design_stack.append(design)
         try:
-            self._interp.call(kernel_name, *args)
+            interp.call(kernel_name, *args)
+        except InterpreterError as error:
+            if budget_limit is not None and interp.steps >= budget_limit:
+                raise WatchdogTimeout(
+                    f"kernel {kernel_name!r} exceeded its watchdog step "
+                    f"budget ({budget} steps)",
+                    kernel=kernel_name,
+                ) from error
+            raise
         finally:
+            interp.max_steps = saved_max
             cycles = self._cycle_stack.pop()
             self._design_stack.pop()
         seconds = self.bitstream.board.cycles_to_seconds(cycles)

@@ -36,6 +36,13 @@ from repro.fpga.board import U280Board
 from repro.frontend.driver import compile_to_core
 from repro.frontend.sema import ProgramInfo
 from repro.ir.pass_manager import Instrumentation, PassManager, PipelineStage
+from repro.reliability.errors import (
+    DeviceBuildError,
+    FrontendError,
+    LoweringError,
+    ReproError,
+    wrap_error,
+)
 from repro.runtime.executor import ExecutionResult, FpgaExecutor
 from repro.transforms import (
     CanonicalizePass,
@@ -219,16 +226,26 @@ class CompiledProgram:
         *,
         compiled: bool = True,
         vectorize: bool = True,
+        fault_plan=None,
+        retry_policy=None,
+        watchdog_steps: int | None = None,
     ) -> FpgaExecutor:
         """Fresh executor (fresh device state) for this program.
 
         ``compiled``/``vectorize`` select the execution tiers (scalar
         interpreter, block-JIT, NumPy loop evaluation); every combination
         must produce bit-identical results and accounting.
+
+        Reliability knobs (see :mod:`repro.reliability`): ``fault_plan``
+        arms seeded fault injection, ``retry_policy`` bounds the
+        transient-fault retries and ``watchdog_steps`` sets the default
+        per-kernel step budget.
         """
         return FpgaExecutor(
             self.host_module, self.bitstream, self.board, flow_label,
             compiled=compiled, vectorize=vectorize,
+            fault_plan=fault_plan, retry_policy=retry_policy,
+            watchdog_steps=watchdog_steps,
         )
 
     def run(self, func_name: str | None = None, *args) -> ExecutionResult:
@@ -274,16 +291,30 @@ class Session:
     # -- stage 1 ---------------------------------------------------------------------
 
     def frontend(self) -> FrontendArtifact:
-        """Flang + [3]: parse/sema/lower to the core+omp module (once)."""
+        """Flang + [3]: parse/sema/lower to the core+omp module (once).
+
+        A failed compile caches nothing: the next call retries from the
+        source, so a session survives (for example) a transient
+        instrumentation failure without holding a poisoned artifact.
+        """
         if self._frontend is None:
             instr = self.instrumentation
             mark = len(instr.snapshots)
-            result = compile_to_core(self.source, instrumentation=instr)
-            self._frontend = FrontendArtifact(
-                module=result.module,
-                program_info=result.program_info,
-                snapshots=list(instr.snapshots[mark:]),
-            )
+            try:
+                result = compile_to_core(self.source, instrumentation=instr)
+                self._frontend = FrontendArtifact(
+                    module=result.module,
+                    program_info=result.program_info,
+                    snapshots=list(instr.snapshots[mark:]),
+                )
+            except ReproError:
+                self._frontend = None
+                raise
+            except Exception as error:
+                self._frontend = None
+                raise wrap_error(
+                    error, FrontendError, context="session.frontend"
+                ) from error
         return self._frontend
 
     # -- stages 2-5 (host) -------------------------------------------------------------
@@ -300,26 +331,36 @@ class Session:
         )
         key = _policy_key(policy)
         if key not in self._host_device:
-            frontend = self.frontend()
-            instr = self.instrumentation
-            module = frontend.module.clone()
-            pm = host_device_pipeline(
-                policy, instrumentation=instr, verify_each=self.verify_each
-            )
-            pm.run(module)
-            snapshots = []
-            snap = instr.snapshot("device-dialect", module)
-            if snap is not None:
-                snapshots.append(snap)
-            host_module, device_module = split_host_device(module)
-            instr.count("host_device_builds")
-            self._host_device[key] = HostDeviceArtifact(
-                host_module=host_module,
-                device_module=device_module,
-                host_cpp=generate_host_code(host_module),
-                policy_key=key,
-                snapshots=snapshots,
-            )
+            try:
+                frontend = self.frontend()
+                instr = self.instrumentation
+                module = frontend.module.clone()
+                pm = host_device_pipeline(
+                    policy, instrumentation=instr,
+                    verify_each=self.verify_each,
+                )
+                pm.run(module)
+                snapshots = []
+                snap = instr.snapshot("device-dialect", module)
+                if snap is not None:
+                    snapshots.append(snap)
+                host_module, device_module = split_host_device(module)
+                instr.count("host_device_builds")
+                self._host_device[key] = HostDeviceArtifact(
+                    host_module=host_module,
+                    device_module=device_module,
+                    host_cpp=generate_host_code(host_module),
+                    policy_key=key,
+                    snapshots=snapshots,
+                )
+            except ReproError:
+                self._host_device.pop(key, None)
+                raise
+            except Exception as error:
+                self._host_device.pop(key, None)
+                raise wrap_error(
+                    error, LoweringError, context=f"host_device {key!r}"
+                ) from error
         return self._host_device[key]
 
     # -- stages 5 (device) + 6 ---------------------------------------------------------
@@ -336,33 +377,48 @@ class Session:
         host = self.host_device(memory_space_policy)
         key = (host.policy_key, overrides)
         if key not in self._builds:
-            instr = self.instrumentation
-            device_module = host.device_module.clone()
-            pm = device_pipeline(
-                overrides, instrumentation=instr,
-                verify_each=self.verify_each,
-            )
-            pm.run(device_module)
-            snapshots = []
-            snap = instr.snapshot("device-hls", device_module)
-            if snap is not None:
-                snapshots.append(snap)
-            bitstream = VitisCompiler(self.board).compile(device_module)
-            for name, ir in (
-                ("llvm-ir", bitstream.llvm_ir),
-                ("amd-hls-llvm7", bitstream.amd_artifact.llvm_ir),
-            ):
-                snap = instr.snapshot(name, ir)
+            # Failure discipline: a raise anywhere mid-build must leave
+            # the session reusable — the key is evicted (never a partial
+            # artifact) and the frontend/host caches stay valid, so a
+            # retry with the same overrides re-runs only this stage.
+            try:
+                instr = self.instrumentation
+                device_module = host.device_module.clone()
+                pm = device_pipeline(
+                    overrides, instrumentation=instr,
+                    verify_each=self.verify_each,
+                )
+                pm.run(device_module)
+                snapshots = []
+                snap = instr.snapshot("device-hls", device_module)
                 if snap is not None:
                     snapshots.append(snap)
-            instr.count("device_builds")
-            self._builds[key] = DeviceBuild(
-                overrides=overrides,
-                device_module=device_module,
-                bitstream=bitstream,
-                host=host,
-                snapshots=snapshots,
-            )
+                bitstream = VitisCompiler(self.board).compile(device_module)
+                for name, ir in (
+                    ("llvm-ir", bitstream.llvm_ir),
+                    ("amd-hls-llvm7", bitstream.amd_artifact.llvm_ir),
+                ):
+                    snap = instr.snapshot(name, ir)
+                    if snap is not None:
+                        snapshots.append(snap)
+                instr.count("device_builds")
+                self._builds[key] = DeviceBuild(
+                    overrides=overrides,
+                    device_module=device_module,
+                    bitstream=bitstream,
+                    host=host,
+                    snapshots=snapshots,
+                )
+            except ReproError:
+                self._builds.pop(key, None)
+                raise
+            except Exception as error:
+                self._builds.pop(key, None)
+                raise wrap_error(
+                    error,
+                    DeviceBuildError,
+                    context=f"device_build overrides={overrides!r}",
+                ) from error
         return self._builds[key]
 
     # -- assembly ----------------------------------------------------------------------

@@ -19,9 +19,21 @@ from dataclasses import dataclass
 
 from repro.dialects import arith, func, hls, memref, omp, scf
 from repro.ir.builder import Builder
-from repro.ir.core import IRError, Operation, Region, SSAValue
+from repro.ir.core import Operation, Region, SSAValue
 from repro.ir.pass_manager import ModulePass, PassOption, register_pass
 from repro.ir.types import FloatType, IntegerType, MemRefType
+from repro.reliability.errors import LoweringError, wrap_error
+
+
+def _enclosing_kernel(op: Operation) -> str | None:
+    """Symbol name of the ``func.func`` containing ``op``, if any."""
+    from repro.ir.attributes import StringAttr
+
+    fn = op.get_parent_of_type(func.FuncOp)
+    if fn is None:
+        return None
+    sym = fn.attributes.get("sym_name")
+    return sym.value if isinstance(sym, StringAttr) else None
 
 
 _IDENTITY = {
@@ -53,7 +65,9 @@ def _const_for(ty, value) -> arith.Constant:
         return arith.Constant.float(float(value), ty.width)
     if isinstance(ty, IntegerType):
         return arith.Constant.int(int(value), ty.width)
-    raise IRError(f"cannot materialize reduction identity of type {ty.print()}")
+    raise LoweringError(
+        f"cannot materialize reduction identity of type {ty.print()}"
+    )
 
 
 @dataclass
@@ -115,12 +129,28 @@ class LowerOmpToHlsPass(ModulePass):
             self._add_interfaces(fn)
         for par in [op for op in module.walk() if op.name == "omp.parallel"]:
             if par.parent is not None:
-                self._lower_parallel(par)
+                kernel = _enclosing_kernel(par)
+                try:
+                    self._lower_parallel(par)
+                except LoweringError as error:
+                    if error.kernel is None:
+                        error.kernel = kernel
+                    raise
+                except Exception as error:
+                    raise wrap_error(
+                        error,
+                        LoweringError,
+                        kernel=kernel,
+                        context="omp.parallel lowering",
+                    ) from error
         leftovers = sorted(
             {op.name for op in module.walk() if op.name.startswith("omp.")}
         )
         if leftovers:
-            raise IRError(f"lower-omp-to-hls left omp ops behind: {leftovers}")
+            raise LoweringError(
+                f"lower-omp-to-hls left omp ops behind: {leftovers}",
+                context=self.name,
+            )
 
     # -- interfaces ------------------------------------------------------------------
 
@@ -216,7 +246,9 @@ class LowerOmpToHlsPass(ModulePass):
         for child in op.regions[0].block.ops:
             if child.name == name:
                 return child
-        raise IRError(f"{op.name} does not contain a {name}")
+        raise LoweringError(
+            f"{op.name} does not contain a {name}", context=op.name
+        )
 
     @staticmethod
     def _maybe_child(op: Operation, name: str) -> Operation | None:

@@ -70,6 +70,80 @@ class TestStageCaching:
         )
 
 
+class TestStageFailureEviction:
+    """A raise mid-stage must leave the session reusable: the failed
+    stage's cache key is evicted (never a partial artifact), earlier
+    stages stay cached, and an immediate retry succeeds."""
+
+    def test_failed_device_build_evicts_key_and_retry_succeeds(
+        self, monkeypatch
+    ):
+        from repro.backend.vitis import VitisCompiler
+        from repro.reliability import DeviceBuildError
+
+        session = Session(SAXPY_MINI)
+        session.host_device()  # warm the earlier stages
+        counters_before = dict(session.counters)
+
+        real_compile = VitisCompiler.compile
+        calls = {"n": 0}
+
+        def flaky_compile(self, module):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("synthesis backend crashed")
+            return real_compile(self, module)
+
+        monkeypatch.setattr(VitisCompiler, "compile", flaky_compile)
+        with pytest.raises(DeviceBuildError) as excinfo:
+            session.device_build()
+        assert excinfo.value.__cause__ is not None
+        assert not session._builds  # the poisoned key was evicted
+
+        # earlier stage caches survived — nothing recompiled
+        assert session.counters["frontend_compiles"] == \
+            counters_before["frontend_compiles"]
+        assert session.counters["host_device_builds"] == \
+            counters_before["host_device_builds"]
+
+        # the retry re-runs only the failed stage, bit-identically to a
+        # fresh session over the same source
+        retried = session.program()
+        assert calls["n"] == 2  # one failed attempt + one retry
+        pristine = Session(SAXPY_MINI).program()
+        assert print_op(retried.device_module) == print_op(
+            pristine.device_module
+        )
+
+    def test_failed_frontend_caches_nothing(self, monkeypatch):
+        import repro.session as session_mod
+        from repro.reliability import FrontendError
+
+        session = Session(SAXPY_MINI)
+
+        def crash(*args, **kwargs):
+            raise RuntimeError("instrumentation hook crashed")
+
+        monkeypatch.setattr(session_mod, "compile_to_core", crash)
+        with pytest.raises(FrontendError):
+            session.frontend()
+        monkeypatch.undo()
+
+        assert session.frontend() is session.frontend()  # retried fine
+        assert session.counters["frontend_compiles"] == 1
+
+    def test_executor_forwards_reliability_kwargs(self):
+        from repro.reliability import DmaError, FaultPlan, FaultSpec
+
+        program = Session(SAXPY_MINI).program()
+        plan = FaultPlan([FaultSpec(site="dma_start", transient=False)])
+        executor = program.executor(fault_plan=plan, watchdog_steps=10_000)
+        workload = get_workload("saxpy")
+        instance = workload.instance(64)
+        with pytest.raises(DmaError):
+            executor.run(workload.entry, *instance.args)
+
+
 class TestInstrumentedSession:
     def test_stage_snapshots(self):
         session = Session(

@@ -1,0 +1,63 @@
+"""Shared fixtures for the reliability/chaos suite.
+
+One compiled saxpy program (session-scoped — compilation is the slow
+part) plus a ``run`` helper that regenerates identical inputs per call,
+so baseline and fault-injected runs are comparable bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.session import Session
+
+from tests.conftest import SAXPY_MINI
+
+N = 64
+A = 3.0
+
+
+@pytest.fixture(scope="session")
+def saxpy_program():
+    return Session(SAXPY_MINI).program()
+
+
+@pytest.fixture(scope="session")
+def saxpy_baseline(saxpy_program):
+    """Fault-free reference: (y_out, steps, device_time_ms, cycles)."""
+    y, result = run_saxpy(saxpy_program)
+    return y, result
+
+
+def run_saxpy(program, **executor_kwargs):
+    """One saxpy run on deterministic inputs.
+
+    Returns ``(y, result)`` where ``y`` is the output array after the
+    run; every call regenerates the same inputs from the same RNG seed.
+    """
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(N).astype(np.float32)
+    y = rng.standard_normal(N).astype(np.float32)
+    executor = program.executor(**executor_kwargs)
+    result = executor.run(
+        "saxpy",
+        np.array(A, dtype=np.float32),
+        x,
+        y,
+        np.array(N, dtype=np.int32),
+    )
+    return y, result
+
+
+def assert_bit_identical(baseline, candidate) -> None:
+    """The chaos contract's success arm: outputs AND every modelled
+    number match the fault-free baseline exactly."""
+    base_y, base_result = baseline
+    cand_y, cand_result = candidate
+    np.testing.assert_array_equal(base_y, cand_y)
+    assert cand_result.interpreter_steps == base_result.interpreter_steps
+    assert cand_result.device_time_ms == base_result.device_time_ms
+    assert cand_result.kernel_cycles == base_result.kernel_cycles
+    assert cand_result.launches == base_result.launches
+    assert cand_result.transfers == base_result.transfers

@@ -1,0 +1,214 @@
+"""Chaos conformance: the bit-identical-or-typed-error contract.
+
+For *every* seeded :class:`FaultPlan` and every engine tier, an armed
+run must either
+
+* complete **bit-identical** to the fault-free baseline — same outputs,
+  same ``interpreter_steps``, ``device_time_ms`` and ``kernel_cycles``
+  (retries and backoff are priced into ``result.report`` only), or
+* raise a typed :class:`ReproError`,
+
+and never return a silently-corrupted result.  Fixed seeds keep the CI
+chaos job reproducible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.reliability import (
+    DataIntegrityError,
+    DeviceAllocationError,
+    DmaError,
+    FaultPlan,
+    FaultSpec,
+    ReproError,
+    RetryPolicy,
+    WatchdogTimeout,
+)
+
+from tests.reliability.conftest import assert_bit_identical, run_saxpy
+
+CHAOS_SEEDS = list(range(24))
+
+TIERS = [
+    pytest.param(dict(compiled=True, vectorize=True), id="jit+vec"),
+    pytest.param(dict(compiled=True, vectorize=False), id="jit"),
+    pytest.param(dict(compiled=False, vectorize=True), id="scalar+vec"),
+    pytest.param(dict(compiled=False, vectorize=False), id="scalar"),
+]
+
+
+class TestUnarmedOverhead:
+    def test_no_plan_means_no_behaviour_change(
+        self, saxpy_program, saxpy_baseline
+    ):
+        """The hook is zero-cost when unarmed: a second fault-free run
+        reproduces the baseline exactly and reports nothing."""
+        candidate = run_saxpy(saxpy_program)
+        assert_bit_identical(saxpy_baseline, candidate)
+        report = candidate[1].report
+        assert report.completed
+        assert not report.faults and not report.degradations
+        assert report.retries == 0 and report.backoff_s == 0.0
+
+
+class TestSeededChaos:
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_bit_identical_or_typed_error(
+        self, seed, saxpy_program, saxpy_baseline
+    ):
+        plan = FaultPlan.from_seed(seed, n_faults=2)
+        try:
+            candidate = run_saxpy(saxpy_program, fault_plan=plan)
+        except ReproError:
+            return  # the typed-error arm of the contract
+        assert_bit_identical(saxpy_baseline, candidate)
+        report = candidate[1].report
+        assert report.completed
+        # every recorded retry was priced into the report's backoff clock
+        assert report.retries == 0 or report.backoff_s > 0.0
+
+    @pytest.mark.parametrize("tier", TIERS)
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS[:8])
+    def test_contract_holds_on_every_tier(
+        self, seed, tier, saxpy_program, saxpy_baseline
+    ):
+        """Fault matching keys on logical site occurrences, so the same
+        plan behaves identically under every engine tier."""
+        plan = FaultPlan.from_seed(seed, n_faults=1)
+        outcomes = []
+        for _ in range(2):  # also: same plan, same tier => same outcome
+            try:
+                candidate = run_saxpy(
+                    saxpy_program, fault_plan=plan, **tier
+                )
+            except ReproError as error:
+                outcomes.append(type(error).__name__)
+                continue
+            assert_bit_identical(saxpy_baseline, candidate)
+            outcomes.append("ok")
+        assert outcomes[0] == outcomes[1]
+
+
+class TestDirectedFaults:
+    """Hand-written specs pinning each site/kind's exact semantics."""
+
+    def test_transient_dma_start_recovers_bit_identically(
+        self, saxpy_program, saxpy_baseline
+    ):
+        plan = FaultPlan([FaultSpec(site="dma_start", transient=True)])
+        candidate = run_saxpy(saxpy_program, fault_plan=plan)
+        assert_bit_identical(saxpy_baseline, candidate)
+        report = candidate[1].report
+        assert report.faults_hit == 1 and report.retries == 1
+        assert report.recovered
+
+    def test_transient_dma_wait_recovers_on_compiled_tier(
+        self, saxpy_program, saxpy_baseline
+    ):
+        """memref.wait folds to a closure on the compiled tier; its
+        occurrence stream must still feed the fault gate."""
+        plan = FaultPlan([FaultSpec(site="dma_wait", transient=True)])
+        for tier in (dict(compiled=True), dict(compiled=False)):
+            candidate = run_saxpy(saxpy_program, fault_plan=plan, **tier)
+            assert_bit_identical(saxpy_baseline, candidate)
+            assert candidate[1].report.faults_hit == 1
+
+    def test_persistent_alloc_raises_allocation_error(self, saxpy_program):
+        plan = FaultPlan([FaultSpec(site="alloc", transient=False)])
+        with pytest.raises(DeviceAllocationError):
+            run_saxpy(saxpy_program, fault_plan=plan)
+
+    def test_persistent_dma_raises_dma_error(self, saxpy_program):
+        plan = FaultPlan([FaultSpec(site="dma_start", transient=False)])
+        with pytest.raises(DmaError):
+            run_saxpy(saxpy_program, fault_plan=plan)
+
+    def test_transient_exhausting_retries_raises(self, saxpy_program):
+        plan = FaultPlan(
+            [FaultSpec(site="dma_start", transient=True, fail_count=5)]
+        )
+        with pytest.raises(DmaError) as excinfo:
+            run_saxpy(
+                saxpy_program,
+                fault_plan=plan,
+                retry_policy=RetryPolicy(max_attempts=2),
+            )
+        assert excinfo.value.transient
+
+    def test_transient_bitflip_rolls_back_and_recovers(
+        self, saxpy_program, saxpy_baseline
+    ):
+        plan = FaultPlan(
+            [FaultSpec(site="kernel_launch", kind="bitflip", bit=9)]
+        )
+        candidate = run_saxpy(saxpy_program, fault_plan=plan)
+        assert_bit_identical(saxpy_baseline, candidate)
+        event = candidate[1].report.faults[0]
+        assert event.kind == "bitflip" and "checksum" in event.detail
+
+    def test_persistent_bitflip_raises_never_corrupts(
+        self, saxpy_program, saxpy_baseline
+    ):
+        """The detected corruption is rolled back *before* the typed
+        raise: no silently-flipped bit survives in host-visible arrays."""
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(64).astype(np.float32)
+        y = rng.standard_normal(64).astype(np.float32)
+        y_before = y.copy()
+        plan = FaultPlan(
+            [
+                FaultSpec(
+                    site="kernel_launch", kind="bitflip", transient=False
+                )
+            ]
+        )
+        executor = saxpy_program.executor(fault_plan=plan)
+        with pytest.raises(DataIntegrityError):
+            executor.run(
+                "saxpy",
+                np.array(3.0, dtype=np.float32),
+                x,
+                y,
+                np.array(64, dtype=np.int32),
+            )
+        # rolled back to the pre-launch snapshot: unchanged, not corrupted
+        np.testing.assert_array_equal(y, y_before)
+
+    def test_persistent_hang_raises_watchdog_timeout(self, saxpy_program):
+        plan = FaultPlan(
+            [
+                FaultSpec(
+                    site="kernel_launch",
+                    kind="hang",
+                    transient=False,
+                    hang_steps=8,
+                )
+            ]
+        )
+        with pytest.raises(WatchdogTimeout, match="watchdog step budget"):
+            run_saxpy(saxpy_program, fault_plan=plan)
+
+    def test_unmatched_occurrence_is_a_clean_run(
+        self, saxpy_program, saxpy_baseline
+    ):
+        """An index beyond the run's site occurrences never fires: the
+        run is fault-free and the report stays empty."""
+        plan = FaultPlan([FaultSpec(site="alloc", index=500)])
+        candidate = run_saxpy(saxpy_program, fault_plan=plan)
+        assert_bit_identical(saxpy_baseline, candidate)
+        assert candidate[1].report.faults_hit == 0
+
+
+class TestExecutorReusableAfterFault:
+    def test_session_program_survives_failed_run(
+        self, saxpy_program, saxpy_baseline
+    ):
+        """A failed executor run must not poison the compiled program:
+        a fresh executor from the same cached artifacts reproduces the
+        baseline."""
+        plan = FaultPlan([FaultSpec(site="alloc", transient=False)])
+        with pytest.raises(DeviceAllocationError):
+            run_saxpy(saxpy_program, fault_plan=plan)
+        candidate = run_saxpy(saxpy_program)
+        assert_bit_identical(saxpy_baseline, candidate)

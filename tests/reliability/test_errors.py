@@ -1,0 +1,74 @@
+"""Error taxonomy: stages, context formatting, foreign-error adoption."""
+
+import pytest
+
+from repro.ir.core import IRError
+from repro.reliability.errors import (
+    DeviceBuildError,
+    DeviceRuntimeError,
+    FrontendError,
+    LoweringError,
+    ReproError,
+    WatchdogTimeout,
+    wrap_error,
+)
+
+
+class TestHierarchy:
+    def test_every_stage_error_is_a_repro_error(self):
+        for cls in (
+            FrontendError,
+            LoweringError,
+            DeviceBuildError,
+            DeviceRuntimeError,
+            WatchdogTimeout,
+        ):
+            assert issubclass(cls, ReproError)
+
+    def test_ir_facing_errors_stay_ir_errors(self):
+        """Lowering/device-build failures must keep matching existing
+        ``except IRError`` clauses across the transform/backend layers."""
+        assert issubclass(LoweringError, IRError)
+        assert issubclass(DeviceBuildError, IRError)
+
+    def test_default_stage_and_context_suffix(self):
+        error = LoweringError("boom", kernel="saxpy", context="omp.wsloop")
+        assert error.stage == "lowering"
+        assert error.kernel == "saxpy"
+        assert "stage=lowering" in str(error)
+        assert "kernel=saxpy" in str(error)
+        assert "context=omp.wsloop" in str(error)
+
+    def test_transient_flag(self):
+        assert not DeviceRuntimeError("x").transient
+        assert DeviceRuntimeError("x", transient=True).transient
+
+
+class TestWrapError:
+    def test_wrapped_error_satisfies_both_isinstance(self):
+        original = ValueError("bad value")
+        adopted = wrap_error(original, FrontendError, context="parse")
+        assert isinstance(adopted, FrontendError)
+        assert isinstance(adopted, ValueError)
+        assert "bad value" in str(adopted)
+        assert "context=parse" in str(adopted)
+
+    def test_already_taxonomy_error_is_returned_unchanged(self):
+        error = FrontendError("x")
+        assert wrap_error(error, FrontendError) is error
+
+    def test_wrapped_class_is_cached(self):
+        a = wrap_error(KeyError("a"), LoweringError)
+        b = wrap_error(KeyError("b"), LoweringError)
+        assert type(a) is type(b)
+
+    def test_frontend_errors_keep_their_original_type(self):
+        """Existing ``pytest.raises(SemanticError)`` / FortranSyntaxError
+        tests keep passing after adoption by the frontend driver."""
+        from repro.frontend.driver import compile_to_core
+        from repro.frontend.lexer import FortranSyntaxError
+
+        with pytest.raises(FortranSyntaxError) as excinfo:
+            compile_to_core("program p\n  crash here\nend program")
+        assert isinstance(excinfo.value, FrontendError)
+        assert excinfo.value.__cause__ is not None

@@ -1,0 +1,112 @@
+"""FaultPlan/FaultSpec determinism and validation, RetryPolicy maths."""
+
+import pytest
+
+from repro.reliability.faults import KINDS, SITES, FaultPlan, FaultSpec
+from repro.reliability.report import RunReport
+from repro.reliability.retry import DEFAULT_RETRY_POLICY, RetryPolicy
+
+
+class TestFaultSpecValidation:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="site"):
+            FaultSpec(site="warp-core")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            FaultSpec(site="alloc", kind="gamma-ray")
+
+    def test_hang_and_bitflip_are_kernel_only(self):
+        for kind in ("hang", "bitflip"):
+            with pytest.raises(ValueError, match="kernel_launch"):
+                FaultSpec(site="dma_start", kind=kind)
+            FaultSpec(site="kernel_launch", kind=kind)  # fine
+
+    def test_fail_count_must_be_positive(self):
+        with pytest.raises(ValueError, match="fail_count"):
+            FaultSpec(site="alloc", fail_count=0)
+
+
+class TestSeededPlans:
+    def test_same_seed_same_plan(self):
+        for seed in range(20):
+            a = FaultPlan.from_seed(seed, n_faults=3)
+            b = FaultPlan.from_seed(seed, n_faults=3)
+            assert a.specs == b.specs
+
+    def test_different_seeds_differ_somewhere(self):
+        plans = {FaultPlan.from_seed(s, n_faults=2).specs for s in range(32)}
+        assert len(plans) > 1
+
+    def test_generated_specs_are_valid(self):
+        for seed in range(64):
+            for spec in FaultPlan.from_seed(seed, n_faults=2):
+                assert spec.site in SITES
+                assert spec.kind in KINDS
+                if spec.site != "kernel_launch":
+                    assert spec.kind == "fail"
+
+
+class TestRetryPolicy:
+    def test_backoff_is_deterministic_exponential(self):
+        policy = RetryPolicy(
+            max_attempts=4, backoff_base_s=0.5, backoff_factor=3.0
+        )
+        assert policy.backoff_s(1) == 0.5
+        assert policy.backoff_s(2) == 1.5
+        assert policy.backoff_s(3) == 4.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.0)
+
+
+class TestController:
+    def test_occurrence_matching(self):
+        plan = FaultPlan([FaultSpec(site="dma_start", index=2)])
+        ctrl = plan.controller(RunReport(), DEFAULT_RETRY_POLICY)
+        assert ctrl.poll("dma_start") is None
+        assert ctrl.poll("dma_start") is None
+        assert ctrl.poll("dma_start") is plan.specs[0]
+        assert ctrl.poll("dma_start") is None
+
+    def test_kernel_filter(self):
+        spec = FaultSpec(site="kernel_launch", index=0, kernel="gemm")
+        ctrl = FaultPlan([spec]).controller(RunReport())
+        assert ctrl.poll("kernel_launch", kernel="saxpy") is None
+        # occurrence 0 was consumed by the non-matching kernel
+        assert ctrl.poll("kernel_launch", kernel="gemm") is None
+
+    def test_transient_fires_until_fail_count(self):
+        spec = FaultSpec(site="alloc", transient=True, fail_count=2)
+        ctrl = FaultPlan([spec]).controller(RunReport())
+        assert ctrl.fires(spec, 1)
+        assert ctrl.fires(spec, 2)
+        assert not ctrl.fires(spec, 3)
+
+    def test_persistent_always_fires(self):
+        spec = FaultSpec(site="alloc", transient=False)
+        ctrl = FaultPlan([spec]).controller(RunReport())
+        assert all(ctrl.fires(spec, k) for k in range(1, 10))
+
+    def test_resolve_recovers_and_prices_retries_into_report(self):
+        report = RunReport()
+        spec = FaultSpec(site="alloc", transient=True, fail_count=1)
+        ctrl = FaultPlan([spec]).controller(report, DEFAULT_RETRY_POLICY)
+        ctrl.resolve(spec, "alloc")  # must return, not raise
+        assert report.faults_hit == 1
+        assert report.retries == 1
+        assert report.backoff_s == DEFAULT_RETRY_POLICY.backoff_s(1)
+
+    def test_resolve_raises_typed_error_when_exhausted(self):
+        from repro.reliability.errors import DeviceAllocationError
+
+        report = RunReport()
+        spec = FaultSpec(site="alloc", transient=True, fail_count=99)
+        ctrl = FaultPlan([spec]).controller(report, DEFAULT_RETRY_POLICY)
+        with pytest.raises(DeviceAllocationError) as excinfo:
+            ctrl.resolve(spec, "alloc")
+        assert excinfo.value.transient  # gave up retrying, still transient
+        assert report.faults_hit == DEFAULT_RETRY_POLICY.max_attempts

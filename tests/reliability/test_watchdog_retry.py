@@ -1,0 +1,113 @@
+"""Watchdog step budgets and the retry/backoff machinery end to end."""
+
+import numpy as np
+import pytest
+
+from repro.reliability import (
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    WatchdogTimeout,
+)
+
+from tests.reliability.conftest import assert_bit_identical, run_saxpy
+
+
+class TestWatchdog:
+    def test_generous_budget_reproduces_baseline(
+        self, saxpy_program, saxpy_baseline
+    ):
+        """A watchdog that never fires changes nothing: steps, time and
+        cycles all match the unwatched baseline."""
+        candidate = run_saxpy(saxpy_program, watchdog_steps=10_000_000)
+        assert_bit_identical(saxpy_baseline, candidate)
+        assert candidate[1].report.watchdog_budget == 10_000_000
+
+    def test_tiny_budget_raises_typed_timeout(self, saxpy_program):
+        with pytest.raises(WatchdogTimeout, match="watchdog step budget"):
+            run_saxpy(saxpy_program, watchdog_steps=4)
+
+    def test_timeout_carries_kernel_name(self, saxpy_program):
+        with pytest.raises(WatchdogTimeout) as excinfo:
+            run_saxpy(saxpy_program, watchdog_steps=4)
+        assert excinfo.value.kernel is not None
+        assert excinfo.value.stage == "device_runtime"
+
+    def test_budget_is_per_run_not_cumulative(self, saxpy_program):
+        """Two launches in sequence each get the full budget — the
+        watchdog narrows ``max_steps`` relative to the current count."""
+        executor = saxpy_program.executor(watchdog_steps=5_000)
+        args = lambda: (  # noqa: E731 - tiny fixture-local factory
+            np.array(3.0, dtype=np.float32),
+            np.ones(64, dtype=np.float32),
+            np.ones(64, dtype=np.float32),
+            np.array(64, dtype=np.int32),
+        )
+        executor.run("saxpy", *args())
+        executor.run("saxpy", *args())  # must not trip on accumulated steps
+
+
+class TestTransientHangRecovery:
+    def test_recovers_bit_identically_with_retries_in_report(
+        self, saxpy_program, saxpy_baseline
+    ):
+        plan = FaultPlan(
+            [
+                FaultSpec(
+                    site="kernel_launch",
+                    kind="hang",
+                    transient=True,
+                    fail_count=2,
+                    hang_steps=8,
+                )
+            ]
+        )
+        candidate = run_saxpy(saxpy_program, fault_plan=plan)
+        assert_bit_identical(saxpy_baseline, candidate)
+        report = candidate[1].report
+        assert report.faults_hit == 2  # two hung attempts
+        assert report.retries == 2
+        assert [e.kind for e in report.faults] == ["hang", "hang"]
+        assert report.backoff_s > 0.0
+
+    def test_retry_policy_bounds_hang_recovery(self, saxpy_program):
+        plan = FaultPlan(
+            [
+                FaultSpec(
+                    site="kernel_launch",
+                    kind="hang",
+                    transient=True,
+                    fail_count=2,
+                    hang_steps=8,
+                )
+            ]
+        )
+        with pytest.raises(WatchdogTimeout):
+            run_saxpy(
+                saxpy_program,
+                fault_plan=plan,
+                retry_policy=RetryPolicy(max_attempts=2),
+            )
+
+    def test_aborted_attempts_leave_no_step_trace(
+        self, saxpy_program, saxpy_baseline
+    ):
+        """The contract's sharpest edge: a hung attempt retires device
+        steps before the watchdog trips, and every one of them must be
+        rolled back for the recovered run to stay bit-identical."""
+        plan = FaultPlan(
+            [
+                FaultSpec(
+                    site="kernel_launch",
+                    kind="hang",
+                    transient=True,
+                    hang_steps=32,
+                )
+            ]
+        )
+        candidate = run_saxpy(saxpy_program, fault_plan=plan)
+        assert (
+            candidate[1].interpreter_steps
+            == saxpy_baseline[1].interpreter_steps
+        )
+        assert candidate[1].kernel_cycles == saxpy_baseline[1].kernel_cycles

@@ -1,0 +1,47 @@
+"""``_flow_jitter`` stability pinning (the bench gate depends on it).
+
+The jitter factor models the paper's run-to-run measurement noise, but
+it must be a *pure function* of modelled values — the CI bench gate
+(``perf_smoke.py --check-against``) compares ``device_time_ms`` exactly,
+and the chaos conformance contract requires retried/degraded runs to
+reproduce it bit-for-bit.  These tests pin the exact digest-derived
+values so any accidental dependence on ambient state (RNG, wall clock,
+process identity) fails loudly instead of drifting the bench.
+"""
+
+import hashlib
+
+from repro.runtime.executor import _flow_jitter
+
+
+class TestDeterminism:
+    def test_same_key_same_jitter(self):
+        keys = [f"fortran-openmp:saxpy:{t:.9f}" for t in (0.0, 0.1, 2.5)]
+        for key in keys:
+            assert _flow_jitter(key) == _flow_jitter(key)
+
+    def test_pure_function_of_sha256(self):
+        """Pin the derivation itself: first 8 digest bytes -> unit ->
+        1 + (2*unit - 1) * 0.004."""
+        key = "fortran-openmp:saxpy:0.000018752"
+        digest = hashlib.sha256(key.encode()).digest()
+        unit = int.from_bytes(digest[:8], "big") / 2**64
+        assert _flow_jitter(key) == 1.0 + (2.0 * unit - 1.0) * 0.004
+
+    def test_pinned_exact_values(self):
+        """Golden values: a change here means every BENCH_*.json baseline
+        in benchmarks/ is invalidated — regenerate them deliberately,
+        never rebase the expectation silently."""
+        assert _flow_jitter("a") == 1.0023309941641791
+        assert _flow_jitter("fortran-openmp:main:0.001234567") == (
+            _flow_jitter("fortran-openmp:main:0.001234567")
+        )
+
+    def test_bound_holds_over_many_keys(self):
+        for i in range(2048):
+            jitter = _flow_jitter(f"flow:{i}")
+            assert abs(jitter - 1.0) <= 0.004
+
+    def test_distinct_keys_spread(self):
+        values = {_flow_jitter(f"flow:{i}") for i in range(64)}
+        assert len(values) > 32  # not collapsed to a constant
