@@ -5,32 +5,36 @@ bench-regression gate.
 Times compilation and simulated runs of **every gallery workload**
 (``repro.workloads`` registry: SAXPY, SGESL, dot, Jacobi 2-D, SpMV,
 tiled GEMM, histogram, heat3d, batched GEMM) and writes
-``BENCH_pr5.json`` (at the repo root) with seconds and interpreter-step
+``BENCH_pr7.json`` (at the repo root) with seconds and interpreter-step
 counts, so later PRs have a perf trajectory to regress against.  The
 simulator's *modelled* numbers (device time, cycles) are recorded too —
 they must stay constant across engine optimisations; only wall-clock may
 move.  Every run is checked bit-for-bit against the workload's NumPy
 reference.
 
-New in PR 5: the nest-tier benchmark — heat3d (rank-3 ``collapse(3)``
-stencil collapsed into one whole-space NumPy evaluation) run on the
-scalar tier versus the vectorized tier at its largest sweep size — and
-the ``--check-against`` bench gate:
+New in PR 7: the ``segmented_tiers`` benchmark — spmv (CSR row loops)
+and sgesl (triangular ``j = k+1, n`` updates) run scalar versus the
+``nest_segmented`` whole-space tier at their largest sweep sizes — and
+a hardened ``--check-against`` bench gate:
 
     PYTHONPATH=src python benchmarks/perf_smoke.py \\
-        --out bench.json --check-against BENCH_pr5.json
+        --out bench.json --check-against BENCH_pr7.json
 
 compares the fresh run to the committed baseline and exits non-zero when
 
 * any modelled ``interpreter_steps`` / ``device_time_ms`` /
   ``kernel_cycles`` drifts for a bench present in both files (these are
   simulator outputs, not wall-clock: an engine change must not move
-  them), or
+  them),
 * any recorded scalar-vs-vectorized speedup falls below the baseline's
-  ``floor`` (wall-clock ratio: the fast tier must stay >= 5x).
+  ``floor`` (wall-clock ratio: the fast tier must stay >= 5x), or
+* a bench or ``*_tiers`` entry the baseline records is missing from the
+  current run — a dropped tier bench would otherwise un-gate its
+  regression silently.
 
-Benches present on only one side (new/retired workloads) are reported
-but never fail the gate; re-baseline by committing the fresh JSON.
+Benches only the *current* run has are reported but never fail the
+gate; they become binding once the fresh JSON is committed as the new
+baseline.
 
 Run:  PYTHONPATH=src python benchmarks/perf_smoke.py [--out PATH]
 """
@@ -225,18 +229,30 @@ def _tier_sections(payload: dict) -> dict[str, dict]:
 
 def check_against(baseline: dict, current: dict) -> list[str]:
     """Compare a fresh run to the committed baseline; returns the list
-    of human-readable gate failures (empty == gate passes)."""
+    of human-readable gate failures (empty == gate passes).
+
+    Anything the *baseline* records must exist in the current run: a
+    bench or tier entry that disappeared is a reported gate failure (a
+    retired workload means the baseline must be re-committed), never a
+    silent pass or a traceback.  Entries only the current run has are
+    informational — they become binding once the fresh JSON is
+    committed as the new baseline.
+    """
     failures: list[str] = []
     base_benches = {b["name"]: b for b in baseline.get("benches", ())}
     cur_benches = {b["name"]: b for b in current.get("benches", ())}
-    only_base = sorted(set(base_benches) - set(cur_benches))
     only_cur = sorted(set(cur_benches) - set(base_benches))
-    if only_base:
-        print(f"bench gate: baseline-only benches ignored: {only_base}")
     if only_cur:
         print(f"bench gate: new benches not in baseline: {only_cur}")
-    for name in sorted(set(base_benches) & set(cur_benches)):
-        base, cur = base_benches[name], cur_benches[name]
+    for name in sorted(base_benches):
+        base = base_benches[name]
+        cur = cur_benches.get(name)
+        if cur is None:
+            failures.append(
+                f"{name}: bench missing from current run (baseline has "
+                "it); retire it by re-committing the baseline"
+            )
+            continue
         for key in MODELLED_KEYS:
             if key not in base and key not in cur:
                 continue  # compile:* entries carry wall-clock only
@@ -250,7 +266,14 @@ def check_against(baseline: dict, current: dict) -> list[str]:
                 )
     base_tiers = _tier_sections(baseline)
     cur_tiers = _tier_sections(current)
-    for name in sorted(set(base_tiers) & set(cur_tiers)):
+    for name in sorted(base_tiers):
+        if name not in cur_tiers:
+            failures.append(
+                f"{name}: tier missing from current run (baseline "
+                "records a speedup floor for it); a dropped tier bench "
+                "would otherwise un-gate its regression silently"
+            )
+            continue
         floor = base_tiers[name].get("floor", TIER_SPEEDUP_FLOOR)
         speedup = cur_tiers[name].get("speedup", 0.0)
         if speedup < floor:
@@ -265,8 +288,8 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--out",
-        default=str(Path(__file__).resolve().parents[1] / "BENCH_pr5.json"),
-        help="output JSON path (default: <repo>/BENCH_pr5.json)",
+        default=str(Path(__file__).resolve().parents[1] / "BENCH_pr7.json"),
+        help="output JSON path (default: <repo>/BENCH_pr7.json)",
     )
     parser.add_argument(
         "--check-against",
@@ -308,9 +331,17 @@ def main() -> None:
             max(get_workload("batched_gemm").sizes),
         ),
     ]
+    segmented_benches = [
+        bench_tiers(
+            programs["spmv"], "spmv", max(get_workload("spmv").sizes)
+        ),
+        bench_tiers(
+            programs["sgesl"], "sgesl", max(get_workload("sgesl").sizes)
+        ),
+    ]
 
     payload = {
-        "pr": 5,
+        "pr": 7,
         "description": (
             "Workload gallery through the three-tier engine: every "
             "registered workload compiled + run, outputs checked bit-for-"
@@ -319,17 +350,20 @@ def main() -> None:
             "stay constant across engine changes (the --check-against "
             "bench gate enforces this in CI). dse_artifact_reuse "
             "compares a sweep with a fresh Session per point (old cost "
-            "model) against one shared Session. scatter_tiers and "
-            "nest_tiers record scalar-vs-vectorized wall-clock at each "
-            "workload's largest sweep size (ufunc.at scatter; rank-3 "
-            "collapse(3) whole-space nests); each records the speedup "
-            "floor the gate holds later runs to."
+            "model) against one shared Session. scatter_tiers, "
+            "nest_tiers and segmented_tiers record scalar-vs-vectorized "
+            "wall-clock at each workload's largest sweep size (ufunc.at "
+            "scatter; rank-3 collapse(3) whole-space nests; spmv's CSR "
+            "row loops and sgesl's triangular updates on the segmented "
+            "tier); each records the speedup floor the gate holds later "
+            "runs to."
         ),
         "python": platform.python_version(),
         "benches": benches,
         "dse_artifact_reuse": dse_benches,
         "scatter_tiers": scatter_benches,
         "nest_tiers": nest_benches,
+        "segmented_tiers": segmented_benches,
     }
     out = Path(args.out)
     out.write_text(json.dumps(payload, indent=2) + "\n")
@@ -348,7 +382,9 @@ def main() -> None:
             f"speedup {bench['speedup']:.2f}x"
         )
     for section, entries in (
-        ("scatter_tiers", scatter_benches), ("nest_tiers", nest_benches)
+        ("scatter_tiers", scatter_benches),
+        ("nest_tiers", nest_benches),
+        ("segmented_tiers", segmented_benches),
     ):
         for bench in entries:
             print(

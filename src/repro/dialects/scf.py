@@ -319,10 +319,17 @@ def _emit_for(op: Operation, ctx: FnCompiler):
             from repro.ir.vectorize import try_vectorized_loop
 
             fast_path = try_vectorized_loop
-        elif mode in ("nest_elementwise", "nest_reduction"):
-            # Perfect loop-nest chains evaluate whole-space; a runtime
-            # decline (short trip count, NaN min/max fold) is side-effect
-            # free, so the scalar nested walk below stays correct.
+        elif mode in (
+            "nest_elementwise",
+            "nest_reduction",
+            "nest_scatter",
+            "nest_segmented",
+        ):
+            # Perfect loop-nest chains and segmented (triangular / CSR)
+            # nests evaluate whole-space; a runtime decline (short trip
+            # count, NaN min/max fold, failed injectivity or monotone
+            # proof) is side-effect free, so the scalar nested walk below
+            # stays correct.
             from repro.ir.vectorize import try_vectorized_nest
 
             fast_path = try_vectorized_nest

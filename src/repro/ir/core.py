@@ -161,6 +161,11 @@ class Operation:
         "attributes",
         "regions",
         "parent",
+        # Lazily attached per-root analysis state (e.g. the vectorizer's
+        # loop-classification cache).  Never printed, cloned or compared;
+        # lives and dies with the op so cached plans cannot outlive the
+        # module they reference.
+        "analysis_cache",
     )
 
     def __init__(

@@ -61,12 +61,45 @@ does.  Store application is deferred until every store's proof succeeds.
 ``omp.loop_nest`` or a *perfect chain* of ``scf.for`` loops (the form
 ``lower-omp-to-hls`` emits for ``collapse(n)``) collapses back into one
 NumPy evaluation over the full iteration space: ``nest_elementwise``
-when the stores affinely cover every dimension, or ``nest_reduction``
+when the stores affinely cover every dimension, ``nest_reduction``
 when the innermost dimension folds into a memref accumulator with an
-ordered per-cell accumulate (see :func:`_nest_vector_plan`).  Step
-accounting and inner-loop cycle observers replay the scalar nested walk
-exactly, so every tier stays bit-identical in results *and* modelled
-numbers.
+ordered per-cell accumulate, or ``nest_scatter`` when a store subscript
+inside the nest is *indirect* — the rank-1 injectivity-proof lattice is
+lifted to the whole flattened space (a tuple-wise ``lexsort`` duplicate
+check when several dimensions vary), with every store deferred until
+all proofs pass (see :func:`_nest_vector_plan`).  Step accounting and
+inner-loop cycle observers replay the scalar nested walk exactly, so
+every tier stays bit-identical in results *and* modelled numbers.  The
+plan also re-stitches the ``simdlen``-unrolled main/remainder loop
+pairs ``lower-omp-to-hls`` emits at factor > 1: when the main body is
+a proven structural F-fold clone of the remainder body, the pair
+collapses back into one dimension spanning ``[main.lb, remainder.ub)``
+and the remainder body drives the whole space (step/observer
+accounting still charges both loops exactly as the scalar walk would).
+
+**Segmented (triangular / CSR) nests** — ``nest_segmented`` covers the
+imperfect shapes whose inner trip count *varies* with the outer IV, the
+paper's two remaining scalar cliffs:
+
+* the *nest* flavour: an outer loop whose body is ``prologue /
+  inner reduction loop / epilogue`` where the inner bounds are affine
+  in the outer IV (triangular ``j = k+1, n``) or loaded from a
+  monotone offset array (CSR row loops — SpMV's
+  ``do jj = row_ptr(i), row_ptr(i+1)-1``).  The whole space is
+  flattened with prefix sums over the per-row trip counts; the inner
+  reduction folds per segment with an ordered ``accumulate`` (equal
+  rows) or in-order ``ufunc.at`` over segment ids (ragged rows), both
+  bit-exact in f32.  Offset-array bounds are runtime-proved
+  *monotone non-decreasing*; shuffled offsets log a reasoned bail.
+* the *span* flavour: a rank-1 elementwise loop whose bounds are
+  runtime data (loaded, like SGESL's ``j = k+1, n`` after hoisting) is
+  one runtime segment — it evaluates exactly like ``elementwise`` but
+  with **no minimum-trip-count floor**, so the triangular tail of a
+  launch sweep never falls off the fast tier.
+
+Per-segment observer counts are batched (one call per distinct trip
+count) and cycle sums stay exact because modelled cycles are
+integer-valued floats.
 
 Float32 ordering note: per-element semantics are identical to the scalar
 interpreter — NumPy applies the same operation per lane, and no
@@ -192,7 +225,13 @@ def _is_gather_index(idx: SSAValue, iv: SSAValue, body: Block) -> bool:
 def _load_index_ok(idx: SSAValue, iv: SSAValue, body: Block) -> bool:
     from repro.transforms.loop_analysis import classify_index
 
-    if classify_index(idx, iv, body).kind in ("affine", "invariant"):
+    # ``indirect`` covers the full gather chain (cast/addi/subi/muli
+    # around a load from an un-stored index array) — SpMV's
+    # ``x(col_idx(jj) - 1)`` wraps the loaded index in a Fortran 1-based
+    # adjustment, which ``_is_gather_index`` alone would reject.
+    if classify_index(idx, iv, body).kind in (
+        "affine", "invariant", "indirect",
+    ):
         return True
     return _is_gather_index(idx, iv, body)
 
@@ -528,15 +567,31 @@ def _analyze_memref_reduction_body(
 # ---------------------------------------------------------------------------
 # Cached per-loop classification
 # ---------------------------------------------------------------------------
+#
+# The cache hangs off the *root* op of the module/function the loop
+# lives in (``Operation.analysis_cache``), so cached plans — which hold
+# strong references to body ops and, through ``.parent`` chains, the
+# whole module — live exactly as long as the module itself.  A process
+# that compiles and drops many programs (the ROADMAP's long-running
+# service model) leaks nothing: dropping the program drops the module
+# drops the cache.  Entries are keyed by ``id(loop)`` with the loop op
+# kept in the value, so an id recycled by the allocator can never alias
+# a stale entry.
 
-# Keyed by id(); the op itself is kept in the value so the id cannot be
-# recycled by the allocator while the cache entry lives.  Entries hold
-# (loop, mode, plan, compiled vector program).
-_analysis_cache: dict[int, tuple] = {}
+
+def _cache_for(loop: Operation) -> dict[int, tuple]:
+    root = loop
+    while root.parent_op is not None:
+        root = root.parent_op
+    cache = getattr(root, "analysis_cache", None)
+    if cache is None:
+        cache = root.analysis_cache = {}
+    return cache
 
 
 def _classify(loop: Operation) -> tuple:
     key = id(loop)
+    _analysis_cache = _cache_for(loop)
     cached = _analysis_cache.get(key)
     if cached is not None and cached[0] is loop:
         return cached
@@ -549,7 +604,18 @@ def _classify(loop: Operation) -> tuple:
         body = loop.regions[0].blocks[0]
         if len(body.args) == 1:
             if _loop_is_vectorizable(loop):
-                mode = "elementwise"
+                from repro.transforms.loop_analysis import bound_is_runtime
+
+                if bound_is_runtime(loop.operands[0]) or bound_is_runtime(
+                    loop.operands[1]
+                ):
+                    # span flavour: a runtime-bounded elementwise loop is
+                    # one runtime segment — same evaluation, no static
+                    # minimum-trip-count floor (the triangular cliff)
+                    mode = "nest_segmented"
+                    plan = _SegmentedSpan()
+                else:
+                    mode = "elementwise"
             else:
                 plan = _analyze_memref_reduction(loop)
                 if plan is not None:
@@ -568,9 +634,18 @@ def _classify(loop: Operation) -> tuple:
                 # lower-omp-to-hls produced from collapse(n)).
                 mode, plan, program, bail_reason = _nest_vector_plan(loop)
                 if mode is None:
-                    bail_kind = (
-                        f"rank-{_chain_depth(loop)} {loop.name} nest"
-                    )
+                    # imperfect nests get a second chance as a segmented
+                    # (triangular / CSR) shape before bailing
+                    seg = _segmented_nest_plan(loop)
+                    if seg[0] is not None:
+                        mode, plan, program, bail_reason = seg
+                    elif seg[3] is not None:
+                        bail_kind = "segmented nest"
+                        bail_reason = seg[3]
+                    else:
+                        bail_kind = (
+                            f"rank-{_chain_depth(loop)} {loop.name} nest"
+                        )
         else:
             plan = _analyze_iter_reduction(loop)
             if plan is not None:
@@ -615,6 +690,39 @@ def _chain_depth(loop: Operation) -> int:
 
 
 @dataclass(frozen=True)
+class _ChainLevel:
+    """One extra nest dimension contributed by a chain member.
+
+    ``bounds`` is the ``(lb, exclusive ub, step)`` value triple of the
+    *dimension* (for a stitched main/remainder pair: the main loop's lb,
+    the remainder's ub and step — together they span the original,
+    un-unrolled range).  ``stitch`` is None for a plain ``scf.for``
+    member, else ``(main_for, rem_for, main_opcount, rem_opcount)`` for
+    a proven ``simdlen`` main/remainder pair whose step/observer
+    accounting must charge *both* loops like the scalar walk does.
+    """
+
+    bounds: tuple[SSAValue, SSAValue, SSAValue]
+    stitch: tuple[Operation, Operation, int, int] | None = None
+
+
+@dataclass(frozen=True)
+class _NestScatter:
+    """Deferred-store plan for indirect subscripts inside a nest.
+
+    ``proof_dims`` holds, per store, the subscript dimensions whose
+    index vectors join the runtime injectivity proof over the flattened
+    space — empty when the subscript already covers every nest dim with
+    statically injective affine dimensions.  All stores (even purely
+    affine ones) are deferred so a failed proof leaves nothing mutated.
+    """
+
+    stores: tuple[Operation, ...]  # in program op order
+    proof_dims: tuple[tuple[int, ...], ...]
+    skip: frozenset[int]
+
+
+@dataclass(frozen=True)
 class _NestPlan:
     """Whole-space plan for a rank-n loop nest.
 
@@ -622,27 +730,32 @@ class _NestPlan:
     or a *perfect chain* of ``scf.for`` loops rooted at one outer loop
     (``root_dims == 1``); in both forms the chain may extend through
     further perfectly nested ``scf.for`` members (``chain``), each
-    contributing one extra dimension whose bounds are loop-invariant.
+    contributing one extra dimension whose bounds are loop-invariant —
+    including a ``simdlen``-unrolled main/remainder pair re-stitched
+    into a single dimension (see :class:`_ChainLevel`).
 
     ``charge_specs`` reproduce the scalar walk's step accounting: each
     ``(dims, ops)`` entry charges ``prod(trips[:dims]) * ops`` steps —
     one step per op visit per execution of that block.  ``observer_specs``
     fire the interpreter's loop observer for each chain member exactly as
-    often as the scalar walk would (cycle accounting).  ``prelude``
-    holds, per chain member, the IV-independent body ops its bounds may
-    depend on; each level is pre-evaluated (step-neutral) only when its
-    containing body would execute under the scalar walk, so the
-    iteration space can be sized before the vector program runs without
-    ever evaluating an expression the scalar tier would not reach.
+    often as the scalar walk would (cycle accounting); stitched levels
+    instead charge/observe through their ``_ChainLevel.stitch`` info.
+    ``prelude`` holds, per chain member, the IV-independent body ops its
+    bounds may depend on; each level is pre-evaluated (step-neutral)
+    only when its containing body would execute under the scalar walk,
+    so the iteration space can be sized before the vector program runs
+    without ever evaluating an expression the scalar tier would not
+    reach.
     """
 
     ivs: tuple[SSAValue, ...]  # one per dimension, outermost first
     root_dims: int
-    chain: tuple[Operation, ...]  # scf.for members below the root
+    chain: tuple[_ChainLevel, ...]  # levels below the root
     charge_specs: tuple[tuple[int, int], ...]
     observer_specs: tuple[tuple[int, Operation], ...]
     prelude: tuple[tuple[Operation, ...], ...]  # one entry per chain member
     reduction: _MemrefReduction | None  # innermost-dim reduction fold
+    scatter: _NestScatter | None = None  # deferred indirect stores
 
 
 def _defined_outside(value: SSAValue, root_body: Block) -> bool:
@@ -666,6 +779,217 @@ def _defined_outside(value: SSAValue, root_body: Block) -> bool:
     return False
 
 
+def _const_int(value: SSAValue) -> int | None:
+    from repro.ir.attributes import IntegerAttr
+
+    if isinstance(value, OpResult) and value.op.name == "arith.constant":
+        attr = value.op.attributes.get("value")
+        if isinstance(attr, IntegerAttr):
+            return attr.value
+    return None
+
+
+def _attr_int(attr) -> int | None:
+    from repro.ir.attributes import IntegerAttr
+
+    return attr.value if isinstance(attr, IntegerAttr) else None
+
+
+def _match_unroll_pair(main: Operation, rem: Operation) -> int | None:
+    """Prove two sibling loops are the ``simdlen``-unrolled
+    main/remainder pair ``lower-omp-to-hls`` emits, returning the unroll
+    factor, or None.
+
+    The pair is *semantically* the plain loop ``for iv in [main.lb,
+    rem.ub, rem.step)`` running the remainder body.  The proof cannot be
+    a linear shape match against the emitter's output: ``canonicalize``
+    runs afterwards and constant-folds the per-lane IV derivations,
+    CSE's cloned constants, and shares IV-independent subexpressions
+    across lanes.  Instead the proof is over the dataflow:
+
+    * ``rem.lb`` is SSA-identical to ``main.ub``;
+    * ``main.step`` is ``F * step`` of the remainder step, either as
+      ``muli(step, F)`` or as a folded constant multiple;
+    * ``main.ub`` is ``lb + (ub - lb) // chunk * chunk`` over the same
+      SSA values (so the main loop never overruns the split point);
+    * the main body's stores are exactly F lanes of the remainder
+      body's stores, in lane order, where every store operand is
+      recursively equivalent to its remainder counterpart under the
+      lane-k binding ``rem_iv == main_iv + k*step`` — constants compare
+      by value (CSE/cloning makes them distinct SSA values), everything
+      else by matching op name/attrs/operands;
+    * no buffer both loaded and stored in either body, so lane-order
+      sharing of loads can never observe a value an earlier lane's
+      store would have changed.
+    """
+    from repro.transforms.loop_analysis import root_memref
+
+    for member in (main, rem):
+        if member.results or len(member.regions[0].blocks) != 1:
+            return None
+        if len(member.regions[0].block.args) != 1:
+            return None
+    main_body = main.regions[0].block
+    rem_body = rem.regions[0].block
+    lb, main_ub, chunk = main.operands[:3]
+    rem_lb, ub_ex, step = rem.operands[:3]
+    if rem_lb is not main_ub:
+        return None
+    step_c = _const_int(step)
+    factor: int | None = None
+    if isinstance(chunk, OpResult) and chunk.op.name == "arith.muli":
+        c_lhs, c_rhs = chunk.op.operands
+        factor = _const_int(c_rhs) if c_lhs is step else (
+            _const_int(c_lhs) if c_rhs is step else None
+        )
+    if factor is None:
+        # canonicalize folds muli(const_step, const_F) to one constant
+        chunk_c = _const_int(chunk)
+        if chunk_c is not None and step_c not in (None, 0):
+            factor, rem_f = divmod(chunk_c, step_c)
+            if rem_f:
+                factor = None
+    if factor is None or factor < 2:
+        return None
+    # main_ub = addi(lb, muli(divsi(subi(ub_ex, lb), chunk), chunk)):
+    # guarantees (main_ub - lb) % chunk == 0, so the chunked main loop
+    # covers [lb, main_ub) exactly and never overruns the split point.
+    if not (isinstance(main_ub, OpResult) and main_ub.op.name == "arith.addi"):
+        return None
+    mu_lhs, main_len = main_ub.op.operands
+    if mu_lhs is not lb:
+        return None
+    if not (
+        isinstance(main_len, OpResult) and main_len.op.name == "arith.muli"
+    ):
+        return None
+    trips_v, chunk_v = main_len.op.operands
+    if chunk_v is not chunk:
+        return None
+    if not (isinstance(trips_v, OpResult) and trips_v.op.name == "arith.divsi"):
+        return None
+    span_v, chunk_v2 = trips_v.op.operands
+    if chunk_v2 is not chunk:
+        return None
+    if not (isinstance(span_v, OpResult) and span_v.op.name == "arith.subi"):
+        return None
+    if span_v.op.operands[0] is not ub_ex or span_v.op.operands[1] is not lb:
+        return None
+
+    # -- body dataflow equivalence ----------------------------------------
+    main_iv, rem_iv = main_body.args[0], rem_body.args[0]
+    rem_ops = list(rem_body.ops)
+    main_ops = list(main_body.ops)
+    for op in rem_ops + main_ops:
+        if op.regions:
+            return None
+        if op.name == "hls.unroll":
+            declared = _attr_int(op.attributes.get("factor"))
+            if declared is not None and declared != factor:
+                return None
+        elif not (
+            op.name in ("memref.load", "memref.store", "scf.yield")
+            or op.name.startswith(("arith.", "math.", "hls."))
+        ):
+            return None
+    # Lane-order execution of shared loads is only equivalent to the
+    # plain sequential loop when no store can invalidate a load another
+    # lane reuses — require load/store buffer roots to be disjoint.
+    for ops in (main_ops, rem_ops):
+        store_roots = {
+            id(root_memref(op.operands[1]))
+            for op in ops
+            if op.name == "memref.store"
+        }
+        for op in ops:
+            if op.name == "memref.load":
+                if id(root_memref(op.operands[0])) in store_roots:
+                    return None
+    rem_stores = [op for op in rem_ops if op.name == "memref.store"]
+    main_stores = [op for op in main_ops if op.name == "memref.store"]
+    if not rem_stores or len(main_stores) != factor * len(rem_stores):
+        return None
+    rem_op_ids = {id(op) for op in rem_ops}
+
+    def lane_iv(m_val: SSAValue, k: int) -> bool:
+        if k == 0 and m_val is main_iv:
+            return True
+        if not (isinstance(m_val, OpResult) and m_val.op.name == "arith.addi"):
+            return False
+        a, b = m_val.op.operands
+        off = b if a is main_iv else (a if b is main_iv else None)
+        if off is None:
+            return False
+        off_c = _const_int(off)
+        if off_c is not None and step_c is not None:
+            return off_c == k * step_c
+        if isinstance(off, OpResult) and off.op.name == "arith.muli":
+            x, y = off.op.operands
+            return (x is step and _const_int(y) == k) or (
+                y is step and _const_int(x) == k
+            )
+        return False
+
+    def equiv(
+        m_val: SSAValue,
+        r_val: SSAValue,
+        k: int,
+        memo: dict[tuple[int, int], bool],
+    ) -> bool:
+        if r_val is rem_iv:
+            return lane_iv(m_val, k)
+        key = (id(m_val), id(r_val))
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        if isinstance(r_val, OpResult) and id(r_val.op) in rem_op_ids:
+            r_op = r_val.op
+            ok = False
+            if isinstance(m_val, OpResult):
+                m_op = m_val.op
+                ok = (
+                    m_op.name == r_op.name
+                    and m_op.attributes == r_op.attributes
+                    and m_val.index == r_val.index
+                    and m_val.type == r_val.type
+                    and len(m_op.operands) == len(r_op.operands)
+                    and not m_op.regions
+                    and all(
+                        equiv(mo, ro, k, memo)
+                        for mo, ro in zip(m_op.operands, r_op.operands)
+                    )
+                )
+        else:
+            # loop-invariant: same SSA value, or value-equal constants
+            # (cloning and CSE leave equal constants as distinct values)
+            ok = m_val is r_val or (
+                isinstance(m_val, OpResult)
+                and isinstance(r_val, OpResult)
+                and m_val.op.name == r_val.op.name == "arith.constant"
+                and m_val.op.attributes == r_val.op.attributes
+                and m_val.type == r_val.type
+            )
+        memo[key] = ok
+        return ok
+
+    width = len(rem_stores)
+    for k in range(factor):
+        memo: dict[tuple[int, int], bool] = {}
+        lane = main_stores[k * width : (k + 1) * width]
+        for m_store, r_store in zip(lane, rem_stores):
+            if (
+                len(m_store.operands) != len(r_store.operands)
+                or m_store.attributes != r_store.attributes
+            ):
+                return None
+            if not all(
+                equiv(mo, ro, k, memo)
+                for mo, ro in zip(m_store.operands, r_store.operands)
+            ):
+                return None
+    return factor
+
+
 def _nest_vector_plan(loop: Operation):
     """Classify a loop nest for whole-space evaluation.
 
@@ -686,29 +1010,43 @@ def _nest_vector_plan(loop: Operation):
     root_dims = len(ivs)
 
     # -- walk the perfect chain ------------------------------------------------
-    chain: list[Operation] = []
+    chain: list[_ChainLevel] = []
     charge_specs: list[tuple[int, int]] = []
     observer_specs: list[tuple[int, Operation]] = []
     # non-loop body ops above the innermost, one entry per chain member
     extras_by_level: list[list[Operation]] = []
     body = root_body
-    while True:
+    innermost = None
+    while innermost is None:
         nested = [op for op in body.ops if op.name == "scf.for"]
         if not nested:
             innermost = body
             charge_specs.append((len(ivs), max(1, len(body.ops))))
             break
-        if len(nested) > 1:
+        stitch_factor = None
+        if len(nested) == 2:
+            stitch_factor = _match_unroll_pair(nested[0], nested[1])
+        if len(nested) > 1 and stitch_factor is None:
             return None, None, None, "body contains multiple nested loops"
-        inner_for = nested[0]
-        if inner_for.results or len(inner_for.regions[0].blocks) != 1:
-            return None, None, None, "nested loop carries iter_args"
-        inner_body = inner_for.regions[0].block
-        if len(inner_body.args) != 1:
-            return None, None, None, "nested loop carries iter_args"
+        if stitch_factor is not None:
+            main_for, rem_for = nested
+            rem_body = rem_for.regions[0].block
+            if any(op.name == "scf.for" for op in rem_body.ops):
+                return None, None, None, (
+                    "stitched main/remainder pair is not innermost"
+                )
+            level_loops = (main_for, rem_for)
+        else:
+            inner_for = nested[0]
+            if inner_for.results or len(inner_for.regions[0].blocks) != 1:
+                return None, None, None, "nested loop carries iter_args"
+            inner_body = inner_for.regions[0].block
+            if len(inner_body.args) != 1:
+                return None, None, None, "nested loop carries iter_args"
+            level_loops = (inner_for,)
         level_extras: list[Operation] = []
         for op in body.ops:
-            if op is inner_for:
+            if op in level_loops:
                 continue
             if op.regions:
                 return None, None, None, "body has nested regions or unsupported ops"
@@ -720,8 +1058,28 @@ def _nest_vector_plan(loop: Operation):
                 level_extras.append(op)
         extras_by_level.append(level_extras)
         charge_specs.append((len(ivs), max(1, len(body.ops))))
+        if stitch_factor is not None:
+            # The proven pair is semantically one loop over
+            # [main.lb, rem.ub, rem.step) running the remainder body;
+            # steps/cycles still charge both loops via the stitch info.
+            chain.append(_ChainLevel(
+                bounds=(
+                    main_for.operands[0],
+                    rem_for.operands[1],
+                    rem_for.operands[2],
+                ),
+                stitch=(
+                    main_for,
+                    rem_for,
+                    max(1, len(main_for.regions[0].block.ops)),
+                    max(1, len(rem_body.ops)),
+                ),
+            ))
+            ivs.append(rem_body.args[0])
+            innermost = rem_body
+            break
         observer_specs.append((len(ivs), inner_for))
-        chain.append(inner_for)
+        chain.append(_ChainLevel(bounds=tuple(inner_for.operands[:3])))
         ivs.append(inner_body.args[0])
         body = inner_body
 
@@ -768,8 +1126,13 @@ def _nest_vector_plan(loop: Operation):
             independent.update(op.results)
             level_prelude.append(op)
         prelude_levels.append(tuple(level_prelude))
-    for inner_for in chain:
-        for bound in inner_for.operands[:3]:
+    for level in chain:
+        level_bounds = list(level.bounds)
+        if level.stitch is not None:
+            # the stitched runtime also reads both loops' own triples
+            level_bounds += list(level.stitch[0].operands[:3])
+            level_bounds += list(level.stitch[1].operands[:3])
+        for bound in level_bounds:
             if not (
                 _defined_outside(bound, root_body) or bound in independent
             ):
@@ -779,15 +1142,18 @@ def _nest_vector_plan(loop: Operation):
                 )
 
     def loads_are_affine(skip: frozenset[int]) -> str | None:
+        # ``indirect`` is safe for loads: gathers cannot collide, and the
+        # classification already proves the index array is never stored
+        # anywhere in the nest.
         for op in loads:
             if id(op) in skip:
                 continue
             for idx in op.operands[1:]:
                 for iv in ivs:
                     if classify_index(idx, iv, root_body).kind not in (
-                        "affine", "invariant",
+                        "affine", "invariant", "indirect",
                     ):
-                        return "load subscript is not affine/invariant"
+                        return "load subscript is not affine/invariant/gather"
         return None
 
     program_ops = [*extra_ops, *innermost.ops]
@@ -844,21 +1210,25 @@ def _nest_vector_plan(loop: Operation):
         program = _compile_vector_body(program_ops, reduction.skip, ivs)
         return "nest_reduction", plan, program, None
 
-    # -- elementwise: dependence-free, stores cover every dimension ------------
+    # -- elementwise / scatter: dependence-free, stores injective --------------
     if loaded & set(store_counts):
         return None, None, None, (
             "a buffer is both loaded and stored in the nest body"
         )
     if any(count > 1 for count in store_counts.values()):
         return None, None, None, "multiple stores to one buffer"
+    proof_dims: list[tuple[int, ...]] = []
+    needs_proof = False
     for op in stores:
         if len(op.operands) == 2:
             return None, None, None, (
                 "rank-0 store hits the same cell every iteration"
             )
         used_ivs: set[int] = set()
+        store_has_indirect = False
         for idx in op.operands[2:]:
             affine_iv: int | None = None
+            dim_indirect = False
             for dim, iv in enumerate(ivs):
                 pattern = classify_index(idx, iv, root_body)
                 if pattern.kind == "affine" and pattern.parameter != 0:
@@ -867,17 +1237,44 @@ def _nest_vector_plan(loop: Operation):
                             "store subscript couples two IVs"
                         )
                     affine_iv = dim
+                elif pattern.kind == "indirect":
+                    dim_indirect = True
                 elif pattern.kind != "invariant":
                     return None, None, None, (
-                        "store subscript is not affine/invariant"
+                        "store subscript is not affine/invariant/gather"
                     )
-            if affine_iv is not None:
+            if dim_indirect:
+                # varies through runtime index-array contents: no static
+                # coverage credit, the runtime proof decides
+                store_has_indirect = True
+            elif affine_iv is not None:
                 used_ivs.add(affine_iv)
-        if used_ivs != set(range(rank)):
-            return None, None, None, "store subscripts do not cover every nest dim"
+        if used_ivs == set(range(rank)):
+            # statically injective over the whole space — any extra
+            # indirect dims cannot introduce collisions
+            proof_dims.append(())
+        elif store_has_indirect:
+            # the PR 4 injectivity lattice, lifted to nest level: prove
+            # the full subscript *tuple* injective over the flat space
+            proof_dims.append(tuple(range(len(op.operands) - 2)))
+            needs_proof = True
+        else:
+            return None, None, None, (
+                "store subscripts do not cover every nest dim"
+            )
     reason = loads_are_affine(frozenset())
     if reason is not None:
         return None, None, None, reason
+    scatter = None
+    skip: frozenset[int] = frozenset()
+    if needs_proof:
+        # defer *every* store so a failed proof leaves nothing mutated
+        scatter = _NestScatter(
+            stores=tuple(stores),
+            proof_dims=tuple(proof_dims),
+            skip=frozenset(id(op) for op in stores),
+        )
+        skip = scatter.skip
     plan = _NestPlan(
         ivs=tuple(ivs),
         root_dims=root_dims,
@@ -886,14 +1283,17 @@ def _nest_vector_plan(loop: Operation):
         observer_specs=tuple(observer_specs),
         prelude=tuple(prelude_levels),
         reduction=None,
+        scatter=scatter,
     )
-    program = _compile_vector_body(program_ops, frozenset(), ivs)
-    return "nest_elementwise", plan, program, None
+    program = _compile_vector_body(program_ops, skip, ivs)
+    mode = "nest_scatter" if scatter is not None else "nest_elementwise"
+    return mode, plan, program, None
 
 
 def _classify_nest(loop: Operation) -> tuple:
     """Cached classification for rank>=2 ``omp.loop_nest`` ops."""
     key = id(loop)
+    _analysis_cache = _cache_for(loop)
     cached = _analysis_cache.get(key)
     if cached is not None and cached[0] is loop:
         return cached
@@ -909,6 +1309,454 @@ def _classify_nest(loop: Operation) -> tuple:
     return cached
 
 
+# ---------------------------------------------------------------------------
+# Segmented (triangular / CSR) nests
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _SegmentedSpan:
+    """Span flavour of ``nest_segmented``: a rank-1 elementwise loop
+    whose bounds are runtime data (SGESL's triangular ``j = k+1, n``
+    after hoisting).  Evaluation is the plain elementwise fast path with
+    *no* minimum-trip-count floor — each outer iteration is one runtime
+    segment, and the floor is what made the triangular tail a scalar
+    cliff.  The plan only exists to carry the empty skip set through the
+    generic body compile."""
+
+    skip: frozenset[int] = frozenset()
+
+
+@dataclass(frozen=True)
+class _SegmentedNest:
+    """Whole-space plan for an imperfect outer/inner pair whose inner
+    trip count varies with the outer IV: ``prologue / inner reduction
+    loop / epilogue`` with triangular (affine) or CSR (offset-array)
+    inner bounds.
+
+    Phase A (``row_program``) evaluates the prologue over the outer iv
+    vector — per-row inner bounds, the accumulator init value, epilogue
+    subscripts.  The flat space is built with prefix sums over the
+    per-row trip counts; ``inner_program`` evaluates the reduction
+    expression over it, and the fold runs per segment in iteration
+    order (bit-exact f32).  Phase B (``epilogue_program``) then runs the
+    epilogue per row with the accumulator readback preset to the folded
+    per-row values.  Nothing is mutated until every runtime proof (step
+    sign, monotone offsets, NaN hazard) has passed.
+
+    ``needs_monotone`` names the bounds (``"lb"``/``"ub"``) classified
+    as offset-array loads; those vectors are runtime-proved monotone
+    non-decreasing (the CSR contract) with a reasoned bail otherwise.
+    ``acc_shared`` is True when the accumulator cell is invariant across
+    rows (SpMV's alloca scratch: re-initialised per row by the prologue,
+    read back by the epilogue); False means the cell is affine in the
+    outer IV (``y(k) += ...``) and folds write back per row.
+    """
+
+    inner_for: Operation
+    outer_ops: int  # scalar step charge per outer iteration
+    inner_ops: int  # scalar step charge per inner iteration
+    bounds: tuple[SSAValue, SSAValue, SSAValue]  # inner lb / ub / step
+    needs_monotone: tuple[str, ...]
+    reduction: _MemrefReduction
+    acc_shared: bool
+    init_value: SSAValue | None  # prologue accumulator-init stored value
+    readback: Operation | None  # epilogue accumulator load (preset)
+    row_program: Any  # phase A over the outer IV
+    inner_program: Any  # flat space [outer, inner]
+    epilogue_program: Any  # phase B over the outer IV
+
+
+def _segmented_nest_plan(loop: Operation):
+    """Classify the segmented (imperfect) nest shape — an outer loop
+    whose body is ``prologue / one inner reduction loop / epilogue``,
+    the inner bounds affine in the outer IV or loaded from an offset
+    array.  Returns ``(mode, plan, program, reason)`` like
+    :func:`_nest_vector_plan`; all-None means the shape is something
+    else entirely (no reasoned diagnostic)."""
+    from repro.transforms.loop_analysis import (
+        classify_index,
+        index_values_equal,
+        root_memref,
+    )
+
+    body = loop.regions[0].block
+    if len(body.args) != 1 or loop.results:
+        return None, None, None, None
+    iv_o = body.args[0]
+    inner_loops = [op for op in body.ops if op.name == "scf.for"]
+    if len(inner_loops) != 1:
+        return None, None, None, None
+    inner_for = inner_loops[0]
+    if inner_for.results or len(inner_for.regions[0].blocks) != 1:
+        return None, None, None, "inner loop carries iter_args"
+    inner_body = inner_for.regions[0].block
+    if len(inner_body.args) != 1:
+        return None, None, None, "inner loop carries iter_args"
+    if any(op.name == "scf.for" for op in inner_body.ops):
+        return None, None, None, None  # deeper nests: the perfect-chain path
+    pos = body.ops.index(inner_for)
+    prologue = list(body.ops[:pos])
+    epilogue = list(body.ops[pos + 1 :])
+    for op in (*prologue, *epilogue):
+        if op.regions or op.name not in _SUPPORTED:
+            return None, None, None, (
+                "outer body has nested regions or unsupported ops"
+            )
+    reduction = _analyze_memref_reduction_body(inner_body, inner_body.args[0])
+    if reduction is None:
+        return None, None, None, (
+            "inner body is not a memref-accumulator reduction"
+        )
+    acc_root = root_memref(reduction.acc)
+
+    # -- inner bounds: affine in the outer IV, or monotone offset loads --------
+    lb_v, ub_v, step_v = inner_for.operands[:3]
+    needs_monotone: list[str] = []
+    for which, bound in (("lb", lb_v), ("ub", ub_v)):
+        kind = classify_index(bound, iv_o, body).kind
+        if kind == "indirect":
+            needs_monotone.append(which)
+        elif kind not in ("affine", "invariant"):
+            return None, None, None, (
+                "inner loop bounds are neither affine in the outer IV nor "
+                "loaded from an offset array"
+            )
+    if classify_index(step_v, iv_o, body).kind != "invariant":
+        return None, None, None, "inner loop step varies with the outer IV"
+
+    # -- accumulator cell must be resolvable per row ---------------------------
+    prologue_defined = {r for op in prologue for r in op.results}
+
+    def row_resolvable(v: SSAValue) -> bool:
+        # the outer IV itself is the phase-A vector
+        return v is iv_o or _defined_outside(v, body) or v in prologue_defined
+
+    if not all(row_resolvable(idx) for idx in reduction.indices):
+        return None, None, None, (
+            "accumulator subscript is computed inside the inner loop body"
+        )
+    acc_shared = True
+    for idx in reduction.indices:
+        pattern = classify_index(idx, iv_o, body)
+        if pattern.kind == "affine" and pattern.parameter != 0:
+            acc_shared = False  # one cell per row: injective writeback
+        elif pattern.kind != "invariant":
+            return None, None, None, (
+                "accumulator subscript is not affine/invariant in the "
+                "outer IV"
+            )
+
+    # -- prologue: pure compute plus (at most) the accumulator init store ------
+    init_store = None
+    for op in prologue:
+        if op.name == "memref.store":
+            if (
+                root_memref(op.operands[1]) is acc_root
+                and len(op.operands) - 2 == len(reduction.indices)
+                and all(
+                    index_values_equal(a, b, body)
+                    for a, b in zip(op.operands[2:], reduction.indices)
+                )
+            ):
+                if init_store is not None:
+                    return None, None, None, (
+                        "two accumulator init stores in the prologue"
+                    )
+                init_store = op
+            else:
+                return None, None, None, (
+                    "prologue stores to a non-accumulator buffer"
+                )
+    if acc_shared and init_store is None:
+        # without a per-row re-init the rows chain sequentially through
+        # the shared cell — that is one long fold, not a segmented nest
+        return None, None, None, (
+            "shared accumulator carries a value across outer iterations"
+        )
+
+    # -- epilogue: the accumulator readback + injective per-row stores ---------
+    readback = None
+    epi_store_roots: set[int] = set()
+    for op in epilogue:
+        if op.name == "memref.load" and root_memref(op.operands[0]) is acc_root:
+            if not acc_shared:
+                return None, None, None, (
+                    "per-row accumulator is read back in the epilogue"
+                )
+            if readback is not None:
+                return None, None, None, (
+                    "accumulator read twice in the epilogue"
+                )
+            if len(op.operands) - 1 != len(reduction.indices) or not all(
+                index_values_equal(a, b, body)
+                for a, b in zip(op.operands[1:], reduction.indices)
+            ):
+                return None, None, None, (
+                    "epilogue accumulator load subscript differs from the "
+                    "reduction cell"
+                )
+            readback = op
+        elif op.name == "memref.store":
+            root = root_memref(op.operands[1])
+            if root is acc_root:
+                return None, None, None, "epilogue stores to the accumulator"
+            if id(root) in epi_store_roots:
+                return None, None, None, "two epilogue stores to one buffer"
+            epi_store_roots.add(id(root))
+            if len(op.operands) == 2:
+                return None, None, None, (
+                    "rank-0 epilogue store hits the same cell every row"
+                )
+            affine_dims = 0
+            for idx in op.operands[2:]:
+                pattern = classify_index(idx, iv_o, body)
+                if pattern.kind == "affine" and pattern.parameter != 0:
+                    affine_dims += 1
+                elif pattern.kind != "invariant":
+                    return None, None, None, (
+                        "epilogue store subscript is not affine/invariant "
+                        "in the outer IV"
+                    )
+            if affine_dims == 0:
+                return None, None, None, (
+                    "epilogue store hits the same cell every row"
+                )
+
+    # -- nothing read anywhere in the nest may also be written in it -----------
+    store_roots = {id(acc_root)} | epi_store_roots
+    nest_loads = (
+        [op for op in prologue if op.name == "memref.load"]
+        + [
+            op
+            for op in inner_body.ops
+            if op.name == "memref.load" and id(op) not in reduction.skip
+        ]
+        + [
+            op
+            for op in epilogue
+            if op.name == "memref.load" and op is not readback
+        ]
+    )
+    for op in nest_loads:
+        if id(root_memref(op.operands[0])) in store_roots:
+            return None, None, None, (
+                "a buffer read in the nest is also written in the nest"
+            )
+
+    row_skip = (
+        frozenset({id(init_store)}) if init_store is not None else frozenset()
+    )
+    epi_skip = (
+        frozenset({id(readback)}) if readback is not None else frozenset()
+    )
+    plan = _SegmentedNest(
+        inner_for=inner_for,
+        outer_ops=max(1, len(body.ops)),
+        inner_ops=max(1, len(inner_body.ops)),
+        bounds=(lb_v, ub_v, step_v),
+        needs_monotone=tuple(needs_monotone),
+        reduction=reduction,
+        acc_shared=acc_shared,
+        init_value=init_store.operands[0] if init_store is not None else None,
+        readback=readback,
+        row_program=_compile_vector_body(prologue, row_skip, [iv_o]),
+        inner_program=_compile_vector_body(
+            list(inner_body.ops),
+            reduction.skip,
+            [iv_o, inner_body.args[0]],
+        ),
+        epilogue_program=_compile_vector_body(epilogue, epi_skip, [iv_o]),
+    )
+    return "nest_segmented", plan, plan.row_program, None
+
+
+def _run_segmented_span(interp, loop: Operation, env, lb, ub, step) -> bool:
+    """The span flavour at runtime: the elementwise evaluation with no
+    minimum-trip-count floor (one runtime segment per dispatch)."""
+    _, _, _, program = _classify(loop)
+    trips = _trip_count(lb, ub, step)
+    if trips == 0:
+        return True
+    body = loop.regions[0].block
+    ivs = np.arange(lb, lb + trips * step, step, dtype=np.int64)
+    program.run(interp, env, ivs)
+    interp.steps += trips * max(1, len(body.ops))
+    return True
+
+
+def _run_segmented(interp, loop: Operation, env, lb, ub, step, plan) -> bool:
+    """Execute a classified segmented nest whole-space.  True when
+    handled — observers and step accounting then exactly match the
+    scalar nested walk; a False return has mutated nothing (stores and
+    accumulator writebacks are all deferred past the runtime proofs), so
+    the scalar walk can rerun safely."""
+    trips_o = _trip_count(lb, ub, step)
+    if trips_o == 0:
+        return True  # the scalar walk would do nothing either
+    i_vec = np.arange(lb, lb + trips_o * step, step, dtype=np.int64)
+    frame_a = plan.row_program.run(interp, env, i_vec)
+
+    def row_value(v: SSAValue):
+        slot = plan.row_program.slots.get(v)
+        if slot is not None:
+            return frame_a[slot]
+        return interp.get(env, v)
+
+    inner_step = row_value(plan.bounds[2])
+    if np.ndim(inner_step) != 0:
+        return False  # step varies per row: outside the contract
+    inner_step = int(inner_step)
+    if inner_step <= 0:
+        return False  # the scalar walk decides (zero-trip or diverging)
+    lb_vec = np.broadcast_to(
+        np.asarray(row_value(plan.bounds[0]), dtype=np.int64), (trips_o,)
+    )
+    ub_vec = np.broadcast_to(
+        np.asarray(row_value(plan.bounds[1]), dtype=np.int64), (trips_o,)
+    )
+    for which, vec in (("lb", lb_vec), ("ub", ub_vec)):
+        if which in plan.needs_monotone and trips_o > 1 and bool(
+            np.any(np.diff(vec) < 0)
+        ):
+            logger.debug(
+                "scalar bail-out: segmented nest %s offsets are not "
+                "monotone non-decreasing (shuffled offset array); "
+                "rerunning the loop on the scalar tier",
+                which,
+            )
+            return False
+    trips_vec = np.maximum(0, -((lb_vec - ub_vec) // inner_step))
+    total = int(trips_vec.sum())
+    if trips_o + total < _MIN_TRIPS:
+        return False  # scalar wins on constant factors
+
+    reduction = plan.reduction
+    acc_arr = row_value(reduction.acc)
+    dtype = acc_arr.dtype
+    ufunc = _REDUCERS[reduction.op_name]
+    cell_values = [row_value(i) for i in reduction.indices]
+    cell = tuple(
+        np.asarray(v) if np.ndim(v) else int(v) for v in cell_values
+    )
+    if plan.init_value is not None:
+        init_rows = _as_vector(row_value(plan.init_value), trips_o, dtype)
+    else:
+        init_rows = _as_vector(
+            acc_arr[cell] if cell else acc_arr[()], trips_o, dtype
+        )
+
+    folded_all = np.empty(trips_o, dtype=dtype)
+    cum = np.cumsum(trips_vec)
+    r0 = 0
+    while r0 < trips_o:
+        if total <= _MAX_NEST_ELEMS:
+            r1 = trips_o
+        else:
+            # Bound peak memory: whole rows per chunk, so segments never
+            # straddle a chunk boundary and every fold stays per-row.
+            base = int(cum[r0 - 1]) if r0 else 0
+            r1 = int(
+                np.searchsorted(cum, base + _MAX_NEST_ELEMS, side="right")
+            )
+            r1 = min(max(r1, r0 + 1), trips_o)
+        seg = trips_vec[r0:r1]
+        rows_n = r1 - r0
+        ctotal = int(seg.sum())
+        init_chunk = init_rows[r0:r1]
+        if ctotal == 0:
+            folded_all[r0:r1] = init_chunk  # empty segments keep the init
+            r0 = r1
+            continue
+        starts = np.cumsum(seg) - seg
+        outer_flat = np.repeat(i_vec[r0:r1], seg)
+        inner_flat = (
+            np.repeat(lb_vec[r0:r1], seg)
+            + (np.arange(ctotal, dtype=np.int64) - np.repeat(starts, seg))
+            * inner_step
+        )
+
+        def resolve(v: SSAValue, _r0=r0, _r1=r1, _seg=seg):
+            slot = plan.row_program.slots.get(v)
+            if slot is not None:
+                val = frame_a[slot]
+                if np.ndim(val) == 0:
+                    return val
+                return np.repeat(val[_r0:_r1], _seg)
+            return interp.get(env, v)
+
+        frame_i = plan.inner_program.run_with(
+            interp, env, [outer_flat, inner_flat], resolve
+        )
+        slot = plan.inner_program.slots.get(reduction.expr)
+        expr_vec = _as_vector(
+            frame_i[slot] if slot is not None else resolve(reduction.expr),
+            ctotal,
+            dtype,
+        )
+        if _minmax_nan_hazard(reduction.op_name, init_chunk, expr_vec):
+            logger.debug(
+                "scalar bail-out: %s reduction input contains NaN "
+                "(np.minimum/np.maximum propagate NaN where the scalar "
+                "engine's min/max ignore a NaN rhs); rerunning the loop "
+                "on the scalar tier",
+                reduction.op_name,
+            )
+            return False  # nothing mutated yet: all writes are deferred
+        t0 = int(seg[0])
+        if bool(np.all(seg == t0)):
+            # equal rows: one ordered accumulate over an init column
+            expr_mat = expr_vec.reshape(rows_n, t0)
+            if ufunc is np.minimum or ufunc is np.maximum:
+                folded = ufunc(init_chunk, ufunc.reduce(expr_mat, axis=1))
+            else:
+                seq = np.empty((rows_n, t0 + 1), dtype=dtype)
+                seq[:, 0] = init_chunk
+                seq[:, 1:] = expr_mat
+                folded = ufunc.accumulate(seq, axis=1)[:, -1]
+        else:
+            # ragged rows: in-order per-cell combine over segment ids
+            folded = init_chunk.astype(dtype, copy=True)
+            seg_ids = np.repeat(np.arange(rows_n), seg)
+            ufunc.at(folded, seg_ids, expr_vec)
+        folded_all[r0:r1] = folded
+        r0 = r1
+
+    # -- every proof passed: run the epilogue and write the folds back ---------
+    def resolve_epi(v: SSAValue):
+        if plan.readback is not None and v is plan.readback.results[0]:
+            return folded_all
+        return row_value(v)
+
+    plan.epilogue_program.run_with(interp, env, [i_vec], resolve_epi)
+    if plan.acc_shared:
+        # the scalar walk leaves the last row's fold in the shared cell
+        if cell:
+            acc_arr[cell] = folded_all[-1]
+        else:
+            acc_arr[()] = folded_all[-1]
+    elif plan.init_value is not None:
+        acc_arr[cell] = folded_all  # init store ran even for empty rows
+    else:
+        nz = trips_vec > 0
+        if bool(nz.all()):
+            acc_arr[cell] = folded_all
+        else:
+            # zero-trip rows never touched their cell in the scalar walk
+            cell_nz = tuple(c[nz] if np.ndim(c) else c for c in cell)
+            acc_arr[cell_nz] = folded_all[nz]
+
+    interp.steps += trips_o * plan.outer_ops + total * plan.inner_ops
+    observer = interp.loop_observer
+    if observer is not None:
+        # one observer call per distinct per-row trip count, batched —
+        # modelled cycles are integer-valued floats, so sums stay exact
+        uniq, counts = np.unique(trips_vec, return_counts=True)
+        for t, c in zip(uniq, counts):
+            _fire_observer(observer, plan.inner_for, int(t), int(c))
+    return True
+
+
 def _classify_guarded(interp, loop: Operation, classifier) -> tuple:
     """Classification that degrades instead of crashing.
 
@@ -920,14 +1768,15 @@ def _classify_guarded(interp, loop: Operation, classifier) -> tuple:
     here too, so the poisoned entry short-circuits before the crashed
     classifier runs again.
     """
-    cached = _analysis_cache.get(id(loop))
+    cache = _cache_for(loop)
+    cached = cache.get(id(loop))
     if cached is not None and cached[0] is loop:
         return cached
     try:
         return classifier(loop)
     except Exception as error:  # noqa: BLE001 - degrade, never crash
         cached = (loop, None, None, None)
-        _analysis_cache[id(loop)] = cached
+        cache[id(loop)] = cached
         from repro.reliability.report import record_degradation
 
         record_degradation(
@@ -995,7 +1844,9 @@ def _run_nest(interp, loop: Operation, env, root_bounds, plan, program) -> bool:
     total = 1
     for t in trips:
         total *= t
-    for chain_op, level_prelude in zip(plan.chain, plan.prelude):
+    #: (dims, main_for, rem_for, main_ops, rem_ops, main_trips, rem_trips)
+    stitch_runtime: list[tuple] = []
+    for level, level_prelude in zip(plan.chain, plan.prelude):
         if total == 0:
             # The scalar walk never reaches this level: its bound
             # expressions must stay unevaluated (they may fault), and
@@ -1013,11 +1864,26 @@ def _run_nest(interp, loop: Operation, env, root_bounds, plan, program) -> bool:
                     interp.run_op(op, env)
             finally:
                 interp.steps = before
-        lb = interp.get(env, chain_op.operands[0])
-        ub = interp.get(env, chain_op.operands[1])
-        step = interp.get(env, chain_op.operands[2])
+        lb = interp.get(env, level.bounds[0])
+        ub = interp.get(env, level.bounds[1])
+        step = interp.get(env, level.bounds[2])
         if step <= 0:
             return False
+        if level.stitch is not None:
+            main_for, rem_for, main_ops, rem_ops = level.stitch
+            m_lb, m_ub, m_step = (
+                interp.get(env, v) for v in main_for.operands[:3]
+            )
+            r_lb, r_ub, r_step = (
+                interp.get(env, v) for v in rem_for.operands[:3]
+            )
+            if m_step <= 0:
+                return False
+            stitch_runtime.append((
+                len(trips), main_for, rem_for, main_ops, rem_ops,
+                _trip_count(m_lb, m_ub, m_step),
+                _trip_count(r_lb, r_ub, r_step),
+            ))
         bounds.append((lb, ub, step))
         trips.append(_trip_count(lb, ub, step))
         total *= trips[-1]
@@ -1031,8 +1897,17 @@ def _run_nest(interp, loop: Operation, env, root_bounds, plan, program) -> bool:
             for t in trips[:dims]:
                 executions *= t
             steps_charged += executions * op_count
-        interp.steps += steps_charged
         observer = interp.loop_observer
+        for entry in stitch_runtime:
+            dims, main_for, rem_for, main_ops, rem_ops, m_t, r_t = entry
+            executions = 1
+            for t in trips[:dims]:
+                executions *= t
+            steps_charged += executions * (m_t * main_ops + r_t * rem_ops)
+            if observer is not None and executions:
+                _fire_observer(observer, main_for, m_t, executions)
+                _fire_observer(observer, rem_for, r_t, executions)
+        interp.steps += steps_charged
         if observer is not None:
             for dims, chain_op in plan.observer_specs:
                 count = 1
@@ -1074,10 +1949,26 @@ def _run_nest(interp, loop: Operation, env, root_bounds, plan, program) -> bool:
                 "rerunning the loop on the scalar tier",
             )
             return False
+    if plan.scatter is not None and len(outer_chunks) > 1:
+        # Injectivity must hold over the *whole* space: chunked
+        # evaluation commits chunk-by-chunk before later chunks are
+        # proved, so oversized scatter nests stay scalar.
+        logger.debug(
+            "scalar bail-out: scatter nest exceeds the whole-space size "
+            "bound (injectivity needs one pass); rerunning the loop on "
+            "the scalar tier",
+        )
+        return False
 
     for chunk in outer_chunks:
         vecs = _flatten_space([chunk, *dim_values[1:]])
         frame = program.run(interp, env, vecs)
+        if plan.scatter is not None:
+            if not _apply_nest_scatter(
+                interp, env, plan.scatter, program, frame, len(vecs[0])
+            ):
+                return False  # failed proof: nothing was mutated
+            continue
         if reduction is None:
             continue  # stores were applied by the compiled program
 
@@ -1131,7 +2022,11 @@ def try_vectorized_nest(
     ``loop``.  Returns True when handled; the scalar walk must run
     otherwise."""
     _, mode, plan, program = _classify_guarded(interp, loop, _classify)
-    if mode not in ("nest_elementwise", "nest_reduction"):
+    if mode == "nest_segmented":
+        if isinstance(plan, _SegmentedSpan):
+            return _run_segmented_span(interp, loop, env, lb, ub, step)
+        return _run_segmented(interp, loop, env, lb, ub, step, plan)
+    if mode not in ("nest_elementwise", "nest_reduction", "nest_scatter"):
         return False
     return _run_nest(interp, loop, env, [(lb, ub, step)], plan, program)
 
@@ -1158,7 +2053,9 @@ def loop_vector_mode(loop: Operation) -> tuple[str | None, Any]:
     """Classify ``loop`` once: ``("elementwise", None)``,
     ``("iter_reduction", plan)``, ``("memref_reduction", plan)``,
     ``("scatter_store", plan)``, ``("nest_elementwise", plan)`` /
-    ``("nest_reduction", plan)`` for perfect loop-nest chain roots, or
+    ``("nest_reduction", plan)`` / ``("nest_scatter", plan)`` for
+    perfect loop-nest chain roots, ``("nest_segmented", plan)`` for
+    runtime-bounded span loops and triangular/CSR outer-inner pairs, or
     ``(None, None)``.  Cached per loop op."""
     cached = _classify(loop)
     return cached[1], cached[2]
@@ -1167,8 +2064,9 @@ def loop_vector_mode(loop: Operation) -> tuple[str | None, Any]:
 def invalidate_analysis(root: Operation) -> None:
     """Drop cached loop classifications under ``root`` (called by the
     pass manager / rewrite driver after in-place mutation)."""
+    cache = _cache_for(root)
     for op in root.walk():
-        _analysis_cache.pop(id(op), None)
+        cache.pop(id(op), None)
 
 
 # ---------------------------------------------------------------------------
@@ -1210,6 +2108,22 @@ class _VectorProgram:
         get = interp.get
         for slot, value in self.outer:
             frame[slot] = get(env, value)
+        for instr in frame[0]:
+            instr(frame)
+        return frame
+
+    def run_with(self, interp, env, ivs, resolve) -> list:
+        """Like :meth:`run`, but every outer-value fetch goes through
+        ``resolve`` — the segmented nest runner uses this to feed
+        per-row phase values (prologue results repeated per segment, the
+        folded accumulator preset for the epilogue readback) where
+        :meth:`run` would consult the interpreter environment.  ``ivs``
+        is always a sequence with one vector per iv slot."""
+        frame = self.template.copy()
+        for slot, vec in zip(self.iv_slots, ivs):
+            frame[slot] = vec
+        for slot, value in self.outer:
+            frame[slot] = resolve(value)
         for instr in frame[0]:
             instr(frame)
         return frame
@@ -1379,6 +2293,63 @@ def _prove_injective(vec: np.ndarray) -> str | None:
     if np.unique(vec).size == vec.size:
         return "unique"
     return None
+
+
+def _prove_injective_tuple(columns, total: int) -> str | None:
+    """The injectivity lattice lifted to a subscript *tuple* over the
+    flattened nest space: a single varying column uses the rank-1 tiers
+    (monotone before unique); several columns are lexsorted together and
+    proved duplicate-free by adjacent comparison (O(n log n))."""
+    arrays = [np.broadcast_to(np.asarray(c), (total,)) for c in columns]
+    if total <= 1:
+        return "trivial"
+    if len(arrays) == 1:
+        return _prove_injective(arrays[0])
+    order = np.lexsort(arrays)
+    dup = np.ones(total - 1, dtype=bool)
+    for a in arrays:
+        sorted_col = a[order]
+        dup &= sorted_col[1:] == sorted_col[:-1]
+    return None if bool(dup.any()) else "tuple-unique"
+
+
+def _apply_nest_scatter(
+    interp, env, scatter: _NestScatter, program, frame, total: int
+) -> bool:
+    """Prove every deferred nest store injective over the flat space,
+    then apply them in op order.  False (nothing mutated — all stores
+    were skipped from the compiled program) means the scalar walk must
+    rerun."""
+
+    def value(v: SSAValue):
+        slot = program.slots.get(v)
+        if slot is not None:
+            return frame[slot]
+        return interp.get(env, v)
+
+    resolved = []
+    for store, dims_to_prove in zip(scatter.stores, scatter.proof_dims):
+        indices = [value(i) for i in store.operands[2:]]
+        if dims_to_prove:
+            proof = _prove_injective_tuple(
+                [indices[d] for d in dims_to_prove], total
+            )
+            if proof is None:
+                logger.debug(
+                    "scalar bail-out: nest scatter store failed the "
+                    "injectivity proof (subscript tuple has duplicate "
+                    "entries over the flattened space); rerunning the "
+                    "loop on the scalar tier",
+                )
+                return False
+        resolved.append((store, indices))
+    for store, indices in resolved:
+        array = value(store.operands[1])
+        key = tuple(
+            np.asarray(i) if np.ndim(i) else int(i) for i in indices
+        )
+        array[key if len(key) > 1 else key[0]] = value(store.operands[0])
+    return True
 
 
 def try_vectorized_loop(

@@ -307,11 +307,15 @@ class Session:
                     program_info=result.program_info,
                     snapshots=list(instr.snapshots[mark:]),
                 )
-            except ReproError:
+            except BaseException as error:
+                # BaseException on purpose: a KeyboardInterrupt mid-stage
+                # must evict just like a stage failure (and re-raise
+                # unwrapped), or the session holds a poisoned artifact.
                 self._frontend = None
-                raise
-            except Exception as error:
-                self._frontend = None
+                if isinstance(error, ReproError) or not isinstance(
+                    error, Exception
+                ):
+                    raise
                 raise wrap_error(
                     error, FrontendError, context="session.frontend"
                 ) from error
@@ -353,11 +357,12 @@ class Session:
                     policy_key=key,
                     snapshots=snapshots,
                 )
-            except ReproError:
+            except BaseException as error:
                 self._host_device.pop(key, None)
-                raise
-            except Exception as error:
-                self._host_device.pop(key, None)
+                if isinstance(error, ReproError) or not isinstance(
+                    error, Exception
+                ):
+                    raise
                 raise wrap_error(
                     error, LoweringError, context=f"host_device {key!r}"
                 ) from error
@@ -409,11 +414,12 @@ class Session:
                     host=host,
                     snapshots=snapshots,
                 )
-            except ReproError:
+            except BaseException as error:
                 self._builds.pop(key, None)
-                raise
-            except Exception as error:
-                self._builds.pop(key, None)
+                if isinstance(error, ReproError) or not isinstance(
+                    error, Exception
+                ):
+                    raise
                 raise wrap_error(
                     error,
                     DeviceBuildError,

@@ -342,6 +342,38 @@ def _exact_offset(value: SSAValue, iv: SSAValue, body: Block | None) -> bool:
     return False
 
 
+def bound_is_runtime(value: SSAValue) -> bool:
+    """True when a loop bound is *runtime data* — its def chain reaches a
+    ``memref.load`` or a block argument (function parameter / outer IV)
+    rather than folding to compile-time constants.
+
+    This is the segment-bound classification behind the vectorizer's
+    ``nest_segmented`` span flavour: a loop whose extent is decided by
+    runtime values (SGESL's hoisted ``j = k+1, n`` bounds, CSR row
+    offsets) is one runtime *segment*, and its fast path must not apply
+    a static minimum-trip-count floor — the floor is what turns a
+    triangular launch sweep's tail into a scalar cliff.
+    """
+    seen: set[int] = set()
+
+    def walk(v: SSAValue) -> bool:
+        if isinstance(v, BlockArgument):
+            return True
+        if not isinstance(v, OpResult):
+            return False
+        op = v.op
+        if id(op) in seen:
+            return False
+        seen.add(id(op))
+        if op.name == "memref.load":
+            return True
+        if op.name == "arith.constant":
+            return False
+        return any(walk(operand) for operand in op.operands)
+
+    return walk(value)
+
+
 def static_loop_step(for_op: Operation) -> Optional[int]:
     """The loop's step when it is a compile-time constant."""
     step = for_op.operands[2]

@@ -115,6 +115,56 @@ class TestStageFailureEviction:
             pristine.device_module
         )
 
+    def test_keyboard_interrupt_evicts_and_reraises_unwrapped(
+        self, monkeypatch
+    ):
+        """Ctrl-C mid-build is a BaseException, not an Exception: it must
+        still evict the stage key (session stays reusable) and must
+        propagate as KeyboardInterrupt, never wrapped into a ReproError."""
+        from repro.backend.vitis import VitisCompiler
+
+        session = Session(SAXPY_MINI)
+        session.host_device()
+        real_compile = VitisCompiler.compile
+        calls = {"n": 0}
+
+        def interrupted_compile(self, module):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise KeyboardInterrupt
+            return real_compile(self, module)
+
+        monkeypatch.setattr(VitisCompiler, "compile", interrupted_compile)
+        with pytest.raises(KeyboardInterrupt):
+            session.device_build()
+        assert not session._builds
+
+        retried = session.program()
+        assert calls["n"] == 2
+        pristine = Session(SAXPY_MINI).program()
+        assert print_op(retried.device_module) == print_op(
+            pristine.device_module
+        )
+
+    def test_keyboard_interrupt_in_frontend_leaves_session_reusable(
+        self, monkeypatch
+    ):
+        import repro.session as session_mod
+
+        session = Session(SAXPY_MINI)
+
+        def interrupt(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(session_mod, "compile_to_core", interrupt)
+        with pytest.raises(KeyboardInterrupt):
+            session.frontend()
+        monkeypatch.undo()
+
+        assert session._frontend is None
+        assert session.frontend() is session.frontend()
+        assert session.counters["frontend_compiles"] == 1
+
     def test_failed_frontend_caches_nothing(self, monkeypatch):
         import repro.session as session_mod
         from repro.reliability import FrontendError

@@ -407,3 +407,78 @@ class TestRuntimeEquivalence:
         out = c.copy()
         Interpreter(module).call("f", a.copy(), out)
         assert out.tobytes() == expected.tobytes()
+
+
+def _build_rank2_scatter(n: int):
+    """out[perm[i], j] = 2 * a[i,j]: one store dimension picked through
+    an index array — vectorizable only under the nest-level runtime
+    injectivity proof (PR 4's per-store lattice lifted to rank 2)."""
+    from repro.ir.types import i32, index
+
+    module = builtin.ModuleOp()
+    mat = MemRefType(f32, [n, n])
+    perm_ty = MemRefType(i32, [n])
+    fn = func.FuncOp("f", FunctionType([mat, perm_ty, mat], []))
+    module.body.add_op(fn)
+    b = Builder.at_end(fn.body)
+    lb, ub, step = _index_constants(b, 0, n - 1, 1)
+    nest = b.insert(omp.LoopNestOp([lb, lb], [ub, ub], [step, step]))
+    inner = Builder.at_end(nest.body)
+    i, j = nest.body.args
+    a_arg, perm_arg, out_arg = fn.body.args
+    pv = inner.insert(memref.Load(perm_arg, [i])).results[0]
+    pi = inner.insert(arith.IndexCast(pv, index)).results[0]
+    av = inner.insert(memref.Load(a_arg, [i, j])).results[0]
+    two = inner.insert(arith.Constant.float(2.0, 32)).results[0]
+    scaled = inner.insert(arith.MulF(two, av)).results[0]
+    inner.insert(memref.Store(scaled, out_arg, [pi, j]))
+    inner.insert(omp.YieldOp())
+    b.insert(func.ReturnOp())
+    return module, nest
+
+
+class TestNestScatter:
+    def test_classifies_nest_scatter(self):
+        _, nest = _build_rank2_scatter(16)
+        mode, plan, program, reason = _nest_vector_plan(nest)
+        assert mode == "nest_scatter"
+        assert reason is None
+        assert plan.scatter is not None
+
+    def test_permutation_rows_bit_identical(self):
+        n = 16
+        module, _ = _build_rank2_scatter(n)
+        rng = np.random.default_rng(29)
+        a = rng.standard_normal((n, n)).astype(np.float32)
+        perm = rng.permutation(n).astype(np.int32)
+        out_vec = np.zeros((n, n), np.float32)
+        out_scalar = np.zeros((n, n), np.float32)
+        Interpreter(module).call("f", a.copy(), perm, out_vec)
+        Interpreter(module, compiled=False, vectorize=False).call(
+            "f", a.copy(), perm, out_scalar
+        )
+        assert out_vec.tobytes() == out_scalar.tobytes()
+        expected = np.zeros((n, n), np.float32)
+        expected[perm] = (np.float32(2.0) * a).astype(np.float32)
+        assert np.array_equal(out_vec, expected)
+
+    def test_colliding_rows_bail_and_match_scalar(self, caplog):
+        """Duplicate target rows fail the tuple-injectivity proof: the
+        nest logs the reasoned bail, reruns scalar, and keeps the
+        last-write-wins bits."""
+        import logging
+
+        n = 16
+        module, _ = _build_rank2_scatter(n)
+        rng = np.random.default_rng(31)
+        a = rng.standard_normal((n, n)).astype(np.float32)
+        perm = rng.integers(0, 4, n).astype(np.int32)  # heavy collisions
+        out_vec = np.zeros((n, n), np.float32)
+        out_scalar = np.zeros((n, n), np.float32)
+        with caplog.at_level(logging.DEBUG, logger="repro.ir.vectorize"):
+            Interpreter(module).call("f", a.copy(), perm, out_vec)
+        Interpreter(module, compiled=False, vectorize=False).call(
+            "f", a.copy(), perm, out_scalar
+        )
+        assert out_vec.tobytes() == out_scalar.tobytes()
+        assert any("injectivity" in r.message for r in caplog.records)

@@ -516,7 +516,7 @@ class TestBailOutLogging:
     def test_scalar_bail_out_is_logged(self, caplog):
         import logging
 
-        from repro.ir.vectorize import _analysis_cache, loop_vector_mode
+        from repro.ir.vectorize import invalidate_analysis, loop_vector_mode
 
         module = builtin.ModuleOp()
         fn = func.FuncOp("f", FunctionType([MemRefType(f32, [])], []))
@@ -531,7 +531,7 @@ class TestBailOutLogging:
         inner.insert(memref.Store(v, fn.body.args[0], []))  # rank-0 store
         inner.insert(scf.Yield())
         b.insert(func.ReturnOp())
-        _analysis_cache.pop(id(loop), None)
+        invalidate_analysis(loop)
         with caplog.at_level(logging.DEBUG, logger="repro.ir.vectorize"):
             mode, _ = loop_vector_mode(loop)
         assert mode is None
@@ -686,3 +686,63 @@ class TestOverlappingStores:
             "f", x_data, y_scalar
         )
         assert y_vec.tobytes() == y_scalar.tobytes()
+
+
+class TestAnalysisCacheScoping:
+    """The classification cache used to be a module-level dict keyed by
+    ``id(loop)``: entries leaked for the life of the process, and a
+    recycled id() could even serve a stale plan to an unrelated loop.
+    It now hangs off the IR root op and dies with it."""
+
+    def _reduction_module(self):
+        module = builtin.ModuleOp()
+        fn = func.FuncOp(
+            "f",
+            FunctionType([MemRefType(f32, [128]), MemRefType(f32, [])], []),
+        )
+        module.body.add_op(fn)
+        b = Builder.at_end(fn.body)
+        lb = b.insert(arith.Constant.index(0)).results[0]
+        ub = b.insert(arith.Constant.index(128)).results[0]
+        step = b.insert(arith.Constant.index(1)).results[0]
+        loop = b.insert(scf.For(lb, ub, step))
+        inner = Builder.at_end(loop.body)
+        x, s = fn.body.args
+        xv = inner.insert(memref.Load(x, [loop.induction_var])).results[0]
+        sv = inner.insert(memref.Load(s, [])).results[0]
+        acc = inner.insert(arith.AddF(sv, xv)).results[0]
+        inner.insert(memref.Store(acc, s, []))
+        inner.insert(scf.Yield())
+        b.insert(func.ReturnOp())
+        return module, loop
+
+    def test_leaky_module_global_is_gone(self):
+        import repro.ir.vectorize as vectorize_mod
+
+        assert not hasattr(vectorize_mod, "_analysis_cache")
+
+    def test_entries_live_on_the_owning_root(self):
+        from repro.ir.vectorize import loop_vector_mode
+
+        m1, l1 = build_elementwise_module(128, arith.AddF)
+        m2, l2 = build_elementwise_module(128, arith.MulF)
+        loop_vector_mode(l1)
+        loop_vector_mode(l2)
+        assert id(l1) in m1.analysis_cache
+        assert id(l2) in m2.analysis_cache
+        assert id(l1) not in m2.analysis_cache
+        assert id(l2) not in m1.analysis_cache
+
+    def test_cached_plans_do_not_outlive_their_program(self):
+        import gc
+        import weakref
+
+        from repro.ir.vectorize import loop_vector_mode
+
+        module, loop = self._reduction_module()
+        mode, plan = loop_vector_mode(loop)
+        assert mode == "memref_reduction" and plan is not None
+        ref = weakref.ref(plan)
+        del mode, plan, loop, module
+        gc.collect()
+        assert ref() is None

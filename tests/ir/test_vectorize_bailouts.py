@@ -170,8 +170,11 @@ class TestChunkedMinMaxSizeBoundBail:
 class TestScfChainNestBail:
     def test_chain_bail_logged_and_scalar_identical(self, caplog):
         """A perfect scf.for chain whose store couples both IVs bails
-        with the ``rank-2 scf.for nest`` reasoned log, then reruns
-        scalar with last-write-wins order preserved bit for bit."""
+        with a reasoned log, then reruns scalar with last-write-wins
+        order preserved bit for bit.  Since PR 7 the segmented
+        classifier inspects the pair after the whole-space nest path
+        gives up, so the recorded reason is its ``segmented nest``
+        bail (the coupled store is no per-row accumulator)."""
         n = 16
 
         def build():
@@ -202,6 +205,6 @@ class TestScfChainNestBail:
         fast, scalar, records = _run_both_tiers(build, args, caplog)
         assert fast[0].tobytes() == scalar[0].tobytes()
         assert any(
-            "scf.for nest" in r.message and "bail-out" in r.message
+            "segmented nest" in r.message and "bail-out" in r.message
             for r in records
         )

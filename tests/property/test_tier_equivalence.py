@@ -124,6 +124,73 @@ def test_rank_n_nests_vectorize_whole_space(name, expected_mode):
 
 
 @pytest.mark.parametrize(
+    "name, expected_modes",
+    [
+        # outer row loop is the segmented nest; the inner reduction loop
+        # classifies on its own but is subsumed by the whole-space plan
+        ("spmv", ["memref_reduction", "nest_segmented"]),
+        # both device loops are runtime-bounded rank-1 spans
+        ("sgesl", ["nest_segmented", "nest_segmented"]),
+    ],
+)
+def test_segmented_kernels_vectorize(name, expected_modes):
+    """Guard against silent scalar fallback for the segmented tier:
+    spmv's CSR row loop and sgesl's runtime-bounded solve loops must
+    classify ``nest_segmented`` — before PR 7 both ran the scalar walk
+    (spmv's imperfect nest bailed; sgesl's runtime trip counts never
+    reached the ``_MIN_TRIPS`` floor check) and this suite stayed green
+    while the fast tier was silently lost."""
+    from repro.ir.vectorize import loop_vector_mode
+
+    program = _program(name)
+    modes = [
+        loop_vector_mode(op)[0]
+        for op in program.device_module.walk()
+        if op.name == "scf.for"
+    ]
+    assert sorted(m for m in modes if m is not None) == expected_modes
+
+
+def test_simdlen_unroll_pair_stitches_back_whole_space():
+    """DSE sweeps at ``simdlen > 1`` split each loop into a chunked main
+    loop plus a remainder; the nest planner must stitch the pair back
+    into one whole-space plan (classifying the *root*) instead of
+    dropping to per-row dispatch — and the stitched run must stay bit
+    identical to the scalar walk in outputs and modelled metrics."""
+    from repro.ir.pass_manager import Instrumentation
+    from repro.ir.vectorize import loop_vector_mode
+    from repro.session import KernelOverrides, Session
+
+    workload = get_workload("jacobi2d")
+    session = Session(workload.source, instrumentation=Instrumentation())
+    program = session.program(KernelOverrides(simdlen=4))
+    root = next(
+        op for op in program.device_module.walk() if op.name == "scf.for"
+    )
+    mode, plan = loop_vector_mode(root)
+    assert mode == "nest_elementwise"
+    assert any(level.stitch is not None for level in plan.chain)
+
+    observed = []
+    for compiled, vectorize in TIERS:
+        result, instance = workload.run(
+            program, compiled=compiled, vectorize=vectorize, seed=3
+        )
+        workload.check(instance)
+        outputs = {
+            pos: np.asarray(arg).tobytes()
+            for pos, arg in instance.outputs().items()
+        }
+        observed.append((result, outputs))
+    base_result, base_outputs = observed[0]
+    for result, outputs in observed[1:]:
+        assert outputs == base_outputs
+        assert result.interpreter_steps == base_result.interpreter_steps
+        assert result.device_time_ms == base_result.device_time_ms
+        assert result.kernel_cycles == base_result.kernel_cycles
+
+
+@pytest.mark.parametrize(
     "name", [w.name for w in all_workloads() if w.name not in _SLOW_SCALAR]
 )
 def test_fresh_seed_still_conforms(name):

@@ -1,0 +1,103 @@
+"""Chaos conformance on the segmented tier (PR 7).
+
+The saxpy matrix in ``test_chaos_conformance.py`` pins the
+bit-identical-or-typed-error contract on an elementwise kernel; spmv
+(CSR row loops) and sgesl (triangular updates) extend the same
+fixed-seed matrix to ``nest_segmented`` — the whole-space evaluator
+with runtime monotone proofs, per-row folds and deferred writebacks
+must hold the exact contract under every injected fault and tier.
+"""
+
+import numpy as np
+import pytest
+
+from repro.reliability import FaultPlan, ReproError
+from repro.workloads import get_workload
+
+WORKLOADS = ("spmv", "sgesl")
+CHAOS_SEEDS = list(range(12))
+N = 256
+
+TIERS = [
+    pytest.param(dict(compiled=True, vectorize=True), id="jit+vec"),
+    pytest.param(dict(compiled=True, vectorize=False), id="jit"),
+    pytest.param(dict(compiled=False, vectorize=True), id="scalar+vec"),
+    pytest.param(dict(compiled=False, vectorize=False), id="scalar"),
+]
+
+_PROGRAMS: dict[str, object] = {}
+
+
+def _program(name: str):
+    if name not in _PROGRAMS:
+        _PROGRAMS[name] = get_workload(name).compile()
+    return _PROGRAMS[name]
+
+
+def _run(name: str, **executor_kwargs):
+    """One run on deterministic inputs; returns (outputs, result)."""
+    workload = get_workload(name)
+    program = _program(name)
+    instance = workload.instance(N)
+    args = [
+        arg.copy() if isinstance(arg, np.ndarray) else arg
+        for arg in instance.args
+    ]
+    result = program.executor(**executor_kwargs).run(workload.entry, *args)
+    outputs = {pos: args[pos] for pos in instance.expected}
+    return outputs, result
+
+
+def _assert_bit_identical(baseline, candidate) -> None:
+    base_out, base_result = baseline
+    cand_out, cand_result = candidate
+    assert base_out.keys() == cand_out.keys()
+    for pos in base_out:
+        np.testing.assert_array_equal(base_out[pos], cand_out[pos])
+    assert cand_result.interpreter_steps == base_result.interpreter_steps
+    assert cand_result.device_time_ms == base_result.device_time_ms
+    assert cand_result.kernel_cycles == base_result.kernel_cycles
+    assert cand_result.launches == base_result.launches
+
+
+@pytest.fixture(scope="module", params=WORKLOADS)
+def segmented_case(request):
+    name = request.param
+    return name, _run(name)
+
+
+class TestSeededChaosSegmented:
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_bit_identical_or_typed_error(self, seed, segmented_case):
+        name, baseline = segmented_case
+        plan = FaultPlan.from_seed(seed, n_faults=2)
+        try:
+            candidate = _run(name, fault_plan=plan)
+        except ReproError:
+            return  # the typed-error arm of the contract
+        _assert_bit_identical(baseline, candidate)
+        assert candidate[1].report.completed
+
+    @pytest.mark.parametrize("tier", TIERS)
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS[:2])
+    def test_contract_holds_on_every_tier(self, seed, tier, segmented_case):
+        """Fault matching keys on logical site occurrences, so a plan's
+        outcome must not depend on which engine tier executes the
+        segmented kernel."""
+        name, baseline = segmented_case
+        plan = FaultPlan.from_seed(seed, n_faults=1)
+        try:
+            candidate = _run(name, fault_plan=plan, **tier)
+        except ReproError as error:
+            outcome = type(error).__name__
+        else:
+            _assert_bit_identical(baseline, candidate)
+            outcome = "ok"
+        # same plan, same tier => same outcome on a rerun
+        try:
+            candidate = _run(name, fault_plan=plan, **tier)
+        except ReproError as error:
+            assert type(error).__name__ == outcome
+        else:
+            assert outcome == "ok"
+            _assert_bit_identical(baseline, candidate)

@@ -21,14 +21,15 @@ from tests.reliability.conftest import assert_bit_identical, run_saxpy
 
 
 @pytest.fixture(autouse=True)
-def _clean_analysis_cache():
-    """Degradation poisons the per-loop analysis cache (by design — one
-    record per loop, not per execution); drop entries created during the
-    test so later suites re-classify from scratch."""
-    before = set(vectorize._analysis_cache)
+def _clean_analysis_cache(request):
+    """Degradation poisons the per-root analysis cache (by design — one
+    record per loop, not per execution).  Hand-built modules die with
+    the test, but the session-scoped saxpy program's device module
+    lives on: drop its entries so later suites re-classify fresh."""
     yield
-    for key in set(vectorize._analysis_cache) - before:
-        vectorize._analysis_cache.pop(key, None)
+    if "saxpy_program" in request.fixturenames:
+        program = request.getfixturevalue("saxpy_program")
+        vectorize.invalidate_analysis(program.device_module)
 
 
 def _build_elementwise(n: int):
@@ -150,7 +151,7 @@ class TestDegradationInRunReport:
         same modelled numbers — and the RunReport names the fallback."""
         # fresh cache: the program's loops were classified by earlier
         # runs, and cached classifications short-circuit the crash
-        monkeypatch.setattr(vectorize, "_analysis_cache", {})
+        vectorize.invalidate_analysis(saxpy_program.device_module)
         monkeypatch.setattr(vectorize, "_classify", _crash)
         monkeypatch.setattr(vectorize, "_classify_nest", _crash)
         candidate = run_saxpy(saxpy_program, compiled=False)

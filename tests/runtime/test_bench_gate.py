@@ -1,0 +1,104 @@
+"""The ``--check-against`` bench gate must *report* what it cannot
+compare.
+
+PR 7 bugfix: the gate used to iterate the intersection of baseline and
+current entries, so a bench or ``*_tiers`` entry that vanished from the
+current run (a retired workload, a tier bench silently dropped by a
+refactor) simply un-gated its own regression.  Missing entries are now
+first-class reported failures — never a silent pass, never a traceback.
+"""
+
+import importlib.util
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+_spec = importlib.util.spec_from_file_location(
+    "perf_smoke", REPO / "benchmarks" / "perf_smoke.py"
+)
+perf_smoke = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(perf_smoke)
+
+check_against = perf_smoke.check_against
+
+
+def _payload(benches=(), **tier_sections):
+    payload = {"benches": list(benches)}
+    for key, entries in tier_sections.items():
+        payload[key] = list(entries)
+    return payload
+
+
+BENCH = {
+    "name": "spmv:n=1024",
+    "seconds": 0.5,
+    "interpreter_steps": 1000,
+    "device_time_ms": 1.25,
+    "kernel_cycles": 250000.0,
+}
+TIER = {
+    "name": "spmv:n=4096",
+    "scalar_seconds": 30.0,
+    "vectorized_seconds": 0.05,
+    "speedup": 600.0,
+    "floor": 5.0,
+    "interpreter_steps": 1000,
+}
+
+
+class TestMissingEntries:
+    def test_identical_payloads_pass(self):
+        base = _payload([BENCH], segmented_tiers=[TIER])
+        cur = _payload([BENCH], segmented_tiers=[TIER])
+        assert check_against(base, cur) == []
+
+    def test_missing_bench_is_a_reported_failure(self):
+        base = _payload([BENCH])
+        cur = _payload([])
+        failures = check_against(base, cur)
+        assert len(failures) == 1
+        assert "spmv:n=1024" in failures[0]
+        assert "missing from current run" in failures[0]
+
+    def test_missing_tier_entry_is_a_reported_failure(self):
+        """The exact regression shape: a baseline that records a speedup
+        floor for a tier bench the current run no longer produces."""
+        base = _payload([], segmented_tiers=[TIER])
+        cur = _payload([])
+        failures = check_against(base, cur)
+        assert len(failures) == 1
+        assert "segmented_tiers:spmv:n=4096" in failures[0]
+        assert "missing from current run" in failures[0]
+
+    def test_missing_tier_section_reports_every_entry(self):
+        other = dict(TIER, name="sgesl:n=512")
+        base = _payload([], segmented_tiers=[TIER, other])
+        cur = _payload([], nest_tiers=[dict(TIER, name="heat3d:n=64")])
+        failures = check_against(base, cur)
+        assert len(failures) == 2
+        assert all("missing from current run" in f for f in failures)
+
+    def test_current_only_entries_never_fail(self):
+        base = _payload([])
+        cur = _payload([BENCH], segmented_tiers=[TIER])
+        assert check_against(base, cur) == []
+
+
+class TestDriftAndFloor:
+    def test_modelled_drift_fails(self):
+        base = _payload([BENCH])
+        cur = _payload([dict(BENCH, kernel_cycles=999.0)])
+        failures = check_against(base, cur)
+        assert len(failures) == 1
+        assert "kernel_cycles" in failures[0]
+
+    def test_wall_clock_never_gates(self):
+        base = _payload([BENCH])
+        cur = _payload([dict(BENCH, seconds=50.0)])
+        assert check_against(base, cur) == []
+
+    def test_speedup_below_floor_fails(self):
+        base = _payload([], segmented_tiers=[TIER])
+        cur = _payload([], segmented_tiers=[dict(TIER, speedup=3.2)])
+        failures = check_against(base, cur)
+        assert len(failures) == 1
+        assert "below the recorded floor" in failures[0]
