@@ -5,20 +5,21 @@ bench-regression gate.
 Times compilation and simulated runs of **every gallery workload**
 (``repro.workloads`` registry: SAXPY, SGESL, dot, Jacobi 2-D, SpMV,
 tiled GEMM, histogram, heat3d, batched GEMM) and writes
-``BENCH_pr7.json`` (at the repo root) with seconds and interpreter-step
+``BENCH_pr8.json`` (at the repo root) with seconds and interpreter-step
 counts, so later PRs have a perf trajectory to regress against.  The
 simulator's *modelled* numbers (device time, cycles) are recorded too —
 they must stay constant across engine optimisations; only wall-clock may
 move.  Every run is checked bit-for-bit against the workload's NumPy
 reference.
 
-New in PR 7: the ``segmented_tiers`` benchmark — spmv (CSR row loops)
-and sgesl (triangular ``j = k+1, n`` updates) run scalar versus the
-``nest_segmented`` whole-space tier at their largest sweep sizes — and
-a hardened ``--check-against`` bench gate:
+New in PR 8: the ``service_tiers`` benchmark — the compile service's
+warm-cache compile vs a cold build, an 8-way coalesced burst (exactly
+one build fanned out to all 8 waiters) vs 8 serial builds, and a
+parallel vs serial 8-point DSE sweep asserted to produce identical
+tables.  The ``--check-against`` bench gate (hardened in PR 7):
 
     PYTHONPATH=src python benchmarks/perf_smoke.py \\
-        --out bench.json --check-against BENCH_pr7.json
+        --out bench.json --check-against BENCH_pr8.json
 
 compares the fresh run to the committed baseline and exits non-zero when
 
@@ -208,6 +209,120 @@ def bench_tiers(program, name: str, n: int) -> dict:
     }
 
 
+#: regression floor for the warm-cache service compile over a cold
+#: build.  The *recorded* speedup is ~20-24x (the PR 8 acceptance bar);
+#: the floor sits well below it, like every other tier floor (e.g.
+#: segmented 688x recorded / 5x floor), because its job is to catch the
+#: cache breaking (ratio collapsing toward 1x), not 10% timer jitter on
+#: a ~1 ms unpickle.
+SERVICE_WARM_FLOOR = 10.0
+#: an 8-way coalesced burst must beat 8 serial cold builds by at least
+#: this much (it performs exactly one build).
+SERVICE_COALESCE_FLOOR = 2.0
+#: parallel-vs-serial DSE floor: an overhead bound, not a speedup claim.
+#: CI runners may expose a single core, where process-parallel builds
+#: cannot win wall-clock; the floor guards against the parallel path
+#: degrading catastrophically (e.g. losing per-worker session reuse).
+SERVICE_DSE_FLOOR = 0.25
+
+
+def bench_service_tiers() -> list[dict]:
+    """The compile-service benches: warm cache vs cold build, an 8-way
+    coalesced burst vs 8 serial builds, and a parallel vs serial 8-point
+    DSE sweep (identical tables asserted)."""
+    from repro.dse import explore_workload
+    from repro.service import (
+        ArtifactStore,
+        CompileRequest,
+        CompileService,
+        reset_worker_sessions,
+    )
+
+    source = get_workload("saxpy").source
+    request = CompileRequest(source)
+
+    # -- warm vs cold --------------------------------------------------
+    def cold_build():
+        reset_worker_sessions()
+        with CompileService(store=ArtifactStore(), max_workers=0) as svc:
+            svc.compile(request)
+
+    cold_s, _ = _best_of(cold_build, rounds=5)
+    with CompileService(store=ArtifactStore(), max_workers=0) as service:
+        service.compile(request)
+        # the warm path unpickles a fresh artifact per hit (~1-2 ms); a
+        # deep best-of keeps the recorded minimum stable against GC /
+        # allocator noise so the floor compares stable minima
+        warm_s, _ = _best_of(
+            lambda: service.compile(request), rounds=25
+        )
+        assert service.stats.memory_hits >= 25
+    warm_vs_cold = {
+        "name": "saxpy:warm_vs_cold",
+        "cold_seconds": round(cold_s, 6),
+        "warm_seconds": round(warm_s, 6),
+        "speedup": round(cold_s / warm_s, 2),
+        "floor": SERVICE_WARM_FLOOR,
+    }
+
+    # -- coalesced 8-way burst vs 8 serial builds ----------------------
+    def serial_8():
+        for _ in range(8):
+            cold_build()
+
+    serial_s, _ = _best_of(serial_8, rounds=2)
+    with CompileService(
+        store=ArtifactStore(), max_workers=2
+    ) as service:
+        service.warm_pool()
+
+        def burst_8():
+            futures = [service.submit(request) for _ in range(8)]
+            for future in futures:
+                future.result()
+
+        start = time.perf_counter()
+        burst_8()
+        burst_s = time.perf_counter() - start
+        builds = service.stats.builds
+    assert builds == 1, f"coalesced burst performed {builds} builds"
+    coalesced = {
+        "name": "saxpy:coalesced8",
+        "serial_seconds": round(serial_s, 6),
+        "burst_seconds": round(burst_s, 6),
+        "speedup": round(serial_s / burst_s, 2),
+        "floor": SERVICE_COALESCE_FLOOR,
+        "builds": builds,
+    }
+
+    # -- parallel vs serial 8-point DSE sweep --------------------------
+    factors = (1, 2, 3, 4, 5, 6, 7, 8)
+    start = time.perf_counter()
+    serial_sweep = explore_workload("saxpy", simdlen_factors=factors)
+    dse_serial_s = time.perf_counter() - start
+    with CompileService(
+        store=ArtifactStore(), max_workers=2, queue_depth=len(factors)
+    ) as service:
+        service.warm_pool()
+        start = time.perf_counter()
+        parallel_sweep = explore_workload(
+            "saxpy", simdlen_factors=factors, service=service
+        )
+        dse_parallel_s = time.perf_counter() - start
+    assert parallel_sweep.table() == serial_sweep.table(), (
+        "parallel DSE sweep produced a different table than serial"
+    )
+    dse = {
+        "name": "saxpy:dse8",
+        "serial_seconds": round(dse_serial_s, 6),
+        "parallel_seconds": round(dse_parallel_s, 6),
+        "speedup": round(dse_serial_s / dse_parallel_s, 2),
+        "floor": SERVICE_DSE_FLOOR,
+        "points": len(factors),
+    }
+    return [warm_vs_cold, coalesced, dse]
+
+
 # ---------------------------------------------------------------------------
 # Bench gate (--check-against)
 # ---------------------------------------------------------------------------
@@ -288,8 +403,8 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--out",
-        default=str(Path(__file__).resolve().parents[1] / "BENCH_pr7.json"),
-        help="output JSON path (default: <repo>/BENCH_pr7.json)",
+        default=str(Path(__file__).resolve().parents[1] / "BENCH_pr8.json"),
+        help="output JSON path (default: <repo>/BENCH_pr8.json)",
     )
     parser.add_argument(
         "--check-against",
@@ -300,6 +415,12 @@ def main() -> None:
         "recorded floor",
     )
     args = parser.parse_args()
+
+    # service benches run first, while the process heap is still small:
+    # the warm path is a ~1 ms unpickle, and running it after the gallery
+    # has filled gen-2 with live IR graphs measurably slows allocation
+    # inside pickle.loads (enough to blur the recorded cold/warm ratio).
+    service_benches = bench_service_tiers()
 
     benches = []
     programs: dict[str, object] = {}
@@ -339,9 +460,8 @@ def main() -> None:
             programs["sgesl"], "sgesl", max(get_workload("sgesl").sizes)
         ),
     ]
-
     payload = {
-        "pr": 7,
+        "pr": 8,
         "description": (
             "Workload gallery through the three-tier engine: every "
             "registered workload compiled + run, outputs checked bit-for-"
@@ -356,7 +476,12 @@ def main() -> None:
             "scatter; rank-3 collapse(3) whole-space nests; spmv's CSR "
             "row loops and sgesl's triangular updates on the segmented "
             "tier); each records the speedup floor the gate holds later "
-            "runs to."
+            "runs to. service_tiers (PR 8) records the compile-service "
+            "wins: warm-cache vs cold compile, an 8-way coalesced burst "
+            "(exactly one build) vs 8 serial builds, and parallel vs "
+            "serial 8-point DSE (the dse8 floor is an overhead bound — "
+            "single-core runners cannot win wall-clock on process-"
+            "parallel builds)."
         ),
         "python": platform.python_version(),
         "benches": benches,
@@ -364,6 +489,7 @@ def main() -> None:
         "scatter_tiers": scatter_benches,
         "nest_tiers": nest_benches,
         "segmented_tiers": segmented_benches,
+        "service_tiers": service_benches,
     }
     out = Path(args.out)
     out.write_text(json.dumps(payload, indent=2) + "\n")
@@ -393,6 +519,18 @@ def main() -> None:
                 f"vectorized {bench['vectorized_seconds']*1e3:8.2f} ms  "
                 f"speedup {bench['speedup']:.1f}x (floor {bench['floor']:.0f}x)"
             )
+    for bench in service_benches:
+        slow_key, fast_key = [
+            k for k in bench if k.endswith("_seconds")
+        ]
+        print(
+            f"service_tiers:{bench['name']}  "
+            f"{slow_key.removesuffix('_seconds')} "
+            f"{bench[slow_key]*1e3:9.2f} ms  "
+            f"{fast_key.removesuffix('_seconds')} "
+            f"{bench[fast_key]*1e3:8.2f} ms  "
+            f"speedup {bench['speedup']:.2f}x (floor {bench['floor']:g}x)"
+        )
     print(f"\nwrote {out}")
 
     if args.check_against:

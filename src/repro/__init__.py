@@ -24,10 +24,26 @@ session.  Pass pipelines are declarative
 (``PassManager.parse("lower-omp-to-hls{reduction_copies=4},cse")``) and
 observable through :class:`Instrumentation` (stage snapshots, per-pass
 timing, artifact-build counters).
+
+Cross-process, the compile service (:mod:`repro.service`) fronts a
+content-addressed :class:`~repro.service.ArtifactStore` with a process
+pool — identical requests hit cache (or coalesce into one in-flight
+build) instead of recompiling::
+
+    from repro import ArtifactStore, CompileRequest, CompileService
+
+    with CompileService(store=ArtifactStore("/var/cache/repro")) as svc:
+        program = svc.compile(CompileRequest(FORTRAN_SOURCE)).artifact
 """
 
 from repro.ir.pass_manager import Instrumentation, PassManager, PipelineStage
 from repro.pipeline import CompiledProgram, compile_fortran, compile_workload
+from repro.service import (
+    ArtifactKey,
+    ArtifactStore,
+    CompileRequest,
+    CompileService,
+)
 from repro.session import (
     DeviceBuild,
     FrontendArtifact,
@@ -39,9 +55,13 @@ from repro.session import (
     host_device_pipeline,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "ArtifactKey",
+    "ArtifactStore",
+    "CompileRequest",
+    "CompileService",
     "CompiledProgram",
     "DeviceBuild",
     "FrontendArtifact",

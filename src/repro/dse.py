@@ -17,15 +17,33 @@ reports the Pareto-best choice under a resource budget.
     result = explore_simdlen(SAXPY_SOURCE, run_workload, factors=(1, 2, 4, 8, 10))
     print(result.best.simdlen, result.best.device_time_s)
     print(result.session.counters["frontend_compiles"])   # == 1
+
+Two orthogonal extensions ride on the compile service
+(:mod:`repro.service`):
+
+* ``workers=N`` (or an explicit ``service=``) builds the sweep's points
+  **in parallel** across the service's process pool — each point's
+  device build runs in a worker, the modeled evaluation runs in the
+  parent, and the result table is assembled in *plan order* (the
+  cartesian order of the input sequences), so serial and parallel sweeps
+  produce identical tables regardless of worker completion order;
+* ``result_store=DseResultStore(path)`` persists every evaluated point
+  to disk as it completes, so a killed sweep restarted with the same
+  store re-evaluates only the missing points and still produces a
+  bit-identical table.
 """
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.fpga.board import U280Board
 from repro.ir.pass_manager import Instrumentation
+from repro.reliability.errors import DataIntegrityError
 from repro.runtime.executor import ExecutionResult
 from repro.session import (
     CompiledProgram,
@@ -96,6 +114,126 @@ class DseResult:
         )
 
 
+#: the persisted per-point record schema (see :class:`DseResultStore`)
+_RECORD_FIELDS = (
+    "simdlen",
+    "reduction_copies",
+    "device_time_s",
+    "lut_pct",
+    "dsp_pct",
+    "achieved_iis",
+)
+
+
+class DseResultStore:
+    """Resumable on-disk store of evaluated DSE points.
+
+    Each completed point is persisted (atomically) as
+    ``<root>/<digest>.json`` keyed by the point's *program* artifact
+    digest — the same content address the compile service uses — the
+    moment its evaluation finishes.  A sweep restarted with the same
+    store loads those records instead of re-evaluating, so an
+    interrupted sweep completes bit-identically to an uninterrupted one.
+
+    The digest covers (source, target, overrides) but not the
+    ``evaluate`` callback: use one store directory per (workload,
+    evaluator) sweep.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        #: points served from disk during the last sweep (resume probe)
+        self.loads = 0
+        #: points persisted during the last sweep
+        self.saves = 0
+
+    def _path(self, digest: str) -> Path:
+        return self.root / f"{digest}.json"
+
+    def get(self, digest: str) -> dict | None:
+        """The persisted record, or ``None``.  A record that cannot be
+        parsed or is missing fields raises
+        :class:`~repro.reliability.errors.DataIntegrityError` — a
+        truncated or hand-edited file must never become a silently wrong
+        sweep row."""
+        path = self._path(digest)
+        if not path.exists():
+            return None
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, ValueError) as error:
+            raise DataIntegrityError(
+                f"DSE result store: unreadable record {path.name}",
+                context=str(path),
+            ) from error
+        if not all(key in record for key in _RECORD_FIELDS):
+            raise DataIntegrityError(
+                f"DSE result store: record {path.name} is missing fields "
+                f"(have {sorted(record)})",
+                context=str(path),
+            )
+        self.loads += 1
+        return record
+
+    def put(self, digest: str, record: dict) -> None:
+        path = self._path(digest)
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        tmp.write_text(json.dumps(record, indent=1) + "\n")
+        os.replace(tmp, path)
+        self.saves += 1
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def __contains__(self, digest: str) -> bool:
+        return self._path(digest).exists()
+
+
+def _point_digest(
+    source: str, target: TargetConfig, overrides: KernelOverrides
+) -> str:
+    from repro.service.store import ArtifactKey
+
+    return ArtifactKey(
+        source=source, target=target, stage="program", overrides=overrides
+    ).digest
+
+
+def _point_record(
+    program: CompiledProgram,
+    run: ExecutionResult,
+    overrides: KernelOverrides,
+) -> dict:
+    utilization = program.bitstream.utilization()
+    return {
+        "simdlen": overrides.simdlen,
+        "reduction_copies": overrides.reduction_copies,
+        "device_time_s": run.device_time_s,
+        "lut_pct": utilization.lut,
+        "dsp_pct": utilization.dsp,
+        "achieved_iis": [
+            sched.achieved_ii
+            for kernel in program.bitstream.kernels.values()
+            for sched in kernel.loops.values()
+        ],
+    }
+
+
+def _point_from_record(
+    record: dict, program: CompiledProgram | None = None
+) -> DsePoint:
+    return DsePoint(
+        simdlen=int(record["simdlen"]),
+        reduction_copies=int(record["reduction_copies"]),
+        device_time_s=float(record["device_time_s"]),
+        lut_pct=float(record["lut_pct"]),
+        dsp_pct=float(record["dsp_pct"]),
+        achieved_iis=tuple(int(ii) for ii in record["achieved_iis"]),
+        program=program,
+    )
+
+
 def explore(
     source: str,
     evaluate: Callable[[CompiledProgram], ExecutionResult],
@@ -107,14 +245,29 @@ def explore(
     board: U280Board | None = None,
     keep_programs: bool = False,
     session: Session | None = None,
+    workers: int = 0,
+    service=None,
+    result_store: DseResultStore | None = None,
 ) -> DseResult:
     """Sweep directive parameters and pick the fastest feasible point.
 
     ``evaluate`` runs a representative workload on a compiled program and
     returns its :class:`ExecutionResult`; the sweep minimizes
     ``device_time_s`` subject to *both* resource budgets (LUT and DSP
-    utilization).  All points share one :class:`Session`: the frontend
-    and host build run once, each point costs one device build.
+    utilization).
+
+    Serially (the default) all points share one :class:`Session`: the
+    frontend and host build run once, each point costs one device build.
+    With ``workers=N`` (or an explicit
+    :class:`~repro.service.CompileService` via ``service=``) the device
+    builds of all pending points run in parallel across the service's
+    process pool; the modeled evaluation still runs in the parent (so
+    any callable works, closures included) and the table is assembled in
+    plan order — identical to the serial table.
+
+    ``result_store`` makes the sweep resumable: completed points are
+    read back from disk instead of re-evaluated (their ``program`` slot
+    is ``None`` even with ``keep_programs=True``).
     """
     if session is not None and session.source != source:
         raise ValueError(
@@ -129,43 +282,81 @@ def explore(
             "silently ignored; build the session with "
             "TargetConfig(board=...) instead"
         )
-    session = session or Session(
-        source,
-        target=TargetConfig(board=board),
-        instrumentation=Instrumentation(),
+    parallel = workers > 0 or service is not None
+    if parallel and session is not None:
+        raise ValueError(
+            "explore(session=...) cannot be combined with workers/"
+            "service: a Session's cached artifacts live in this process "
+            "and cannot be shared with pool workers — drop session= (the "
+            "sweep builds through the service's own per-worker sessions)"
+        )
+
+    # The plan is the cartesian order of the input sequences; the result
+    # table is always assembled in this order, so worker completion
+    # order can never reorder rows.
+    plan = [
+        (copies, factor)
+        for copies in reduction_copies
+        for factor in simdlen_factors
+    ]
+    target = (
+        session.target if session is not None else TargetConfig(board=board)
     )
+
+    # Resume: load every already-evaluated point from the result store.
+    records: dict[tuple[int, int], dict] = {}
+    digests: dict[tuple[int, int], str] = {}
+    for copies, factor in plan:
+        overrides = KernelOverrides(simdlen=factor, reduction_copies=copies)
+        if result_store is not None:
+            digest = _point_digest(source, target, overrides)
+            digests[(copies, factor)] = digest
+            record = result_store.get(digest)
+            if record is not None:
+                records[(copies, factor)] = record
+    pending = [key for key in plan if key not in records]
+
+    programs: dict[tuple[int, int], CompiledProgram] = {}
+    if parallel and pending:
+        session = None
+        _run_points_parallel(
+            source, target, pending, programs,
+            workers=workers, service=service,
+        )
+    elif pending:
+        session = session or Session(
+            source,
+            target=TargetConfig(board=board),
+            instrumentation=Instrumentation(),
+        )
+
     result = DseResult(
         session=session, max_lut_pct=max_lut_pct, max_dsp_pct=max_dsp_pct
     )
-    for copies in reduction_copies:
-        for factor in simdlen_factors:
-            overrides = KernelOverrides(
-                simdlen=factor, reduction_copies=copies
-            )
+    for copies, factor in plan:
+        overrides = KernelOverrides(simdlen=factor, reduction_copies=copies)
+        record = records.get((copies, factor))
+        if record is not None:
+            result.points.append(_point_from_record(record))
+            continue
+        if parallel:
+            program = programs[(copies, factor)]
+        else:
             program = session.program(overrides)
-            run = evaluate(program)
-            utilization = program.bitstream.utilization()
-            iis = tuple(
-                sched.achieved_ii
-                for kernel in program.bitstream.kernels.values()
-                for sched in kernel.loops.values()
+        run = evaluate(program)
+        record = _point_record(program, run, overrides)
+        if result_store is not None:
+            result_store.put(digests[(copies, factor)], record)
+        result.points.append(
+            _point_from_record(
+                record, program if keep_programs else None
             )
-            result.points.append(
-                DsePoint(
-                    simdlen=factor,
-                    reduction_copies=copies,
-                    device_time_s=run.device_time_s,
-                    lut_pct=utilization.lut,
-                    dsp_pct=utilization.dsp,
-                    achieved_iis=iis,
-                    program=program if keep_programs else None,
-                )
-            )
-            if not keep_programs:
-                # evict the heavy device build (bitstream + lowered
-                # module) now that its numbers are extracted, so gallery
-                # sweeps hold at most one build at a time
-                session.release_build(overrides)
+        )
+        if not parallel and not keep_programs:
+            # evict the heavy device build (bitstream + lowered
+            # module) now that its numbers are extracted, so gallery
+            # sweeps hold at most one build at a time
+            session.release_build(overrides)
     feasible = [
         p
         for p in result.points
@@ -174,6 +365,46 @@ def explore(
     if feasible:
         result.best = min(feasible, key=lambda p: p.device_time_s)
     return result
+
+
+def _run_points_parallel(
+    source: str,
+    target: TargetConfig,
+    pending: Sequence[tuple[int, int]],
+    programs: dict,
+    *,
+    workers: int,
+    service,
+) -> None:
+    """Build every pending point's program through the compile service
+    (in parallel across its pool) into ``programs``."""
+    from repro.service import CompileRequest, CompileService
+
+    owned = None
+    if service is None:
+        owned = service = CompileService(
+            max_workers=workers,
+            queue_depth=max(len(pending), 1),
+        )
+    try:
+        futures = {}
+        for copies, factor in pending:
+            overrides = KernelOverrides(
+                simdlen=factor, reduction_copies=copies
+            )
+            futures[(copies, factor)] = service.submit(
+                CompileRequest(
+                    source=source,
+                    target=target,
+                    overrides=overrides,
+                    stage="program",
+                )
+            )
+        for key, future in futures.items():
+            programs[key] = future.result().artifact
+    finally:
+        if owned is not None:
+            owned.close()
 
 
 def explore_simdlen(

@@ -307,6 +307,24 @@ class Operation:
     def has_trait(self, trait: type) -> bool:
         return any(issubclass(t, trait) for t in self.traits)
 
+    # -- pickling --------------------------------------------------------------
+
+    def __getstate__(self):
+        """Exclude :attr:`analysis_cache` from pickling.
+
+        The cache holds compiled vector plans (NumPy closures) that are
+        neither picklable nor meaningful in another process; a loaded
+        module starts with a cold cache and re-derives identical plans.
+        """
+        state = super().__getstate__()
+        if (
+            isinstance(state, tuple)
+            and len(state) == 2
+            and isinstance(state[1], dict)
+        ):
+            state[1].pop("analysis_cache", None)
+        return state
+
     # -- cloning ---------------------------------------------------------------
 
     def clone(

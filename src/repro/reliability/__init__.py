@@ -7,6 +7,7 @@ See :mod:`repro.reliability.errors` for the typed error hierarchy,
 """
 
 from repro.reliability.errors import (
+    AdmissionRejected,
     DataIntegrityError,
     DeviceAllocationError,
     DeviceBuildError,
@@ -16,6 +17,7 @@ from repro.reliability.errors import (
     FrontendError,
     LoweringError,
     ReproError,
+    ServiceError,
     WatchdogTimeout,
     wrap_error,
 )
@@ -35,6 +37,8 @@ from repro.reliability.report import (
 from repro.reliability.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 
 __all__ = [
+    "AdmissionRejected",
+    "ServiceError",
     "DataIntegrityError",
     "DeviceAllocationError",
     "DeviceBuildError",

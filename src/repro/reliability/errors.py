@@ -115,12 +115,73 @@ class EngineError(ReproError):
     default_stage = "engine"
 
 
+class ServiceError(ReproError):
+    """Failure inside the compile service (:mod:`repro.service`)."""
+
+    default_stage = "service"
+
+
+class AdmissionRejected(ServiceError):
+    """The service's bounded admission queue is full.
+
+    Transient by construction: the request was never started, so
+    resubmitting after a backoff is expected to succeed once the queue
+    drains — callers can key retry loops off :attr:`transient`.
+    """
+
+    transient = True
+
+
 # ---------------------------------------------------------------------------
 # Foreign-exception adoption
 # ---------------------------------------------------------------------------
 
 #: (taxonomy base, original class) -> combined class
 _WRAPPED: dict[tuple[type, type], type] = {}
+
+
+def _restore_wrapped(
+    base: type, original: type, args: tuple, state: dict
+) -> BaseException:
+    """Pickle reconstructor for a dynamically created wrapped class.
+
+    The combined class cannot be found by the default ``module.qualname``
+    lookup (it exists only in the ``_WRAPPED`` cache), so the wrapped
+    instance pickles as *this function plus the (base, original) key*:
+    unpickling re-creates (or reuses) the cached class in the receiving
+    process and restores the instance without re-running ``__init__`` —
+    exactly what lets a worker process raise a wrapped error across the
+    process-pool boundary.
+    """
+    cls = _wrapped_class(base, original)
+    err = cls.__new__(cls)
+    err.args = tuple(args)
+    err.__dict__.update(state)
+    return err
+
+
+def _wrapped_class(base: type, cls: type) -> type:
+    """The cached ``(base, cls)`` combined class (create on first use)."""
+    key = (base, cls)
+    wrapped = _WRAPPED.get(key)
+    if wrapped is None:
+
+        def __reduce__(self, _base=base, _cls=cls):
+            return (
+                _restore_wrapped,
+                (_base, _cls, self.args, dict(self.__dict__)),
+            )
+
+        try:
+            wrapped = type(
+                f"{base.__name__}:{cls.__name__}",
+                (base, cls),
+                {"__reduce__": __reduce__},
+            )
+        except TypeError:  # incompatible layout: fall back to the base
+            wrapped = base
+        _WRAPPED[key] = wrapped
+    return wrapped
 
 
 def wrap_error(
@@ -138,19 +199,11 @@ def wrap_error(
     the returned object, so adopting an error into the taxonomy never
     breaks an existing ``except`` clause.  Raise the result ``from
     error`` so the originating traceback (source line, op context) stays
-    on the chain.
+    on the chain.  Wrapped instances survive pickling (e.g. a worker
+    raising across a process pool): they reconstruct through the class
+    cache via :func:`_restore_wrapped`.
     """
     if isinstance(error, base):
         return error
-    cls = type(error)
-    key = (base, cls)
-    wrapped = _WRAPPED.get(key)
-    if wrapped is None:
-        try:
-            wrapped = type(
-                f"{base.__name__}:{cls.__name__}", (base, cls), {}
-            )
-        except TypeError:  # incompatible layout: fall back to the base
-            wrapped = base
-        _WRAPPED[key] = wrapped
+    wrapped = _wrapped_class(base, type(error))
     return wrapped(str(error), stage=stage, kernel=kernel, context=context)

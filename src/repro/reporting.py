@@ -149,6 +149,40 @@ def counter_table(instrumentation) -> str:
     return format_table("Build counters", ["event", "count"], rows)
 
 
+def service_stats_table(stats) -> str:
+    """Aggregate :class:`~repro.service.service.ServiceStats` counters
+    as a table (requests, tier hits, coalesced, builds, rejections)."""
+    rows = sorted(stats.as_dict().items())
+    return format_table("Compile service", ["counter", "count"], rows)
+
+
+def service_request_table(responses) -> str:
+    """Per-request :class:`~repro.service.service.ServiceMetrics` rows
+    for a batch of :class:`ServiceResponse` objects — the coalesced
+    burst evidence in human-readable form."""
+    rows = [
+        (
+            r.metrics.digest[:12],
+            r.metrics.outcome,
+            f"{r.metrics.queue_wait_s * 1e3:.3f}",
+            f"{r.metrics.build_s * 1e3:.3f}",
+            f"{r.metrics.total_s * 1e3:.3f}",
+        )
+        for r in responses
+    ]
+    return format_table(
+        "Service requests",
+        ["digest", "outcome", "queue (ms)", "build (ms)", "total (ms)"],
+        rows,
+    )
+
+
+def store_stats_table(stats) -> str:
+    """Tier-level :class:`~repro.service.store.StoreStats` counters."""
+    rows = sorted(stats.as_dict().items())
+    return format_table("Artifact store", ["counter", "count"], rows)
+
+
 def gallery_table() -> str:
     """The workload gallery as a paper-style table (name, loop shape,
     entry point, size sweep) — regenerated from the registry so reports

@@ -1,0 +1,334 @@
+"""Content-addressed artifact store for compiled stage artifacts.
+
+Every cacheable pipeline product — a frontend module, a host/device
+split, a device build, an assembled :class:`~repro.session.CompiledProgram`
+— is addressed by an :class:`ArtifactKey`: a stable SHA-256 digest of
+(canonical source text, :class:`~repro.session.TargetConfig`, stage
+name, :class:`~repro.session.KernelOverrides`).  Identical requests from
+any process therefore resolve to the same address, which is what lets
+the compile service (:mod:`repro.service.service`) serve a cache hit
+instead of recompiling.
+
+Two tiers:
+
+* an **in-memory LRU** of pickled payloads (bounded entry count), and
+* an **on-disk tier** persisting ``<digest>.pkl`` payloads next to a
+  ``<digest>.json`` metadata record (stage, modelled metrics, payload
+  SHA-256), surviving process restarts and shared between workers.
+
+**Integrity is checked on load**: a disk payload whose SHA-256 does not
+match its metadata record — or a metadata record addressing a different
+key — raises a typed
+:class:`~repro.reliability.errors.DataIntegrityError`.  The store never
+deserializes a corrupt payload, so a flipped bit on disk costs a rebuild,
+never a silently wrong artifact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.reliability.errors import DataIntegrityError
+from repro.session import KernelOverrides, TargetConfig
+
+#: Bump together with the on-disk layout / key serialization.
+STORE_VERSION = 1
+
+#: Stage names the store addresses, in pipeline order.
+STAGES = ("frontend", "host_device", "device_build", "program")
+
+
+def canonical_source(text: str) -> str:
+    """Canonical form of a Fortran source: normalized line endings,
+    trailing whitespace stripped per line, no leading/trailing blank
+    lines.  Requests differing only in incidental whitespace share one
+    artifact address."""
+    lines = [
+        line.rstrip() for line in text.replace("\r\n", "\n").split("\n")
+    ]
+    while lines and not lines[0]:
+        lines.pop(0)
+    while lines and not lines[-1]:
+        lines.pop()
+    return "\n".join(lines) + "\n"
+
+
+@dataclass(frozen=True)
+class ArtifactKey:
+    """Content address of one stage artifact.
+
+    ``overrides`` only participates for device-side stages (the frontend
+    and host/device split do not depend on it), so a DSE sweep's points
+    share their frontend/host addresses.
+    """
+
+    source: str
+    target: TargetConfig = field(default_factory=TargetConfig)
+    stage: str = "program"
+    overrides: KernelOverrides = field(default_factory=KernelOverrides)
+
+    def __post_init__(self):
+        if self.stage not in STAGES:
+            raise ValueError(
+                f"unknown stage {self.stage!r}; expected one of {STAGES}"
+            )
+
+    @property
+    def digest(self) -> str:
+        """The stable content address (SHA-256 hex)."""
+        source_digest = hashlib.sha256(
+            canonical_source(self.source).encode()
+        ).hexdigest()
+        overrides_digest = (
+            self.overrides.digest()
+            if self.stage in ("device_build", "program")
+            else "-"
+        )
+        text = "|".join(
+            (
+                f"artifact/v{STORE_VERSION}",
+                source_digest,
+                self.target.digest(),
+                self.stage,
+                overrides_digest,
+            )
+        )
+        return hashlib.sha256(text.encode()).hexdigest()
+
+
+@dataclass
+class StoredArtifact:
+    """One store hit: the pickled payload plus its metadata record."""
+
+    digest: str
+    payload: bytes
+    metadata: dict
+    #: which tier served it ("memory" or "disk")
+    tier: str = "memory"
+
+    def load(self):
+        """Deserialize a *fresh* artifact object.
+
+        Every caller gets an independent object graph — two requests
+        never share mutable IR state through the cache.
+        """
+        return pickle.loads(self.payload)
+
+
+@dataclass
+class StoreStats:
+    """Tier-level counters (the service adds request-level metrics)."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    integrity_failures: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "integrity_failures": self.integrity_failures,
+        }
+
+
+class ArtifactStore:
+    """Two-tier (memory LRU over disk) content-addressed artifact store.
+
+    Thread-safe: the service front door calls it from request threads
+    and pool callbacks concurrently.  ``root=None`` disables the disk
+    tier (a pure in-process cache).
+    """
+
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        *,
+        memory_entries: int = 64,
+    ):
+        if memory_entries < 0:
+            raise ValueError("memory_entries must be >= 0")
+        self.root = Path(root) if root is not None else None
+        self.memory_entries = memory_entries
+        self._lock = threading.Lock()
+        #: digest -> (payload, metadata); ordered oldest-first
+        self._memory: OrderedDict[str, tuple[bytes, dict]] = OrderedDict()
+        self.stats = StoreStats()
+        if self.root is not None:
+            self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- paths -------------------------------------------------------------
+
+    def _paths(self, digest: str) -> tuple[Path, Path]:
+        assert self.root is not None
+        shard = self.root / digest[:2]
+        return shard / f"{digest}.pkl", shard / f"{digest}.json"
+
+    # -- lookup ------------------------------------------------------------
+
+    def get(self, key: "ArtifactKey | str") -> StoredArtifact | None:
+        """The stored artifact for ``key``, or ``None`` on a miss.
+
+        Raises :class:`DataIntegrityError` when the on-disk entry fails
+        its checksum — the caller decides whether to rebuild (the
+        compile service does, after evicting the corrupt entry).
+        """
+        digest = key if isinstance(key, str) else key.digest
+        with self._lock:
+            entry = self._memory.get(digest)
+            if entry is not None:
+                self._memory.move_to_end(digest)
+                self.stats.memory_hits += 1
+                payload, metadata = entry
+                return StoredArtifact(digest, payload, metadata, "memory")
+        stored = self._read_disk(digest)
+        if stored is None:
+            with self._lock:
+                self.stats.misses += 1
+            return None
+        with self._lock:
+            self.stats.disk_hits += 1
+            self._remember(digest, stored.payload, stored.metadata)
+        return stored
+
+    def _read_disk(self, digest: str) -> StoredArtifact | None:
+        if self.root is None:
+            return None
+        payload_path, meta_path = self._paths(digest)
+        if not payload_path.exists() or not meta_path.exists():
+            return None
+        try:
+            metadata = json.loads(meta_path.read_text())
+        except (OSError, ValueError) as error:
+            with self._lock:
+                self.stats.integrity_failures += 1
+            raise DataIntegrityError(
+                f"artifact store: unreadable metadata for {digest}",
+                context=str(meta_path),
+            ) from error
+        payload = payload_path.read_bytes()
+        actual = hashlib.sha256(payload).hexdigest()
+        if (
+            metadata.get("payload_sha256") != actual
+            or metadata.get("key_digest") != digest
+        ):
+            with self._lock:
+                self.stats.integrity_failures += 1
+            raise DataIntegrityError(
+                f"artifact store: payload checksum mismatch for {digest} "
+                f"(recorded {metadata.get('payload_sha256')!r}, actual "
+                f"{actual!r})",
+                context=str(payload_path),
+            )
+        return StoredArtifact(digest, payload, metadata, "disk")
+
+    # -- insertion ---------------------------------------------------------
+
+    def put(
+        self,
+        key: "ArtifactKey | str",
+        artifact_or_payload,
+        metrics: dict | None = None,
+        *,
+        stage: str | None = None,
+    ) -> StoredArtifact:
+        """Store an artifact (object, pickled here — or pre-pickled
+        ``bytes`` from a worker) with its modelled ``metrics`` record."""
+        digest = key if isinstance(key, str) else key.digest
+        if stage is None and isinstance(key, ArtifactKey):
+            stage = key.stage
+        payload = (
+            artifact_or_payload
+            if isinstance(artifact_or_payload, bytes)
+            else pickle.dumps(
+                artifact_or_payload, protocol=pickle.HIGHEST_PROTOCOL
+            )
+        )
+        metadata = {
+            "store_version": STORE_VERSION,
+            "key_digest": digest,
+            "stage": stage,
+            "payload_sha256": hashlib.sha256(payload).hexdigest(),
+            "payload_bytes": len(payload),
+            "metrics": dict(metrics or {}),
+        }
+        self._write_disk(digest, payload, metadata)
+        with self._lock:
+            self.stats.puts += 1
+            self._remember(digest, payload, metadata)
+        return StoredArtifact(digest, payload, metadata, "memory")
+
+    def _write_disk(self, digest: str, payload: bytes, metadata: dict):
+        if self.root is None:
+            return
+        payload_path, meta_path = self._paths(digest)
+        payload_path.parent.mkdir(parents=True, exist_ok=True)
+        # Atomic publication: payload first, metadata (the commit record)
+        # second — a crash between the two leaves an entry whose partner
+        # is missing, which reads as a miss, never as corruption.
+        for path, data in (
+            (payload_path, payload),
+            (meta_path, (json.dumps(metadata, indent=1) + "\n").encode()),
+        ):
+            tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
+            tmp.write_bytes(data)
+            os.replace(tmp, path)
+
+    def _remember(self, digest: str, payload: bytes, metadata: dict):
+        """Insert into the memory LRU (caller holds the lock)."""
+        if self.memory_entries == 0:
+            return
+        self._memory[digest] = (payload, metadata)
+        self._memory.move_to_end(digest)
+        while len(self._memory) > self.memory_entries:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+
+    # -- management --------------------------------------------------------
+
+    def delete(self, key: "ArtifactKey | str") -> bool:
+        """Drop an entry from both tiers (used by the service to evict a
+        corrupt disk record before rebuilding)."""
+        digest = key if isinstance(key, str) else key.digest
+        with self._lock:
+            removed = self._memory.pop(digest, None) is not None
+        if self.root is not None:
+            for path in self._paths(digest):
+                try:
+                    path.unlink()
+                    removed = True
+                except FileNotFoundError:
+                    pass
+        return removed
+
+    def clear_memory(self) -> None:
+        """Empty the in-memory tier (disk entries survive) — the warm
+        vs cold bench uses this to time a pure disk hit."""
+        with self._lock:
+            self._memory.clear()
+
+    def __contains__(self, key: "ArtifactKey | str") -> bool:
+        digest = key if isinstance(key, str) else key.digest
+        with self._lock:
+            if digest in self._memory:
+                return True
+        if self.root is None:
+            return False
+        payload_path, meta_path = self._paths(digest)
+        return payload_path.exists() and meta_path.exists()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._memory)

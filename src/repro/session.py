@@ -27,6 +27,9 @@ this API.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import warnings
 from dataclasses import dataclass, field
 
 from repro.backend.host_codegen import generate_host_code
@@ -60,6 +63,76 @@ from repro.transforms import (
 # Configuration values (stage cache keys)
 # ---------------------------------------------------------------------------
 
+#: Bump when the canonical field serialization below changes shape, so
+#: digests from different schema versions can never collide silently.
+_DIGEST_VERSION = 1
+
+
+def _canonical_value(value) -> str:
+    """Deterministic text form of a config field value.
+
+    Dataclasses render as ``ClassName(name=value,...)`` with the fields
+    *sorted by name* and canonicalized recursively; containers keep
+    order (they are part of the configured value); scalars use ``repr``.
+    Sorted + versioned rendering is what makes :meth:`TargetConfig.digest`
+    and :meth:`KernelOverrides.digest` stable across processes and PRs.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        parts = ",".join(
+            f"{f.name}={_canonical_value(getattr(value, f.name))}"
+            for f in sorted(dataclasses.fields(value), key=lambda f: f.name)
+        )
+        return f"{type(value).__name__}({parts})"
+    if isinstance(value, (list, tuple)):
+        inner = ",".join(_canonical_value(v) for v in value)
+        return f"[{inner}]"
+    if isinstance(value, dict):
+        inner = ",".join(
+            f"{k!r}:{_canonical_value(value[k])}" for k in sorted(value)
+        )
+        return f"{{{inner}}}"
+    if isinstance(value, (type(None), bool, int, float, str, bytes)):
+        return repr(value)
+    raise TypeError(
+        f"cannot canonicalize {type(value).__name__!r} into a stable "
+        "config digest"
+    )
+
+
+def _config_digest(label: str, value) -> str:
+    """SHA-256 over the versioned canonical form of a config object."""
+    text = f"{label}/v{_DIGEST_VERSION}|{_canonical_value(value)}"
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def _warn_deprecated_mutation(cls_name: str) -> None:
+    warnings.warn(
+        f"mutating a {cls_name} is deprecated: it is a frozen cache/"
+        "digest key — build a new instance (dataclasses.replace) "
+        "instead; mutation after a stage was cached aliases cache "
+        "entries",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _allow_deprecated_mutation(cls: type) -> type:
+    """Legacy escape hatch: assignment to the frozen config dataclasses
+    used to work; it now warns loudly but still takes effect so old
+    call sites keep running while they migrate."""
+
+    def __setattr__(self, name, value):
+        _warn_deprecated_mutation(cls.__name__)
+        object.__setattr__(self, name, value)
+
+    def __delattr__(self, name):
+        _warn_deprecated_mutation(cls.__name__)
+        object.__delattr__(self, name)
+
+    cls.__setattr__ = __setattr__
+    cls.__delattr__ = __delattr__
+    return cls
+
 
 @dataclass(frozen=True)
 class TargetConfig:
@@ -72,6 +145,36 @@ class TargetConfig:
 
     def resolved_board(self) -> U280Board:
         return self.board or U280Board()
+
+    def digest(self) -> str:
+        """Stable content digest of this target (sorted, versioned field
+        serialization) — one component of the compile service's
+        content-addressed artifact keys.
+
+        A caller-supplied *mutable* :class:`MemorySpacePolicy` object is
+        snapshotted (mode, banks, current assignments) with a
+        :class:`DeprecationWarning`: later mutation of the object would
+        silently invalidate the digest, so pass the policy mode string
+        instead.
+        """
+        policy = self.memory_space_policy
+        if policy is not None and not isinstance(policy, str):
+            warnings.warn(
+                "TargetConfig.digest() over a mutable MemorySpacePolicy "
+                "object snapshots its current state; pass the policy "
+                "mode string for a stable content key",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            policy = (
+                f"{policy.mode}/banks={policy.num_banks}/"
+                f"assigned={sorted(policy._assigned.items())!r}"
+            )
+        board = self.resolved_board()
+        text = (
+            f"board={_canonical_value(board)}|policy={policy!r}"
+        )
+        return _config_digest("TargetConfig", text)
 
 
 @dataclass(frozen=True)
@@ -88,6 +191,15 @@ class KernelOverrides:
     reduction_copies: int = 8
     shared_bundle: bool = False
     target_ii: int = 1
+
+    def digest(self) -> str:
+        """Stable content digest (sorted, versioned field serialization)
+        — the device-build component of content-addressed artifact keys."""
+        return _config_digest("KernelOverrides", self)
+
+
+_allow_deprecated_mutation(TargetConfig)
+_allow_deprecated_mutation(KernelOverrides)
 
 
 def _policy_key(policy: "MemorySpacePolicy | str | None") -> tuple:
@@ -380,7 +492,10 @@ class Session:
         (policy, overrides) — the only work a DSE sweep repeats."""
         overrides = overrides or KernelOverrides()
         host = self.host_device(memory_space_policy)
-        key = (host.policy_key, overrides)
+        # Cache key: the stage-content digest, not the object — two
+        # override instances with equal fields share one build, and the
+        # same key addresses the artifact in the cross-process store.
+        key = (host.policy_key, overrides.digest())
         if key not in self._builds:
             # Failure discipline: a raise anywhere mid-build must leave
             # the session reusable — the key is evicted (never a partial
@@ -471,7 +586,7 @@ class Session:
             if memory_space_policy is not None
             else self.target.memory_space_policy
         )
-        key = (_policy_key(policy), overrides)
+        key = (_policy_key(policy), overrides.digest())
         return self._builds.pop(key, None) is not None
 
     # -- introspection -----------------------------------------------------------------

@@ -72,3 +72,11 @@ def test_design_space_exploration():
     out = run_example("design_space_exploration.py")
     assert "Design-space exploration" in out
     assert "best: simdlen(" in out
+
+
+def test_service_quickstart():
+    out = run_example("service_quickstart.py")
+    assert "memory_hit" in out
+    assert "disk_hit" in out
+    assert "matches the NumPy reference bit-for-bit" in out
+    assert "8 concurrent requests -> 1 build, 7 coalesced" in out

@@ -1,0 +1,153 @@
+"""Pickle round-trips: stage artifacts rerun bit-identically, wrapped
+errors survive the process-pool boundary."""
+
+from __future__ import annotations
+
+import pickle
+import subprocess
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.reliability import FrontendError, ReproError, wrap_error
+from repro.session import KernelOverrides, Session
+from tests.conftest import SAXPY_MINI, run_offload_saxpy
+
+
+# -- stage artifact round-trips ----------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def session():
+    return Session(SAXPY_MINI)
+
+
+def _round_trip(obj):
+    return pickle.loads(
+        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    )
+
+
+def test_frontend_artifact_round_trip(session):
+    artifact = _round_trip(session.frontend())
+    assert sorted(artifact.program_info.units) == sorted(
+        session.frontend().program_info.units
+    )
+    assert str(artifact.module) == str(session.frontend().module)
+
+
+def test_host_device_artifact_round_trip(session):
+    artifact = _round_trip(session.host_device())
+    original = session.host_device()
+    assert artifact.host_cpp == original.host_cpp
+    assert str(artifact.device_module) == str(original.device_module)
+
+
+def test_device_build_round_trip_preserves_schedules(session):
+    overrides = KernelOverrides(simdlen=4)
+    build = session.device_build(overrides)
+    copy = _round_trip(build)
+    ours = build.bitstream.utilization()
+    theirs = copy.bitstream.utilization()
+    assert (ours.lut, ours.dsp) == (theirs.lut, theirs.dsp)
+    # the id()-keyed loop schedules were re-keyed onto the unpickled
+    # module's ops: every schedule still addresses a live op
+    for name, kernel in copy.bitstream.kernels.items():
+        module_ids = {id(op) for op in copy.device_module.walk()}
+        assert set(kernel.loops) <= module_ids, name
+
+
+def test_program_round_trip_reruns_bit_identically(session):
+    program = session.program()
+    copy = _round_trip(program)
+    y1, expected, r1 = run_offload_saxpy(program)
+    y2, _, r2 = run_offload_saxpy(copy)
+    np.testing.assert_array_equal(y1, expected)
+    assert y1.tobytes() == y2.tobytes()
+    assert r1.interpreter_steps == r2.interpreter_steps
+    assert r1.device_time_ms == r2.device_time_ms
+    assert r1.kernel_cycles == r2.kernel_cycles
+
+
+def test_program_reruns_bit_identically_in_fresh_process(tmp_path):
+    """The acceptance bar: an artifact pickled here and rerun in a brand
+    new interpreter produces the same outputs AND modelled metrics."""
+    program = Session(SAXPY_MINI).program()
+    y, expected, result = run_offload_saxpy(program)
+    blob = tmp_path / "program.pkl"
+    blob.write_bytes(
+        pickle.dumps(program, protocol=pickle.HIGHEST_PROTOCOL)
+    )
+    script = (
+        "import pickle, sys, json\n"
+        "import numpy as np\n"
+        "from tests.conftest import run_offload_saxpy\n"
+        f"program = pickle.loads(open({str(blob)!r}, 'rb').read())\n"
+        "y, expected, result = run_offload_saxpy(program)\n"
+        "print(json.dumps({\n"
+        "    'y': y.tobytes().hex(),\n"
+        "    'steps': result.interpreter_steps,\n"
+        "    'device_time_ms': result.device_time_ms,\n"
+        "    'kernel_cycles': result.kernel_cycles,\n"
+        "}))\n"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        cwd=Path(__file__).resolve().parents[2],
+        check=True,
+    )
+    import json
+
+    remote = json.loads(proc.stdout.strip().splitlines()[-1])
+    assert bytes.fromhex(remote["y"]) == y.tobytes()
+    assert remote["steps"] == result.interpreter_steps
+    assert remote["device_time_ms"] == result.device_time_ms
+    assert remote["kernel_cycles"] == result.kernel_cycles
+
+
+# -- wrapped errors across process boundaries --------------------------------
+
+
+class ForeignParserError(Exception):
+    """Stand-in for a third-party exception adopted into the taxonomy."""
+
+
+def test_wrapped_error_pickle_round_trip():
+    original = ForeignParserError("unexpected token")
+    wrapped = wrap_error(
+        original, FrontendError, kernel="saxpy", context="line 3"
+    )
+    copy = _round_trip(wrapped)
+    assert type(copy) is type(wrapped)
+    assert isinstance(copy, FrontendError)
+    assert isinstance(copy, ForeignParserError)
+    assert isinstance(copy, ReproError)
+    assert copy.kernel == "saxpy"
+    assert copy.context == "line 3"
+    assert copy.stage == "frontend"
+    assert str(copy) == str(wrapped)
+
+
+def _raise_wrapped(_index):
+    raise wrap_error(
+        ForeignParserError("worker-side failure"),
+        FrontendError,
+        context="pool",
+    )
+
+
+@pytest.mark.slow
+def test_wrapped_error_survives_process_pool_boundary():
+    """Regression: a worker raising a dynamically created wrapped class
+    must reconstruct in the parent (the default pickle path cannot find
+    the class by qualname)."""
+    with ProcessPoolExecutor(max_workers=1) as pool:
+        with pytest.raises(FrontendError) as info:
+            pool.submit(_raise_wrapped, 0).result()
+    assert isinstance(info.value, ForeignParserError)
+    assert info.value.context == "pool"
