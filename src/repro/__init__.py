@@ -36,6 +36,7 @@ build) instead of recompiling::
         program = svc.compile(CompileRequest(FORTRAN_SOURCE)).artifact
 """
 
+from repro.analysis import Diagnostic, DiagnosticEngine
 from repro.ir.pass_manager import Instrumentation, PassManager, PipelineStage
 from repro.pipeline import CompiledProgram, compile_fortran, compile_workload
 from repro.service import (
@@ -64,6 +65,8 @@ __all__ = [
     "CompileService",
     "CompiledProgram",
     "DeviceBuild",
+    "Diagnostic",
+    "DiagnosticEngine",
     "FrontendArtifact",
     "HostDeviceArtifact",
     "Instrumentation",

@@ -1,0 +1,37 @@
+"""Kernel static analysis: source-located diagnostics over frontend IR.
+
+Three pillars (all sharing the ``loc`` line attribute the lowering
+threads from the Fortran lexer):
+
+* :mod:`repro.analysis.diagnostics` — the rule catalogue,
+  :class:`Diagnostic`/:class:`DiagnosticEngine` and :class:`LintReport`;
+* :mod:`repro.analysis.checker` — the OpenMP race/dependence/type rules
+  and the composable ``check-kernels`` pass;
+* :mod:`repro.lint` — the CLI (``python -m repro.lint file.f90``).
+"""
+
+from repro.analysis.checker import (
+    CheckKernelsPass,
+    KernelCheckError,
+    check_module,
+    op_line,
+)
+from repro.analysis.diagnostics import (
+    RULES,
+    SEVERITIES,
+    Diagnostic,
+    DiagnosticEngine,
+    LintReport,
+)
+
+__all__ = [
+    "CheckKernelsPass",
+    "Diagnostic",
+    "DiagnosticEngine",
+    "KernelCheckError",
+    "LintReport",
+    "RULES",
+    "SEVERITIES",
+    "check_module",
+    "op_line",
+]

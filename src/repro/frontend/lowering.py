@@ -165,7 +165,15 @@ class UnitLowering:
         for stmt in stmts:
             self.lower_stmt(stmt)
 
+    def _enter(self, block) -> Builder:
+        """Builder at the end of ``block`` inheriting the current loc."""
+        nested = Builder.at_end(block)
+        nested.loc = self.builder.loc
+        return nested
+
     def lower_stmt(self, stmt: ast.Stmt) -> None:
+        if stmt.line > 0:
+            self.builder.loc = stmt.line
         if isinstance(stmt, ast.Assign):
             self.lower_assign(stmt)
         elif isinstance(stmt, ast.DoLoop):
@@ -240,7 +248,7 @@ class UnitLowering:
         loop = self.builder.insert(fir.DoLoopOp(lb, ub, step))
         loop.induction_var.name_hint = stmt.var
         saved = self.builder
-        self.builder = Builder.at_end(loop.body)
+        self.builder = self._enter(loop.body)
         iv_i32 = self.convert(loop.induction_var, i32)
         previous = self.scope.overrides.get(stmt.var)
         self.scope.overrides[stmt.var] = iv_i32
@@ -257,9 +265,9 @@ class UnitLowering:
         cond = self.convert(self.lower_expr(stmt.conditions[branch]), i1)
         if_op = self.builder.insert(fir.IfOp(cond))
         saved = self.builder
-        self.builder = Builder.at_end(if_op.then_block)
+        self.builder = self._enter(if_op.then_block)
         self.lower_stmts(stmt.bodies[branch])
-        self.builder = Builder.at_end(if_op.else_block)
+        self.builder = self._enter(if_op.else_block)
         if branch + 1 < len(stmt.conditions):
             self.lower_if(stmt, branch + 1)
         else:
@@ -350,7 +358,7 @@ class UnitLowering:
         maps = self.emit_clause_maps(stmt.clauses, default_type="tofrom")
         op = self.builder.insert(omp.TargetDataOp(maps))
         saved = self.builder
-        self.builder = Builder.at_end(op.body)
+        self.builder = self._enter(op.body)
         self.lower_stmts(stmt.body)
         self.builder.insert(omp.TerminatorOp())
         self.builder = saved
@@ -398,13 +406,17 @@ class UnitLowering:
         map_values = [
             self.emit_map_info(name, map_type) for name, map_type in mapped
         ]
+        # Bounds lowering may have drifted the location to a declaration
+        # line; the construct itself belongs to the directive's line.
+        if stmt.line > 0:
+            self.builder.loc = stmt.line
         target = self.builder.insert(omp.TargetOp(map_values))
         for (name, _), block_arg in zip(mapped, target.body.args):
             block_arg.name_hint = name
         saved_builder = self.builder
         saved_scope = self.scope
         self.scope = _Scope()
-        self.builder = Builder.at_end(target.body)
+        self.builder = self._enter(target.body)
         for (name, _), block_arg in zip(mapped, target.body.args):
             self.scope.storage[name] = block_arg
         for name in private:
@@ -478,9 +490,11 @@ class UnitLowering:
                 if nest_loop.step is not None
                 else self.constant_index(1)
             )
+        if loop.line > 0:
+            self.builder.loc = loop.line
         parallel = self.builder.insert(omp.ParallelOp())
         outer_builder = self.builder
-        self.builder = Builder.at_end(parallel.body)
+        self.builder = self._enter(parallel.body)
 
         reduction_vars: list[SSAValue] = []
         reduction_kinds: list[str] = []
@@ -495,15 +509,15 @@ class UnitLowering:
                 reduction_vars=reduction_vars, reduction_kinds=reduction_kinds
             )
         )
-        self.builder = Builder.at_end(wsloop.body)
+        self.builder = self._enter(wsloop.body)
         if stmt.simd:
             simdlen = stmt.clauses.simdlen or 4
             simd_op = self.builder.insert(omp.SimdOp(simdlen))
             self.builder.insert(omp.TerminatorOp())
-            self.builder = Builder.at_end(simd_op.body)
+            self.builder = self._enter(simd_op.body)
         nest = self.builder.insert(omp.LoopNestOp(lbs, ubs, steps, inclusive=True))
         self.builder.insert(omp.TerminatorOp())
-        self.builder = Builder.at_end(nest.body)
+        self.builder = self._enter(nest.body)
         previous: dict[str, SSAValue | None] = {}
         for nest_loop, iv in zip(loops, nest.induction_vars):
             iv.name_hint = nest_loop.var
@@ -530,6 +544,8 @@ class UnitLowering:
     # -- expressions ------------------------------------------------------------------------
 
     def lower_expr(self, expr: ast.Expr) -> SSAValue:
+        if expr.line > 0:
+            self.builder.loc = expr.line
         if isinstance(expr, ast.IntLit):
             return self.constant_i32(expr.value)
         if isinstance(expr, ast.RealLit):

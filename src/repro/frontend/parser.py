@@ -115,7 +115,7 @@ class Parser:
             unit.units.append(self.parse_subprogram())
             self.skip_newlines()
         if not unit.units:
-            raise FortranSyntaxError("empty source file")
+            raise FortranSyntaxError("empty source file", self.tok.line)
         return unit
 
     def parse_subprogram(self) -> SubprogramUnit:
@@ -227,7 +227,8 @@ class Parser:
         return decls
 
     def parse_type_spec(self) -> TypeSpec:
-        word = self.expect_ident().text
+        word_tok = self.expect_ident()
+        word = word_tok.text
         if word == "double":
             self.expect("precision")
             return TypeSpec("real", 8)
@@ -243,7 +244,7 @@ class Parser:
             kind = int(kind_tok.text)
             self.expect(")")
         if word not in ("integer", "real", "logical"):
-            raise FortranSyntaxError(f"unsupported type {word!r}")
+            raise FortranSyntaxError(f"unsupported type {word!r}", word_tok.line)
         return TypeSpec(word, kind)
 
     def parse_dim_list(self) -> list[Expr]:
@@ -521,6 +522,7 @@ class Parser:
         ops = {"==", "/=", "<", "<=", ">", ">="}
         while True:
             op: Optional[str] = None
+            line = self.tok.line
             if self.tok.kind == TokenKind.OP and self.tok.text in ops:
                 op = self.advance().text
             elif (
@@ -531,7 +533,7 @@ class Parser:
                 op = _LOGICAL_BINOPS[self.advance().text]
             if op is None:
                 return lhs
-            lhs = BinOp(op=op, lhs=lhs, rhs=self.parse_additive())
+            lhs = BinOp(line=line, op=op, lhs=lhs, rhs=self.parse_additive())
 
     def parse_additive(self) -> Expr:
         if self.at("-"):
@@ -543,23 +545,29 @@ class Parser:
         else:
             lhs = self.parse_multiplicative()
         while self.tok.kind == TokenKind.OP and self.tok.text in ("+", "-"):
-            op = self.advance().text
-            lhs = BinOp(op=op, lhs=lhs, rhs=self.parse_multiplicative())
+            op_tok = self.advance()
+            lhs = BinOp(
+                line=op_tok.line, op=op_tok.text, lhs=lhs,
+                rhs=self.parse_multiplicative(),
+            )
         return lhs
 
     def parse_multiplicative(self) -> Expr:
         lhs = self.parse_power()
         while self.tok.kind == TokenKind.OP and self.tok.text in ("*", "/"):
-            op = self.advance().text
-            lhs = BinOp(op=op, lhs=lhs, rhs=self.parse_power())
+            op_tok = self.advance()
+            lhs = BinOp(
+                line=op_tok.line, op=op_tok.text, lhs=lhs,
+                rhs=self.parse_power(),
+            )
         return lhs
 
     def parse_power(self) -> Expr:
         base = self.parse_primary()
         if self.tok.kind == TokenKind.OP and self.tok.text == "**":
-            self.advance()
+            line = self.advance().line
             # right-associative
-            return BinOp(op="**", lhs=base, rhs=self.parse_power())
+            return BinOp(line=line, op="**", lhs=base, rhs=self.parse_power())
         return base
 
     def parse_primary(self) -> Expr:

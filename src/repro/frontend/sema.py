@@ -87,7 +87,7 @@ class ProgramInfo:
         for info in self.units.values():
             if info.unit.kind == "program":
                 return info
-        raise SemanticError("no program unit found")
+        raise SemanticError("no program unit found", 1)
 
 
 def _fold_const(expr: Expr, symbols: dict[str, Symbol]) -> Optional[int | float]:
@@ -325,7 +325,9 @@ class Analyzer:
         if isinstance(expr, IntrinsicCall):
             expr.args = [self._resolve_expr(a, info) for a in expr.args]
             return expr
-        raise SemanticError(f"unhandled expression node {type(expr).__name__}")
+        raise SemanticError(
+            f"unhandled expression node {type(expr).__name__}", expr.line
+        )
 
     # -- inter-unit checks ------------------------------------------------------------------
 
@@ -428,4 +430,6 @@ def expr_type(expr: Expr, symbols: dict[str, Symbol]) -> TypeSpec:
             return TypeSpec("integer", 4)
         if expr.name in ("min", "max"):
             return expr_type(expr.args[0], symbols)
-    raise SemanticError(f"cannot type expression {type(expr).__name__}")
+    raise SemanticError(
+        f"cannot type expression {type(expr).__name__}", expr.line
+    )

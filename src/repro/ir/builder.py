@@ -12,7 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence, TypeVar
 
-from repro.ir.core import Block, IRError, Operation, Region, SSAValue
+from repro.ir.attributes import IntegerAttr
+from repro.ir.core import LOC_ATTR, Block, IRError, Operation, Region, SSAValue
 
 OpT = TypeVar("OpT", bound=Operation)
 
@@ -49,10 +50,17 @@ class InsertPoint:
 
 
 class Builder:
-    """Inserts operations at a movable insertion point."""
+    """Inserts operations at a movable insertion point.
+
+    When :attr:`loc` is set to a positive source line, every inserted op
+    that does not already carry a ``loc`` attribute is stamped with it —
+    the frontend lowering sets this at each statement/expression dispatch
+    so diagnostics can point at the originating Fortran line.
+    """
 
     def __init__(self, insert_point: InsertPoint):
         self.insert_point = insert_point
+        self.loc: int = 0
 
     # -- constructors ---------------------------------------------------------
 
@@ -82,6 +90,8 @@ class Builder:
             block.add_op(op)
         else:
             block.insert_op_before(op, anchor)
+        if self.loc > 0 and LOC_ATTR not in op.attributes:
+            op.attributes[LOC_ATTR] = IntegerAttr.i64(self.loc)
         return op
 
     def insert_all(self, ops: Iterable[Operation]) -> list[Operation]:

@@ -22,6 +22,25 @@ class IRError(Exception):
     """Raised on malformed IR manipulation or verification failure."""
 
 
+#: Attribute key carrying the originating Fortran source line (an
+#: ``IntegerAttr``).  Purely informational: every structural comparison
+#: (CSE keys, constant dedup, vectorizer stitch matching) must go through
+#: :func:`semantic_attributes` so two ops differing only in provenance
+#: still compare equal.
+LOC_ATTR = "loc"
+
+
+def semantic_attributes(attributes: dict[str, "Attribute"]) -> dict[str, "Attribute"]:
+    """``attributes`` minus location/provenance keys.
+
+    Use this (not the raw dict) whenever two operations are compared for
+    semantic equivalence; copies only when a provenance key is present.
+    """
+    if LOC_ATTR in attributes:
+        return {k: v for k, v in attributes.items() if k != LOC_ATTR}
+    return attributes
+
+
 # ---------------------------------------------------------------------------
 # SSA values
 # ---------------------------------------------------------------------------

@@ -13,13 +13,27 @@ from __future__ import annotations
 from collections import deque
 from typing import Iterable, Sequence
 
+from repro.ir.attributes import IntegerAttr
 from repro.ir.builder import Builder, InsertPoint
-from repro.ir.core import Block, IRError, Operation, OpResult, Region, SSAValue
+from repro.ir.core import (
+    LOC_ATTR,
+    Block,
+    IRError,
+    Operation,
+    OpResult,
+    Region,
+    SSAValue,
+)
 
 
 class PatternRewriter:
     """Mutation API handed to patterns; records whether anything changed
-    and which ops the worklist driver must revisit."""
+    and which ops the worklist driver must revisit.
+
+    Ops inserted through the rewriter inherit the matched op's ``loc``
+    attribute (when they don't carry one already), so source locations
+    survive lowering rewrites.
+    """
 
     def __init__(self, current_op: Operation):
         self.current_op = current_op
@@ -27,6 +41,13 @@ class PatternRewriter:
         #: ops (possibly) affected by this rewrite, for re-enqueueing
         self.affected_ops: list[Operation] = []
         self._builder = Builder(InsertPoint.before(current_op))
+        loc = current_op.attributes.get(LOC_ATTR)
+        if isinstance(loc, IntegerAttr):
+            self._builder.loc = loc.value
+
+    def _stamp_loc(self, op: Operation) -> None:
+        if self._builder.loc > 0 and LOC_ATTR not in op.attributes:
+            op.attributes[LOC_ATTR] = IntegerAttr.i64(self._builder.loc)
 
     # -- insertion --------------------------------------------------------------
 
@@ -44,6 +65,7 @@ class PatternRewriter:
         index = block.index_of(anchor)  # type: ignore[union-attr]
         for op in ops:
             block.insert_op_after(op, anchor, anchor_index=index)  # type: ignore[union-attr]
+            self._stamp_loc(op)
             anchor = op
             index += 1
         self.affected_ops.extend(ops)
@@ -52,6 +74,7 @@ class PatternRewriter:
     def insert_op_at_end(self, block: Block, *ops: Operation) -> None:
         for op in ops:
             block.add_op(op)
+            self._stamp_loc(op)
         self.affected_ops.extend(ops)
         self.changed = bool(ops) or self.changed
 

@@ -123,7 +123,13 @@ from typing import Any
 
 import numpy as np
 
-from repro.ir.core import Block, Operation, OpResult, SSAValue
+from repro.ir.core import (
+    Block,
+    Operation,
+    OpResult,
+    SSAValue,
+    semantic_attributes,
+)
 
 #: Bail-out diagnostics: enable with
 #: ``logging.getLogger("repro.ir.vectorize").setLevel(logging.DEBUG)`` to
@@ -949,7 +955,8 @@ def _match_unroll_pair(main: Operation, rem: Operation) -> int | None:
                 m_op = m_val.op
                 ok = (
                     m_op.name == r_op.name
-                    and m_op.attributes == r_op.attributes
+                    and semantic_attributes(m_op.attributes)
+                    == semantic_attributes(r_op.attributes)
                     and m_val.index == r_val.index
                     and m_val.type == r_val.type
                     and len(m_op.operands) == len(r_op.operands)
@@ -966,7 +973,8 @@ def _match_unroll_pair(main: Operation, rem: Operation) -> int | None:
                 isinstance(m_val, OpResult)
                 and isinstance(r_val, OpResult)
                 and m_val.op.name == r_val.op.name == "arith.constant"
-                and m_val.op.attributes == r_val.op.attributes
+                and semantic_attributes(m_val.op.attributes)
+                == semantic_attributes(r_val.op.attributes)
                 and m_val.type == r_val.type
             )
         memo[key] = ok
@@ -979,7 +987,8 @@ def _match_unroll_pair(main: Operation, rem: Operation) -> int | None:
         for m_store, r_store in zip(lane, rem_stores):
             if (
                 len(m_store.operands) != len(r_store.operands)
-                or m_store.attributes != r_store.attributes
+                or semantic_attributes(m_store.attributes)
+                != semantic_attributes(r_store.attributes)
             ):
                 return None
             if not all(
@@ -1972,7 +1981,7 @@ def _run_nest(interp, loop: Operation, env, root_bounds, plan, program) -> bool:
         if reduction is None:
             continue  # stores were applied by the compiled program
 
-        def value(v: SSAValue):
+        def value(v: SSAValue, frame=frame):  # bind this chunk's frame
             slot = program.slots.get(v)
             if slot is not None:
                 return frame[slot]

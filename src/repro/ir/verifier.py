@@ -1,9 +1,16 @@
-"""Structural IR verification.
+"""Structural and typed IR verification.
 
-Checks parent links, def-use consistency, dominance (within single-block
-regions: defs precede uses), terminator placement and per-op ``verify_``
-hooks.  Called by the pass manager between passes when verification is
-enabled, and directly by tests.
+Structural checks: parent links, def-use consistency, dominance (within
+single-block regions: defs precede uses), terminator placement and
+per-op ``verify_`` hooks.  Typed checks (:func:`typed_check_op`):
+operand/result element-type agreement on arith/math ops, memref rank
+vs. subscript count on load/store, and iter_args type agreement on
+``scf.for`` — so a pass that builds ill-typed IR fails at the pass
+boundary instead of as an interpreter crash.  Called by the pass
+manager between passes when verification is enabled, and directly by
+tests; the kernel checker (:mod:`repro.analysis`) reuses
+:func:`typed_check_op` to report the same conditions as ``TYPE``
+diagnostics with source locations.
 """
 
 from __future__ import annotations
@@ -17,10 +24,11 @@ from repro.ir.core import (
     Region,
 )
 from repro.ir.traits import IsolatedFromAbove, IsTerminator
+from repro.ir.types import MemRefType
 
 
 class VerificationError(IRError):
-    """Raised when the IR is structurally invalid."""
+    """Raised when the IR is structurally or type invalid."""
 
 
 def verify(op: Operation) -> None:
@@ -29,10 +37,26 @@ def verify(op: Operation) -> None:
 
 
 def _verify_op(op: Operation, isolation_root: Operation) -> None:
-    # Operand def-use back references.
-    for index, operand in enumerate(op.operands):
-        if not any(
-            use.operation is op and use.index == index for use in operand.uses
+    # Operand def-use back references.  Each operand's registered Use
+    # object is checked directly against the value's use list via its
+    # stored position — O(1) per operand, where scanning ``operand.uses``
+    # is O(#uses) and quadratic on high-fanout values (a loop bound used
+    # by thousands of ops pays its whole use list per user, per pass
+    # boundary when ``verify_each`` is on).
+    operands = op._operands
+    operand_uses = op._operand_uses
+    if len(operands) != len(operand_uses):
+        raise VerificationError(
+            f"{op.name}: operand/use bookkeeping length mismatch"
+        )
+    for index, (operand, use) in enumerate(zip(operands, operand_uses)):
+        pos = use.pos
+        if (
+            use.operation is not op
+            or use.index != index
+            or pos < 0
+            or pos >= len(operand.uses)
+            or operand.uses[pos] is not use
         ):
             raise VerificationError(
                 f"{op.name}: operand {index} missing back-reference use"
@@ -49,6 +73,11 @@ def _verify_op(op: Operation, isolation_root: Operation) -> None:
                 raise VerificationError(
                     f"{op.name}: stale use record on result"
                 )
+    # Type agreement.
+    typed = typed_check_op(op)
+    if typed is not None:
+        code, message = typed
+        raise VerificationError(f"{op.name}: [{code}] {message}")
     # Region structure.
     child_root = op if op.has_trait(IsolatedFromAbove) else isolation_root
     for region in op.regions:
@@ -128,3 +157,130 @@ def _check_visibility(
     raise VerificationError(
         f"{op.name}: operand is not visible from its use site"
     )
+
+
+# ---------------------------------------------------------------------------
+# Typed verification
+# ---------------------------------------------------------------------------
+
+#: Elementwise ops whose operands and results must all share one type.
+_UNIFORM_TYPE_OPS = frozenset(
+    {
+        "arith.addi", "arith.subi", "arith.muli", "arith.divsi",
+        "arith.remsi", "arith.andi", "arith.ori", "arith.xori",
+        "arith.minsi", "arith.maxsi",
+        "arith.addf", "arith.subf", "arith.mulf", "arith.divf",
+        "arith.minimumf", "arith.maximumf",
+        "math.sqrt", "math.absf", "math.exp", "math.log",
+        "math.sin", "math.cos", "math.powf",
+    }
+)
+
+
+def typed_check_op(op: Operation) -> tuple[str, str] | None:
+    """Type-agreement check for one op: ``(rule code, message)`` or None.
+
+    Rule codes mirror :data:`repro.analysis.diagnostics.RULES`:
+
+    * ``TYPE001`` — operand/result element types disagree on an
+      arith/math op (including ``arith.select``'s value legs);
+    * ``TYPE002`` — memref rank vs. subscript count (and element type)
+      on ``memref.load``/``memref.store``;
+    * ``TYPE003`` — ``scf.for`` iter_args disagree between the init
+      operands, body block arguments, yielded values and results.
+    """
+    name = op.name
+    if name in _UNIFORM_TYPE_OPS:
+        types = {o.type for o in op.operands} | {r.type for r in op.results}
+        if len(types) > 1:
+            rendered = ", ".join(sorted(t.print() for t in types))
+            return (
+                "TYPE001",
+                f"operands/results of {name} must share one type, "
+                f"found {rendered}",
+            )
+        return None
+    if name == "arith.select":
+        if len(op.operands) == 3:
+            _, lhs, rhs = op.operands
+            types = {lhs.type, rhs.type} | {r.type for r in op.results}
+            if len(types) > 1:
+                rendered = ", ".join(sorted(t.print() for t in types))
+                return (
+                    "TYPE001",
+                    "value legs and result of arith.select must share one "
+                    f"type, found {rendered}",
+                )
+        return None
+    if name == "memref.load":
+        if not op.operands:
+            return None
+        memref_type = op.operands[0].type
+        if not isinstance(memref_type, MemRefType):
+            return (
+                "TYPE002",
+                f"memref.load base is {memref_type.print()}, not a memref",
+            )
+        rank = len(memref_type.shape)
+        subscripts = len(op.operands) - 1
+        if subscripts != rank:
+            return (
+                "TYPE002",
+                f"memref.load of rank-{rank} {memref_type.print()} takes "
+                f"{rank} subscripts, got {subscripts}",
+            )
+        if op.results and op.results[0].type != memref_type.element_type:
+            return (
+                "TYPE002",
+                f"memref.load result {op.results[0].type.print()} does not "
+                f"match element type {memref_type.element_type.print()}",
+            )
+        return None
+    if name == "memref.store":
+        if len(op.operands) < 2:
+            return None
+        memref_type = op.operands[1].type
+        if not isinstance(memref_type, MemRefType):
+            return (
+                "TYPE002",
+                f"memref.store base is {memref_type.print()}, not a memref",
+            )
+        rank = len(memref_type.shape)
+        subscripts = len(op.operands) - 2
+        if subscripts != rank:
+            return (
+                "TYPE002",
+                f"memref.store to rank-{rank} {memref_type.print()} takes "
+                f"{rank} subscripts, got {subscripts}",
+            )
+        if op.operands[0].type != memref_type.element_type:
+            return (
+                "TYPE002",
+                f"memref.store value {op.operands[0].type.print()} does not "
+                f"match element type {memref_type.element_type.print()}",
+            )
+        return None
+    if name == "scf.for":
+        iter_args = op.operands[3:]
+        body = op.regions[0].blocks[0] if op.regions and op.regions[0].blocks else None
+        if body is None:
+            return None
+        carried = body.args[1:]
+        yielded: tuple = ()
+        if body.ops and body.ops[-1].name == "scf.yield":
+            yielded = body.ops[-1].operands
+        for position, init in enumerate(iter_args):
+            expected = init.type
+            for role, value in (
+                ("body argument", carried[position] if position < len(carried) else None),
+                ("yielded value", yielded[position] if position < len(yielded) else None),
+                ("result", op.results[position] if position < len(op.results) else None),
+            ):
+                if value is not None and value.type != expected:
+                    return (
+                        "TYPE003",
+                        f"scf.for iter_arg {position} is {expected.print()} "
+                        f"but its {role} is {value.type.print()}",
+                    )
+        return None
+    return None

@@ -1,0 +1,195 @@
+"""``python -m repro.lint`` — kernel static analysis from the shell.
+
+Runs the :mod:`repro.analysis` checker (races, carried dependences,
+typed IR verification) over Fortran sources and prints source-located
+diagnostics::
+
+    python -m repro.lint kernel.f90                  # text report
+    python -m repro.lint examples/ --format=json     # machine-readable
+    python -m repro.lint --gallery --werror          # CI gate
+
+Inputs may be ``.f90``/``.f`` files, directories (scanned recursively
+for both), or ``.py`` files — Fortran embedded in Python string
+literals (the ``examples/`` idiom) is extracted with the ``ast`` module
+and each snippet is linted separately.  ``--gallery`` adds every
+registered gallery workload.  Exit status is 0 when clean, 1 when any
+error fires (or any warning under ``--werror``), 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import re
+import sys
+from pathlib import Path
+
+from repro.analysis.diagnostics import Diagnostic, LintReport
+
+#: A string is Fortran when a *line* opens a program unit — prose that
+#: merely mentions "subroutine" (docstrings) must not match.
+_FORTRAN_UNIT_RE = re.compile(
+    r"^[ \t]*(?:subroutine[ \t]+\w+[ \t]*\(|program[ \t]+\w+)",
+    re.IGNORECASE | re.MULTILINE,
+)
+
+
+def looks_like_fortran(text: str) -> bool:
+    return _FORTRAN_UNIT_RE.search(text) is not None
+
+
+def extract_fortran_literals(py_source: str) -> list[tuple[int, str]]:
+    """``(line, source)`` for every Fortran-looking string literal in a
+    Python file — the ``examples/`` embedding idiom."""
+    try:
+        tree = ast.parse(py_source)
+    except SyntaxError:
+        return []
+    found: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, str)
+            and looks_like_fortran(node.value)
+        ):
+            found.append((node.lineno, node.value))
+    return found
+
+
+def lint_source(source: str, name: str) -> LintReport:
+    """Compile ``source`` through the frontend and run the checker."""
+    from repro.analysis import check_module
+    from repro.reliability.errors import FrontendError
+    from repro.session import Session
+
+    try:
+        module = Session(source).frontend().module
+    except FrontendError as err:
+        line = getattr(err, "line", -1)
+        return LintReport(
+            name,
+            [
+                Diagnostic(
+                    "error",
+                    "TYPE001",
+                    f"frontend rejected the source: {err}",
+                    kernel="",
+                    line=line if isinstance(line, int) and line > 0 else 0,
+                )
+            ],
+        )
+    return LintReport(name, check_module(module).sorted())
+
+
+def collect_sources(
+    paths: list[str], *, gallery: bool = False
+) -> list[tuple[str, str]]:
+    """Resolve CLI inputs to ``(display name, fortran source)`` pairs."""
+    sources: list[tuple[str, str]] = []
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.f90")))
+            files.extend(sorted(path.rglob("*.f")))
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    for path in files:
+        if not path.exists():
+            raise FileNotFoundError(path)
+        text = path.read_text()
+        if path.suffix == ".py":
+            for line, literal in extract_fortran_literals(text):
+                sources.append((f"{path}:{line}", literal))
+        else:
+            sources.append((str(path), text))
+    if gallery:
+        import repro.workloads  # noqa: F401  (populates the registry)
+        from repro.workloads.base import all_workloads
+
+        for workload in all_workloads():
+            sources.append((f"gallery:{workload.name}", workload.source))
+    return sources
+
+
+def render_text(reports: list[LintReport], *, werror: bool) -> str:
+    lines: list[str] = []
+    failed = 0
+    errors = warnings = 0
+    for report in reports:
+        errors += report.errors
+        warnings += report.warnings
+        if report.failed(werror):
+            failed += 1
+        for diag in report.diagnostics:
+            lines.append(f"{report.source_name}: {diag.format()}")
+    lines.append(
+        f"{len(reports)} source(s) linted: {errors} error(s), "
+        f"{warnings} warning(s)"
+        + (" [warnings are errors]" if werror else "")
+    )
+    return "\n".join(lines)
+
+
+def render_json(reports: list[LintReport], *, werror: bool) -> str:
+    return json.dumps(
+        {
+            "sources": [
+                {
+                    "source": report.source_name,
+                    "failed": report.failed(werror),
+                    "diagnostics": [
+                        d.as_dict() for d in report.diagnostics
+                    ],
+                }
+                for report in reports
+            ],
+            "werror": werror,
+        },
+        indent=2,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Kernel static analysis over Fortran+OpenMP sources.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=".f90/.f/.py files or directories (py: embedded literals)",
+    )
+    parser.add_argument(
+        "--gallery",
+        action="store_true",
+        help="also lint every registered gallery workload",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="format_",
+        metavar="text|json",
+    )
+    parser.add_argument(
+        "--werror",
+        action="store_true",
+        help="treat warnings as errors for the exit status",
+    )
+    args = parser.parse_args(argv)
+    if not args.paths and not args.gallery:
+        parser.print_usage(sys.stderr)
+        print("error: no inputs (pass paths or --gallery)", file=sys.stderr)
+        return 2
+    try:
+        sources = collect_sources(args.paths, gallery=args.gallery)
+    except FileNotFoundError as err:
+        print(f"error: no such file: {err}", file=sys.stderr)
+        return 2
+    reports = [lint_source(source, name) for name, source in sources]
+    renderer = render_json if args.format_ == "json" else render_text
+    print(renderer(reports, werror=args.werror))
+    return 1 if any(r.failed(args.werror) for r in reports) else 0

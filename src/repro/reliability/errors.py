@@ -52,6 +52,7 @@ class ReproError(Exception):
         kernel: str | None = None,
         context: str | None = None,
         transient: bool | None = None,
+        line: int = -1,
     ):
         self.stage = stage if stage is not None else self.default_stage
         self.kernel = kernel
@@ -65,8 +66,15 @@ class ReproError(Exception):
             detail.append(f"kernel={kernel}")
         if context:
             detail.append(f"context={context}")
+        if line >= 0:
+            detail.append(f"line={line}")
         text = f"{message} [{', '.join(detail)}]" if detail else message
         super().__init__(text)
+        #: originating source line (Fortran, 1-based); -1 when unknown.
+        #: Assigned after super().__init__: in wrapped hybrids (see
+        #: wrap_error) the cooperative chain reaches the original class's
+        #: __init__, whose default would clobber an earlier assignment.
+        self.line = line
 
 
 class FrontendError(ReproError):
@@ -206,4 +214,11 @@ def wrap_error(
     if isinstance(error, base):
         return error
     wrapped = _wrapped_class(base, type(error))
-    return wrapped(str(error), stage=stage, kernel=kernel, context=context)
+    line = getattr(error, "line", -1)
+    return wrapped(
+        str(error),
+        stage=stage,
+        kernel=kernel,
+        context=context,
+        line=line if isinstance(line, int) else -1,
+    )

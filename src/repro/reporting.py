@@ -204,3 +204,19 @@ def gallery_table() -> str:
         ["workload", "loop shape", "entry", "sizes", "description"],
         rows,
     )
+
+
+def diagnostics_table(diagnostics) -> str:
+    """Kernel static-analysis findings (``Session.diagnostics()`` /
+    ``check-kernels``) as a report table, one row per finding."""
+    rows = [
+        (d.severity, d.code, d.kernel, d.line if d.line > 0 else "-", d.message)
+        for d in diagnostics
+    ]
+    if not rows:
+        rows = [("-", "-", "-", "-", "no findings")]
+    return format_table(
+        "Kernel diagnostics",
+        ["severity", "code", "kernel", "line", "message"],
+        rows,
+    )

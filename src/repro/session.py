@@ -595,3 +595,17 @@ class Session:
     def counters(self):
         """Shortcut to the instrumentation's artifact-build counters."""
         return self.instrumentation.counters
+
+    def diagnostics(self):
+        """Kernel static-analysis findings for this session's source.
+
+        Runs the ``check-kernels`` rules (races, carried dependences,
+        typed verification — see :mod:`repro.analysis`) over the cached
+        frontend module and returns the sorted
+        :class:`~repro.analysis.diagnostics.Diagnostic` list.  Compiling
+        a racy kernel does not fail — this is the API to ask *before*
+        building whether the source deserves it.
+        """
+        from repro.analysis import check_module
+
+        return check_module(self.frontend().module).sorted()

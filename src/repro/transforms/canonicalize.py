@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.dialects import arith
 from repro.ir.attributes import FloatAttr, IntegerAttr
-from repro.ir.core import Block, Operation
+from repro.ir.core import Block, Operation, semantic_attributes
 from repro.ir.pass_manager import ModulePass, register_pass
 from repro.ir.rewriting import GreedyPatternRewriter, PatternRewriter, RewritePattern
 from repro.ir.traits import ConstantLike, Pure
@@ -129,7 +129,8 @@ class DedupConstants(RewritePattern):
                 return
             if (
                 earlier.name == "arith.constant"
-                and earlier.attributes == op.attributes
+                and semantic_attributes(earlier.attributes)
+                == semantic_attributes(op.attributes)
                 and earlier.results[0].type == op.results[0].type
             ):
                 rewriter.replace_all_uses_with(
@@ -182,7 +183,12 @@ def _cse_key(op: Operation) -> tuple | None:
     return (
         op.name,
         tuple(id(o) for o in op.operands),
-        tuple(sorted((k, v.print()) for k, v in op.attributes.items())),
+        tuple(
+            sorted(
+                (k, v.print())
+                for k, v in semantic_attributes(op.attributes).items()
+            )
+        ),
         tuple(r.type.print() for r in op.results),
     )
 

@@ -22,7 +22,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.ir.core import Block, BlockArgument, Operation, OpResult, SSAValue
+from repro.ir.core import (
+    Block,
+    BlockArgument,
+    Operation,
+    OpResult,
+    SSAValue,
+    semantic_attributes,
+)
 
 #: Default operation latencies (cycles) for dependence-chain estimation.
 #: Calibrated against Vitis 2020.2 f32 figures.
@@ -208,7 +215,9 @@ def index_values_equal(a: SSAValue, b: SSAValue, body: Block) -> bool:
     if a.index != b.index:
         return False
     if oa.name == "arith.constant":
-        return oa.attributes == ob.attributes
+        return semantic_attributes(oa.attributes) == semantic_attributes(
+            ob.attributes
+        )
     if oa.name == "memref.load":
         root = root_memref(oa.operands[0])
         if root is not root_memref(ob.operands[0]):
@@ -416,7 +425,7 @@ def loop_carried_dependences(for_op: Operation) -> list[Dependence]:
     loads: dict[int, list] = {}
     stores: dict[int, list] = {}
     infos: dict[int, SSAValue] = {}
-    for op, root, indices, is_store in _accesses(body, iv):
+    for _op, root, indices, is_store in _accesses(body, iv):
         infos[id(root)] = root
         bucket = stores if is_store else loads
         bucket.setdefault(id(root), []).append(indices)

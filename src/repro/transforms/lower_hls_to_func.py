@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.dialects import builtin, func
 from repro.ir.attributes import StringAttr
-from repro.ir.core import Operation
+from repro.ir.core import LOC_ATTR, Operation
 from repro.ir.pass_manager import ModulePass, register_pass
 from repro.ir.rewriting import GreedyPatternRewriter, PatternRewriter, RewritePattern
 from repro.ir.types import FunctionType
@@ -37,9 +37,13 @@ class HlsOpToCall(RewritePattern):
             [r.type for r in op.results],
         )
         # Preserve HLS attributes (bundle names, unroll factors) on the
-        # call so the AMD backend mapping can still see them.
+        # call so the AMD backend mapping can still see them; the source
+        # location carries through under its own key.
         for key, attr in op.attributes.items():
-            call.attributes[f"hls_{key}"] = attr
+            if key == LOC_ATTR:
+                call.attributes[LOC_ATTR] = attr
+            else:
+                call.attributes[f"hls_{key}"] = attr
         rewriter.replace_matched_op(call)
 
 

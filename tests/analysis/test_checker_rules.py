@@ -1,0 +1,312 @@
+"""Per-rule fixtures: each code has a firing kernel and a silent twin.
+
+Every firing fixture asserts the *Fortran line* of the diagnostic — the
+line numbers below index into the snippet strings (1-based, counting
+from the leading newline), which is exactly what the lexer/lowering
+``loc`` threading must reproduce on the IR.
+"""
+
+from repro.analysis import check_module
+from repro.session import Session
+
+
+def diags_for(source: str):
+    return check_module(Session(source).frontend().module).sorted()
+
+
+def codes(source: str):
+    return [d.code for d in diags_for(source)]
+
+
+# ---------------------------------------------------------------------------
+# RACE001 — write-write races
+# ---------------------------------------------------------------------------
+
+RACE001_INVARIANT = """
+subroutine k(x, y, n)
+  implicit none
+  integer, intent(in) :: n
+  real, intent(in) :: x(n)
+  real, intent(inout) :: y(n)
+  integer :: i
+!$omp target parallel do
+  do i = 1, n
+    y(1) = x(i)
+  end do
+!$omp end target parallel do
+end subroutine k
+"""
+
+RACE001_INVARIANT_SILENT = RACE001_INVARIANT.replace("y(1)", "y(i)")
+
+
+def test_race001_invariant_subscript_fires_with_line():
+    diags = diags_for(RACE001_INVARIANT)
+    assert [d.code for d in diags] == ["RACE001"]
+    assert diags[0].severity == "error"
+    assert diags[0].kernel == "k"
+    assert diags[0].line == 10  # the y(1) = x(i) line
+
+
+def test_race001_affine_subscript_silent():
+    assert codes(RACE001_INVARIANT_SILENT) == []
+
+
+RACE001_SCALAR = """
+subroutine k(x, s, n)
+  implicit none
+  integer, intent(in) :: n
+  real, intent(in) :: x(n)
+  real, intent(inout) :: s
+  integer :: i
+!$omp target parallel do
+  do i = 1, n
+    s = s + x(i)
+  end do
+!$omp end target parallel do
+end subroutine k
+"""
+
+#: the spmv shape: the scalar is (re)initialized before it is read, so
+#: the implicit privatization is exactly what the programmer meant
+RACE001_SCALAR_SILENT = """
+subroutine k(x, y, n)
+  implicit none
+  integer, intent(in) :: n
+  real, intent(in) :: x(n)
+  real, intent(inout) :: y(n)
+  real :: t
+  integer :: i
+!$omp target parallel do
+  do i = 1, n
+    t = x(i) * 2.0
+    y(i) = t
+  end do
+!$omp end target parallel do
+end subroutine k
+"""
+
+
+def test_race001_private_scalar_accumulation_fires():
+    diags = diags_for(RACE001_SCALAR)
+    assert [d.code for d in diags] == ["RACE001"]
+    assert "reduction" in diags[0].message
+    assert diags[0].line == 10  # the s = s + x(i) line
+
+
+def test_race001_initialized_private_scalar_silent():
+    assert codes(RACE001_SCALAR_SILENT) == []
+
+
+RACE001_OVERLAP = """
+subroutine k(a, b, n)
+  implicit none
+  integer, intent(in) :: n
+  real, intent(in) :: b(n)
+  real, intent(inout) :: a(n)
+  integer :: i
+!$omp target parallel do
+  do i = 2, n - 1
+    a(i) = b(i)
+    a(i + 1) = b(i) * 2.0
+  end do
+!$omp end target parallel do
+end subroutine k
+"""
+
+RACE001_OVERLAP_SILENT = RACE001_OVERLAP.replace("a(i + 1)", "a(i)")
+
+
+def test_race001_overlapping_affine_stores_fire():
+    diags = diags_for(RACE001_OVERLAP)
+    assert [d.code for d in diags] == ["RACE001"]
+    assert diags[0].line == 11  # the a(i + 1) store
+
+
+def test_race001_same_cell_twin_stores_silent():
+    assert codes(RACE001_OVERLAP_SILENT) == []
+
+
+# ---------------------------------------------------------------------------
+# RACE002 — reduction combiner contradictions
+# ---------------------------------------------------------------------------
+
+RACE002_MISMATCH = """
+subroutine k(x, s, n)
+  implicit none
+  integer, intent(in) :: n
+  real, intent(in) :: x(n)
+  real, intent(inout) :: s
+  integer :: i
+!$omp target parallel do reduction(+:s)
+  do i = 1, n
+    s = s * x(i)
+  end do
+!$omp end target parallel do
+end subroutine k
+"""
+
+RACE002_SILENT = RACE002_MISMATCH.replace("s = s * x(i)", "s = s + x(i)")
+
+
+def test_race002_combiner_kind_mismatch_fires():
+    diags = diags_for(RACE002_MISMATCH)
+    assert [d.code for d in diags] == ["RACE002"]
+    assert diags[0].severity == "error"
+    assert "reduction(mul)" in diags[0].message
+    assert "reduction(add)" in diags[0].message
+    assert diags[0].line == 10
+
+
+def test_race002_matching_combiner_silent():
+    assert codes(RACE002_SILENT) == []
+
+
+RACE002_OVERWRITE = RACE002_MISMATCH.replace("s = s * x(i)", "s = x(i) + x(i)")
+
+
+def test_race002_overwrite_without_reading_back_fires():
+    diags = diags_for(RACE002_OVERWRITE)
+    assert [d.code for d in diags] == ["RACE002"]
+    assert "overwrites" in diags[0].message
+
+
+# ---------------------------------------------------------------------------
+# RACE003 — indirect stores without a static injectivity basis
+# ---------------------------------------------------------------------------
+
+RACE003_SCALED = """
+subroutine k(idx, w, a, s, n)
+  implicit none
+  integer, intent(in) :: n, s
+  integer, intent(in) :: idx(n)
+  real, intent(in) :: w(n)
+  real, intent(inout) :: a(n)
+  integer :: i
+!$omp target parallel do
+  do i = 1, n
+    a(s * idx(i)) = w(i)
+  end do
+!$omp end target parallel do
+end subroutine k
+"""
+
+#: plain permutation scatter: the gather chain is pure, the vectorizer's
+#: runtime injectivity proof covers it — silent
+RACE003_SILENT = """
+subroutine k(idx, w, a, n)
+  implicit none
+  integer, intent(in) :: n
+  integer, intent(in) :: idx(n)
+  real, intent(in) :: w(n)
+  real, intent(inout) :: a(n)
+  integer :: i
+!$omp target parallel do
+  do i = 1, n
+    a(idx(i)) = w(i)
+  end do
+!$omp end target parallel do
+end subroutine k
+"""
+
+#: the histogram accumulate fold — repeated indices combine in iteration
+#: order, no injectivity needed
+RACE003_ACCUMULATE_SILENT = """
+subroutine k(bins, w, h, n, nb)
+  implicit none
+  integer, intent(in) :: n, nb
+  integer, intent(in) :: bins(n)
+  real, intent(in) :: w(n)
+  real, intent(inout) :: h(nb)
+  integer :: i
+!$omp target parallel do
+  do i = 1, n
+    h(bins(i)) = h(bins(i)) + w(i)
+  end do
+!$omp end target parallel do
+end subroutine k
+"""
+
+
+def test_race003_runtime_scaled_gather_fires():
+    diags = diags_for(RACE003_SCALED)
+    assert [d.code for d in diags] == ["RACE003"]
+    assert diags[0].severity == "warning"
+    assert diags[0].line == 11  # the a(s * idx(i)) store
+
+
+def test_race003_pure_permutation_scatter_silent():
+    assert codes(RACE003_SILENT) == []
+
+
+def test_race003_accumulate_fold_silent():
+    assert codes(RACE003_ACCUMULATE_SILENT) == []
+
+
+# ---------------------------------------------------------------------------
+# DEP001 / DEP002 — affine carried recurrences
+# ---------------------------------------------------------------------------
+
+DEP001_RECURRENCE = """
+subroutine k(a, b, n)
+  implicit none
+  integer, intent(in) :: n
+  real, intent(in) :: b(n)
+  real, intent(inout) :: a(n)
+  integer :: i
+!$omp target parallel do
+  do i = 1, n - 1
+    a(i + 1) = a(i) * 0.5 + b(i)
+  end do
+!$omp end target parallel do
+end subroutine k
+"""
+
+DEP001_SILENT = DEP001_RECURRENCE.replace("a(i + 1)", "a(i)")
+
+
+def test_dep001_carried_recurrence_fires_with_ii():
+    diags = diags_for(DEP001_RECURRENCE)
+    assert [d.code for d in diags] == ["DEP001"]
+    assert diags[0].severity == "warning"
+    assert "distance 1" in diags[0].message
+    assert "II" in diags[0].message
+    assert diags[0].line == 10
+
+
+def test_dep001_same_cell_update_silent():
+    assert codes(DEP001_SILENT) == []
+
+
+DEP002_SIMD = DEP001_RECURRENCE.replace(
+    "!$omp target parallel do\n", "!$omp target parallel do simd simdlen(4)\n"
+).replace(
+    "!$omp end target parallel do\n", "!$omp end target parallel do simd\n"
+)
+
+DEP002_SILENT = """
+subroutine k(a, x, y, n)
+  implicit none
+  integer, intent(in) :: n
+  real, intent(in) :: a
+  real, intent(in) :: x(n)
+  real, intent(inout) :: y(n)
+  integer :: i
+!$omp target parallel do simd simdlen(4)
+  do i = 1, n
+    y(i) = y(i) + a * x(i)
+  end do
+!$omp end target parallel do simd
+end subroutine k
+"""
+
+
+def test_dep002_recurrence_under_simd_fires():
+    diags = diags_for(DEP002_SIMD)
+    assert [d.code for d in diags] == ["DEP002"]
+    assert "simd" in diags[0].message
+    assert diags[0].line == 10
+
+
+def test_dep002_streaming_simd_silent():
+    assert codes(DEP002_SILENT) == []

@@ -1,0 +1,161 @@
+"""The lint gate: gallery and examples stay clean, and the checker is
+reachable through every advertised surface — ``check-kernels`` in a
+declarative pipeline, ``Session.diagnostics()``, and the
+``python -m repro.lint`` CLI (text/json/exit codes)."""
+
+import json
+
+import pytest
+
+import repro.workloads  # noqa: F401  (populates the registry)
+from repro.analysis import KernelCheckError, check_module
+from repro.ir.pass_manager import PassManager
+from repro.lint import collect_sources, lint_source, main
+from repro.session import Session
+from repro.workloads.base import all_workloads
+
+RACY = """
+subroutine k(x, y, n)
+  implicit none
+  integer, intent(in) :: n
+  real, intent(in) :: x(n)
+  real, intent(inout) :: y(n)
+  integer :: i
+!$omp target parallel do
+  do i = 1, n
+    y(1) = x(i)
+  end do
+!$omp end target parallel do
+end subroutine k
+"""
+
+CLEAN = RACY.replace("y(1)", "y(i)")
+
+
+# ---------------------------------------------------------------------------
+# Gallery-wide and examples-wide cleanliness guards
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "workload", all_workloads(), ids=lambda w: w.name
+)
+def test_gallery_workload_is_lint_clean(workload):
+    report = lint_source(workload.source, workload.name)
+    assert report.diagnostics == [], [
+        d.format() for d in report.diagnostics
+    ]
+
+
+def test_examples_fortran_literals_are_lint_clean():
+    sources = collect_sources(["examples"])
+    assert sources, "examples/ should embed Fortran literals"
+    for name, source in sources:
+        report = lint_source(source, name)
+        assert report.diagnostics == [], (
+            name,
+            [d.format() for d in report.diagnostics],
+        )
+
+
+# ---------------------------------------------------------------------------
+# check-kernels as a pass
+# ---------------------------------------------------------------------------
+
+
+def test_check_kernels_composes_and_roundtrips_spec():
+    pm = PassManager.parse("check-kernels,canonicalize")
+    assert pm.spec() == "check-kernels,canonicalize"
+    module = Session(RACY).frontend().module
+    pm.run(module)  # default: report, don't raise
+    check_pass = pm.passes[0]
+    assert [d.code for d in check_pass.diagnostics] == ["RACE001"]
+
+
+def test_check_kernels_fail_on_error_raises():
+    pm = PassManager.parse("check-kernels{fail_on_error=true}")
+    assert pm.spec() == "check-kernels{fail_on_error=true}"
+    module = Session(RACY).frontend().module
+    with pytest.raises(KernelCheckError, match="RACE001"):
+        pm.run(module)
+    PassManager.parse("check-kernels{fail_on_error=true}").run(
+        Session(CLEAN).frontend().module
+    )
+
+
+def test_session_diagnostics_api():
+    assert [(d.code, d.line) for d in Session(RACY).diagnostics()] == [
+        ("RACE001", 10)
+    ]
+    assert Session(CLEAN).diagnostics() == []
+
+
+def test_check_module_accepts_caller_engine():
+    from repro.analysis import DiagnosticEngine
+
+    engine = DiagnosticEngine()
+    returned = check_module(Session(RACY).frontend().module, engine)
+    assert returned is engine
+    assert engine.error_count == 1
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def test_cli_text_reports_race_and_exits_1(tmp_path, capsys):
+    path = tmp_path / "racy.f90"
+    path.write_text(RACY)
+    assert main([str(path)]) == 1
+    out = capsys.readouterr().out
+    assert "error[RACE001]" in out
+    assert f"{path}:" in out
+    assert "1 error(s)" in out
+
+
+def test_cli_clean_file_exits_0(tmp_path, capsys):
+    path = tmp_path / "clean.f90"
+    path.write_text(CLEAN)
+    assert main([str(path)]) == 0
+    assert "0 error(s), 0 warning(s)" in capsys.readouterr().out
+
+
+def test_cli_json_format(tmp_path, capsys):
+    path = tmp_path / "racy.f90"
+    path.write_text(RACY)
+    assert main([str(path), "--format=json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    [entry] = payload["sources"]
+    assert entry["failed"] is True
+    assert entry["diagnostics"][0]["code"] == "RACE001"
+    assert entry["diagnostics"][0]["line"] == 10
+
+
+def test_cli_werror_promotes_warnings(tmp_path, capsys):
+    dep = RACY.replace("y(1) = x(i)", "y(i + 1) = y(i) * 0.5 + x(i)")
+    path = tmp_path / "dep.f90"
+    path.write_text(dep)
+    assert main([str(path)]) == 0  # DEP001 is a warning
+    capsys.readouterr()
+    assert main([str(path), "--werror"]) == 1
+
+
+def test_cli_usage_errors(tmp_path, capsys):
+    assert main([]) == 2  # no inputs
+    assert main([str(tmp_path / "missing.f90")]) == 2
+    capsys.readouterr()
+
+
+def test_cli_gallery_gate(capsys):
+    assert main(["--gallery", "--werror"]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s), 0 warning(s)" in out
+
+
+def test_cli_frontend_error_is_a_located_diagnostic(tmp_path, capsys):
+    path = tmp_path / "broken.f90"
+    path.write_text("subroutine k(\nend subroutine k\n")
+    assert main([str(path)]) == 1
+    out = capsys.readouterr().out
+    assert "frontend rejected the source" in out

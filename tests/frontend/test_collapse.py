@@ -6,6 +6,7 @@ from repro.dialects import omp
 from repro.frontend.directives import parse_directive, print_directive
 from repro.frontend.driver import compile_to_fir
 from repro.frontend.lowering import LoweringError
+from repro.frontend.lexer import FortranSyntaxError
 from repro.frontend.sema import SemanticError
 
 NEST_2D = """
@@ -32,7 +33,7 @@ class TestDirective:
         assert directive.clauses.collapse == 2
 
     def test_collapse_requires_positive_integer(self):
-        with pytest.raises(Exception, match="collapse"):
+        with pytest.raises(FortranSyntaxError, match="collapse"):
             parse_directive("target parallel do collapse(x)")
 
     def test_collapse_round_trips(self):
@@ -50,7 +51,7 @@ class TestDirective:
     def test_collapse_rejected_off_loop_directives(self, text):
         """collapse names a loop-nest depth; data/update/bare-target
         constructs have no associated loop to collapse."""
-        with pytest.raises(Exception, match="work-sharing loop"):
+        with pytest.raises(FortranSyntaxError, match="work-sharing loop"):
             parse_directive(text)
 
 

@@ -1,0 +1,98 @@
+"""Every frontend rejection carries the offending source line.
+
+``FortranSyntaxError``/``SemanticError`` expose ``.line`` (1-based, -1
+when genuinely unknown) and prefix their message with ``line N:``; the
+reliability wrapper propagates the line onto the wrapped
+``FrontendError`` so tooling (the lint CLI, the service) never has to
+re-parse messages.
+"""
+
+import pytest
+
+from repro.frontend.lexer import FortranSyntaxError
+from repro.frontend.parser import parse_source
+from repro.frontend.sema import SemanticError, analyze
+
+
+def parse_error(source: str) -> FortranSyntaxError:
+    with pytest.raises(FortranSyntaxError) as excinfo:
+        parse_source(source)
+    return excinfo.value
+
+
+def sema_error(source: str) -> SemanticError:
+    with pytest.raises(SemanticError) as excinfo:
+        analyze(parse_source(source))
+    return excinfo.value
+
+
+class TestParserLines:
+    def test_empty_source(self):
+        err = parse_error("")
+        assert err.line == 1
+        assert "line 1" in str(err)
+
+    def test_bad_intent_points_at_declaration_line(self):
+        err = parse_error(
+            "subroutine s(x)\n"
+            "  real, intent(foo) :: x\n"
+            "end subroutine\n"
+        )
+        assert err.line == 2
+        assert "foo" in str(err)
+
+    def test_missing_do_keyword(self):
+        err = parse_error(
+            "program t\n"
+            "  integer :: i\n"
+            "  do i = 1, 10\n"
+            "  end if\n"
+            "end program t\n"
+        )
+        assert err.line > 0
+        assert f"line {err.line}:" in str(err)
+
+
+class TestSemaLines:
+    def test_no_program_unit(self):
+        # A subroutine-only module analyzes, but has no main program.
+        info = analyze(
+            parse_source("subroutine s(x)\n  real :: x\nend subroutine\n")
+        )
+        with pytest.raises(SemanticError) as excinfo:
+            info.main()
+        assert excinfo.value.line == 1
+
+    def test_undeclared_name_carries_line(self):
+        err = sema_error(
+            "program t\n"
+            "  integer :: i\n"
+            "  i = j + 1\n"
+            "end program t\n"
+        )
+        assert err.line == 3
+        assert "line 3" in str(err)
+
+
+class TestWrappedErrors:
+    def test_frontend_error_inherits_line(self):
+        from repro.reliability.errors import FrontendError
+        from repro.session import Session
+
+        bad = (
+            "subroutine s(x)\n"
+            "  complex :: x\n"
+            "end subroutine\n"
+        )
+        with pytest.raises(FrontendError) as excinfo:
+            Session(bad).frontend()
+        err = excinfo.value
+        assert err.line == 2
+        assert "line=2" in str(err)
+
+    def test_unknown_line_stays_sentinel(self):
+        from repro.reliability.errors import ReproError
+
+        err = ReproError("boom")
+        assert err.line == -1
+        assert "line=" not in str(err)

@@ -4,6 +4,7 @@ import pytest
 
 from repro.dialects import arith, builtin, func, omp, scf
 from repro.ir import Builder, VerificationError, verify
+from repro.ir.core import IRError
 from repro.ir.types import FunctionType, MemRefType, f32, index
 
 
@@ -53,7 +54,7 @@ class TestTerminators:
         c1 = b.insert(arith.Constant.index(1)).results[0]
         b.insert(scf.For(c0, c4, c1))  # body has no scf.yield
         b.insert(func.ReturnOp())
-        with pytest.raises(Exception, match="yield"):
+        with pytest.raises(IRError, match="yield"):
             verify(module)
 
 
@@ -116,5 +117,5 @@ class TestLinkIntegrity:
         module.body.add_op(fn)
         fn.body.args[0].type = f32  # break the contract
         fn.body.add_op(func.ReturnOp())
-        with pytest.raises(Exception, match="signature"):
+        with pytest.raises(IRError, match="signature"):
             verify(module)
