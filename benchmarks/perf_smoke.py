@@ -5,21 +5,22 @@ bench-regression gate.
 Times compilation and simulated runs of **every gallery workload**
 (``repro.workloads`` registry: SAXPY, SGESL, dot, Jacobi 2-D, SpMV,
 tiled GEMM, histogram, heat3d, batched GEMM) and writes
-``BENCH_pr8.json`` (at the repo root) with seconds and interpreter-step
+``BENCH_pr10.json`` (at the repo root) with seconds and interpreter-step
 counts, so later PRs have a perf trajectory to regress against.  The
 simulator's *modelled* numbers (device time, cycles) are recorded too —
 they must stay constant across engine optimisations; only wall-clock may
 move.  Every run is checked bit-for-bit against the workload's NumPy
 reference.
 
-New in PR 8: the ``service_tiers`` benchmark — the compile service's
-warm-cache compile vs a cold build, an 8-way coalesced burst (exactly
-one build fanned out to all 8 waiters) vs 8 serial builds, and a
-parallel vs serial 8-point DSE sweep asserted to produce identical
-tables.  The ``--check-against`` bench gate (hardened in PR 7):
+New in PR 10: the ``scaling_tiers`` benchmark — multi-compute-unit
+weak/strong scaling curves (saxpy/heat3d/jacobi2d at 1/2/4 CUs) on
+*modelled* device time; the recorded speedups are deterministic
+simulator ratios whose floors gate the sharded cycle model.  PR 8 added
+``service_tiers`` (warm vs cold compile, 8-way coalesced burst, parallel
+vs serial DSE).  The ``--check-against`` bench gate (hardened in PR 7):
 
     PYTHONPATH=src python benchmarks/perf_smoke.py \\
-        --out bench.json --check-against BENCH_pr8.json
+        --out bench.json --check-against BENCH_pr10.json
 
 compares the fresh run to the committed baseline and exits non-zero when
 
@@ -72,6 +73,26 @@ BENCH_PLAN: tuple[tuple[str, tuple[int, ...], int], ...] = (
 #: in the ``*_tiers`` benches; recorded into the JSON so the bench gate
 #: can hold later PRs to it.
 TIER_SPEEDUP_FLOOR = 5.0
+
+#: (workload, fixed size) for the strong-scaling curves and the CU
+#: counts swept.  These are *modelled* device-time ratios (deterministic
+#: simulator outputs), so the floors guard the multi-CU cycle model
+#: itself: if sharding regresses (e.g. a CU stops getting its block),
+#: the speedup collapses and the gate trips.
+SCALING_PLAN: tuple[tuple[str, int], ...] = (
+    ("saxpy", 1_000_000),
+    ("heat3d", 64),
+    ("jacobi2d", 512),
+)
+SCALING_CUS: tuple[int, ...] = (1, 2, 4)
+#: modelled-speedup floor per CU count (recorded speedups: ~1.95x at 2
+#: CUs, ~3.7x at 4 across the plan; floors sit well below to gate model
+#: breakage, not calibration nudges — like every other tier floor).
+SCALING_STRONG_FLOORS = {1: 1.0, 2: 1.6, 4: 2.5}
+#: weak scaling (work grows with the CU count): time must stay within
+#: 1/floor of the 1-CU baseline (recorded efficiency ~0.93-0.97).
+SCALING_WEAK_FLOOR = 0.7
+SCALING_WEAK_BASE_N = 250_000
 
 
 def _best_of(fn, rounds: int = 5):
@@ -209,6 +230,61 @@ def bench_tiers(program, name: str, n: int) -> dict:
     }
 
 
+def bench_scaling() -> list[dict]:
+    """Multi-CU weak/strong scaling curves on modelled device time.
+
+    Strong: fixed problem size, CU count swept — ``speedup`` is the
+    1-CU modelled time over this CU count's.  Weak: the problem grows
+    with the CU count (saxpy: work linear in n), ``speedup`` is the
+    parallel efficiency (1.0 = perfect).  Every entry's outputs are
+    checked bit-for-bit by the executor path itself (the evaluator runs
+    the workload's NumPy reference check); determinism across CU counts
+    is separately pinned by tests/runtime/test_multi_cu.py.
+    """
+    entries = []
+    for name, n in SCALING_PLAN:
+        workload = get_workload(name)
+        evaluate = workload.evaluator(n)
+        session = Session(workload.source)
+        results = {}
+        for units in SCALING_CUS:
+            overrides = KernelOverrides(compute_units=units)
+            results[units] = evaluate(session.program(overrides))
+            session.release_build(overrides)
+        base_ms = results[1].device_time_ms
+        for units in SCALING_CUS:
+            result = results[units]
+            entries.append(
+                {
+                    "name": f"strong:{name}:n={n}:cu={units}",
+                    "device_time_ms": result.device_time_ms,
+                    "kernel_cycles": result.kernel_cycles,
+                    "speedup": round(base_ms / result.device_time_ms, 3),
+                    "floor": SCALING_STRONG_FLOORS[units],
+                }
+            )
+    workload = get_workload("saxpy")
+    session = Session(workload.source)
+    base_ms = None
+    for units in SCALING_CUS:
+        n = SCALING_WEAK_BASE_N * units
+        overrides = KernelOverrides(compute_units=units)
+        result = workload.evaluator(n)(session.program(overrides))
+        session.release_build(overrides)
+        if base_ms is None:
+            base_ms = result.device_time_ms
+        entries.append(
+            {
+                "name": f"weak:saxpy:n={n}:cu={units}",
+                "device_time_ms": result.device_time_ms,
+                "kernel_cycles": result.kernel_cycles,
+                "speedup": round(base_ms / result.device_time_ms, 3),
+                "floor": 1.0 if units == 1 else SCALING_WEAK_FLOOR,
+            }
+        )
+    return entries
+
+
 #: regression floor for the warm-cache service compile over a cold
 #: build.  The *recorded* speedup is ~20-24x (the PR 8 acceptance bar);
 #: the floor sits well below it, like every other tier floor (e.g.
@@ -342,9 +418,13 @@ def _tier_sections(payload: dict) -> dict[str, dict]:
     return entries
 
 
-def check_against(baseline: dict, current: dict) -> list[str]:
+def check_against(
+    baseline: dict, current: dict, baseline_name: str = "baseline"
+) -> list[str]:
     """Compare a fresh run to the committed baseline; returns the list
-    of human-readable gate failures (empty == gate passes).
+    of human-readable gate failures (empty == gate passes).  Every
+    failure line names ``baseline_name`` (the baseline file), so a CI
+    log line is attributable to the exact file that gated it.
 
     Anything the *baseline* records must exist in the current run: a
     bench or tier entry that disappeared is a reported gate failure (a
@@ -393,18 +473,20 @@ def check_against(baseline: dict, current: dict) -> list[str]:
         speedup = cur_tiers[name].get("speedup", 0.0)
         if speedup < floor:
             failures.append(
-                f"{name}: vectorized/scalar speedup {speedup:.2f}x fell "
-                f"below the recorded floor {floor:.2f}x"
+                f"{name}: speedup {speedup:.2f}x fell below the "
+                f"recorded floor {floor:.2f}x"
             )
-    return failures
+    return [
+        f"{failure} [baseline: {baseline_name}]" for failure in failures
+    ]
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--out",
-        default=str(Path(__file__).resolve().parents[1] / "BENCH_pr8.json"),
-        help="output JSON path (default: <repo>/BENCH_pr8.json)",
+        default=str(Path(__file__).resolve().parents[1] / "BENCH_pr10.json"),
+        help="output JSON path (default: <repo>/BENCH_pr10.json)",
     )
     parser.add_argument(
         "--check-against",
@@ -421,6 +503,7 @@ def main() -> None:
     # has filled gen-2 with live IR graphs measurably slows allocation
     # inside pickle.loads (enough to blur the recorded cold/warm ratio).
     service_benches = bench_service_tiers()
+    scaling_benches = bench_scaling()
 
     benches = []
     programs: dict[str, object] = {}
@@ -461,7 +544,7 @@ def main() -> None:
         ),
     ]
     payload = {
-        "pr": 8,
+        "pr": 10,
         "description": (
             "Workload gallery through the three-tier engine: every "
             "registered workload compiled + run, outputs checked bit-for-"
@@ -481,7 +564,12 @@ def main() -> None:
             "(exactly one build) vs 8 serial builds, and parallel vs "
             "serial 8-point DSE (the dse8 floor is an overhead bound — "
             "single-core runners cannot win wall-clock on process-"
-            "parallel builds)."
+            "parallel builds). scaling_tiers (PR 10) records multi-"
+            "compute-unit weak/strong scaling curves on *modelled* "
+            "device time (saxpy/heat3d/jacobi2d at 1/2/4 CUs): the "
+            "speedups are deterministic simulator ratios, so their "
+            "floors gate the sharded cycle model itself, not wall-clock "
+            "noise."
         ),
         "python": platform.python_version(),
         "benches": benches,
@@ -490,6 +578,7 @@ def main() -> None:
         "nest_tiers": nest_benches,
         "segmented_tiers": segmented_benches,
         "service_tiers": service_benches,
+        "scaling_tiers": scaling_benches,
     }
     out = Path(args.out)
     out.write_text(json.dumps(payload, indent=2) + "\n")
@@ -531,11 +620,19 @@ def main() -> None:
             f"{bench[fast_key]*1e3:8.2f} ms  "
             f"speedup {bench['speedup']:.2f}x (floor {bench['floor']:g}x)"
         )
+    for bench in scaling_benches:
+        print(
+            f"scaling_tiers:{bench['name']}  "
+            f"{bench['device_time_ms']:9.3f} ms  "
+            f"speedup {bench['speedup']:.3f}x (floor {bench['floor']:g}x)"
+        )
     print(f"\nwrote {out}")
 
     if args.check_against:
         baseline = json.loads(Path(args.check_against).read_text())
-        failures = check_against(baseline, payload)
+        failures = check_against(
+            baseline, payload, baseline_name=args.check_against
+        )
         if failures:
             print(
                 f"\nbench gate FAILED against {args.check_against}:",

@@ -56,7 +56,7 @@ from repro.session import (
     host_device_pipeline,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ArtifactKey",

@@ -21,6 +21,7 @@ from repro.fpga.board import U280Board
 from repro.fpga.resources import (
     ResourcePercentages,
     ResourceUsage,
+    cu_budget_violation,
     shell_usage,
 )
 from repro.fpga.scheduler import HlsScheduler, KernelSchedule
@@ -37,6 +38,14 @@ class Bitstream:
     amd_artifact: AmdHlsArtifact
     #: the post-HLS-lowering LLVM IR before AMD mapping (for inspection)
     llvm_ir: str = ""
+    #: physical copies of every kernel on the device; the runtime shards
+    #: each kernel's outermost loop across the copies and prices the
+    #: launch as the makespan over CUs (see ``runtime/kernel_runner.py``)
+    compute_units: int = 1
+    #: double-buffered DMA streaming tile size (None = whole-array
+    #: transfers); arrays above the tile stream through in tiles whose
+    #: transfer overlaps kernel compute in the executor's cycle model
+    stream_tile_bytes: int | None = None
 
     # -- pickling ----------------------------------------------------------
     #
@@ -83,7 +92,9 @@ class Bitstream:
     def resources(self) -> ResourceUsage:
         total = shell_usage()
         for kernel in self.kernels.values():
-            total = total + kernel.kernel_resources
+            total = total + kernel.kernel_resources.replicated(
+                self.compute_units
+            )
         return total
 
     def utilization(self) -> ResourcePercentages:
@@ -94,7 +105,12 @@ class Bitstream:
         pct = self.utilization()
         lines = [
             "== Vitis (simulated) utilization report ==",
-            f"Platform: xilinx_u280  kernels: {sorted(self.kernels)}",
+            f"Platform: xilinx_u280  kernels: {sorted(self.kernels)}"
+            + (
+                f"  (x{self.compute_units} compute units)"
+                if self.compute_units > 1
+                else ""
+            ),
             f"LUT : {self.resources.luts:>9}  ({pct.lut:.2f}%)",
             f"BRAM: {self.resources.bram_36k:>9}  ({pct.bram:.2f}%)",
             f"DSP : {self.resources.dsp:>9}  ({pct.dsp:.2f}%)",
@@ -116,16 +132,41 @@ class VitisCompiler:
     def __init__(self, board: U280Board | None = None):
         self.board = board or U280Board()
 
-    def compile(self, device_module: builtin.ModuleOp) -> Bitstream:
+    def compile(
+        self,
+        device_module: builtin.ModuleOp,
+        *,
+        compute_units: int = 1,
+        stream_tile_bytes: int | None = None,
+    ) -> Bitstream:
         """Hardware build: schedule/bind every kernel, produce artifacts.
 
         The module must already be in HLS-dialect form (post
         *lower-omp-to-hls*); this method does not mutate it — the LLVM
         path runs on a clone so the scheduler sees the ``hls`` ops.
+
+        ``compute_units=N`` replicates every kernel N× on the fabric;
+        the replicated design is validated against the board's LUT/DSP/
+        BRAM place-and-route budgets and an over-budget N raises a typed
+        :class:`DeviceBuildError` (the build never silently clamps).
+        ``stream_tile_bytes`` records the double-buffered streaming tile
+        the executor's DMA model uses.
         """
         if device_module.target != "fpga":
             raise DeviceBuildError(
                 "VitisCompiler.compile expects the target=\"fpga\" module"
+            )
+        if not isinstance(compute_units, int) or compute_units < 1:
+            raise DeviceBuildError(
+                f"compute_units must be a positive integer, got "
+                f"{compute_units!r}"
+            )
+        if stream_tile_bytes is not None and (
+            not isinstance(stream_tile_bytes, int) or stream_tile_bytes < 1
+        ):
+            raise DeviceBuildError(
+                f"stream_tile_bytes must be a positive integer or None, "
+                f"got {stream_tile_bytes!r}"
             )
         scheduler = HlsScheduler(self.board)
         kernels: dict[str, KernelSchedule] = {}
@@ -144,6 +185,21 @@ class VitisCompiler:
                     context="hls scheduling",
                 ) from error
 
+        # Budget validation: the replicated kernel logic must fit the
+        # device.  Checked per build (not per kernel) because all CUs of
+        # all kernels share one fabric.
+        kernel_total = ResourceUsage()
+        for kernel in kernels.values():
+            kernel_total = kernel_total + kernel.kernel_resources
+        violation = cu_budget_violation(
+            kernel_total, self.board.resources, compute_units
+        )
+        if violation is not None:
+            raise DeviceBuildError(
+                f"multi-CU build does not fit the device: {violation}",
+                context=f"kernels={sorted(kernels)}",
+            )
+
         # LLVM path (on a clone, preserving the HLS-form module).
         from repro.transforms.lower_hls_to_func import LowerHlsToFuncPass
 
@@ -158,4 +214,6 @@ class VitisCompiler:
             board=self.board,
             amd_artifact=artifact,
             llvm_ir=llvm_ir,
+            compute_units=compute_units,
+            stream_tile_bytes=stream_tile_bytes,
         )

@@ -7,7 +7,8 @@ staged :class:`~repro.session.Session` API: one session per source
 compiles the frontend and the host side exactly once, and the sweep
 re-runs only the device build with each
 :class:`~repro.session.KernelOverrides` point (``simdlen`` x reduction
-copies), evaluates the modeled runtime on a user-supplied workload, and
+copies x compute units), evaluates the modeled runtime on a
+user-supplied workload, and
 reports the Pareto-best choice under a resource budget.
 
 .. code-block:: python
@@ -65,6 +66,7 @@ class DsePoint:
 
     simdlen: int
     reduction_copies: int
+    compute_units: int
     device_time_s: float
     lut_pct: float
     dsp_pct: float
@@ -96,6 +98,7 @@ class DseResult:
             (
                 p.simdlen,
                 p.reduction_copies,
+                p.compute_units,
                 f"{p.device_time_ms:.3f}",
                 f"{p.lut_pct:.2f}",
                 f"{p.dsp_pct:.2f}",
@@ -108,8 +111,8 @@ class DseResult:
             "Design-space exploration "
             f"(budget: LUT <= {self.max_lut_pct:g} %, "
             f"DSP <= {self.max_dsp_pct:g} %)",
-            ["simdlen", "red.copies", "time (ms)", "LUT %", "DSP %", "IIs",
-             "best"],
+            ["simdlen", "red.copies", "CUs", "time (ms)", "LUT %", "DSP %",
+             "IIs", "best"],
             rows,
         )
 
@@ -118,6 +121,7 @@ class DseResult:
 _RECORD_FIELDS = (
     "simdlen",
     "reduction_copies",
+    "compute_units",
     "device_time_s",
     "lut_pct",
     "dsp_pct",
@@ -209,6 +213,7 @@ def _point_record(
     return {
         "simdlen": overrides.simdlen,
         "reduction_copies": overrides.reduction_copies,
+        "compute_units": overrides.compute_units,
         "device_time_s": run.device_time_s,
         "lut_pct": utilization.lut,
         "dsp_pct": utilization.dsp,
@@ -226,6 +231,7 @@ def _point_from_record(
     return DsePoint(
         simdlen=int(record["simdlen"]),
         reduction_copies=int(record["reduction_copies"]),
+        compute_units=int(record.get("compute_units", 1)),
         device_time_s=float(record["device_time_s"]),
         lut_pct=float(record["lut_pct"]),
         dsp_pct=float(record["dsp_pct"]),
@@ -240,6 +246,7 @@ def explore(
     *,
     simdlen_factors: Sequence[int] = (1, 2, 4, 8, 10),
     reduction_copies: Sequence[int] = (8,),
+    compute_units: Sequence[int] = (1,),
     max_lut_pct: float = 70.0,
     max_dsp_pct: float = 70.0,
     board: U280Board | None = None,
@@ -293,30 +300,35 @@ def explore(
 
     # The plan is the cartesian order of the input sequences; the result
     # table is always assembled in this order, so worker completion
-    # order can never reorder rows.
+    # order can never reorder rows.  An over-budget compute-unit count
+    # is not a sweep point — the device build raises a typed
+    # DeviceBuildError, which propagates (pick CU counts that fit).
     plan = [
-        (copies, factor)
+        (copies, factor, units)
         for copies in reduction_copies
         for factor in simdlen_factors
+        for units in compute_units
     ]
     target = (
         session.target if session is not None else TargetConfig(board=board)
     )
 
     # Resume: load every already-evaluated point from the result store.
-    records: dict[tuple[int, int], dict] = {}
-    digests: dict[tuple[int, int], str] = {}
-    for copies, factor in plan:
-        overrides = KernelOverrides(simdlen=factor, reduction_copies=copies)
+    records: dict[tuple[int, int, int], dict] = {}
+    digests: dict[tuple[int, int, int], str] = {}
+    for copies, factor, units in plan:
+        overrides = KernelOverrides(
+            simdlen=factor, reduction_copies=copies, compute_units=units
+        )
         if result_store is not None:
             digest = _point_digest(source, target, overrides)
-            digests[(copies, factor)] = digest
+            digests[(copies, factor, units)] = digest
             record = result_store.get(digest)
             if record is not None:
-                records[(copies, factor)] = record
+                records[(copies, factor, units)] = record
     pending = [key for key in plan if key not in records]
 
-    programs: dict[tuple[int, int], CompiledProgram] = {}
+    programs: dict[tuple[int, int, int], CompiledProgram] = {}
     if parallel and pending:
         session = None
         _run_points_parallel(
@@ -333,20 +345,22 @@ def explore(
     result = DseResult(
         session=session, max_lut_pct=max_lut_pct, max_dsp_pct=max_dsp_pct
     )
-    for copies, factor in plan:
-        overrides = KernelOverrides(simdlen=factor, reduction_copies=copies)
-        record = records.get((copies, factor))
+    for copies, factor, units in plan:
+        overrides = KernelOverrides(
+            simdlen=factor, reduction_copies=copies, compute_units=units
+        )
+        record = records.get((copies, factor, units))
         if record is not None:
             result.points.append(_point_from_record(record))
             continue
         if parallel:
-            program = programs[(copies, factor)]
+            program = programs[(copies, factor, units)]
         else:
             program = session.program(overrides)
         run = evaluate(program)
         record = _point_record(program, run, overrides)
         if result_store is not None:
-            result_store.put(digests[(copies, factor)], record)
+            result_store.put(digests[(copies, factor, units)], record)
         result.points.append(
             _point_from_record(
                 record, program if keep_programs else None
@@ -370,7 +384,7 @@ def explore(
 def _run_points_parallel(
     source: str,
     target: TargetConfig,
-    pending: Sequence[tuple[int, int]],
+    pending: Sequence[tuple[int, int, int]],
     programs: dict,
     *,
     workers: int,
@@ -388,11 +402,11 @@ def _run_points_parallel(
         )
     try:
         futures = {}
-        for copies, factor in pending:
+        for copies, factor, units in pending:
             overrides = KernelOverrides(
-                simdlen=factor, reduction_copies=copies
+                simdlen=factor, reduction_copies=copies, compute_units=units
             )
-            futures[(copies, factor)] = service.submit(
+            futures[(copies, factor, units)] = service.submit(
                 CompileRequest(
                     source=source,
                     target=target,
@@ -424,6 +438,7 @@ def explore_workload(
     seed: int = 0,
     simdlen_factors: Sequence[int] = (1, 2, 4, 8),
     reduction_copies: Sequence[int] = (8,),
+    compute_units: Sequence[int] = (1,),
     **kwargs,
 ) -> DseResult:
     """Sweep directive parameters for a gallery workload (by name or
@@ -440,6 +455,7 @@ def explore_workload(
         workload.evaluator(n, seed),
         simdlen_factors=simdlen_factors,
         reduction_copies=reduction_copies,
+        compute_units=compute_units,
         **kwargs,
     )
 

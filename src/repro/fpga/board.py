@@ -51,6 +51,10 @@ class U280Board:
     kernel_clock_hz: float = 300e6
     #: memory spaces: index 0 is host DRAM; 1..16 HBM banks; 17 DDR.
     num_hbm_banks: int = 16
+    #: per-bank HBM capacity (256 MiB on the U280).  Tests shrink this
+    #: to exercise the datasets-larger-than-device-memory path that the
+    #: streaming DMA mode exists for.
+    hbm_bank_bytes: int = 256 * 2**20
 
     # -- calibrated timing constants (see module docstring) --------------------
     m_axi_access_cycles: int = 16
@@ -71,7 +75,7 @@ class U280Board:
     def memory_spaces(self) -> list[MemorySpec]:
         spaces = [MemorySpec("host", 220 * 2**30, 25e9)]
         spaces += [
-            MemorySpec(f"HBM[{i}]", 256 * 2**20, 14.4e9)
+            MemorySpec(f"HBM[{i}]", self.hbm_bank_bytes, 14.4e9)
             for i in range(self.num_hbm_banks)
         ]
         spaces.append(MemorySpec("DDR", 32 * 2**30, 19.2e9))

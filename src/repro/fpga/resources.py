@@ -69,6 +69,15 @@ INT_OP_LUTS = {
 MAC_DSP_COUNT = 12
 MAC_DSP_LUTS = 39
 
+#: Place-and-route budget for multi-compute-unit builds.  Vitis refuses
+#: designs whose kernel logic pushes utilisation past the point where
+#: routing congestion makes timing closure hopeless; 90 % of the device
+#: is the conventional ceiling.  ``compute_units=N`` replicates every
+#: kernel N×, so these budgets bound how far a kernel can be replicated.
+CU_MAX_LUT_PCT = 90.0
+CU_MAX_DSP_PCT = 90.0
+CU_MAX_BRAM_PCT = 90.0
+
 
 @dataclass
 class ResourceUsage:
@@ -85,6 +94,17 @@ class ResourceUsage:
             self.ffs + other.ffs,
             self.bram_36k + other.bram_36k,
             self.dsp + other.dsp,
+        )
+
+    def replicated(self, copies: int) -> "ResourceUsage":
+        """Resources of ``copies`` physical instances of this design —
+        the multi-compute-unit model: every CU is a full replica (its
+        own pipeline, operators, ``m_axi`` adapters and buffers)."""
+        return ResourceUsage(
+            self.luts * copies,
+            self.ffs * copies,
+            self.bram_36k * copies,
+            self.dsp * copies,
         )
 
     def percentages(self, totals: U280Resources) -> "ResourcePercentages":
@@ -125,6 +145,34 @@ class OperatorCount:
     replication: int  # logical instances (unroll copies)
     physical: int     # after II time-multiplex sharing
     dsp_mapped: bool = False
+
+
+def cu_budget_violation(
+    kernel_usage: ResourceUsage,
+    totals: U280Resources,
+    compute_units: int,
+) -> str | None:
+    """Why a ``compute_units``-way replication of ``kernel_usage`` does
+    not fit the device, or ``None`` when it does.
+
+    The replicated kernel logic sits on top of the static shell; the
+    build is over budget when any of LUT/DSP/BRAM utilisation exceeds
+    the ``CU_MAX_*_PCT`` place-and-route ceilings.
+    """
+    total = shell_usage() + kernel_usage.replicated(compute_units)
+    pct = total.percentages(totals)
+    for label, used, budget in (
+        ("LUT", pct.lut, CU_MAX_LUT_PCT),
+        ("DSP", pct.dsp, CU_MAX_DSP_PCT),
+        ("BRAM", pct.bram, CU_MAX_BRAM_PCT),
+    ):
+        if used > budget:
+            return (
+                f"compute_units={compute_units} needs {label} "
+                f"{used:.2f}% of the device, over the {budget:g}% "
+                "place-and-route budget"
+            )
+    return None
 
 
 def bram_blocks_for(num_bytes: int) -> int:

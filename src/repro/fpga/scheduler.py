@@ -65,6 +65,11 @@ class LoopSchedule:
     unroll_factor: int
     fill_cycles: int
     bundle_accesses: dict[str, int] = field(default_factory=dict)
+    #: loop is not nested inside another ``scf.for`` of the kernel — the
+    #: dimension a multi-compute-unit build shards into contiguous
+    #: blocks (the OpenMP-parallel dim: ``omp target parallel do``
+    #: always lowers the distributed loop outermost in the kernel)
+    outermost: bool = False
 
     def cycles(self, trip_count: int) -> float:
         if trip_count <= 0:
@@ -88,6 +93,16 @@ class KernelSchedule:
     @property
     def total_resources(self) -> ResourceUsage:
         return shell_usage() + self.kernel_resources
+
+
+def _is_outermost_loop(op: Operation) -> bool:
+    """True when no enclosing ``scf.for`` exists within the kernel."""
+    parent = op.parent_op
+    while parent is not None:
+        if parent.name == "scf.for":
+            return False
+        parent = parent.parent_op
+    return True
 
 
 class HlsScheduler:
@@ -127,6 +142,7 @@ class HlsScheduler:
         for op in fn.walk():
             if op.name == "scf.for":
                 schedule = self._schedule_loop(op, bundles)
+                schedule.outermost = _is_outermost_loop(op)
                 loops[id(op)] = schedule
                 loop_ops, loop_resources = self._bind_loop(op, schedule)
                 unroll_overhead_luts += (

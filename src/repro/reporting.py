@@ -206,6 +206,41 @@ def gallery_table() -> str:
     )
 
 
+def scaling_table(curves: dict[str, Sequence[tuple[int, float]]]) -> str:
+    """Multi-compute-unit scaling curves as a report table.
+
+    ``curves`` maps a workload label to its ``(compute_units,
+    device_time_s)`` samples; each row reports the modelled time at that
+    CU count, the speedup over the curve's 1-CU sample and the parallel
+    efficiency (``speedup / CUs``).  This is the human-readable twin of
+    the ``scaling_tiers`` section the perf-smoke bench gates on.
+    """
+    rows = []
+    for label in sorted(curves):
+        samples = sorted(curves[label])
+        base = next(
+            (time_s for units, time_s in samples if units == 1), None
+        )
+        for units, time_s in samples:
+            speedup = base / time_s if base else float("nan")
+            rows.append(
+                (
+                    label,
+                    units,
+                    f"{time_s * 1e3:.3f}",
+                    f"{speedup:.2f}x",
+                    f"{100.0 * speedup / units:.1f}%",
+                )
+            )
+    if not rows:
+        rows = [("-", "-", "-", "-", "no samples")]
+    return format_table(
+        "Multi-CU scaling",
+        ["workload", "CUs", "time (ms)", "speedup", "efficiency"],
+        rows,
+    )
+
+
 def diagnostics_table(diagnostics) -> str:
     """Kernel static-analysis findings (``Session.diagnostics()`` /
     ``check-kernels``) as a report table, one row per finding."""

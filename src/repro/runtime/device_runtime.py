@@ -13,8 +13,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.reliability.errors import DeviceRuntimeError
-from repro.runtime.opencl import ClBuffer, ClContext
+from repro.reliability.errors import DeviceAllocationError, DeviceRuntimeError
+from repro.runtime.opencl import ClBuffer, ClContext, ClError
 
 __all__ = ["DeviceDataTable", "DeviceRuntimeError"]
 
@@ -25,6 +25,10 @@ class DeviceDataTable:
 
     context: ClContext
     counters: dict[str, int] = field(default_factory=dict)
+    #: admit buffers larger than their memory space — armed by the
+    #: executor when double-buffered streaming is on (only one tile is
+    #: resident at a time in that model)
+    oversubscribe: bool = False
 
     # -- counter protocol -----------------------------------------------------------
 
@@ -57,7 +61,24 @@ class DeviceDataTable:
                 and existing.memory_space == memory_space
             ):
                 return existing  # reuse resident allocation
-        return self.context.create_buffer(name, tuple(shape), dtype, memory_space)
+        try:
+            return self.context.create_buffer(
+                name,
+                tuple(shape),
+                dtype,
+                memory_space,
+                oversubscribe=self.oversubscribe,
+            )
+        except ClError as error:
+            if "ALLOCATION_FAILURE" in str(error):
+                raise DeviceAllocationError(
+                    f"device.alloc {name!r} does not fit its memory "
+                    f"space: {error}; datasets larger than device memory "
+                    "need the double-buffered streaming mode "
+                    "(KernelOverrides.stream_tile_bytes)",
+                    context=f"buffer={name}",
+                ) from error
+            raise
 
     def lookup(self, name: str, memory_space: int) -> ClBuffer:
         buffer = self.context.get_buffer(name)

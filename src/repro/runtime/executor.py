@@ -12,6 +12,16 @@ Interprets the *host* module (post device-dialect lowering), binding the
 
 Kernel trip counts are observed during functional interpretation, so
 dynamically-bounded loops (SGESL's ``j = k+1, n``) are timed exactly.
+
+Multi-CU builds price each launch as the makespan over compute units
+(see :mod:`repro.runtime.kernel_runner`) and pay the enqueue overhead
+once per CU.  When the bitstream carries ``stream_tile_bytes`` the DMA
+model switches to *double-buffered streaming*: arrays larger than the
+tile move in tile-sized transfers whose cost overlaps the adjacent
+kernel's busy window — the first input tile and the last output tile
+stay on the critical path, everything in between hides behind compute
+(bounded by the compute window; leftovers are charged, never dropped).
+Functional data movement is unchanged — streaming only re-times it.
 """
 
 from __future__ import annotations
@@ -58,6 +68,8 @@ class ExecutionResult:
     bytes_d2h: int
     kernel_cycles: float
     returned: tuple = ()
+    #: accumulated per-compute-unit cycle counts (empty for CU=1 builds)
+    cu_cycles: tuple = ()
     #: interpreter steps retired (host program + device kernels) — the
     #: simulator-workload measure the perf-smoke bench tracks across PRs
     interpreter_steps: int = 0
@@ -131,6 +143,21 @@ class FpgaExecutor:
         self._kernel_time_s = 0.0
         self._transfer_time_s = 0.0
         self._kernel_cycles = 0.0
+        #: multi-CU pricing: N CUs mean N OpenCL enqueues per logical
+        #: launch (overhead xN) and per-CU cycle accumulation
+        self._compute_units = max(1, getattr(bitstream, "compute_units", 1))
+        self._launch_overhead_s = (
+            self.board.kernel_launch_overhead_s * self._compute_units
+        )
+        self._cu_cycles: tuple = ()
+        #: double-buffered streaming state — ``None`` tile disables it
+        self._stream_tile_bytes = getattr(bitstream, "stream_tile_bytes", None)
+        self._stream_pending_in_s = 0.0
+        self._stream_out_budget_s = 0.0
+        if self._stream_tile_bytes is not None:
+            # only a tile is resident at a time in the streamed model, so
+            # arrays may exceed a bank's capacity
+            self.table.oversubscribe = True
         from repro.runtime.kernel_runner import KernelRunner
 
         self._runner = KernelRunner(
@@ -163,6 +190,11 @@ class FpgaExecutor:
         returned = interp.call(func_name, *args)
         report.completed = True
         kernel_steps = self._runner.interpreter_steps - runner_steps_before
+        if self._stream_pending_in_s:
+            # input tiles still in flight with no kernel left to hide
+            # behind: they finish on the critical path
+            self.queue.now_s += self._stream_pending_in_s
+            self._stream_pending_in_s = 0.0
         jitter = _flow_jitter(f"{self.flow_label}:{func_name}:{self.queue.now_s:.9f}")
         stats = self.queue.stats
         return ExecutionResult(
@@ -175,9 +207,76 @@ class FpgaExecutor:
             bytes_d2h=stats["bytes_d2h"],
             kernel_cycles=self._kernel_cycles,
             returned=returned,
+            cu_cycles=self._cu_cycles,
             interpreter_steps=interp.steps + kernel_steps,
             report=report,
         )
+
+    # -- accounting --------------------------------------------------------------------
+    #
+    # Every kernel launch and DMA transfer — scalar impl, compiled
+    # emitter, fault-retry path — charges through these two methods, so
+    # the multi-CU and streaming models apply uniformly across tiers.
+    # At compute_units=1 with streaming off both reduce to exactly the
+    # pre-existing arithmetic (one addition per charge, same operands),
+    # keeping modelled times byte-identical to earlier baselines.
+
+    def _charge_kernel_run(self, run) -> None:
+        """Charge one successful kernel execution to the clocks."""
+        self._kernel_cycles += run.cycles
+        self._kernel_time_s += run.seconds
+        if run.per_cu_cycles:
+            if self._cu_cycles:
+                self._cu_cycles = tuple(
+                    have + new
+                    for have, new in zip(self._cu_cycles, run.per_cu_cycles)
+                )
+            else:
+                self._cu_cycles = run.per_cu_cycles
+        busy = run.seconds
+        if self._stream_pending_in_s:
+            # in-flight input tiles stream in while the kernel computes;
+            # the longer of the two bounds the launch window
+            busy = max(busy, self._stream_pending_in_s)
+            self._stream_pending_in_s = 0.0
+        self.queue.now_s += self._launch_overhead_s + busy
+        # output tiles may hide behind this window (consumed by d2h)
+        self._stream_out_budget_s = busy
+        self.queue._counters["launches"] += 1
+
+    def _charge_dma(self, nbytes: int, h2d: bool) -> None:
+        """Charge one host<->device transfer of ``nbytes``."""
+        counters = self.queue._counters
+        tile = self._stream_tile_bytes
+        if tile is None or nbytes <= tile:
+            seconds = self.board.dma_time_s(nbytes)
+            self.queue.now_s += seconds
+            self._transfer_time_s += seconds
+            counters["transfers"] += 1
+            counters["bytes_h2d" if h2d else "bytes_d2h"] += nbytes
+            return
+        # Double-buffered streaming: ceil(nbytes/tile) tile transfers,
+        # each paying the full PCIe model (tiling is not free — every
+        # tile pays its own latency, visible in transfer_time_s).
+        full, rem = divmod(nbytes, tile)
+        sizes = [tile] * full + ([rem] if rem else [])
+        times = [self.board.dma_time_s(size) for size in sizes]
+        total = sum(times)
+        self._transfer_time_s += total
+        counters["transfers"] += len(sizes)
+        counters["bytes_h2d" if h2d else "bytes_d2h"] += nbytes
+        if h2d:
+            # the first tile must land before compute starts; the rest
+            # stream in behind it, overlapped with the next launch
+            self.queue.now_s += times[0]
+            self._stream_pending_in_s += total - times[0]
+        else:
+            # all but the last tile can stream out during the preceding
+            # kernel's busy window; the overlap is bounded by that
+            # window and shared between successive outputs
+            overlap = min(total - times[-1], self._stream_out_budget_s)
+            self._stream_out_budget_s -= overlap
+            self.queue.now_s += total - overlap
 
     # -- fault-injection plumbing --------------------------------------------------------
 
@@ -209,10 +308,7 @@ class FpgaExecutor:
             run = self._runner.run(name, *instance.args)
         else:
             run = self._launch_with_rollback(instance, spec)
-        self._kernel_cycles += run.cycles
-        self._kernel_time_s += run.seconds
-        self.queue.now_s += self.board.kernel_launch_overhead_s + run.seconds
-        self.queue._counters["launches"] += 1
+        self._charge_kernel_run(run)
 
     def _launch_with_rollback(
         self, instance: "KernelInstance", spec: FaultSpec
@@ -350,16 +446,10 @@ class FpgaExecutor:
             self._fault_gate("dma_start")
         source, dest = interp.operand_values(op, env)
         np.copyto(dest, source)
-        seconds = self.board.dma_time_s(int(np.asarray(source).nbytes))
-        self.queue.now_s += seconds
-        self._transfer_time_s += seconds
         src_ty = op.operands[0].type
         assert isinstance(src_ty, MemRefType)
-        h2d = src_ty.memory_space == 0
-        counters = self.queue._counters
-        counters["transfers"] += 1
-        counters["bytes_h2d" if h2d else "bytes_d2h"] += int(
-            np.asarray(source).nbytes
+        self._charge_dma(
+            int(np.asarray(source).nbytes), src_ty.memory_space == 0
         )
         interp.set_results(op, env, [0])
         return None
@@ -390,10 +480,7 @@ class FpgaExecutor:
             self._launch_checked(instance)
             return None
         run = self._runner.run(instance.device_function, *instance.args)
-        self._kernel_cycles += run.cycles
-        self._kernel_time_s += run.seconds
-        self.queue.now_s += self.board.kernel_launch_overhead_s + run.seconds
-        self.queue._counters["launches"] += 1
+        self._charge_kernel_run(run)
         return None
 
     def _run_kernel_wait(self, interp: Interpreter, op: Operation, env: dict):
@@ -551,12 +638,7 @@ def _build_kernel_launch(op: Operation, ctx: FnCompiler, fallback):
         kernel_run = executor._runner.run(
             instance.device_function, *instance.args
         )
-        executor._kernel_cycles += kernel_run.cycles
-        executor._kernel_time_s += kernel_run.seconds
-        executor.queue.now_s += (
-            executor.board.kernel_launch_overhead_s + kernel_run.seconds
-        )
-        executor.queue._counters["launches"] += 1
+        executor._charge_kernel_run(kernel_run)
     return run
 
 
@@ -574,7 +656,7 @@ def _build_dma_start(op: Operation, ctx: FnCompiler, fallback):
     res_i = ctx.slot(op.results[0])
     src_ty = op.operands[0].type
     assert isinstance(src_ty, MemRefType)
-    bytes_key = "bytes_h2d" if src_ty.memory_space == 0 else "bytes_d2h"
+    h2d = src_ty.memory_space == 0
 
     def run(interp, frame):
         executor = interp.host_executor
@@ -586,13 +668,7 @@ def _build_dma_start(op: Operation, ctx: FnCompiler, fallback):
             executor._fault_gate("dma_start")
         source = frame[src_i]
         np.copyto(frame[dst_i], source)
-        nbytes = int(np.asarray(source).nbytes)
-        seconds = executor.board.dma_time_s(nbytes)
-        executor.queue.now_s += seconds
-        executor._transfer_time_s += seconds
-        counters = executor.queue._counters
-        counters["transfers"] += 1
-        counters[bytes_key] += nbytes
+        executor._charge_dma(int(np.asarray(source).nbytes), h2d)
         frame[res_i] = 0
     return run
 

@@ -5,6 +5,21 @@ runs a kernel from a :class:`~repro.backend.vitis.Bitstream` on NumPy
 arguments, observing loop trip counts during interpretation and charging
 ``fill + trips * achieved_II`` cycles per scheduled loop.
 
+Multi-compute-unit builds (``bitstream.compute_units > 1``) shard each
+kernel's *outermost* loops across the CUs in contiguous blocks (CU 0
+gets iterations ``[0, ceil(T/N))``, remainder spread over the leading
+CUs) and price the launch as the **makespan** — the slowest CU's cycle
+count.  Functional execution stays the serial whole-space walk: a
+contiguous-block shard whose partial results recombine in fixed CU
+order performs *exactly* the serial iteration order, so outputs
+(including ordered f32 reductions) are bit-identical at every CU count
+by construction.  Per-CU accounting is derived from the same per-loop
+trip observations as the serial model: outermost loops are sharded
+exactly (each CU pays its own pipeline fill plus ``block * II``), and
+the cycles of loops nested inside them are distributed proportionally
+to each CU's share of outer iterations (exact for rectangular nests,
+the standard balanced-load model for triangular ones).
+
 Reliability: a *watchdog step budget* bounds how many interpreter steps
 one kernel execution may retire — a hung (or injected-hang) kernel
 raises a typed :class:`~repro.reliability.errors.WatchdogTimeout`
@@ -26,10 +41,16 @@ from repro.reliability.errors import WatchdogTimeout
 
 @dataclass
 class KernelRun:
-    """One kernel execution: cycle count and seconds at the kernel clock."""
+    """One kernel execution: cycle count and seconds at the kernel clock.
+
+    For multi-CU builds ``cycles`` is the makespan (slowest CU) and
+    ``per_cu_cycles`` holds every CU's own count in CU order; for
+    single-CU builds ``per_cu_cycles`` stays empty and ``cycles`` is the
+    serial model, byte-identical to pre-multi-CU accounting."""
 
     cycles: float
     seconds: float
+    per_cu_cycles: tuple[float, ...] = ()
 
 
 class KernelRunner:
@@ -57,6 +78,11 @@ class KernelRunner:
         self._interp.loop_observer = self._observe_loop
         self._cycle_stack: list[float] = []
         self._design_stack: list[KernelSchedule] = []
+        self._compute_units = max(1, getattr(bitstream, "compute_units", 1))
+        # Per-run {id(loop op): {trips: count}} observation multisets —
+        # only populated on multi-CU builds (``None`` entries keep the
+        # single-CU path free of aggregation work).
+        self._agg_stack: list[dict[int, dict[int, int]] | None] = []
 
     @property
     def interpreter_steps(self) -> int:
@@ -96,6 +122,7 @@ class KernelRunner:
             interp.max_steps = min(saved_max, budget_limit)
         self._cycle_stack.append(float(design.start_overhead_cycles))
         self._design_stack.append(design)
+        self._agg_stack.append({} if self._compute_units > 1 else None)
         try:
             interp.call(kernel_name, *args)
         except InterpreterError as error:
@@ -110,8 +137,12 @@ class KernelRunner:
             interp.max_steps = saved_max
             cycles = self._cycle_stack.pop()
             self._design_stack.pop()
+            agg = self._agg_stack.pop()
+        per_cu: tuple[float, ...] = ()
+        if agg is not None:
+            cycles, per_cu = self._multi_cu_makespan(design, agg, cycles)
         seconds = self.bitstream.board.cycles_to_seconds(cycles)
-        return KernelRun(cycles=cycles, seconds=seconds)
+        return KernelRun(cycles=cycles, seconds=seconds, per_cu_cycles=per_cu)
 
     # -- cycle accounting -------------------------------------------------------------
 
@@ -124,3 +155,57 @@ class KernelRunner:
             schedule = self._design_stack[-1].loops.get(id(op))
             if schedule is not None:
                 self._cycle_stack[-1] += count * schedule.cycles(trips)
+                agg = self._agg_stack[-1]
+                if agg is not None:
+                    per_loop = agg.setdefault(id(op), {})
+                    per_loop[trips] = per_loop.get(trips, 0) + count
+
+    def _multi_cu_makespan(
+        self,
+        design: KernelSchedule,
+        agg: dict[int, dict[int, int]],
+        serial_cycles: float,
+    ) -> tuple[float, tuple[float, ...]]:
+        """Shard the observed iteration space over the CUs and return
+        ``(makespan, per-CU cycles)``.
+
+        Outermost loops are sharded exactly: ``divmod(trips, N)`` splits
+        each observed execution into contiguous blocks, the remainder
+        iterations going to the leading CUs, and each CU pays its own
+        pipeline fill plus ``block * II``.  Loops nested inside them ride
+        along with their outer iterations: their total cycles are
+        distributed proportionally to each CU's share of outer trips —
+        exact for rectangular nests, the balanced-load model for
+        triangular ones.  All per-loop cycle values are integer-valued
+        floats, so the sums are exact and order-independent (bit-identical
+        across engine tiers whatever order they observe loops in)."""
+        n = self._compute_units
+        overhead = float(design.start_overhead_cycles)
+        outer_cycles = [0.0] * n
+        outer_iters = [0] * n
+        inner_cycles = 0.0
+        for op_id, per_loop in agg.items():
+            schedule = design.loops.get(op_id)
+            if schedule is None:
+                continue
+            for trips, count in per_loop.items():
+                if schedule.outermost:
+                    base, rem = divmod(trips, n)
+                    for cu in range(n):
+                        block = base + (1 if cu < rem else 0)
+                        outer_cycles[cu] += count * schedule.cycles(block)
+                        outer_iters[cu] += count * block
+                else:
+                    inner_cycles += count * schedule.cycles(trips)
+        total_outer = sum(outer_iters)
+        if total_outer == 0:
+            # Nothing to shard (scalar kernel or zero-trip loops): CU 0
+            # runs the whole kernel, the replicas just spin up.
+            return serial_cycles, (serial_cycles,) + (overhead,) * (n - 1)
+        per_cu = tuple(
+            overhead
+            + outer_cycles[cu]
+            + inner_cycles * (outer_iters[cu] / total_outer)
+            for cu in range(n)
+        )
+        return max(per_cu), per_cu

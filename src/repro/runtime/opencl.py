@@ -138,15 +138,27 @@ class ClContext:
         self.buffers: dict[str, ClBuffer] = {}
 
     def create_buffer(
-        self, name: str, shape: tuple[int, ...], dtype, memory_space: int
+        self,
+        name: str,
+        shape: tuple[int, ...],
+        dtype,
+        memory_space: int,
+        *,
+        oversubscribe: bool = False,
     ) -> ClBuffer:
+        """Allocate ``name`` in ``memory_space``.
+
+        ``oversubscribe=True`` admits buffers larger than the space (the
+        double-buffered streaming model keeps only a tile resident at a
+        time, so the capacity check does not apply).
+        """
         spec = self.board.validate_memory_space(memory_space)
         buffer = ClBuffer(
             name=name,
             memory_space=memory_space,
             data=np.zeros(shape, dtype=dtype),
         )
-        if buffer.nbytes > spec.size_bytes:
+        if buffer.nbytes > spec.size_bytes and not oversubscribe:
             raise ClError(
                 f"CL_MEM_OBJECT_ALLOCATION_FAILURE: {buffer.nbytes} bytes "
                 f"exceeds {spec.name}"

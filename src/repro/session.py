@@ -185,12 +185,25 @@ class KernelOverrides:
     overrides it (1 disables unrolling) — the knob that replaced the DSE
     sweep's source-text rewriting.  Hashable: it is the device-build
     cache key.
+
+    ``compute_units`` replicates every kernel N× on the device and
+    shards the iteration space of each kernel's outermost loop across
+    the copies (contiguous blocks, remainder handled); the build is
+    validated against the board's LUT/DSP budgets and an over-budget
+    replication raises a typed
+    :class:`~repro.reliability.errors.DeviceBuildError`.
+    ``stream_tile_bytes`` arms double-buffered DMA streaming: arrays
+    larger than the tile flow through in tiles whose transfer overlaps
+    kernel compute in the cycle model (and may oversubscribe a single
+    memory bank, since only a tile is resident at a time).
     """
 
     simdlen: int | None = None
     reduction_copies: int = 8
     shared_bundle: bool = False
     target_ii: int = 1
+    compute_units: int = 1
+    stream_tile_bytes: int | None = None
 
     def digest(self) -> str:
         """Stable content digest (sorted, versioned field serialization)
@@ -513,7 +526,11 @@ class Session:
                 snap = instr.snapshot("device-hls", device_module)
                 if snap is not None:
                     snapshots.append(snap)
-                bitstream = VitisCompiler(self.board).compile(device_module)
+                bitstream = VitisCompiler(self.board).compile(
+                    device_module,
+                    compute_units=overrides.compute_units,
+                    stream_tile_bytes=overrides.stream_tile_bytes,
+                )
                 for name, ir in (
                     ("llvm-ir", bitstream.llvm_ir),
                     ("amd-hls-llvm7", bitstream.amd_artifact.llvm_ir),

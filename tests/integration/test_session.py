@@ -88,11 +88,11 @@ class TestStageFailureEviction:
         real_compile = VitisCompiler.compile
         calls = {"n": 0}
 
-        def flaky_compile(self, module):
+        def flaky_compile(self, module, **kwargs):
             calls["n"] += 1
             if calls["n"] == 1:
                 raise RuntimeError("synthesis backend crashed")
-            return real_compile(self, module)
+            return real_compile(self, module, **kwargs)
 
         monkeypatch.setattr(VitisCompiler, "compile", flaky_compile)
         with pytest.raises(DeviceBuildError) as excinfo:
@@ -128,11 +128,11 @@ class TestStageFailureEviction:
         real_compile = VitisCompiler.compile
         calls = {"n": 0}
 
-        def interrupted_compile(self, module):
+        def interrupted_compile(self, module, **kwargs):
             calls["n"] += 1
             if calls["n"] == 1:
                 raise KeyboardInterrupt
-            return real_compile(self, module)
+            return real_compile(self, module, **kwargs)
 
         monkeypatch.setattr(VitisCompiler, "compile", interrupted_compile)
         with pytest.raises(KeyboardInterrupt):

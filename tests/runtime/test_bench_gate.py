@@ -102,3 +102,45 @@ class TestDriftAndFloor:
         failures = check_against(base, cur)
         assert len(failures) == 1
         assert "below the recorded floor" in failures[0]
+
+    def test_scaling_tier_floor_gates_like_any_tier(self):
+        """The PR 10 scaling_tiers section rides the same floor check:
+        a collapsed multi-CU speedup is a reported failure."""
+        entry = {
+            "name": "strong:saxpy:n=1000000:cu=2",
+            "device_time_ms": 56.05,
+            "kernel_cycles": 1.6e6,
+            "speedup": 1.953,
+            "floor": 1.6,
+        }
+        base = _payload([], scaling_tiers=[entry])
+        assert check_against(base, _payload([], scaling_tiers=[entry])) == []
+        failures = check_against(
+            base, _payload([], scaling_tiers=[dict(entry, speedup=1.02)])
+        )
+        assert len(failures) == 1
+        assert "scaling_tiers:strong:saxpy:n=1000000:cu=2" in failures[0]
+
+
+class TestBaselineName:
+    def test_every_failure_line_names_the_baseline_file(self):
+        """PR 10 bugfix: a CI log line must be attributable to the exact
+        baseline file that gated it."""
+        base = _payload(
+            [BENCH, dict(BENCH, name="gone:n=1")],
+            segmented_tiers=[TIER],
+        )
+        cur = _payload(
+            [dict(BENCH, kernel_cycles=999.0)],
+            segmented_tiers=[dict(TIER, speedup=3.2)],
+        )
+        failures = check_against(base, cur, baseline_name="BENCH_pr10.json")
+        assert len(failures) == 3
+        assert all("BENCH_pr10.json" in line for line in failures)
+
+    def test_positional_call_still_works(self):
+        base = _payload([BENCH])
+        cur = _payload([dict(BENCH, kernel_cycles=999.0)])
+        failures = check_against(base, cur)
+        assert len(failures) == 1
+        assert "baseline" in failures[0]
